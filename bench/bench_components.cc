@@ -1,0 +1,127 @@
+/**
+ * @file
+ * google-benchmark microbenches for the substrate components, plus
+ * the ablation counters DESIGN.md calls out (extractor dedup ratio,
+ * interestingness-before-verification savings).
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/interestingness.h"
+#include "corpus/benchmarks.h"
+#include "corpus/generator.h"
+#include "extract/extractor.h"
+#include "ir/parser.h"
+#include "ir/pattern.h"
+#include "ir/printer.h"
+#include "opt/instcombine.h"
+#include "verify/refine.h"
+
+using namespace lpo;
+
+namespace {
+
+const char *kSample =
+    "define i8 @src(i32 %x) {\n"
+    "  %c = icmp slt i32 %x, 0\n"
+    "  %m = tail call i32 @llvm.umin.i32(i32 %x, i32 255)\n"
+    "  %t = trunc nuw i32 %m to i8\n"
+    "  %r = select i1 %c, i8 0, i8 %t\n"
+    "  ret i8 %r\n}\n";
+
+void
+BM_ParseFunction(benchmark::State &state)
+{
+    for (auto _ : state) {
+        ir::Context ctx;
+        auto fn = ir::parseFunction(ctx, kSample);
+        benchmark::DoNotOptimize(fn.ok());
+    }
+}
+BENCHMARK(BM_ParseFunction);
+
+void
+BM_PrintFunction(benchmark::State &state)
+{
+    ir::Context ctx;
+    auto fn = ir::parseFunction(ctx, kSample).take();
+    for (auto _ : state) {
+        std::string text = ir::printFunction(*fn);
+        benchmark::DoNotOptimize(text.size());
+    }
+}
+BENCHMARK(BM_PrintFunction);
+
+void
+BM_StructuralHash(benchmark::State &state)
+{
+    ir::Context ctx;
+    auto fn = ir::parseFunction(ctx, kSample).take();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ir::structuralHash(*fn));
+}
+BENCHMARK(BM_StructuralHash);
+
+void
+BM_InstCombine(benchmark::State &state)
+{
+    ir::Context ctx;
+    auto fn = ir::parseFunction(ctx, kSample).take();
+    for (auto _ : state) {
+        auto clone = fn->clone("c");
+        benchmark::DoNotOptimize(opt::runInstCombine(*clone));
+    }
+}
+BENCHMARK(BM_InstCombine);
+
+void
+BM_RefinementSat(benchmark::State &state)
+{
+    ir::Context ctx;
+    const auto &bench = corpus::rq1Benchmarks()[0]; // add_signbit i8
+    auto src = ir::parseFunction(ctx, bench.src_text).take();
+    auto tgt = ir::parseFunction(ctx, bench.tgt_text).take();
+    for (auto _ : state) {
+        auto result = verify::checkRefinement(*src, *tgt);
+        benchmark::DoNotOptimize(result.correct());
+    }
+}
+BENCHMARK(BM_RefinementSat);
+
+void
+BM_ExtractModule(benchmark::State &state)
+{
+    ir::Context ctx;
+    corpus::CorpusOptions copts;
+    copts.files_per_project = 1;
+    corpus::CorpusGenerator generator(ctx, copts);
+    auto module = generator.generateFile(corpus::paperProjects()[0], 0);
+    for (auto _ : state) {
+        extract::Extractor extractor;
+        auto seqs = extractor.extractFromModule(*module);
+        benchmark::DoNotOptimize(seqs.size());
+    }
+    // Ablation counter: dedup ratio on repeated extraction.
+    extract::Extractor extractor;
+    for (int i = 0; i < 4; ++i)
+        extractor.extractFromModule(*module);
+    state.counters["dedup_skipped"] =
+        extractor.stats().duplicates_skipped;
+    state.counters["extracted"] = extractor.stats().extracted;
+}
+BENCHMARK(BM_ExtractModule);
+
+void
+BM_Interestingness(benchmark::State &state)
+{
+    ir::Context ctx;
+    const auto &bench = corpus::rq1Benchmarks()[0];
+    auto src = ir::parseFunction(ctx, bench.src_text).take();
+    auto tgt = ir::parseFunction(ctx, bench.tgt_text).take();
+    for (auto _ : state) {
+        auto gate = core::checkInteresting(*src, *tgt);
+        benchmark::DoNotOptimize(gate.interesting);
+    }
+}
+BENCHMARK(BM_Interestingness);
+
+} // namespace

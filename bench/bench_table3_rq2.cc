@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Table 3 (RQ2): the 62 missed optimizations found by LPO on the
+ * real-project corpus, with resolution status and whether Souper /
+ * Minotaur can detect each.
+ *
+ * The discovery run itself is reproduced in miniature: the corpus
+ * generator plants the RQ2 patterns into per-project modules, the
+ * extractor harvests sequences, and the LPO pipeline (Gemini2.0T
+ * profile, the strongest discoverer) confirms each finding before it
+ * is reported. Souper/Minotaur columns come from running the
+ * baselines on each reported function.
+ */
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "corpus/benchmarks.h"
+#include "corpus/generator.h"
+#include "extract/extractor.h"
+#include "ir/parser.h"
+#include "llm/mock_model.h"
+#include "souper/minotaur.h"
+#include "souper/souper.h"
+
+using namespace lpo;
+
+int
+main()
+{
+    ir::Context ctx;
+
+    // Miniature discovery pass over a corpus slice: demonstrates that
+    // the planted patterns are really discovered end to end.
+    corpus::CorpusOptions copts;
+    copts.files_per_project = 2;
+    copts.functions_per_file = 4;
+    copts.pattern_density = 0.5;
+    corpus::CorpusGenerator generator(ctx, copts);
+    extract::Extractor extractor;
+    llm::MockModel model(llm::modelByName("Gemini2.0T"), 7);
+    core::Pipeline pipeline(model);
+    std::set<std::string> discovered_families;
+    unsigned found = 0, sequences = 0;
+    for (const auto &module : generator.generateAll()) {
+        auto outcomes = pipeline.processModule(*module, extractor, 1);
+        sequences += outcomes.size();
+        for (const auto &outcome : outcomes)
+            found += outcome.found();
+    }
+    std::printf("Discovery pass: %u verified findings from %u extracted "
+                "sequences (%llu duplicates removed).\n\n",
+                found, sequences,
+                static_cast<unsigned long long>(
+                    extractor.stats().duplicates_skipped));
+
+    // Full Table 3 over the curated catalog.
+    core::TextTable table({"Issue ID", "Status", "SouperDefault",
+                           "SouperEnum", "Minotaur"});
+    std::map<std::string, unsigned> status_counts;
+    unsigned sd = 0, se = 0, mi = 0;
+    unsigned souper_missed = 0, minotaur_missed = 0;
+    unsigned confirmed_or_fixed = 0;
+    for (const auto &bench : corpus::rq2Benchmarks()) {
+        auto src = ir::parseFunction(ctx, bench.src_text);
+        souper::SouperOptions def;
+        def.enum_limit = 0;
+        bool def_hit = souper::runSouper(**src, def).detected;
+        bool enum_hit = false;
+        bool enum_timeout = false;
+        for (unsigned e = 1; e <= 3 && !enum_hit; ++e) {
+            souper::SouperOptions opt;
+            opt.enum_limit = e;
+            auto result = souper::runSouper(**src, opt);
+            enum_hit = result.detected;
+            enum_timeout |= result.timeout;
+        }
+        auto mino = souper::runMinotaur(**src);
+        table.addRow({bench.issue_id,
+                      corpus::issueStatusName(bench.status),
+                      def_hit ? "Y" : "",
+                      enum_hit ? "Y" : (enum_timeout ? "timeout" : ""),
+                      mino.detected ? "Y"
+                                    : (mino.crashed ? "crash" : "")});
+        ++status_counts[corpus::issueStatusName(bench.status)];
+        sd += def_hit;
+        se += enum_hit;
+        mi += mino.detected;
+        bool cf = bench.status == corpus::IssueStatus::Confirmed ||
+                  bench.status == corpus::IssueStatus::Fixed;
+        confirmed_or_fixed += cf;
+        if (cf && !def_hit && !enum_hit)
+            ++souper_missed;
+        if (cf && !mino.detected)
+            ++minotaur_missed;
+    }
+    std::printf("Table 3: missed optimizations found by LPO and "
+                "reported\n\n%s\n", table.render().c_str());
+    std::printf("Status summary:");
+    for (const auto &[status, count] : status_counts)
+        std::printf("  %s=%u", status.c_str(), count);
+    std::printf("\nSouperDefault detected %u / 62, SouperEnum %u, "
+                "Minotaur %u.\n", sd, se, mi);
+    std::printf("Of the %u confirmed-or-fixed findings, Souper misses "
+                "%u and Minotaur misses %u.\n",
+                confirmed_or_fixed, souper_missed, minotaur_missed);
+    return 0;
+}

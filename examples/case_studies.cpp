@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The three confirmed case studies of paper §4.3 (Figure 4): missed
+ * optimizations LPO finds that neither Souper nor Minotaur detects.
+ *
+ * Case 1: adjacent-load merging (loads + getelementptr — outside
+ *         Souper's fragment entirely).
+ * Case 2: a redundant umax clamp (llvm.umax.* is unsupported by
+ *         Souper; Minotaur accepts the input but misses the rewrite).
+ * Case 3: a NaN-guard select before an ordered compare (Souper has no
+ *         floating point; Minotaur crashes on the function).
+ */
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "corpus/benchmarks.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "llm/mock_model.h"
+#include "souper/minotaur.h"
+#include "souper/souper.h"
+
+int
+main()
+{
+    using namespace lpo;
+    ir::Context context;
+
+    struct Case
+    {
+        const char *title;
+        const char *issue_id;
+    };
+    const Case cases[] = {
+        {"Case 1: consecutive load merge (Fig. 4a/4d)", "167055"},
+        {"Case 2: redundant umax clamp (Fig. 4b/4e)", "163115"},
+        {"Case 3: NaN-guard select (Fig. 4c/4f)", "139786"},
+    };
+
+    for (const Case &cs : cases) {
+        const corpus::MissedOptBenchmark *bench =
+            corpus::findBenchmark(cs.issue_id);
+        std::printf("=== %s ===\n\nsrc:\n%s\n", cs.title,
+                    bench->src_text.c_str());
+
+        auto src = ir::parseFunction(context, bench->src_text);
+
+        // LPO (reasoning model).
+        llm::MockModel model(llm::modelByName("o4-mini"), 5);
+        core::Pipeline pipeline(model);
+        core::CaseOutcome outcome = pipeline.optimizeSequence(**src, 3);
+        std::printf("LPO: %s\n", core::caseStatusName(outcome.status));
+        if (outcome.found())
+            std::printf("tgt:\n%s\n", outcome.candidate_text.c_str());
+
+        // Baselines.
+        bool souper_hit = false;
+        for (unsigned e = 0; e <= 3 && !souper_hit; ++e) {
+            souper::SouperOptions opts;
+            opts.enum_limit = e;
+            auto result = runSouper(**src, opts);
+            souper_hit = result.detected;
+            if (e == 0 && !result.supported) {
+                std::printf("Souper: unsupported instructions (outside "
+                            "its fragment)\n");
+                break;
+            }
+        }
+        if (souper_hit)
+            std::printf("Souper: detected\n");
+        else
+            std::printf("Souper: not detected\n");
+
+        auto mino = souper::runMinotaur(**src);
+        if (mino.crashed)
+            std::printf("Minotaur: crashed on this IR function\n");
+        else
+            std::printf("Minotaur: %s\n",
+                        mino.detected ? "detected" : "not detected");
+        std::printf("\n");
+    }
+    return 0;
+}

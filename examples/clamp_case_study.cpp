@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The paper's illustrative example (Figures 1 and 3), end to end.
+ *
+ * Builds the vectorized clamp module of Fig. 1d, extracts dependent
+ * instruction sequences from its loop body (step 1), and walks the
+ * closed loop: the simulated LLM's first candidate can contain the
+ * Fig. 3b syntax error (a bare `smax` opcode); opt's error message is
+ * fed back (step 6), and the corrected candidate is verified by the
+ * translation validator. Demonstrates exactly the feedback mechanism
+ * the paper credits for LPO's advantage over LPO-.
+ */
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "extract/extractor.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "llm/mock_model.h"
+#include "opt/opt_driver.h"
+
+int
+main()
+{
+    using namespace lpo;
+
+    // Fig. 1d, reduced to the vector.body block's computation.
+    const char *module_text =
+        "define void @clamp(ptr %inp, ptr %out, i64 %n.vec) {\n"
+        "entry:\n"
+        "  br label %vector.body\n"
+        "vector.body:\n"
+        "  %i = phi i64 [ 0, %entry ], [ %i.next, %vector.body ]\n"
+        "  %p.in = getelementptr inbounds nuw i32, ptr %inp, i64 %i\n"
+        "  %p.out = getelementptr inbounds nuw i8, ptr %out, i64 %i\n"
+        "  %wide.load = load <4 x i32>, ptr %p.in, align 4\n"
+        "  %cmp = icmp slt <4 x i32> %wide.load, zeroinitializer\n"
+        "  %umin = tail call <4 x i32> @llvm.umin.v4i32(<4 x i32> "
+        "%wide.load, <4 x i32> splat (i32 255))\n"
+        "  %trunc = trunc nuw <4 x i32> %umin to <4 x i8>\n"
+        "  %sel = select <4 x i1> %cmp, <4 x i8> zeroinitializer, "
+        "<4 x i8> %trunc\n"
+        "  store <4 x i8> %sel, ptr %p.out, align 1\n"
+        "  %i.next = add nuw i64 %i, 4\n"
+        "  %done = icmp eq i64 %i.next, %n.vec\n"
+        "  br i1 %done, label %exit, label %vector.body\n"
+        "exit:\n"
+        "  ret void\n"
+        "}\n";
+
+    ir::Context context;
+    auto module = ir::parseModule(context, module_text, "clamp.ll");
+    if (!module) {
+        std::fprintf(stderr, "parse error: %s\n",
+                     module.error().toString().c_str());
+        return 1;
+    }
+
+    // Step 1: extract dependent instruction sequences.
+    extract::Extractor extractor;
+    auto sequences = extractor.extractFromModule(**module);
+    std::printf("Extracted %zu unique dependent sequences from "
+                "vector.body.\n\n", sequences.size());
+
+    // Step 2-7: the closed loop, with a model profile prone to the
+    // Fig. 3b hallucination so the feedback path is exercised.
+    llm::ModelProfile profile = llm::modelByName("Gemini2.0T");
+    profile.skill = 1.2;             // always spot the pattern
+    profile.syntax_error_rate = 1.0; // always hallucinate first
+    profile.repair_skill = 1.0;      // always recover from feedback
+
+    for (const auto &seq : sequences) {
+        if (seq->instructionCount() < 3)
+            continue;
+        std::printf("--- Candidate sequence ---\n%s\n",
+                    ir::printFunction(*seq).c_str());
+        llm::MockModel model(profile, 11);
+        core::Pipeline pipeline(model);
+        core::CaseOutcome outcome = pipeline.optimizeSequence(*seq);
+        std::printf("Outcome: %s after %u attempt(s)\n",
+                    core::caseStatusName(outcome.status),
+                    outcome.attempts);
+        if (outcome.attempts > 1)
+            std::printf("(first attempt was rejected; feedback-driven "
+                        "retry succeeded — the paper's Fig. 3 loop)\n");
+        if (outcome.found())
+            std::printf("\nVerified missed optimization:\n%s\n",
+                        outcome.candidate_text.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * RQ2 in miniature: scan a synthetic multi-project corpus for missed
+ * optimizations, exactly as the paper's eleven-month run scanned
+ * llvm-opt-benchmark.
+ *
+ * Generates per-project IR files, extracts and deduplicates dependent
+ * sequences, runs the LPO loop over each, and prints every verified
+ * finding with its project of origin and pipeline statistics.
+ */
+#include <cstdio>
+#include <map>
+
+#include "core/pipeline.h"
+#include "corpus/generator.h"
+#include "extract/extractor.h"
+#include "ir/parser.h"
+#include "llm/mock_model.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace lpo;
+
+    unsigned files_per_project = argc > 1 ? std::atoi(argv[1]) : 3;
+
+    ir::Context context;
+    corpus::CorpusOptions options;
+    options.files_per_project = files_per_project;
+    options.functions_per_file = 5;
+    options.pattern_density = 0.35;
+    corpus::CorpusGenerator generator(context, options);
+
+    extract::Extractor extractor;
+    llm::MockModel model(llm::modelByName("Gemini2.0T"), 77);
+    core::Pipeline pipeline(model);
+
+    std::map<std::string, unsigned> found_per_project;
+    unsigned total_found = 0;
+    for (const auto &project : corpus::paperProjects()) {
+        for (unsigned f = 0; f < files_per_project; ++f) {
+            auto module = generator.generateFile(project, f);
+            auto outcomes = pipeline.processModule(*module, extractor,
+                                                   f);
+            for (const auto &outcome : outcomes) {
+                if (!outcome.found())
+                    continue;
+                ++found_per_project[project.name];
+                ++total_found;
+                std::printf("[%s] verified missed optimization:\n%s\n",
+                            module->name().c_str(),
+                            outcome.candidate_text.c_str());
+            }
+        }
+    }
+
+    const auto &xstats = extractor.stats();
+    const auto &pstats = pipeline.stats();
+    std::printf("=== Scan summary ===\n");
+    std::printf("Projects scanned: %zu (%u files each)\n",
+                corpus::paperProjects().size(), files_per_project);
+    std::printf("Sequences considered: %llu, extracted: %llu, "
+                "duplicates removed: %llu, still-optimizable removed: "
+                "%llu\n",
+                static_cast<unsigned long long>(
+                    xstats.sequences_considered),
+                static_cast<unsigned long long>(xstats.extracted),
+                static_cast<unsigned long long>(
+                    xstats.duplicates_skipped),
+                static_cast<unsigned long long>(
+                    xstats.still_optimizable_skipped));
+    std::printf("LLM calls: %llu, verifier calls: %llu, syntax errors "
+                "fed back: %llu, incorrect candidates fed back: %llu\n",
+                static_cast<unsigned long long>(pstats.llm_calls),
+                static_cast<unsigned long long>(pstats.verifier_calls),
+                static_cast<unsigned long long>(pstats.syntax_errors),
+                static_cast<unsigned long long>(
+                    pstats.incorrect_candidates));
+    std::printf("Verified findings: %u\n", total_found);
+    for (const auto &[project, count] : found_per_project)
+        std::printf("  %-10s %u\n", project.c_str(), count);
+    return 0;
+}

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * lpo — command-line driver (the artifact's user-facing tool).
+ *
+ * Subcommands:
+ *   lpo opt <file.ll>              run the InstCombine pipeline
+ *   lpo verify <src.ll> <tgt.ll>   refinement-check a function pair
+ *   lpo extract <file.ll>          print extracted unique sequences
+ *   lpo run <file.ll> [model]      run the LPO loop on every sequence
+ *   lpo models                     list the Table 1 model registry
+ *
+ * Files may contain one function (verify) or a whole module.
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/pipeline.h"
+#include "extract/extractor.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "llm/mock_model.h"
+#include "opt/opt_driver.h"
+#include "verify/refine.h"
+
+using namespace lpo;
+
+namespace {
+
+std::string
+readFile(const char *path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "lpo: cannot open '%s'\n", path);
+        std::exit(1);
+    }
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+int
+cmdOpt(const char *path)
+{
+    ir::Context ctx;
+    auto module = ir::parseModule(ctx, readFile(path));
+    if (!module) {
+        std::fprintf(stderr, "error: %s\n",
+                     module.error().toString().c_str());
+        return 1;
+    }
+    for (const auto &fn : (*module)->functions()) {
+        auto optimized = opt::optimizeFunction(*fn);
+        std::printf("%s\n", ir::printFunction(*optimized).c_str());
+    }
+    return 0;
+}
+
+int
+cmdVerify(const char *src_path, const char *tgt_path)
+{
+    ir::Context ctx;
+    auto src = ir::parseFunction(ctx, readFile(src_path));
+    auto tgt = ir::parseFunction(ctx, readFile(tgt_path));
+    if (!src || !tgt) {
+        std::fprintf(stderr, "error: %s\n",
+                     (!src ? src.error() : tgt.error())
+                         .toString().c_str());
+        return 1;
+    }
+    auto verdict = verify::checkRefinement(**src, **tgt);
+    if (verdict.correct()) {
+        std::printf("Transformation seems to be correct! (%s: %s)\n",
+                    verdict.backend.c_str(), verdict.detail.c_str());
+        return 0;
+    }
+    std::printf("%s\n", verdict.feedbackMessage(**src).c_str());
+    return 2;
+}
+
+int
+cmdExtract(const char *path)
+{
+    ir::Context ctx;
+    auto module = ir::parseModule(ctx, readFile(path));
+    if (!module) {
+        std::fprintf(stderr, "error: %s\n",
+                     module.error().toString().c_str());
+        return 1;
+    }
+    extract::Extractor extractor;
+    auto sequences = extractor.extractFromModule(**module);
+    for (const auto &seq : sequences)
+        std::printf("%s\n", ir::printFunction(*seq).c_str());
+    const auto &stats = extractor.stats();
+    std::fprintf(stderr,
+                 "; considered=%llu extracted=%llu duplicates=%llu "
+                 "still-optimizable=%llu\n",
+                 (unsigned long long)stats.sequences_considered,
+                 (unsigned long long)stats.extracted,
+                 (unsigned long long)stats.duplicates_skipped,
+                 (unsigned long long)stats.still_optimizable_skipped);
+    return 0;
+}
+
+int
+cmdRun(const char *path, const char *model_name)
+{
+    ir::Context ctx;
+    auto module = ir::parseModule(ctx, readFile(path));
+    if (!module) {
+        std::fprintf(stderr, "error: %s\n",
+                     module.error().toString().c_str());
+        return 1;
+    }
+    llm::MockModel model(llm::modelByName(model_name), 1);
+    core::Pipeline pipeline(model);
+    extract::Extractor extractor;
+    unsigned found = 0;
+    for (const auto &outcome :
+         pipeline.processModule(**module, extractor, 1)) {
+        if (!outcome.found())
+            continue;
+        ++found;
+        std::printf("; verified missed optimization "
+                    "(%u attempt(s), %s backend)\n%s\n",
+                    outcome.attempts, outcome.verifier_backend.c_str(),
+                    outcome.candidate_text.c_str());
+    }
+    const auto &stats = pipeline.stats();
+    std::fprintf(stderr,
+                 "; cases=%llu found=%u llm-calls=%llu "
+                 "syntax-errors=%llu incorrect=%llu\n",
+                 (unsigned long long)stats.cases, found,
+                 (unsigned long long)stats.llm_calls,
+                 (unsigned long long)stats.syntax_errors,
+                 (unsigned long long)stats.incorrect_candidates);
+    return 0;
+}
+
+int
+cmdModels()
+{
+    for (const auto &profile : llm::modelRegistry()) {
+        std::printf("%-12s %-40s %s, cut-off %s\n",
+                    profile.name.c_str(), profile.version.c_str(),
+                    profile.reasoning ? "reasoning" : "base",
+                    profile.cutoff.c_str());
+    }
+    return 0;
+}
+
+void
+usage()
+{
+    std::fprintf(stderr,
+        "usage: lpo <command> [args]\n"
+        "  opt <file.ll>              optimize with the pipeline\n"
+        "  verify <src.ll> <tgt.ll>   check refinement (Alive2-style)\n"
+        "  extract <file.ll>          extract unique sequences\n"
+        "  run <file.ll> [model]      run the LPO loop (default "
+        "Gemini2.0T)\n"
+        "  models                     list the model registry\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const char *cmd = argv[1];
+    if (!std::strcmp(cmd, "opt") && argc == 3)
+        return cmdOpt(argv[2]);
+    if (!std::strcmp(cmd, "verify") && argc == 4)
+        return cmdVerify(argv[2], argv[3]);
+    if (!std::strcmp(cmd, "extract") && argc == 3)
+        return cmdExtract(argv[2]);
+    if (!std::strcmp(cmd, "run") && (argc == 3 || argc == 4))
+        return cmdRun(argv[2], argc == 4 ? argv[3] : "Gemini2.0T");
+    if (!std::strcmp(cmd, "models"))
+        return cmdModels();
+    usage();
+    return 1;
+}

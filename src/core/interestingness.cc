@@ -1,0 +1,42 @@
+#include "core/interestingness.h"
+
+#include "ir/pattern.h"
+#include "mca/cost_model.h"
+
+namespace lpo::core {
+
+Interestingness
+checkInteresting(const ir::Function &original,
+                 const ir::Function &candidate)
+{
+    Interestingness result;
+    mca::CostSummary before = mca::analyzeFunction(original);
+    mca::CostSummary after = mca::analyzeFunction(candidate);
+    result.instruction_delta =
+        static_cast<int>(after.instruction_count) -
+        static_cast<int>(before.instruction_count);
+    result.cycle_delta = after.total_cycles - before.total_cycles;
+
+    if (result.instruction_delta < 0) {
+        result.interesting = true;
+        result.reason = "fewer instructions";
+        return result;
+    }
+    if (result.instruction_delta == 0 && result.cycle_delta < 0) {
+        result.interesting = true;
+        result.reason = "fewer estimated cycles";
+        return result;
+    }
+    if (result.instruction_delta == 0 && result.cycle_delta == 0 &&
+        !ir::structurallyEqual(original, candidate)) {
+        result.interesting = true;
+        result.reason = "syntactically different at equal cost";
+        return result;
+    }
+    result.reason = result.instruction_delta > 0
+        ? "more instructions than the original"
+        : "identical or not cheaper";
+    return result;
+}
+
+} // namespace lpo::core

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Interestingness checking (paper §3.3).
+ *
+ * Decides whether a candidate potentially manifests a beneficial
+ * optimization before the (costlier) correctness check runs. Two
+ * metrics: instruction count and the static cycle estimate from the
+ * llvm-mca substitute on the btver2 model. Ties that still differ
+ * syntactically remain interesting (they may enable follow-on
+ * optimizations).
+ */
+#ifndef LPO_CORE_INTERESTINGNESS_H
+#define LPO_CORE_INTERESTINGNESS_H
+
+#include <string>
+
+#include "ir/function.h"
+
+namespace lpo::core {
+
+/** Outcome of the interestingness check. */
+struct Interestingness
+{
+    bool interesting = false;
+    std::string reason;
+    int instruction_delta = 0;  ///< candidate - original (negative good)
+    double cycle_delta = 0.0;   ///< candidate - original (negative good)
+};
+
+/** Compare @p candidate against @p original. */
+Interestingness checkInteresting(const ir::Function &original,
+                                 const ir::Function &candidate);
+
+} // namespace lpo::core
+
+#endif // LPO_CORE_INTERESTINGNESS_H

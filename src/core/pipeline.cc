@@ -1,0 +1,124 @@
+#include "core/pipeline.h"
+
+#include "core/interestingness.h"
+#include "ir/printer.h"
+#include "opt/opt_driver.h"
+
+namespace lpo::core {
+
+const char *
+caseStatusName(CaseStatus status)
+{
+    switch (status) {
+      case CaseStatus::Found: return "found";
+      case CaseStatus::NotInteresting: return "not-interesting";
+      case CaseStatus::Incorrect: return "incorrect";
+      case CaseStatus::SyntaxError: return "syntax-error";
+      case CaseStatus::Unsupported: return "unsupported";
+      case CaseStatus::NoCandidate: return "no-candidate";
+    }
+    return "?";
+}
+
+CaseOutcome
+Pipeline::optimizeSequence(const ir::Function &seq, uint64_t round_seed)
+{
+    CaseOutcome outcome;
+    ++stats_.cases;
+    outcome.total_seconds = config_.overhead_seconds;
+
+    std::string seq_text = ir::printFunction(seq);
+    std::string feedback;
+    unsigned counter = 0;
+
+    while (counter < config_.attempt_limit) {
+        llm::LlmRequest request;
+        request.system_prompt = "(see llm/prompt.h)";
+        request.function_text = seq_text;
+        request.feedback = feedback;
+        request.seed = round_seed * 7919 + counter;
+        llm::LlmResponse response = client_.complete(request);
+        ++stats_.llm_calls;
+        ++outcome.attempts;
+        outcome.llm_seconds += response.latency_seconds;
+        outcome.total_seconds += response.latency_seconds;
+        outcome.cost_usd += response.cost_usd;
+
+        // Step 3: opt — syntax check + canonicalize/optimize further.
+        ir::Context &context = seq.context();
+        opt::OptResult opted = opt::runOpt(context, response.text);
+        if (opted.failed) {
+            ++stats_.syntax_errors;
+            ++counter;
+            outcome.status = CaseStatus::SyntaxError;
+            outcome.last_feedback = opted.error_message;
+            if (!config_.enable_feedback)
+                break;
+            feedback = opted.error_message;
+            continue;
+        }
+
+        // Step: interestingness gate (before the costlier verifier).
+        Interestingness gate = checkInteresting(seq, *opted.function);
+        if (!gate.interesting) {
+            ++stats_.not_interesting;
+            outcome.status = CaseStatus::NotInteresting;
+            outcome.last_feedback = gate.reason;
+            break; // abandon this sequence (Algorithm 1 line 16)
+        }
+
+        // Step 5: correctness via the translation validator.
+        verify::RefinementResult verdict =
+            verify::checkRefinement(seq, *opted.function, config_.refine);
+        ++stats_.verifier_calls;
+        outcome.total_seconds += config_.verify_seconds;
+        outcome.verifier_backend = verdict.backend;
+
+        if (verdict.verdict == verify::Verdict::Unsupported) {
+            outcome.status = CaseStatus::Unsupported;
+            outcome.last_feedback = verdict.detail;
+            break;
+        }
+        if (!verdict.correct()) {
+            ++stats_.incorrect_candidates;
+            ++counter;
+            outcome.status = CaseStatus::Incorrect;
+            outcome.last_feedback = verdict.feedbackMessage(seq);
+            if (!config_.enable_feedback)
+                break;
+            feedback = outcome.last_feedback;
+            continue;
+        }
+
+        // Success: record the pair for further analysis (step 7).
+        outcome.status = CaseStatus::Found;
+        outcome.candidate_text = ir::printFunction(*opted.function);
+        ++stats_.found;
+        break;
+    }
+
+    // A loop that only ever saw the model echo the input is reported
+    // as NoCandidate rather than Incorrect.
+    if (outcome.status == CaseStatus::NotInteresting &&
+        outcome.attempts == 1 && outcome.last_feedback ==
+            "identical or not cheaper") {
+        outcome.status = CaseStatus::NoCandidate;
+    }
+
+    stats_.total_seconds += outcome.total_seconds;
+    stats_.total_cost_usd += outcome.cost_usd;
+    return outcome;
+}
+
+std::vector<CaseOutcome>
+Pipeline::processModule(const ir::Module &module,
+                        extract::Extractor &extractor, uint64_t round_seed)
+{
+    std::vector<CaseOutcome> outcomes;
+    auto sequences = extractor.extractFromModule(module);
+    for (const auto &seq : sequences)
+        outcomes.push_back(optimizeSequence(*seq, round_seed));
+    return outcomes;
+}
+
+} // namespace lpo::core

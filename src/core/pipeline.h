@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The LPO closed loop (paper Fig. 2 / Algorithm 1).
+ *
+ * For each instruction sequence: prompt the LLM; syntax-check and
+ * canonicalize the candidate with the opt driver; gate on
+ * interestingness; verify refinement with the translation validator;
+ * on failure, feed the error message or counterexample back to the
+ * model and retry up to ATTEMPT_LIMIT times. The LPO- ablation
+ * disables the feedback loop.
+ */
+#ifndef LPO_CORE_PIPELINE_H
+#define LPO_CORE_PIPELINE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "extract/extractor.h"
+#include "ir/module.h"
+#include "llm/client.h"
+#include "verify/refine.h"
+
+namespace lpo::core {
+
+/** Pipeline configuration. */
+struct PipelineConfig
+{
+    /** Max LLM attempts per sequence (paper: 2). */
+    unsigned attempt_limit = 2;
+    /** False selects the LPO- ablation (no feedback, single shot). */
+    bool enable_feedback = true;
+    verify::RefineOptions refine;
+    /** Fixed non-LLM overhead (opt + checks) in simulated seconds. */
+    double overhead_seconds = 0.5;
+    /** Additional simulated seconds per verifier invocation. */
+    double verify_seconds = 0.4;
+};
+
+/** Why a case ended. */
+enum class CaseStatus {
+    Found,            ///< verified missed optimization recorded
+    NotInteresting,   ///< candidate no better than the original
+    Incorrect,        ///< verification kept failing
+    SyntaxError,      ///< candidate never parsed
+    Unsupported,      ///< verifier cannot handle the function
+    NoCandidate,      ///< model echoed the input (nothing proposed)
+};
+
+const char *caseStatusName(CaseStatus status);
+
+/** Full record of one sequence's trip through the loop. */
+struct CaseOutcome
+{
+    CaseStatus status = CaseStatus::NoCandidate;
+    unsigned attempts = 0;
+    std::string candidate_text;    ///< verified optimized function
+    std::string last_feedback;     ///< final feedback message (if any)
+    double llm_seconds = 0.0;      ///< simulated LLM latency
+    double total_seconds = 0.0;    ///< simulated end-to-end latency
+    double cost_usd = 0.0;
+    std::string verifier_backend;  ///< "sat"/"exhaustive"/"sampled"
+
+    bool found() const { return status == CaseStatus::Found; }
+};
+
+/** Aggregate statistics over a run. */
+struct PipelineStats
+{
+    uint64_t cases = 0;
+    uint64_t found = 0;
+    uint64_t llm_calls = 0;
+    uint64_t verifier_calls = 0;
+    uint64_t syntax_errors = 0;
+    uint64_t incorrect_candidates = 0;
+    uint64_t not_interesting = 0;
+    double total_seconds = 0.0;
+    double total_cost_usd = 0.0;
+};
+
+/** The LPO engine. */
+class Pipeline
+{
+  public:
+    Pipeline(llm::LlmClient &client, PipelineConfig config = {})
+        : client_(client), config_(config)
+    {}
+
+    /** Run the loop on one wrapped instruction sequence. */
+    CaseOutcome optimizeSequence(const ir::Function &seq,
+                                 uint64_t round_seed = 0);
+
+    /**
+     * Extract sequences from @p module and run the loop on each;
+     * returns outcomes for every extracted sequence.
+     */
+    std::vector<CaseOutcome> processModule(const ir::Module &module,
+                                           extract::Extractor &extractor,
+                                           uint64_t round_seed = 0);
+
+    const PipelineStats &stats() const { return stats_; }
+
+  private:
+    llm::LlmClient &client_;
+    PipelineConfig config_;
+    PipelineStats stats_;
+};
+
+} // namespace lpo::core
+
+#endif // LPO_CORE_PIPELINE_H

@@ -1,0 +1,57 @@
+#include "core/report.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace lpo::core {
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    assert(row.size() == headers_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (size_t c = 0; c < row.size(); ++c) {
+            line += row[c];
+            line.append(widths[c] - row[c].size() + 2, ' ');
+        }
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    std::string out = render_row(headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + 2;
+    out += std::string(total - 2, '-') + "\n";
+    for (const auto &row : rows_)
+        out += render_row(row);
+    return out;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / values.size());
+}
+
+} // namespace lpo::core

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark binaries.
+ *
+ * Every table/figure binary prints rows in the same aligned format so
+ * EXPERIMENTS.md can quote them directly.
+ */
+#ifndef LPO_CORE_REPORT_H
+#define LPO_CORE_REPORT_H
+
+#include <string>
+#include <vector>
+
+namespace lpo::core {
+
+/** A simple column-aligned text table. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers)
+        : headers_(std::move(headers))
+    {}
+
+    void addRow(std::vector<std::string> row);
+    /** Render with padded columns and a header underline. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Geometric mean of a series (values must be positive). */
+double geomean(const std::vector<double> &values);
+
+} // namespace lpo::core
+
+#endif // LPO_CORE_REPORT_H

@@ -1,0 +1,728 @@
+#include "corpus/benchmarks.h"
+
+#include <map>
+
+#include "support/apint.h"
+
+namespace lpo::corpus {
+
+namespace {
+
+/** A (src, tgt) pair of IR texts. */
+struct Pair
+{
+    std::string src;
+    std::string tgt;
+};
+
+std::string
+W(unsigned width)
+{
+    return "i" + std::to_string(width);
+}
+
+// -------------------------------------------------------------------
+// Pattern families. Each returns a verified (src, tgt) pair; the test
+// suite re-proves refinement for every instantiation.
+// -------------------------------------------------------------------
+
+/** F clamp_umin: x < 0 ? 0 : umin(x, C)  ==>  umin(smax(x, 0), C). */
+Pair
+clampUMin(unsigned width, unsigned narrow, uint64_t limit)
+{
+    std::string w = W(width), n = W(narrow);
+    std::string c = std::to_string(limit);
+    Pair p;
+    p.src = "define " + n + " @src(" + w + " %x) {\n"
+        "  %c = icmp slt " + w + " %x, 0\n"
+        "  %m = tail call " + w + " @llvm.umin." + w + "(" + w + " %x, " +
+        w + " " + c + ")\n"
+        "  %t = trunc nuw " + w + " %m to " + n + "\n"
+        "  %r = select i1 %c, " + n + " 0, " + n + " %t\n"
+        "  ret " + n + " %r\n}\n";
+    p.tgt = "define " + n + " @tgt(" + w + " %x) {\n"
+        "  %s = tail call " + w + " @llvm.smax." + w + "(" + w + " %x, " +
+        w + " 0)\n"
+        "  %m = tail call " + w + " @llvm.umin." + w + "(" + w + " %s, " +
+        w + " " + c + ")\n"
+        "  %t = trunc nuw " + w + " %m to " + n + "\n"
+        "  ret " + n + " %t\n}\n";
+    return p;
+}
+
+/** F clamp_umin_vec: the vectorized Fig. 1 form. */
+Pair
+clampUMinVec()
+{
+    Pair p;
+    p.src =
+        "define <4 x i8> @src(<4 x i32> %x) {\n"
+        "  %c = icmp slt <4 x i32> %x, zeroinitializer\n"
+        "  %m = tail call <4 x i32> @llvm.umin.v4i32(<4 x i32> %x, "
+        "<4 x i32> splat (i32 255))\n"
+        "  %t = trunc nuw <4 x i32> %m to <4 x i8>\n"
+        "  %r = select <4 x i1> %c, <4 x i8> zeroinitializer, "
+        "<4 x i8> %t\n"
+        "  ret <4 x i8> %r\n}\n";
+    p.tgt =
+        "define <4 x i8> @tgt(<4 x i32> %x) {\n"
+        "  %s = tail call <4 x i32> @llvm.smax.v4i32(<4 x i32> %x, "
+        "<4 x i32> zeroinitializer)\n"
+        "  %m = tail call <4 x i32> @llvm.umin.v4i32(<4 x i32> %s, "
+        "<4 x i32> splat (i32 255))\n"
+        "  %t = trunc nuw <4 x i32> %m to <4 x i8>\n"
+        "  ret <4 x i8> %t\n}\n";
+    return p;
+}
+
+/** F load_merge: two adjacent narrow loads combined into one load. */
+Pair
+loadMerge(unsigned half_width)
+{
+    unsigned full = half_width * 2;
+    unsigned byte_off = half_width / 8;
+    std::string h = W(half_width), f = W(full);
+    Pair p;
+    p.src = "define " + f + " @src(ptr %p) {\n"
+        "  %lo = load " + h + ", ptr %p, align 2\n"
+        "  %q = getelementptr i8, ptr %p, i64 " +
+        std::to_string(byte_off) + "\n"
+        "  %hi = load " + h + ", ptr %q, align 1\n"
+        "  %zhi = zext " + h + " %hi to " + f + "\n"
+        "  %shl = shl nuw " + f + " %zhi, " +
+        std::to_string(half_width) + "\n"
+        "  %zlo = zext " + h + " %lo to " + f + "\n"
+        "  %r = or disjoint " + f + " %shl, %zlo\n"
+        "  ret " + f + " %r\n}\n";
+    p.tgt = "define " + f + " @tgt(ptr %p) {\n"
+        "  %r = load " + f + ", ptr %p, align 2\n"
+        "  ret " + f + " %r\n}\n";
+    return p;
+}
+
+/** F umax_shl: umax(shl nuw (umax(x, C1), k), C2) with C1<<k <= C2. */
+Pair
+umaxShl(unsigned width, uint64_t c1, unsigned k, uint64_t c2)
+{
+    std::string w = W(width);
+    Pair p;
+    p.src = "define " + w + " @src(" + w + " %x) {\n"
+        "  %a = call " + w + " @llvm.umax." + w + "(" + w + " %x, " + w +
+        " " + std::to_string(c1) + ")\n"
+        "  %b = shl nuw " + w + " %a, " + std::to_string(k) + "\n"
+        "  %r = call " + w + " @llvm.umax." + w + "(" + w + " %b, " + w +
+        " " + std::to_string(c2) + ")\n"
+        "  ret " + w + " %r\n}\n";
+    p.tgt = "define " + w + " @tgt(" + w + " %x) {\n"
+        "  %b = shl nuw " + w + " %x, " + std::to_string(k) + "\n"
+        "  %r = call " + w + " @llvm.umax." + w + "(" + w + " %b, " + w +
+        " " + std::to_string(c2) + ")\n"
+        "  ret " + w + " %r\n}\n";
+    return p;
+}
+
+/** F fcmp_ord_select: NaN-guard select before an ordered compare. */
+Pair
+fcmpOrdSelect(const std::string &cmp_const)
+{
+    Pair p;
+    p.src = "define i1 @src(double %x) {\n"
+        "  %o = fcmp ord double %x, 0.000000e+00\n"
+        "  %s = select i1 %o, double %x, double 0.000000e+00\n"
+        "  %r = fcmp oeq double %s, " + cmp_const + "\n"
+        "  ret i1 %r\n}\n";
+    p.tgt = "define i1 @tgt(double %x) {\n"
+        "  %r = fcmp oeq double %x, " + cmp_const + "\n"
+        "  ret i1 %r\n}\n";
+    return p;
+}
+
+/** F sub_add_cmp: (a - b > a + b) with nsw  ==>  b < 0. */
+Pair
+subAddCmp(unsigned width)
+{
+    std::string w = W(width);
+    Pair p;
+    p.src = "define i1 @src(" + w + " %a, " + w + " %b) {\n"
+        "  %s = sub nsw " + w + " %a, %b\n"
+        "  %t = add nsw " + w + " %a, %b\n"
+        "  %c = icmp sgt " + w + " %s, %t\n"
+        "  ret i1 %c\n}\n";
+    p.tgt = "define i1 @tgt(" + w + " %a, " + w + " %b) {\n"
+        "  %c = icmp slt " + w + " %b, 0\n"
+        "  ret i1 %c\n}\n";
+    return p;
+}
+
+/** F add_signbit: add x, SIGN_MIN  ==>  xor x, SIGN_MIN. */
+Pair
+addSignbit(unsigned width)
+{
+    std::string w = W(width);
+    std::string min = lpo::APInt::signedMin(width).toString();
+    Pair p;
+    p.src = "define " + w + " @src(" + w + " %x) {\n"
+        "  %r = add " + w + " %x, " + min + "\n"
+        "  ret " + w + " %r\n}\n";
+    p.tgt = "define " + w + " @tgt(" + w + " %x) {\n"
+        "  %r = xor " + w + " %x, " + min + "\n"
+        "  ret " + w + " %r\n}\n";
+    return p;
+}
+
+/** F icmp_lshr: (x >> k) == 0  ==>  x < 2^k. */
+Pair
+icmpLshr(unsigned width, unsigned k)
+{
+    std::string w = W(width);
+    Pair p;
+    p.src = "define i1 @src(" + w + " %x) {\n"
+        "  %s = lshr " + w + " %x, " + std::to_string(k) + "\n"
+        "  %r = icmp eq " + w + " %s, 0\n"
+        "  ret i1 %r\n}\n";
+    p.tgt = "define i1 @tgt(" + w + " %x) {\n"
+        "  %r = icmp ult " + w + " %x, " +
+        std::to_string(uint64_t(1) << k) + "\n"
+        "  ret i1 %r\n}\n";
+    return p;
+}
+
+/** F umin_zext: umin(zext(x), C) with C >= narrow max  ==>  zext(x). */
+Pair
+uminZext(unsigned narrow, unsigned wide, uint64_t limit)
+{
+    std::string n = W(narrow), w = W(wide);
+    Pair p;
+    p.src = "define " + w + " @src(" + n + " %x) {\n"
+        "  %z = zext " + n + " %x to " + w + "\n"
+        "  %r = call " + w + " @llvm.umin." + w + "(" + w + " %z, " + w +
+        " " + std::to_string(limit) + ")\n"
+        "  ret " + w + " %r\n}\n";
+    p.tgt = "define " + w + " @tgt(" + n + " %x) {\n"
+        "  %z = zext " + n + " %x to " + w + "\n"
+        "  ret " + w + " %z\n}\n";
+    return p;
+}
+
+/** F usub_sat: x > y ? x - y : 0  ==>  usub.sat(x, y). */
+Pair
+usubSat(unsigned width)
+{
+    std::string w = W(width);
+    Pair p;
+    p.src = "define " + w + " @src(" + w + " %x, " + w + " %y) {\n"
+        "  %c = icmp ugt " + w + " %x, %y\n"
+        "  %s = sub " + w + " %x, %y\n"
+        "  %r = select i1 %c, " + w + " %s, " + w + " 0\n"
+        "  ret " + w + " %r\n}\n";
+    p.tgt = "define " + w + " @tgt(" + w + " %x, " + w + " %y) {\n"
+        "  %r = call " + w + " @llvm.usub.sat." + w + "(" + w + " %x, " +
+        w + " %y)\n"
+        "  ret " + w + " %r\n}\n";
+    return p;
+}
+
+/** F umax_sub: umax(x, y) - y  ==>  usub.sat(x, y). */
+Pair
+umaxSub(unsigned width)
+{
+    std::string w = W(width);
+    Pair p;
+    p.src = "define " + w + " @src(" + w + " %x, " + w + " %y) {\n"
+        "  %m = call " + w + " @llvm.umax." + w + "(" + w + " %x, " + w +
+        " %y)\n"
+        "  %r = sub " + w + " %m, %y\n"
+        "  ret " + w + " %r\n}\n";
+    p.tgt = "define " + w + " @tgt(" + w + " %x, " + w + " %y) {\n"
+        "  %r = call " + w + " @llvm.usub.sat." + w + "(" + w + " %x, " +
+        w + " %y)\n"
+        "  ret " + w + " %r\n}\n";
+    return p;
+}
+
+/** F umin_idem: umin(umin(x, y), x)  ==>  umin(x, y). */
+Pair
+uminIdem(unsigned width)
+{
+    std::string w = W(width);
+    Pair p;
+    p.src = "define " + w + " @src(" + w + " %x, " + w + " %y) {\n"
+        "  %a = call " + w + " @llvm.umin." + w + "(" + w + " %x, " + w +
+        " %y)\n"
+        "  %r = call " + w + " @llvm.umin." + w + "(" + w + " %a, " + w +
+        " %x)\n"
+        "  ret " + w + " %r\n}\n";
+    p.tgt = "define " + w + " @tgt(" + w + " %x, " + w + " %y) {\n"
+        "  %r = call " + w + " @llvm.umin." + w + "(" + w + " %x, " + w +
+        " %y)\n"
+        "  ret " + w + " %r\n}\n";
+    return p;
+}
+
+/** F trunc_and: trunc(x & M) where M covers the narrow type. */
+Pair
+truncAnd(unsigned wide, unsigned narrow)
+{
+    std::string w = W(wide), n = W(narrow);
+    uint64_t mask = (uint64_t(1) << narrow) - 1;
+    Pair p;
+    p.src = "define " + n + " @src(" + w + " %x) {\n"
+        "  %a = and " + w + " %x, " + std::to_string(mask) + "\n"
+        "  %r = trunc " + w + " %a to " + n + "\n"
+        "  ret " + n + " %r\n}\n";
+    p.tgt = "define " + n + " @tgt(" + w + " %x) {\n"
+        "  %r = trunc " + w + " %x to " + n + "\n"
+        "  ret " + n + " %r\n}\n";
+    return p;
+}
+
+/** F neg_sub: 0 - (x - y)  ==>  y - x. */
+Pair
+negSub(unsigned width)
+{
+    std::string w = W(width);
+    Pair p;
+    p.src = "define " + w + " @src(" + w + " %x, " + w + " %y) {\n"
+        "  %s = sub " + w + " %x, %y\n"
+        "  %r = sub " + w + " 0, %s\n"
+        "  ret " + w + " %r\n}\n";
+    p.tgt = "define " + w + " @tgt(" + w + " %x, " + w + " %y) {\n"
+        "  %r = sub " + w + " %y, %x\n"
+        "  ret " + w + " %r\n}\n";
+    return p;
+}
+
+/** F smax_abs: smax(x, 0 - x)  ==>  abs(x). */
+Pair
+smaxAbs(unsigned width)
+{
+    std::string w = W(width);
+    Pair p;
+    p.src = "define " + w + " @src(" + w + " %x) {\n"
+        "  %n = sub " + w + " 0, %x\n"
+        "  %r = call " + w + " @llvm.smax." + w + "(" + w + " %x, " + w +
+        " %n)\n"
+        "  ret " + w + " %r\n}\n";
+    p.tgt = "define " + w + " @tgt(" + w + " %x) {\n"
+        "  %r = call " + w + " @llvm.abs." + w + "(" + w + " %x, i1 "
+        "false)\n"
+        "  ret " + w + " %r\n}\n";
+    return p;
+}
+
+/** F or_zext: or(zext(a), zext(b))  ==>  zext(or(a, b)). */
+Pair
+orZext(unsigned width)
+{
+    std::string w = W(width);
+    Pair p;
+    p.src = "define " + w + " @src(i1 %a, i1 %b) {\n"
+        "  %za = zext i1 %a to " + w + "\n"
+        "  %zb = zext i1 %b to " + w + "\n"
+        "  %r = or " + w + " %za, %zb\n"
+        "  ret " + w + " %r\n}\n";
+    p.tgt = "define " + w + " @tgt(i1 %a, i1 %b) {\n"
+        "  %o = or i1 %a, %b\n"
+        "  %r = zext i1 %o to " + w + "\n"
+        "  ret " + w + " %r\n}\n";
+    return p;
+}
+
+/** F add_and_or: (x & y) + (x | y)  ==>  x + y. */
+Pair
+addAndOr(unsigned width)
+{
+    std::string w = W(width);
+    Pair p;
+    p.src = "define " + w + " @src(" + w + " %x, " + w + " %y) {\n"
+        "  %a = and " + w + " %x, %y\n"
+        "  %o = or " + w + " %x, %y\n"
+        "  %r = add " + w + " %a, %o\n"
+        "  ret " + w + " %r\n}\n";
+    p.tgt = "define " + w + " @tgt(" + w + " %x, " + w + " %y) {\n"
+        "  %r = add " + w + " %x, %y\n"
+        "  ret " + w + " %r\n}\n";
+    return p;
+}
+
+/** F and1_trunc: (x & 1) != 0  ==>  trunc x to i1. */
+Pair
+and1Trunc(unsigned width)
+{
+    std::string w = W(width);
+    Pair p;
+    p.src = "define i1 @src(" + w + " %x) {\n"
+        "  %a = and " + w + " %x, 1\n"
+        "  %r = icmp ne " + w + " %a, 0\n"
+        "  ret i1 %r\n}\n";
+    p.tgt = "define i1 @tgt(" + w + " %x) {\n"
+        "  %r = trunc " + w + " %x to i1\n"
+        "  ret i1 %r\n}\n";
+    return p;
+}
+
+/** F mul_parity: (x * x) & 1  ==>  x & 1. */
+Pair
+mulParity(unsigned width)
+{
+    std::string w = W(width);
+    Pair p;
+    p.src = "define " + w + " @src(" + w + " %x) {\n"
+        "  %m = mul " + w + " %x, %x\n"
+        "  %r = and " + w + " %m, 1\n"
+        "  ret " + w + " %r\n}\n";
+    p.tgt = "define " + w + " @tgt(" + w + " %x) {\n"
+        "  %r = and " + w + " %x, 1\n"
+        "  ret " + w + " %r\n}\n";
+    return p;
+}
+
+/** F sdiv_exact: sdiv exact x, 2^k  ==>  ashr exact x, k. */
+Pair
+sdivExact(unsigned width, unsigned k)
+{
+    std::string w = W(width);
+    Pair p;
+    p.src = "define " + w + " @src(" + w + " %x) {\n"
+        "  %r = sdiv exact " + w + " %x, " +
+        std::to_string(uint64_t(1) << k) + "\n"
+        "  ret " + w + " %r\n}\n";
+    p.tgt = "define " + w + " @tgt(" + w + " %x) {\n"
+        "  %r = ashr exact " + w + " %x, " + std::to_string(k) + "\n"
+        "  ret " + w + " %r\n}\n";
+    return p;
+}
+
+/** F fabs_olt: fabs(x) < 0.0  ==>  false. */
+Pair
+fabsOlt()
+{
+    Pair p;
+    p.src = "define i1 @src(double %x) {\n"
+        "  %a = call double @llvm.fabs.f64(double %x)\n"
+        "  %r = fcmp olt double %a, 0.000000e+00\n"
+        "  ret i1 %r\n}\n";
+    p.tgt = "define i1 @tgt(double %x) {\n"
+        "  %r = fcmp uno double %x, %x\n"
+        "  ret i1 %r\n}\n";
+    // fabs(x) < 0 is always false, including NaN; false == (x uno x)?
+    // No: x uno x is true for NaN. Return the constant-false compare
+    // instead.
+    p.tgt = "define i1 @tgt(double %x) {\n"
+        "  %r = fcmp false double %x, %x\n"
+        "  ret i1 %r\n}\n";
+    return p;
+}
+
+/** F uadd_sat: overflow-checked add  ==>  uadd.sat. */
+Pair
+uaddSat(unsigned width)
+{
+    std::string w = W(width);
+    Pair p;
+    p.src = "define " + w + " @src(" + w + " %x, " + w + " %y) {\n"
+        "  %s = add " + w + " %x, %y\n"
+        "  %c = icmp ult " + w + " %s, %x\n"
+        "  %r = select i1 %c, " + w + " -1, " + w + " %s\n"
+        "  ret " + w + " %r\n}\n";
+    p.tgt = "define " + w + " @tgt(" + w + " %x, " + w + " %y) {\n"
+        "  %r = call " + w + " @llvm.uadd.sat." + w + "(" + w + " %x, " +
+        w + " %y)\n"
+        "  ret " + w + " %r\n}\n";
+    return p;
+}
+
+/** F clz_cmp: ctlz(x) == width  ==>  x == 0. */
+Pair
+clzCmp(unsigned width)
+{
+    std::string w = W(width);
+    Pair p;
+    p.src = "define i1 @src(" + w + " %x) {\n"
+        "  %z = call " + w + " @llvm.ctlz." + w + "(" + w + " %x, i1 "
+        "false)\n"
+        "  %r = icmp eq " + w + " %z, " + std::to_string(width) + "\n"
+        "  ret i1 %r\n}\n";
+    p.tgt = "define i1 @tgt(" + w + " %x) {\n"
+        "  %r = icmp eq " + w + " %x, 0\n"
+        "  ret i1 %r\n}\n";
+    return p;
+}
+
+/** F cttz_and: cttz(x) > k-1  ==>  (x & (2^k - 1)) == 0. The source
+ *  uses the canonical strict form InstCombine produces. */
+Pair
+cttzAnd(unsigned width, unsigned k)
+{
+    std::string w = W(width);
+    Pair p;
+    p.src = "define i1 @src(" + w + " %x) {\n"
+        "  %z = call " + w + " @llvm.cttz." + w + "(" + w + " %x, i1 "
+        "false)\n"
+        "  %r = icmp ugt " + w + " %z, " + std::to_string(k - 1) + "\n"
+        "  ret i1 %r\n}\n";
+    p.tgt = "define i1 @tgt(" + w + " %x) {\n"
+        "  %a = and " + w + " %x, " +
+        std::to_string((uint64_t(1) << k) - 1) + "\n"
+        "  %r = icmp eq " + w + " %a, 0\n"
+        "  ret i1 %r\n}\n";
+    return p;
+}
+
+/** F sat_chain: uadd.sat(uadd.sat(x, C1), C2)  ==>  uadd.sat(x, C1+C2). */
+Pair
+satChain(unsigned width, uint64_t c1, uint64_t c2)
+{
+    std::string w = W(width);
+    Pair p;
+    p.src = "define " + w + " @src(" + w + " %x) {\n"
+        "  %a = call " + w + " @llvm.uadd.sat." + w + "(" + w + " %x, " +
+        w + " " + std::to_string(c1) + ")\n"
+        "  %r = call " + w + " @llvm.uadd.sat." + w + "(" + w + " %a, " +
+        w + " " + std::to_string(c2) + ")\n"
+        "  ret " + w + " %r\n}\n";
+    p.tgt = "define " + w + " @tgt(" + w + " %x) {\n"
+        "  %r = call " + w + " @llvm.uadd.sat." + w + "(" + w + " %x, " +
+        w + " " + std::to_string(c1 + c2) + ")\n"
+        "  ret " + w + " %r\n}\n";
+    return p;
+}
+
+MissedOptBenchmark
+make(const std::string &issue, IssueStatus status,
+     const std::string &family, Pair pair, double difficulty)
+{
+    return MissedOptBenchmark{issue, status, family, std::move(pair.src),
+                              std::move(pair.tgt), difficulty};
+}
+
+std::vector<MissedOptBenchmark>
+buildRQ1()
+{
+    using S = IssueStatus;
+    std::vector<MissedOptBenchmark> v;
+    // Easy tier: detected by most models, often without feedback.
+    v.push_back(make("108451", S::Reported, "add_signbit",
+                     addSignbit(8), 0.30));
+    v.push_back(make("108559", S::Reported, "trunc_and",
+                     truncAnd(32, 8), 0.32));
+    v.push_back(make("110591", S::Reported, "neg_sub", negSub(32), 0.35));
+    v.push_back(make("115466", S::Reported, "add_and_or",
+                     addAndOr(32), 0.38));
+    v.push_back(make("141930", S::Reported, "umin_idem",
+                     uminIdem(16), 0.36));
+    // Medium tier.
+    v.push_back(make("107228", S::Reported, "icmp_lshr",
+                     icmpLshr(32, 4), 0.52));
+    v.push_back(make("122388", S::Reported, "umin_zext",
+                     uminZext(8, 32, 300), 0.55));
+    v.push_back(make("126056", S::Reported, "mul_parity",
+                     mulParity(8), 0.58));
+    v.push_back(make("128778", S::Reported, "or_zext", orZext(8), 0.60));
+    v.push_back(make("132508", S::Reported, "sub_add_cmp",
+                     subAddCmp(8), 0.55));
+    v.push_back(make("135411", S::Reported, "and1_trunc",
+                     and1Trunc(8), 0.57));
+    v.push_back(make("141479", S::Reported, "sdiv_exact",
+                     sdivExact(32, 2), 0.54));
+    // Hard tier: reasoning models mostly, feedback often needed.
+    v.push_back(make("104875", S::Reported, "load_merge",
+                     loadMerge(16), 0.88));
+    v.push_back(make("118155", S::Reported, "umax_shl",
+                     umaxShl(8, 1, 1, 16), 0.80));
+    v.push_back(make("122235", S::Reported, "clamp_umin",
+                     clampUMin(32, 8, 255), 0.72));
+    v.push_back(make("128475", S::Reported, "usub_sat",
+                     usubSat(16), 0.78));
+    v.push_back(make("131824", S::Reported, "fcmp_ord_select",
+                     fcmpOrdSelect("1.000000e+00"), 0.80));
+    v.push_back(make("141753", S::Reported, "uadd_sat",
+                     uaddSat(16), 0.82));
+    v.push_back(make("142497", S::Reported, "smax_abs",
+                     smaxAbs(32), 0.80));
+    v.push_back(make("142593", S::Reported, "umax_sub",
+                     umaxSub(32), 0.76));
+    // Very hard tier.
+    v.push_back(make("129947", S::Reported, "clamp_umin_vec",
+                     clampUMinVec(), 0.93));
+    v.push_back(make("137161", S::Reported, "fabs_olt", fabsOlt(), 0.90));
+    // Beyond every evaluated model (empty rows in Table 2).
+    v.push_back(make("131444", S::Reported, "clz_cmp",
+                     clzCmp(8), 2.0));
+    v.push_back(make("134318", S::Reported, "cttz_and",
+                     cttzAnd(16, 3), 2.0));
+    v.push_back(make("143259", S::Reported, "sat_chain",
+                     satChain(8, 10, 20), 2.0));
+    return v;
+}
+
+std::vector<MissedOptBenchmark>
+buildRQ2()
+{
+    using S = IssueStatus;
+    std::vector<MissedOptBenchmark> v;
+    // Table 3's 62 findings, instantiated across the pattern families
+    // at varying widths/constants. Status follows the paper's table:
+    // 28 confirmed, 13 fixed, 4 duplicates, 3 wontfix, 14 unconfirmed.
+    v.push_back(make("128134", S::Fixed, "add_signbit",
+                     addSignbit(16), 0.4));
+    v.push_back(make("128460", S::Confirmed, "clamp_umin",
+                     clampUMin(32, 16, 1023), 0.7));
+    v.push_back(make("130954", S::Wontfix, "neg_sub", negSub(8), 0.4));
+    v.push_back(make("132628", S::Wontfix, "umax_shl",
+                     umaxShl(16, 1, 2, 64), 0.8));
+    v.push_back(make("133367", S::Fixed, "trunc_and",
+                     truncAnd(64, 16), 0.4));
+    v.push_back(make("139641", S::Confirmed, "icmp_lshr",
+                     icmpLshr(64, 8), 0.5));
+    v.push_back(make("139786", S::Confirmed, "fcmp_ord_select",
+                     fcmpOrdSelect("2.000000e+00"), 0.8));
+    v.push_back(make("142674", S::Fixed, "add_and_or",
+                     addAndOr(64), 0.4));
+    v.push_back(make("142711", S::Fixed, "or_zext", orZext(32), 0.6));
+    v.push_back(make("143030", S::Unconfirmed, "umin_idem",
+                     uminIdem(64), 0.4));
+    v.push_back(make("143211", S::Fixed, "mul_parity",
+                     mulParity(32), 0.6));
+    v.push_back(make("143630", S::Unconfirmed, "sub_add_cmp",
+                     subAddCmp(16), 0.6));
+    v.push_back(make("143636", S::Fixed, "umin_zext",
+                     uminZext(16, 32, 70000), 0.5));
+    v.push_back(make("143649", S::Unconfirmed, "smax_abs",
+                     smaxAbs(16), 0.8));
+    v.push_back(make("143957", S::Confirmed, "usub_sat",
+                     usubSat(32), 0.8));
+    v.push_back(make("144020", S::Confirmed, "sdiv_exact",
+                     sdivExact(64, 3), 0.5));
+    v.push_back(make("152237", S::Confirmed, "and1_trunc",
+                     and1Trunc(32), 0.6));
+    v.push_back(make("152788", S::Unconfirmed, "neg_sub",
+                     negSub(64), 0.4));
+    v.push_back(make("152797", S::Confirmed, "clamp_umin",
+                     clampUMin(16, 8, 200), 0.7));
+    v.push_back(make("152804", S::Confirmed, "icmp_lshr",
+                     icmpLshr(16, 2), 0.5));
+    v.push_back(make("153991", S::Confirmed, "fabs_olt", fabsOlt(), 0.9));
+    v.push_back(make("153999", S::Duplicate, "add_signbit",
+                     addSignbit(32), 0.4));
+    v.push_back(make("154000", S::Duplicate, "add_and_or",
+                     addAndOr(16), 0.4));
+    v.push_back(make("154025", S::Unconfirmed, "trunc_and",
+                     truncAnd(32, 16), 0.4));
+    v.push_back(make("154035", S::Unconfirmed, "fcmp_ord_select",
+                     fcmpOrdSelect("5.000000e-01"), 0.8));
+    v.push_back(make("154238", S::Fixed, "umax_sub", umaxSub(16), 0.7));
+    v.push_back(make("154242", S::Confirmed, "icmp_lshr",
+                     icmpLshr(32, 12), 0.5));
+    v.push_back(make("154246", S::Confirmed, "uadd_sat",
+                     uaddSat(32), 0.8));
+    v.push_back(make("154258", S::Unconfirmed, "mul_parity",
+                     mulParity(64), 0.6));
+    v.push_back(make("157315", S::Fixed, "umin_idem", uminIdem(8), 0.4));
+    v.push_back(make("157370", S::Fixed, "sdiv_exact",
+                     sdivExact(32, 4), 0.5));
+    v.push_back(make("157371", S::Fixed, "or_zext", orZext(16), 0.6));
+    v.push_back(make("157372", S::Duplicate, "or_zext", orZext(64), 0.6));
+    v.push_back(make("157486", S::Confirmed, "clamp_umin_vec",
+                     clampUMinVec(), 0.9));
+    v.push_back(make("157524", S::Fixed, "trunc_and",
+                     truncAnd(64, 32), 0.4));
+    v.push_back(make("163084", S::Confirmed, "sub_add_cmp",
+                     subAddCmp(32), 0.6));
+    v.push_back(make("163093", S::Unconfirmed, "smax_abs",
+                     smaxAbs(64), 0.8));
+    v.push_back(make("163108", S::Fixed, "umin_zext",
+                     uminZext(8, 16, 400), 0.5));
+    v.push_back(make("163109", S::Confirmed, "usub_sat",
+                     usubSat(8), 0.8));
+    v.push_back(make("163110", S::Confirmed, "add_signbit",
+                     addSignbit(64), 0.4));
+    v.push_back(make("163112", S::Confirmed, "load_merge",
+                     loadMerge(8), 0.9));
+    v.push_back(make("163115", S::Confirmed, "umax_shl",
+                     umaxShl(8, 2, 2, 32), 0.8));
+    v.push_back(make("166878", S::Confirmed, "fcmp_ord_select",
+                     fcmpOrdSelect("3.000000e+00"), 0.8));
+    v.push_back(make("166885", S::Confirmed, "clamp_umin",
+                     clampUMin(64, 32, 100000), 0.7));
+    v.push_back(make("166887", S::Unconfirmed, "and1_trunc",
+                     and1Trunc(16), 0.6));
+    v.push_back(make("166890", S::Unconfirmed, "icmp_lshr",
+                     icmpLshr(8, 3), 0.5));
+    v.push_back(make("166973", S::Fixed, "add_and_or",
+                     addAndOr(8), 0.4));
+    v.push_back(make("167003", S::Confirmed, "neg_sub", negSub(16), 0.4));
+    v.push_back(make("167014", S::Confirmed, "uadd_sat",
+                     uaddSat(8), 0.8));
+    v.push_back(make("167055", S::Confirmed, "load_merge",
+                     loadMerge(16), 0.9));
+    v.push_back(make("167059", S::Unconfirmed, "fabs_olt",
+                     fabsOlt(), 0.9));
+    v.push_back(make("167079", S::Unconfirmed, "umax_sub",
+                     umaxSub(64), 0.7));
+    v.push_back(make("167090", S::Unconfirmed, "sub_add_cmp",
+                     subAddCmp(64), 0.6));
+    v.push_back(make("167094", S::Duplicate, "umin_idem",
+                     uminIdem(32), 0.4));
+    v.push_back(make("167096", S::Confirmed, "smax_abs",
+                     smaxAbs(8), 0.8));
+    v.push_back(make("167173", S::Confirmed, "umin_zext",
+                     uminZext(16, 64, 100000), 0.5));
+    v.push_back(make("167178", S::Unconfirmed, "usub_sat",
+                     usubSat(64), 0.8));
+    v.push_back(make("167183", S::Confirmed, "sdiv_exact",
+                     sdivExact(16, 1), 0.5));
+    v.push_back(make("167190", S::Confirmed, "umax_shl",
+                     umaxShl(32, 1, 3, 256), 0.8));
+    v.push_back(make("167199", S::Wontfix, "mul_parity",
+                     mulParity(16), 0.6));
+    v.push_back(make("170020", S::Confirmed, "and1_trunc",
+                     and1Trunc(64), 0.6));
+    v.push_back(make("170071", S::Confirmed, "clamp_umin",
+                     clampUMin(32, 8, 127), 0.7));
+    return v;
+}
+
+} // namespace
+
+const char *
+issueStatusName(IssueStatus status)
+{
+    switch (status) {
+      case IssueStatus::Reported: return "Reported";
+      case IssueStatus::Confirmed: return "Confirmed";
+      case IssueStatus::Fixed: return "Fixed";
+      case IssueStatus::Unconfirmed: return "Unconfirmed";
+      case IssueStatus::Duplicate: return "Duplicate";
+      case IssueStatus::Wontfix: return "Wontfix";
+    }
+    return "?";
+}
+
+const std::vector<MissedOptBenchmark> &
+rq1Benchmarks()
+{
+    static const std::vector<MissedOptBenchmark> benchmarks = buildRQ1();
+    return benchmarks;
+}
+
+const std::vector<MissedOptBenchmark> &
+rq2Benchmarks()
+{
+    static const std::vector<MissedOptBenchmark> benchmarks = buildRQ2();
+    return benchmarks;
+}
+
+const MissedOptBenchmark *
+findBenchmark(const std::string &issue_id)
+{
+    for (const auto &b : rq1Benchmarks())
+        if (b.issue_id == issue_id)
+            return &b;
+    for (const auto &b : rq2Benchmarks())
+        if (b.issue_id == issue_id)
+            return &b;
+    return nullptr;
+}
+
+} // namespace lpo::corpus

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The curated missed-optimization catalogs.
+ *
+ * RQ1: 25 previously-reported missed peephole optimizations (paper
+ * Table 2, LLVM issue IDs). RQ2: the 62 missed optimizations LPO
+ * found and reported (paper Table 3, with status).
+ *
+ * Each benchmark is a (src, tgt) pair of IR texts instantiated from a
+ * pattern family. Invariants enforced by the test suite:
+ *  - tgt refines src (checked by the translation validator);
+ *  - tgt is strictly better under the interestingness metrics;
+ *  - the in-tree InstCombine does NOT already perform the rewrite
+ *    (i.e. each benchmark is genuinely missed by "rule set A").
+ */
+#ifndef LPO_CORPUS_BENCHMARKS_H
+#define LPO_CORPUS_BENCHMARKS_H
+
+#include <string>
+#include <vector>
+
+namespace lpo::corpus {
+
+/** Resolution status of a reported missed optimization (Table 3). */
+enum class IssueStatus {
+    Reported,    // RQ1 benchmark (pre-existing issue)
+    Confirmed,
+    Fixed,
+    Unconfirmed,
+    Duplicate,
+    Wontfix,
+};
+
+const char *issueStatusName(IssueStatus status);
+
+/** One catalog entry. */
+struct MissedOptBenchmark
+{
+    std::string issue_id;   ///< LLVM issue number (paper tables)
+    IssueStatus status;
+    std::string family;     ///< pattern family id (rewrite rule key)
+    std::string src_text;   ///< suboptimal function (@src)
+    std::string tgt_text;   ///< expected optimal function (@tgt)
+    /**
+     * How hard the optimization is for an LLM to spot, in [0,1].
+     * 2.0 marks patterns absent from every model's knowledge (the
+     * benchmarks nothing detects in Table 2).
+     */
+    double difficulty;
+};
+
+/** The 25 RQ1 benchmarks (paper Table 2 rows). */
+const std::vector<MissedOptBenchmark> &rq1Benchmarks();
+
+/** The 62 RQ2 findings (paper Table 3 rows). */
+const std::vector<MissedOptBenchmark> &rq2Benchmarks();
+
+/** Look up any benchmark by issue id (both catalogs). */
+const MissedOptBenchmark *findBenchmark(const std::string &issue_id);
+
+} // namespace lpo::corpus
+
+#endif // LPO_CORPUS_BENCHMARKS_H

@@ -1,0 +1,187 @@
+#include "corpus/generator.h"
+
+#include <cassert>
+
+#include "corpus/benchmarks.h"
+#include "ir/builder.h"
+#include "ir/parser.h"
+
+namespace lpo::corpus {
+
+using ir::Builder;
+using ir::InstFlags;
+using ir::Instruction;
+using ir::Intrinsic;
+using ir::Opcode;
+using ir::Type;
+using ir::Value;
+
+const std::vector<ProjectProfile> &
+paperProjects()
+{
+    static const std::vector<ProjectProfile> projects = {
+        {"cpython", "C"},   {"ffmpeg", "C"},   {"linux", "C"},
+        {"openssl", "C"},   {"redis", "C"},    {"node", "C++"},
+        {"protobuf", "C++"},{"opencv", "C++"}, {"z3", "C++"},
+        {"pingora", "Rust"},{"ripgrep", "Rust"},{"typst", "Rust"},
+        {"uv", "Rust"},     {"zed", "Rust"},
+    };
+    return projects;
+}
+
+CorpusGenerator::CorpusGenerator(ir::Context &context,
+                                 CorpusOptions options)
+    : context_(context), options_(options)
+{
+}
+
+void
+CorpusGenerator::addNoiseFunction(ir::Module &module, Rng &rng,
+                                  const std::string &name)
+{
+    // A straight-line integer function over 2-4 arguments with a chain
+    // of 4-12 operations. Operand choices bias toward recent values so
+    // dependence chains look like real optimized IR.
+    static const unsigned widths[] = {8, 16, 32, 32, 64};
+    unsigned width = widths[rng.nextBelow(5)];
+    const Type *type = context_.types().intTy(width);
+
+    unsigned num_args = 2 + rng.nextBelow(3);
+    ir::Function *fn = module.createFunction(name, type);
+    for (unsigned i = 0; i < num_args; ++i)
+        fn->addArg(type, "a" + std::to_string(i));
+    ir::BasicBlock *block = fn->addBlock("entry");
+    Builder b(*fn, block);
+
+    std::vector<Value *> values;
+    for (unsigned i = 0; i < num_args; ++i)
+        values.push_back(fn->arg(i));
+
+    auto pick = [&]() -> Value * {
+        // Prefer the most recent few values.
+        size_t n = values.size();
+        if (n > 3 && rng.chance(0.6))
+            return values[n - 1 - rng.nextBelow(3)];
+        return values[rng.nextBelow(n)];
+    };
+
+    unsigned chain = 4 + rng.nextBelow(9);
+    for (unsigned i = 0; i < chain; ++i) {
+        Value *result = nullptr;
+        switch (rng.nextBelow(8)) {
+          case 0:
+            result = b.add(pick(), pick());
+            break;
+          case 1:
+            result = b.sub(pick(), pick());
+            break;
+          case 2:
+            result = b.xorOp(pick(), pick());
+            break;
+          case 3: {
+            // Non-identity odd constant keeps InstCombine quiet.
+            uint64_t c = 2 * rng.nextBelow(40) + 3;
+            result = b.mul(pick(), context_.getInt(type, APInt(width, c)));
+            break;
+          }
+          case 4:
+            result = b.andOp(pick(), pick());
+            break;
+          case 5:
+            result = b.umin(pick(), pick());
+            break;
+          case 6:
+            result = b.umax(pick(), pick());
+            break;
+          default: {
+            Value *cond = b.icmp(ir::ICmpPred::SLT, pick(), pick());
+            result = b.select(cond, pick(), pick());
+            break;
+          }
+        }
+        values.push_back(result);
+    }
+    b.ret(values.back());
+    fn->numberValues();
+}
+
+std::unique_ptr<ir::Module>
+CorpusGenerator::generateFile(const ProjectProfile &project,
+                              unsigned file_index)
+{
+    Rng rng = Rng(options_.seed)
+                  .fork(project.name)
+                  .fork("file" + std::to_string(file_index));
+    auto module = std::make_unique<ir::Module>(
+        context_, project.name + "/ir/file" +
+                      std::to_string(file_index) + ".ll");
+
+    const auto &patterns = rq2Benchmarks();
+    for (unsigned f = 0; f < options_.functions_per_file; ++f) {
+        std::string fn_name = "fn_" + std::to_string(file_index) + "_" +
+                              std::to_string(f);
+        if (rng.chance(options_.pattern_density)) {
+            const MissedOptBenchmark &bench =
+                patterns[rng.nextBelow(patterns.size())];
+            auto parsed = ir::parseFunction(context_, bench.src_text);
+            assert(parsed && "catalog entry must parse");
+            std::unique_ptr<ir::Function> fn =
+                (*parsed)->clone(fn_name + "_" + bench.issue_id);
+            embeddings_.push_back(EmbeddedPattern{
+                bench.issue_id, project.name, file_index, fn->name()});
+            module->addFunction(std::move(fn));
+        } else {
+            addNoiseFunction(*module, rng, fn_name);
+        }
+    }
+
+    // One loop-shaped function per file for structural realism (the
+    // extractor must cope with phi/br).
+    {
+        const Type *i64 = context_.types().intTy(64);
+        const Type *i32 = context_.types().intTy(32);
+        ir::Function *fn = module->createFunction(
+            "loop_" + std::to_string(file_index), i32);
+        fn->addArg(i64, "n");
+        fn->addArg(i32, "seed");
+        ir::BasicBlock *entry = fn->addBlock("entry");
+        ir::BasicBlock *body = fn->addBlock("loop.body");
+        ir::BasicBlock *exit = fn->addBlock("loop.exit");
+        Builder be(*fn, entry);
+        be.br("loop.body");
+        Builder bb(*fn, body);
+        Instruction *iv = bb.phi(i64, {context_.getInt(i64, APInt(64, 0)),
+                                       nullptr},
+                                 {"entry", "loop.body"});
+        Instruction *acc = bb.phi(i32, {fn->arg(1), nullptr},
+                                  {"entry", "loop.body"});
+        Value *mixed = bb.xorOp(
+            acc, bb.mul(acc, context_.getInt(i32, APInt(32, 2654435761u)
+                                                      .truncTo(32))));
+        InstFlags nuw;
+        nuw.nuw = true;
+        Instruction *next = bb.binary(Opcode::Add, iv,
+                                      context_.getInt(i64, APInt(64, 1)),
+                                      nuw);
+        iv->setOperand(1, next);
+        acc->setOperand(1, mixed);
+        Value *done = bb.icmp(ir::ICmpPred::UGE, next, fn->arg(0));
+        bb.condBr(done, "loop.exit", "loop.body");
+        Builder bx(*fn, exit);
+        bx.ret(acc);
+        fn->numberValues();
+    }
+    return module;
+}
+
+std::vector<std::unique_ptr<ir::Module>>
+CorpusGenerator::generateAll()
+{
+    std::vector<std::unique_ptr<ir::Module>> modules;
+    for (const ProjectProfile &project : paperProjects())
+        for (unsigned f = 0; f < options_.files_per_project; ++f)
+            modules.push_back(generateFile(project, f));
+    return modules;
+}
+
+} // namespace lpo::corpus

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Synthetic corpus generation (llvm-opt-benchmark substitute).
+ *
+ * The paper's RQ2 corpus is optimized IR from 14 real projects
+ * (cpython, ffmpeg, linux, openssl, redis, node, protobuf, opencv,
+ * z3, pingora, ripgrep, typst, uv, zed). Offline we synthesize
+ * per-project module sets from a seeded RNG: mostly straight-line
+ * integer/vector compute with realistic shapes (including loops with
+ * phi), into which instances of the RQ2 missed-optimization patterns
+ * are embedded at a configurable density. Embedding locations are
+ * recorded so Table 5's prevalence counts (#IR files / #projects per
+ * pattern) can be reproduced.
+ */
+#ifndef LPO_CORPUS_GENERATOR_H
+#define LPO_CORPUS_GENERATOR_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+#include "support/rng.h"
+
+namespace lpo::corpus {
+
+/** One source project of the corpus. */
+struct ProjectProfile
+{
+    std::string name;
+    std::string language; ///< "C", "C++", or "Rust"
+};
+
+/** The 14 projects the paper selected. */
+const std::vector<ProjectProfile> &paperProjects();
+
+/** Generator configuration. */
+struct CorpusOptions
+{
+    unsigned files_per_project = 6;
+    unsigned functions_per_file = 5;
+    /** Probability a generated function embeds a missed-opt pattern. */
+    double pattern_density = 0.3;
+    uint64_t seed = 42;
+};
+
+/** Where a pattern instance was planted. */
+struct EmbeddedPattern
+{
+    std::string issue_id;
+    std::string project;
+    unsigned file_index;
+    std::string function_name;
+};
+
+/** Seeded corpus generator. */
+class CorpusGenerator
+{
+  public:
+    CorpusGenerator(ir::Context &context, CorpusOptions options = {});
+
+    /** One IR file (module) of @p project. */
+    std::unique_ptr<ir::Module> generateFile(const ProjectProfile &project,
+                                             unsigned file_index);
+
+    /** All files of all paper projects. */
+    std::vector<std::unique_ptr<ir::Module>> generateAll();
+
+    /** A noise-only function appended to @p module (no patterns). */
+    void addNoiseFunction(ir::Module &module, Rng &rng,
+                          const std::string &name);
+
+    /** Embedding log for prevalence accounting (Table 5). */
+    const std::vector<EmbeddedPattern> &embeddings() const
+    {
+        return embeddings_;
+    }
+
+  private:
+    ir::Context &context_;
+    CorpusOptions options_;
+    std::vector<EmbeddedPattern> embeddings_;
+};
+
+} // namespace lpo::corpus
+
+#endif // LPO_CORPUS_GENERATOR_H

@@ -1,0 +1,170 @@
+#include "extract/extractor.h"
+
+#include <map>
+
+#include "ir/pattern.h"
+#include "opt/opt_driver.h"
+
+namespace lpo::extract {
+
+using ir::BasicBlock;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+
+namespace {
+
+/** Instructions that can participate in an extracted sequence. */
+bool
+extractable(const Instruction *inst)
+{
+    if (inst->isTerminator())
+        return false;
+    // Phis are block-entry live-ins: their values become arguments of
+    // the wrapped function rather than sequence members. Stores have
+    // no result and cannot end a returnable sequence, so they are
+    // excluded entirely.
+    if (inst->op() == Opcode::Phi || inst->op() == Opcode::Store)
+        return false;
+    return true;
+}
+
+bool
+dependsOn(const std::vector<const Instruction *> &seq,
+          const Instruction *inst)
+{
+    for (const Instruction *member : seq)
+        for (const Value *operand : member->operands())
+            if (operand == inst)
+                return true;
+    return false;
+}
+
+} // namespace
+
+std::vector<std::vector<const Instruction *>>
+Extractor::extractSeqsFromBB(const BasicBlock &bb)
+{
+    std::vector<std::vector<const Instruction *>> seq_set;
+    for (size_t i = bb.size(); i > 0; --i) {
+        const Instruction *inst = bb.at(i - 1);
+        if (!extractable(inst))
+            continue;
+        bool added = false;
+        std::vector<std::vector<const Instruction *>> new_set;
+        for (std::vector<const Instruction *> &seq : seq_set) {
+            if (dependsOn(seq, inst)) {
+                std::vector<const Instruction *> extended;
+                extended.push_back(inst);
+                extended.insert(extended.end(), seq.begin(), seq.end());
+                new_set.push_back(std::move(extended));
+                added = true;
+            } else {
+                new_set.push_back(std::move(seq));
+            }
+        }
+        if (!added)
+            new_set.push_back({inst});
+        seq_set = std::move(new_set);
+    }
+    return seq_set;
+}
+
+std::unique_ptr<ir::Function>
+Extractor::wrapAsFunction(ir::Context &context,
+                          const std::vector<const Instruction *> &seq,
+                          const std::string &name)
+{
+    if (seq.empty())
+        return nullptr;
+    const Instruction *last = seq.back();
+    if (last->type()->isVoid())
+        return nullptr;
+
+    auto fn = std::make_unique<ir::Function>(context, name, last->type());
+    ir::BasicBlock *block = fn->addBlock("entry");
+
+    std::map<const Value *, Value *> remap;
+    std::set<const Instruction *> members(seq.begin(), seq.end());
+
+    // First pass: arguments for every undefined operand, in use order.
+    for (const Instruction *inst : seq) {
+        for (const Value *operand : inst->operands()) {
+            if (operand->isConstant() || remap.count(operand))
+                continue;
+            if (operand->kind() == Value::Kind::Instruction &&
+                members.count(static_cast<const Instruction *>(operand)))
+                continue;
+            ir::Argument *arg = fn->addArg(
+                operand->type(), "a" + std::to_string(fn->numArgs()));
+            remap[operand] = arg;
+        }
+    }
+
+    // Second pass: clone the instructions.
+    for (const Instruction *inst : seq) {
+        std::vector<Value *> operands;
+        for (Value *operand :
+             const_cast<Instruction *>(inst)->operands()) {
+            auto it = remap.find(operand);
+            operands.push_back(it == remap.end() ? operand : it->second);
+        }
+        auto copy = std::make_unique<Instruction>(
+            inst->op(), inst->type(), std::move(operands));
+        copy->flags() = inst->flags();
+        copy->setICmpPred(inst->icmpPred());
+        copy->setFCmpPred(inst->fcmpPred());
+        copy->setIntrinsic(inst->intrinsic());
+        copy->setAccessType(inst->accessType());
+        copy->setAlign(inst->align());
+        remap[inst] = block->append(std::move(copy));
+    }
+
+    auto ret = std::make_unique<Instruction>(
+        Opcode::Ret, context.types().voidTy(),
+        std::vector<Value *>{remap[last]});
+    block->append(std::move(ret));
+    fn->numberValues();
+    return fn;
+}
+
+std::vector<std::unique_ptr<ir::Function>>
+Extractor::extractFromModule(const ir::Module &module)
+{
+    std::vector<std::unique_ptr<ir::Function>> result;
+    ir::Context &context = module.context();
+    for (const auto &fn : module.functions()) {
+        for (const auto &bb : fn->blocks()) {
+            auto seq_set = extractSeqsFromBB(*bb);
+            for (const auto &seq : seq_set) {
+                ++stats_.sequences_considered;
+                if (seq.size() < options_.min_length ||
+                    seq.size() > options_.max_length)
+                    continue;
+                auto wrapped = wrapAsFunction(
+                    context, seq, "seq" + std::to_string(next_id_));
+                if (!wrapped)
+                    continue;
+                if (options_.reject_optimizable) {
+                    auto optimized = opt::optimizeFunction(*wrapped);
+                    if (!ir::structurallyEqual(*wrapped, *optimized)) {
+                        ++stats_.still_optimizable_skipped;
+                        continue;
+                    }
+                }
+                uint64_t digest = ir::structuralHash(*wrapped);
+                if (dedup_.count(digest)) {
+                    ++stats_.duplicates_skipped;
+                    continue;
+                }
+                dedup_.insert(digest);
+                ++next_id_;
+                ++stats_.extracted;
+                result.push_back(std::move(wrapped));
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace lpo::extract

@@ -1,0 +1,152 @@
+#include "ir/builder.h"
+
+#include <cassert>
+
+namespace lpo::ir {
+
+Instruction *
+Builder::create(Opcode op, const Type *type, std::vector<Value *> operands,
+                const std::string &name_hint)
+{
+    auto inst = std::make_unique<Instruction>(op, type, std::move(operands));
+    if (!type->isVoid() && !inst->isTerminator())
+        inst->setName(name_hint + std::to_string(next_temp_++));
+    return block_->append(std::move(inst));
+}
+
+Instruction *
+Builder::binary(Opcode op, Value *lhs, Value *rhs, InstFlags flags)
+{
+    assert(lhs->type() == rhs->type());
+    Instruction *inst = create(op, lhs->type(), {lhs, rhs});
+    inst->flags() = flags;
+    return inst;
+}
+
+Instruction *
+Builder::icmp(ICmpPred pred, Value *lhs, Value *rhs)
+{
+    assert(lhs->type() == rhs->type());
+    const Type *bool_ty = context().types().boolTy();
+    const Type *result = lhs->type()->isVector()
+        ? context().types().vectorTy(bool_ty, lhs->type()->lanes())
+        : bool_ty;
+    Instruction *inst = create(Opcode::ICmp, result, {lhs, rhs});
+    inst->setICmpPred(pred);
+    return inst;
+}
+
+Instruction *
+Builder::fcmp(FCmpPred pred, Value *lhs, Value *rhs)
+{
+    assert(lhs->type() == rhs->type());
+    const Type *bool_ty = context().types().boolTy();
+    const Type *result = lhs->type()->isVector()
+        ? context().types().vectorTy(bool_ty, lhs->type()->lanes())
+        : bool_ty;
+    Instruction *inst = create(Opcode::FCmp, result, {lhs, rhs});
+    inst->setFCmpPred(pred);
+    return inst;
+}
+
+Instruction *
+Builder::select(Value *cond, Value *tval, Value *fval)
+{
+    assert(tval->type() == fval->type());
+    return create(Opcode::Select, tval->type(), {cond, tval, fval});
+}
+
+Instruction *
+Builder::cast(Opcode op, Value *v, const Type *to, InstFlags flags)
+{
+    Instruction *inst = create(op, to, {v});
+    inst->flags() = flags;
+    return inst;
+}
+
+Instruction *
+Builder::freeze(Value *v)
+{
+    return create(Opcode::Freeze, v->type(), {v});
+}
+
+Instruction *
+Builder::intrinsic(Intrinsic intr, std::vector<Value *> args)
+{
+    assert(!args.empty());
+    const Type *type = args[0]->type();
+    Instruction *inst = create(Opcode::Call, type, std::move(args));
+    inst->setIntrinsic(intr);
+    return inst;
+}
+
+Instruction *
+Builder::load(const Type *type, Value *ptr, unsigned align)
+{
+    Instruction *inst = create(Opcode::Load, type, {ptr});
+    inst->setAccessType(type);
+    inst->setAlign(align);
+    return inst;
+}
+
+Instruction *
+Builder::store(Value *val, Value *ptr, unsigned align)
+{
+    Instruction *inst = create(Opcode::Store, context().types().voidTy(),
+                               {val, ptr});
+    inst->setAccessType(val->type());
+    inst->setAlign(align);
+    return inst;
+}
+
+Instruction *
+Builder::gep(const Type *elem, Value *base, Value *index, InstFlags flags)
+{
+    Instruction *inst = create(Opcode::Gep, context().types().ptrTy(),
+                               {base, index});
+    inst->setAccessType(elem);
+    inst->flags() = flags;
+    return inst;
+}
+
+Instruction *
+Builder::ret(Value *v)
+{
+    return create(Opcode::Ret, context().types().voidTy(), {v});
+}
+
+Instruction *
+Builder::retVoid()
+{
+    return create(Opcode::Ret, context().types().voidTy(), {});
+}
+
+Instruction *
+Builder::br(const std::string &label)
+{
+    Instruction *inst = create(Opcode::Br, context().types().voidTy(), {});
+    inst->setBrLabels({label});
+    return inst;
+}
+
+Instruction *
+Builder::condBr(Value *cond, const std::string &if_true,
+                const std::string &if_false)
+{
+    Instruction *inst = create(Opcode::Br, context().types().voidTy(),
+                               {cond});
+    inst->setBrLabels({if_true, if_false});
+    return inst;
+}
+
+Instruction *
+Builder::phi(const Type *type, std::vector<Value *> incoming,
+             std::vector<std::string> labels)
+{
+    assert(incoming.size() == labels.size());
+    Instruction *inst = create(Opcode::Phi, type, std::move(incoming));
+    inst->setPhiLabels(std::move(labels));
+    return inst;
+}
+
+} // namespace lpo::ir

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Convenience builder for constructing IR programmatically.
+ *
+ * Used by the rewrite library (mock-LLM knowledge base), the
+ * synthesizing superoptimizers, and the corpus generator.
+ */
+#ifndef LPO_IR_BUILDER_H
+#define LPO_IR_BUILDER_H
+
+#include <string>
+
+#include "ir/module.h"
+
+namespace lpo::ir {
+
+/** Appends instructions to a basic block, assigning fresh names. */
+class Builder
+{
+  public:
+    Builder(Function &fn, BasicBlock *block)
+        : fn_(fn), block_(block)
+    {}
+
+    Context &context() const { return fn_.context(); }
+    Function &function() const { return fn_; }
+    BasicBlock *block() const { return block_; }
+
+    /** Generic creation entry point. */
+    Instruction *create(Opcode op, const Type *type,
+                        std::vector<Value *> operands,
+                        const std::string &name_hint = "t");
+
+    Instruction *binary(Opcode op, Value *lhs, Value *rhs,
+                        InstFlags flags = {});
+    Instruction *add(Value *l, Value *r) { return binary(Opcode::Add, l, r); }
+    Instruction *sub(Value *l, Value *r) { return binary(Opcode::Sub, l, r); }
+    Instruction *mul(Value *l, Value *r) { return binary(Opcode::Mul, l, r); }
+    Instruction *andOp(Value *l, Value *r)
+    {
+        return binary(Opcode::And, l, r);
+    }
+    Instruction *orOp(Value *l, Value *r) { return binary(Opcode::Or, l, r); }
+    Instruction *xorOp(Value *l, Value *r)
+    {
+        return binary(Opcode::Xor, l, r);
+    }
+    Instruction *shl(Value *l, Value *r, InstFlags flags = {})
+    {
+        return binary(Opcode::Shl, l, r, flags);
+    }
+    Instruction *lshr(Value *l, Value *r)
+    {
+        return binary(Opcode::LShr, l, r);
+    }
+    Instruction *ashr(Value *l, Value *r)
+    {
+        return binary(Opcode::AShr, l, r);
+    }
+
+    Instruction *icmp(ICmpPred pred, Value *lhs, Value *rhs);
+    Instruction *fcmp(FCmpPred pred, Value *lhs, Value *rhs);
+    Instruction *select(Value *cond, Value *tval, Value *fval);
+    Instruction *cast(Opcode op, Value *v, const Type *to,
+                      InstFlags flags = {});
+    Instruction *trunc(Value *v, const Type *to) {
+        return cast(Opcode::Trunc, v, to);
+    }
+    Instruction *zext(Value *v, const Type *to) {
+        return cast(Opcode::ZExt, v, to);
+    }
+    Instruction *sext(Value *v, const Type *to) {
+        return cast(Opcode::SExt, v, to);
+    }
+    Instruction *freeze(Value *v);
+    /** Min/max and other intrinsic calls. */
+    Instruction *intrinsic(Intrinsic intr, std::vector<Value *> args);
+    Instruction *umin(Value *l, Value *r)
+    {
+        return intrinsic(Intrinsic::UMin, {l, r});
+    }
+    Instruction *umax(Value *l, Value *r)
+    {
+        return intrinsic(Intrinsic::UMax, {l, r});
+    }
+    Instruction *smin(Value *l, Value *r)
+    {
+        return intrinsic(Intrinsic::SMin, {l, r});
+    }
+    Instruction *smax(Value *l, Value *r)
+    {
+        return intrinsic(Intrinsic::SMax, {l, r});
+    }
+
+    Instruction *load(const Type *type, Value *ptr, unsigned align = 0);
+    Instruction *store(Value *val, Value *ptr, unsigned align = 0);
+    Instruction *gep(const Type *elem, Value *base, Value *index,
+                     InstFlags flags = {});
+    Instruction *ret(Value *v);
+    Instruction *retVoid();
+    Instruction *br(const std::string &label);
+    Instruction *condBr(Value *cond, const std::string &if_true,
+                        const std::string &if_false);
+    Instruction *phi(const Type *type, std::vector<Value *> incoming,
+                     std::vector<std::string> labels);
+
+  private:
+    Function &fn_;
+    BasicBlock *block_;
+    unsigned next_temp_ = 0;
+};
+
+} // namespace lpo::ir
+
+#endif // LPO_IR_BUILDER_H

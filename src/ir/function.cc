@@ -1,0 +1,187 @@
+#include "ir/function.h"
+
+#include <cassert>
+
+namespace lpo::ir {
+
+Instruction *
+BasicBlock::append(std::unique_ptr<Instruction> inst)
+{
+    instructions_.push_back(std::move(inst));
+    return instructions_.back().get();
+}
+
+Instruction *
+BasicBlock::insert(size_t index, std::unique_ptr<Instruction> inst)
+{
+    assert(index <= instructions_.size());
+    auto it = instructions_.insert(instructions_.begin() + index,
+                                   std::move(inst));
+    return it->get();
+}
+
+void
+BasicBlock::erase(size_t index)
+{
+    assert(index < instructions_.size());
+    instructions_.erase(instructions_.begin() + index);
+}
+
+void
+BasicBlock::erase(const Instruction *inst)
+{
+    for (size_t i = 0; i < instructions_.size(); ++i) {
+        if (instructions_[i].get() == inst) {
+            erase(i);
+            return;
+        }
+    }
+    assert(false && "instruction not in block");
+}
+
+Instruction *
+BasicBlock::terminator() const
+{
+    if (instructions_.empty())
+        return nullptr;
+    Instruction *last = instructions_.back().get();
+    return last->isTerminator() ? last : nullptr;
+}
+
+Function::Function(Context &context, std::string name,
+                   const Type *return_type)
+    : context_(context), name_(std::move(name)), return_type_(return_type)
+{
+}
+
+Argument *
+Function::addArg(const Type *type, std::string name)
+{
+    args_.push_back(std::make_unique<Argument>(type, args_.size()));
+    args_.back()->setName(std::move(name));
+    return args_.back().get();
+}
+
+BasicBlock *
+Function::addBlock(std::string label)
+{
+    blocks_.push_back(std::make_unique<BasicBlock>(std::move(label)));
+    return blocks_.back().get();
+}
+
+BasicBlock *
+Function::findBlock(const std::string &label) const
+{
+    for (const auto &bb : blocks_)
+        if (bb->label() == label)
+            return bb.get();
+    return nullptr;
+}
+
+unsigned
+Function::instructionCount() const
+{
+    unsigned count = 0;
+    for (const auto &bb : blocks_)
+        for (const auto &inst : bb->instructions())
+            if (!inst->isTerminator())
+                ++count;
+    return count;
+}
+
+std::map<const Value *, unsigned>
+Function::computeUseCounts() const
+{
+    std::map<const Value *, unsigned> counts;
+    for (const auto &bb : blocks_)
+        for (const auto &inst : bb->instructions())
+            for (const Value *operand : inst->operands())
+                ++counts[operand];
+    return counts;
+}
+
+bool
+Function::hasOneUse(const Value *v) const
+{
+    unsigned count = 0;
+    for (const auto &bb : blocks_)
+        for (const auto &inst : bb->instructions())
+            for (const Value *operand : inst->operands())
+                if (operand == v && ++count > 1)
+                    return false;
+    return count == 1;
+}
+
+void
+Function::replaceAllUses(const Value *from, Value *to)
+{
+    for (const auto &bb : blocks_)
+        for (const auto &inst : bb->instructions())
+            for (unsigned i = 0; i < inst->numOperands(); ++i)
+                if (inst->operand(i) == from)
+                    inst->setOperand(i, to);
+}
+
+std::unique_ptr<Function>
+Function::clone(const std::string &new_name) const
+{
+    auto copy = std::make_unique<Function>(context_, new_name, return_type_);
+    std::map<const Value *, Value *> remap;
+    for (const auto &arg : args_) {
+        Argument *new_arg = copy->addArg(arg->type(), arg->name());
+        remap[arg.get()] = new_arg;
+    }
+    // First pass: clone instructions with original operands so that
+    // phi back-edges (forward references) have something to map to.
+    for (const auto &bb : blocks_) {
+        BasicBlock *new_bb = copy->addBlock(bb->label());
+        for (const auto &inst : bb->instructions()) {
+            auto new_inst = std::make_unique<Instruction>(
+                inst->op(), inst->type(),
+                std::vector<Value *>(inst->operands()));
+            new_inst->setName(inst->name());
+            new_inst->flags() = inst->flags();
+            new_inst->setICmpPred(inst->icmpPred());
+            new_inst->setFCmpPred(inst->fcmpPred());
+            new_inst->setIntrinsic(inst->intrinsic());
+            new_inst->setAccessType(inst->accessType());
+            new_inst->setAlign(inst->align());
+            new_inst->setPhiLabels(inst->phiLabels());
+            new_inst->setBrLabels(inst->brLabels());
+            remap[inst.get()] = new_bb->append(std::move(new_inst));
+        }
+    }
+    // Second pass: rewrite operands through the completed map.
+    for (const auto &bb : copy->blocks()) {
+        for (const auto &inst : bb->instructions()) {
+            for (unsigned i = 0; i < inst->numOperands(); ++i) {
+                auto it = remap.find(inst->operand(i));
+                if (it != remap.end())
+                    inst->setOperand(i, it->second);
+            }
+        }
+    }
+    return copy;
+}
+
+void
+Function::numberValues()
+{
+    unsigned next = 0;
+    for (const auto &arg : args_) {
+        if (arg->name().empty())
+            arg->setName(std::to_string(next));
+        ++next;
+    }
+    for (const auto &bb : blocks_) {
+        for (const auto &inst : bb->instructions()) {
+            if (inst->type()->isVoid() || inst->isTerminator())
+                continue;
+            if (inst->name().empty())
+                inst->setName(std::to_string(next));
+            ++next;
+        }
+    }
+}
+
+} // namespace lpo::ir

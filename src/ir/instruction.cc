@@ -1,0 +1,150 @@
+#include "ir/instruction.h"
+
+namespace lpo::ir {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::UDiv: return "udiv";
+      case Opcode::SDiv: return "sdiv";
+      case Opcode::URem: return "urem";
+      case Opcode::SRem: return "srem";
+      case Opcode::Shl: return "shl";
+      case Opcode::LShr: return "lshr";
+      case Opcode::AShr: return "ashr";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::FAdd: return "fadd";
+      case Opcode::FSub: return "fsub";
+      case Opcode::FMul: return "fmul";
+      case Opcode::FDiv: return "fdiv";
+      case Opcode::ICmp: return "icmp";
+      case Opcode::FCmp: return "fcmp";
+      case Opcode::Select: return "select";
+      case Opcode::Trunc: return "trunc";
+      case Opcode::ZExt: return "zext";
+      case Opcode::SExt: return "sext";
+      case Opcode::Freeze: return "freeze";
+      case Opcode::Call: return "call";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::Gep: return "getelementptr";
+      case Opcode::Phi: return "phi";
+      case Opcode::Br: return "br";
+      case Opcode::Ret: return "ret";
+    }
+    return "?";
+}
+
+const char *
+icmpPredName(ICmpPred pred)
+{
+    switch (pred) {
+      case ICmpPred::EQ: return "eq";
+      case ICmpPred::NE: return "ne";
+      case ICmpPred::UGT: return "ugt";
+      case ICmpPred::UGE: return "uge";
+      case ICmpPred::ULT: return "ult";
+      case ICmpPred::ULE: return "ule";
+      case ICmpPred::SGT: return "sgt";
+      case ICmpPred::SGE: return "sge";
+      case ICmpPred::SLT: return "slt";
+      case ICmpPred::SLE: return "sle";
+    }
+    return "?";
+}
+
+const char *
+fcmpPredName(FCmpPred pred)
+{
+    switch (pred) {
+      case FCmpPred::False: return "false";
+      case FCmpPred::OEQ: return "oeq";
+      case FCmpPred::OGT: return "ogt";
+      case FCmpPred::OGE: return "oge";
+      case FCmpPred::OLT: return "olt";
+      case FCmpPred::OLE: return "ole";
+      case FCmpPred::ONE: return "one";
+      case FCmpPred::ORD: return "ord";
+      case FCmpPred::UEQ: return "ueq";
+      case FCmpPred::UGT: return "ugt";
+      case FCmpPred::UGE: return "uge";
+      case FCmpPred::ULT: return "ult";
+      case FCmpPred::ULE: return "ule";
+      case FCmpPred::UNE: return "une";
+      case FCmpPred::UNO: return "uno";
+      case FCmpPred::True: return "true";
+    }
+    return "?";
+}
+
+const char *
+intrinsicName(Intrinsic intr)
+{
+    switch (intr) {
+      case Intrinsic::None: return "";
+      case Intrinsic::UMin: return "llvm.umin";
+      case Intrinsic::UMax: return "llvm.umax";
+      case Intrinsic::SMin: return "llvm.smin";
+      case Intrinsic::SMax: return "llvm.smax";
+      case Intrinsic::Abs: return "llvm.abs";
+      case Intrinsic::CtPop: return "llvm.ctpop";
+      case Intrinsic::CtLz: return "llvm.ctlz";
+      case Intrinsic::CtTz: return "llvm.cttz";
+      case Intrinsic::FAbs: return "llvm.fabs";
+      case Intrinsic::USubSat: return "llvm.usub.sat";
+      case Intrinsic::UAddSat: return "llvm.uadd.sat";
+      case Intrinsic::SSubSat: return "llvm.ssub.sat";
+      case Intrinsic::SAddSat: return "llvm.sadd.sat";
+    }
+    return "";
+}
+
+bool
+isTerminator(Opcode op)
+{
+    return op == Opcode::Br || op == Opcode::Ret;
+}
+
+bool
+isIntDivRem(Opcode op)
+{
+    return op == Opcode::UDiv || op == Opcode::SDiv ||
+           op == Opcode::URem || op == Opcode::SRem;
+}
+
+bool
+Instruction::isCommutative() const
+{
+    switch (op_) {
+      case Opcode::Add:
+      case Opcode::Mul:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::FAdd:
+      case Opcode::FMul:
+        return true;
+      case Opcode::Call:
+        switch (intrinsic_) {
+          case Intrinsic::UMin:
+          case Intrinsic::UMax:
+          case Intrinsic::SMin:
+          case Intrinsic::SMax:
+          case Intrinsic::UAddSat:
+          case Intrinsic::SAddSat:
+            return true;
+          default:
+            return false;
+        }
+      default:
+        return false;
+    }
+}
+
+} // namespace lpo::ir

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * IR instructions.
+ *
+ * Covers the LLVM IR fragment exercised by peephole-optimization
+ * workloads: integer/float arithmetic with poison-generating flags,
+ * comparisons, select, casts, min/max-style intrinsics, freeze, and a
+ * small memory subset (load, store, getelementptr). Control flow is
+ * limited to ret/br/phi, which is all the corpus modules need; the
+ * extractor only harvests straight-line dependent sequences.
+ */
+#ifndef LPO_IR_INSTRUCTION_H
+#define LPO_IR_INSTRUCTION_H
+
+#include <string>
+#include <vector>
+
+#include "ir/value.h"
+
+namespace lpo::ir {
+
+class BasicBlock;
+
+/** Instruction opcodes. */
+enum class Opcode {
+    // Integer binary ops.
+    Add, Sub, Mul, UDiv, SDiv, URem, SRem,
+    Shl, LShr, AShr, And, Or, Xor,
+    // Floating-point binary ops.
+    FAdd, FSub, FMul, FDiv,
+    // Comparisons and selection.
+    ICmp, FCmp, Select,
+    // Casts.
+    Trunc, ZExt, SExt,
+    // Other scalar ops.
+    Freeze,
+    // Intrinsic call (which intrinsic is in intrinsic()).
+    Call,
+    // Memory.
+    Load, Store, Gep,
+    // Control flow.
+    Phi, Br, Ret,
+};
+
+/** Integer comparison predicates (icmp). */
+enum class ICmpPred { EQ, NE, UGT, UGE, ULT, ULE, SGT, SGE, SLT, SLE };
+
+/** Floating-point comparison predicates (fcmp). */
+enum class FCmpPred {
+    False, OEQ, OGT, OGE, OLT, OLE, ONE, ORD,
+    UEQ, UGT, UGE, ULT, ULE, UNE, UNO, True,
+};
+
+/** Supported intrinsics (all are element-wise for vectors). */
+enum class Intrinsic {
+    None, UMin, UMax, SMin, SMax, Abs, CtPop, CtLz, CtTz, FAbs,
+    USubSat, UAddSat, SSubSat, SAddSat,
+};
+
+/** Poison-generating / behaviour flags attached to instructions. */
+struct InstFlags
+{
+    bool nuw = false;      ///< no unsigned wrap (add/sub/mul/shl/trunc)
+    bool nsw = false;      ///< no signed wrap (add/sub/mul/shl/trunc)
+    bool exact = false;    ///< exact division / shift
+    bool disjoint = false; ///< disjoint or
+    bool nneg = false;     ///< non-negative zext
+    bool inbounds = false; ///< gep inbounds
+    bool tail = false;     ///< cosmetic 'tail call' marker
+
+    bool operator==(const InstFlags &) const = default;
+};
+
+const char *opcodeName(Opcode op);
+const char *icmpPredName(ICmpPred pred);
+const char *fcmpPredName(FCmpPred pred);
+/** Intrinsic base name, e.g. "llvm.umin". */
+const char *intrinsicName(Intrinsic intr);
+/** True for br/ret. */
+bool isTerminator(Opcode op);
+/** True for integer division/remainder (immediate UB on bad divisor). */
+bool isIntDivRem(Opcode op);
+
+/**
+ * An SSA instruction.
+ *
+ * Owned by its BasicBlock. Operands are plain Value pointers into the
+ * same Function / Context.
+ */
+class Instruction : public Value
+{
+  public:
+    Instruction(Opcode op, const Type *type, std::vector<Value *> operands)
+        : Value(Kind::Instruction, type), op_(op),
+          operands_(std::move(operands))
+    {}
+
+    Opcode op() const { return op_; }
+
+    const std::vector<Value *> &operands() const { return operands_; }
+    Value *operand(unsigned i) const { return operands_[i]; }
+    unsigned numOperands() const { return operands_.size(); }
+    void setOperand(unsigned i, Value *v) { operands_[i] = v; }
+
+    InstFlags &flags() { return flags_; }
+    const InstFlags &flags() const { return flags_; }
+
+    ICmpPred icmpPred() const { return icmp_pred_; }
+    void setICmpPred(ICmpPred pred) { icmp_pred_ = pred; }
+    FCmpPred fcmpPred() const { return fcmp_pred_; }
+    void setFCmpPred(FCmpPred pred) { fcmp_pred_ = pred; }
+
+    Intrinsic intrinsic() const { return intrinsic_; }
+    void setIntrinsic(Intrinsic intr) { intrinsic_ = intr; }
+
+    /** Source element type of a gep; value type of a load/store. */
+    const Type *accessType() const { return access_type_; }
+    void setAccessType(const Type *ty) { access_type_ = ty; }
+
+    /** Alignment recorded for load/store (cosmetic, for printing). */
+    unsigned align() const { return align_; }
+    void setAlign(unsigned align) { align_ = align; }
+
+    /** Phi: label of the predecessor for the i-th incoming value. */
+    const std::vector<std::string> &phiLabels() const { return phi_labels_; }
+    void setPhiLabels(std::vector<std::string> labels)
+    {
+        phi_labels_ = std::move(labels);
+    }
+
+    /** Br: target labels (one for unconditional, two for conditional). */
+    const std::vector<std::string> &brLabels() const { return br_labels_; }
+    void setBrLabels(std::vector<std::string> labels)
+    {
+        br_labels_ = std::move(labels);
+    }
+
+    bool isTerminator() const { return ir::isTerminator(op_); }
+    bool isBinaryOp() const
+    {
+        return op_ >= Opcode::Add && op_ <= Opcode::FDiv;
+    }
+    bool isIntBinaryOp() const
+    {
+        return op_ >= Opcode::Add && op_ <= Opcode::Xor;
+    }
+    bool isCast() const
+    {
+        return op_ == Opcode::Trunc || op_ == Opcode::ZExt ||
+               op_ == Opcode::SExt;
+    }
+    /** Commutative integer/FP binary ops and min/max intrinsics. */
+    bool isCommutative() const;
+    /** True if the instruction may read or write memory. */
+    bool touchesMemory() const
+    {
+        return op_ == Opcode::Load || op_ == Opcode::Store;
+    }
+    /** True if removing the instruction is unsafe (stores, terminators). */
+    bool hasSideEffects() const
+    {
+        return op_ == Opcode::Store || isTerminator();
+    }
+
+  private:
+    Opcode op_;
+    std::vector<Value *> operands_;
+    InstFlags flags_;
+    ICmpPred icmp_pred_ = ICmpPred::EQ;
+    FCmpPred fcmp_pred_ = FCmpPred::OEQ;
+    Intrinsic intrinsic_ = Intrinsic::None;
+    const Type *access_type_ = nullptr;
+    unsigned align_ = 0;
+    std::vector<std::string> phi_labels_;
+    std::vector<std::string> br_labels_;
+};
+
+} // namespace lpo::ir
+
+#endif // LPO_IR_INSTRUCTION_H

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Structural well-formedness checks for IR built programmatically.
+ *
+ * The parser establishes most invariants for text input; the verifier
+ * re-checks them for IR produced by the builder, the rewrite engines,
+ * and the synthesizers before it reaches the interpreter or encoder.
+ */
+#ifndef LPO_IR_IR_VERIFIER_H
+#define LPO_IR_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace lpo::ir {
+
+/** One verifier finding. */
+struct VerifierIssue
+{
+    std::string message;
+    const Instruction *inst = nullptr;
+};
+
+/** Check @p fn; returns all problems found (empty means valid). */
+std::vector<VerifierIssue> verifyFunction(const Function &fn);
+
+/** Convenience: true when verifyFunction reports no issues. */
+bool isValid(const Function &fn);
+
+} // namespace lpo::ir
+
+#endif // LPO_IR_IR_VERIFIER_H

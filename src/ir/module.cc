@@ -1,0 +1,37 @@
+#include "ir/module.h"
+
+namespace lpo::ir {
+
+Function *
+Module::addFunction(std::unique_ptr<Function> fn)
+{
+    functions_.push_back(std::move(fn));
+    return functions_.back().get();
+}
+
+Function *
+Module::createFunction(std::string fn_name, const Type *return_type)
+{
+    return addFunction(std::make_unique<Function>(
+        context_, std::move(fn_name), return_type));
+}
+
+Function *
+Module::findFunction(const std::string &fn_name) const
+{
+    for (const auto &fn : functions_)
+        if (fn->name() == fn_name)
+            return fn.get();
+    return nullptr;
+}
+
+unsigned
+Module::instructionCount() const
+{
+    unsigned count = 0;
+    for (const auto &fn : functions_)
+        count += fn->instructionCount();
+    return count;
+}
+
+} // namespace lpo::ir

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * A module: a named collection of functions sharing one Context.
+ */
+#ifndef LPO_IR_MODULE_H
+#define LPO_IR_MODULE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace lpo::ir {
+
+/** Top-level container corresponding to one translation unit. */
+class Module
+{
+  public:
+    Module(Context &context, std::string name)
+        : context_(context), name_(std::move(name))
+    {}
+
+    Context &context() const { return context_; }
+    const std::string &name() const { return name_; }
+
+    Function *addFunction(std::unique_ptr<Function> fn);
+    Function *createFunction(std::string fn_name, const Type *return_type);
+
+    const std::vector<std::unique_ptr<Function>> &functions() const
+    {
+        return functions_;
+    }
+    Function *findFunction(const std::string &fn_name) const;
+
+    /** Total instruction count across all functions. */
+    unsigned instructionCount() const;
+
+  private:
+    Context &context_;
+    std::string name_;
+    std::vector<std::unique_ptr<Function>> functions_;
+};
+
+} // namespace lpo::ir
+
+#endif // LPO_IR_MODULE_H

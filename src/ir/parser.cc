@@ -1,0 +1,1061 @@
+#include "ir/parser.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "support/string_utils.h"
+
+namespace lpo::ir {
+namespace {
+
+/** A whitespace-insensitive cursor over one line of IR text. */
+class LineCursor
+{
+  public:
+    LineCursor(std::string_view text, int line_no)
+        : text_(text), line_(line_no)
+    {}
+
+    int lineNo() const { return line_; }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    atEnd()
+    {
+        skipSpace();
+        return pos_ >= text_.size();
+    }
+
+    char
+    peekChar()
+    {
+        skipSpace();
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    /** Consume one punctuation character if it matches. */
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    /**
+     * Read a word: identifier characters plus '.', '_', '-'. Also used
+     * for numbers (the caller classifies).
+     */
+    std::string
+    word()
+    {
+        skipSpace();
+        size_t start = pos_;
+        auto is_word = [](char c) {
+            return std::isalnum(static_cast<unsigned char>(c)) ||
+                   c == '.' || c == '_' || c == '-' || c == '+';
+        };
+        while (pos_ < text_.size() && is_word(text_[pos_]))
+            ++pos_;
+        return std::string(text_.substr(start, pos_ - start));
+    }
+
+    /** Peek the next word without consuming it. */
+    std::string
+    peekWord()
+    {
+        size_t saved = pos_;
+        std::string w = word();
+        pos_ = saved;
+        return w;
+    }
+
+    /** Consume a specific keyword if present. */
+    bool
+    consumeWord(std::string_view keyword)
+    {
+        size_t saved = pos_;
+        if (word() == keyword)
+            return true;
+        pos_ = saved;
+        return false;
+    }
+
+    /** Read a local identifier after '%'. */
+    std::optional<std::string>
+    localName()
+    {
+        skipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != '%')
+            return std::nullopt;
+        ++pos_;
+        return word();
+    }
+
+    std::string_view rest() const { return text_.substr(pos_); }
+
+  private:
+    std::string_view text_;
+    size_t pos_ = 0;
+    int line_;
+};
+
+bool
+isIntegerLiteral(const std::string &w)
+{
+    if (w.empty())
+        return false;
+    size_t i = (w[0] == '-') ? 1 : 0;
+    if (i == w.size())
+        return false;
+    for (; i < w.size(); ++i)
+        if (!std::isdigit(static_cast<unsigned char>(w[i])))
+            return false;
+    return true;
+}
+
+bool
+isFloatLiteral(const std::string &w)
+{
+    if (w.empty())
+        return false;
+    bool has_dot = false;
+    for (char c : w)
+        if (c == '.' || c == 'e' || c == 'E')
+            has_dot = true;
+    if (!has_dot)
+        return false;
+    char *end = nullptr;
+    std::strtod(w.c_str(), &end);
+    return end && *end == '\0';
+}
+
+/** A use of a not-yet-defined local (phi back-edges). */
+struct Fixup
+{
+    Instruction *inst;
+    unsigned operand_index;
+    std::string name;
+    int line;
+};
+
+/** Parser state for one function body. */
+class FunctionParser
+{
+  public:
+    FunctionParser(Context &context) : context_(context) {}
+
+    Result<std::unique_ptr<Function>>
+    run(const std::vector<std::pair<int, std::string>> &lines, size_t &index);
+
+  private:
+    Error err(int line, std::string message)
+    {
+        return Error{std::move(message), line, 0};
+    }
+
+    Result<const Type *> parseType(LineCursor &cur);
+    Result<Value *> parseValueRef(LineCursor &cur, const Type *type);
+    Result<Value *> parseTypedValue(LineCursor &cur, const Type **type_out);
+    Result<Instruction *> parseInstruction(LineCursor &cur,
+                                           BasicBlock *block);
+    Result<bool> resolveFixups();
+
+    Value *
+    lookup(const std::string &name)
+    {
+        auto it = values_.find(name);
+        return it == values_.end() ? nullptr : it->second;
+    }
+
+    Context &context_;
+    std::unique_ptr<Function> fn_;
+    std::map<std::string, Value *> values_;
+    std::vector<Fixup> fixups_;
+    // Operand slots of the instruction currently being parsed that
+    // reference still-undefined names.
+    std::vector<std::pair<unsigned, std::string>> pending_;
+    unsigned current_operand_index_ = 0;
+};
+
+Result<const Type *>
+FunctionParser::parseType(LineCursor &cur)
+{
+    if (cur.consume('<')) {
+        std::string count = cur.word();
+        if (!isIntegerLiteral(count) || count[0] == '-')
+            return err(cur.lineNo(), "expected vector lane count");
+        if (!cur.consumeWord("x"))
+            return err(cur.lineNo(), "expected 'x' in vector type");
+        Result<const Type *> elem = parseType(cur);
+        if (!elem)
+            return elem;
+        if (!cur.consume('>'))
+            return err(cur.lineNo(), "expected '>' to close vector type");
+        unsigned lanes = std::stoul(count);
+        if (lanes < 2 || lanes > 64)
+            return err(cur.lineNo(), "unsupported vector lane count");
+        if (!(*elem)->isInt() && !(*elem)->isFloat())
+            return err(cur.lineNo(), "invalid vector element type");
+        return context_.types().vectorTy(*elem, lanes);
+    }
+    std::string w = cur.word();
+    if (w == "void")
+        return context_.types().voidTy();
+    if (w == "ptr")
+        return context_.types().ptrTy();
+    if (w == "double" || w == "float")
+        return context_.types().floatTy();
+    if (w.size() >= 2 && w[0] == 'i' && isIntegerLiteral(w.substr(1))) {
+        unsigned width = std::stoul(w.substr(1));
+        if (width < 1 || width > 64)
+            return err(cur.lineNo(),
+                       "unsupported integer width 'i" + w.substr(1) + "'");
+        return context_.types().intTy(width);
+    }
+    return err(cur.lineNo(), "expected type, found '" + w + "'");
+}
+
+Result<Value *>
+FunctionParser::parseValueRef(LineCursor &cur, const Type *type)
+{
+    int line = cur.lineNo();
+    if (cur.peekChar() == '%') {
+        std::string name = *cur.localName();
+        if (Value *v = lookup(name)) {
+            if (v->type() != type) {
+                return err(line, "'%" + name + "' defined with type '" +
+                                     v->type()->toString() +
+                                     "' but expected '" + type->toString() +
+                                     "'");
+            }
+            return v;
+        }
+        // Forward reference: record a pending slot and emit a
+        // placeholder that resolveFixups() replaces.
+        pending_.emplace_back(current_operand_index_, name);
+        return static_cast<Value *>(context_.getPoison(type));
+    }
+    if (cur.peekChar() == '<') {
+        // Literal vector: < i32 1, i32 2, ... >
+        if (!type->isVector())
+            return err(line, "vector constant for non-vector type");
+        cur.consume('<');
+        std::vector<const Value *> elems;
+        for (unsigned i = 0; i < type->lanes(); ++i) {
+            if (i && !cur.consume(','))
+                return err(line, "expected ',' in vector constant");
+            Result<const Type *> ety = parseType(cur);
+            if (!ety)
+                return ety.error();
+            if (*ety != type->scalarType())
+                return err(line, "vector element type mismatch");
+            Result<Value *> ev = parseValueRef(cur, *ety);
+            if (!ev)
+                return ev;
+            elems.push_back(*ev);
+        }
+        if (!cur.consume('>'))
+            return err(line, "expected '>' to close vector constant");
+        return static_cast<Value *>(context_.getVector(type, elems));
+    }
+    std::string w = cur.word();
+    if (w == "zeroinitializer") {
+        if (!type->isVector())
+            return err(line, "zeroinitializer requires a vector type");
+        return context_.getNullValue(type);
+    }
+    if (w == "splat") {
+        if (!type->isVector())
+            return err(line, "splat requires a vector type");
+        if (!cur.consume('('))
+            return err(line, "expected '(' after splat");
+        Result<const Type *> ety = parseType(cur);
+        if (!ety)
+            return ety.error();
+        if (*ety != type->scalarType())
+            return err(line, "splat element type mismatch");
+        Result<Value *> ev = parseValueRef(cur, *ety);
+        if (!ev)
+            return ev;
+        if (!cur.consume(')'))
+            return err(line, "expected ')' after splat value");
+        return static_cast<Value *>(context_.getSplat(type, *ev));
+    }
+    if (w == "poison" || w == "undef")
+        return static_cast<Value *>(context_.getPoison(type));
+    if (w == "true" || w == "false") {
+        if (!type->isBool())
+            return err(line, "boolean constant for non-i1 type");
+        return static_cast<Value *>(context_.getBool(w == "true"));
+    }
+    if (isIntegerLiteral(w)) {
+        if (!type->isInt())
+            return err(line, "integer constant for non-integer type '" +
+                                 type->toString() + "'");
+        int64_t v = std::strtoll(w.c_str(), nullptr, 10);
+        return static_cast<Value *>(
+            context_.getInt(type, APInt::fromSigned(type->intWidth(), v)));
+    }
+    if (isFloatLiteral(w)) {
+        if (!type->isFloat())
+            return err(line, "floating-point constant for non-float type");
+        return static_cast<Value *>(context_.getFP(std::atof(w.c_str())));
+    }
+    if (w.empty())
+        return err(line, "expected value");
+    return err(line, "expected value, found '" + w + "'");
+}
+
+Result<Value *>
+FunctionParser::parseTypedValue(LineCursor &cur, const Type **type_out)
+{
+    Result<const Type *> type = parseType(cur);
+    if (!type)
+        return type.error();
+    if (type_out)
+        *type_out = *type;
+    return parseValueRef(cur, *type);
+}
+
+namespace {
+
+std::optional<Opcode>
+binaryOpcodeFromName(const std::string &w)
+{
+    static const std::map<std::string, Opcode> table = {
+        {"add", Opcode::Add},   {"sub", Opcode::Sub},
+        {"mul", Opcode::Mul},   {"udiv", Opcode::UDiv},
+        {"sdiv", Opcode::SDiv}, {"urem", Opcode::URem},
+        {"srem", Opcode::SRem}, {"shl", Opcode::Shl},
+        {"lshr", Opcode::LShr}, {"ashr", Opcode::AShr},
+        {"and", Opcode::And},   {"or", Opcode::Or},
+        {"xor", Opcode::Xor},   {"fadd", Opcode::FAdd},
+        {"fsub", Opcode::FSub}, {"fmul", Opcode::FMul},
+        {"fdiv", Opcode::FDiv},
+    };
+    auto it = table.find(w);
+    if (it == table.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::optional<ICmpPred>
+icmpPredFromName(const std::string &w)
+{
+    static const std::map<std::string, ICmpPred> table = {
+        {"eq", ICmpPred::EQ},   {"ne", ICmpPred::NE},
+        {"ugt", ICmpPred::UGT}, {"uge", ICmpPred::UGE},
+        {"ult", ICmpPred::ULT}, {"ule", ICmpPred::ULE},
+        {"sgt", ICmpPred::SGT}, {"sge", ICmpPred::SGE},
+        {"slt", ICmpPred::SLT}, {"sle", ICmpPred::SLE},
+    };
+    auto it = table.find(w);
+    if (it == table.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::optional<FCmpPred>
+fcmpPredFromName(const std::string &w)
+{
+    static const std::map<std::string, FCmpPred> table = {
+        {"false", FCmpPred::False}, {"oeq", FCmpPred::OEQ},
+        {"ogt", FCmpPred::OGT},     {"oge", FCmpPred::OGE},
+        {"olt", FCmpPred::OLT},     {"ole", FCmpPred::OLE},
+        {"one", FCmpPred::ONE},     {"ord", FCmpPred::ORD},
+        {"ueq", FCmpPred::UEQ},     {"ugt", FCmpPred::UGT},
+        {"uge", FCmpPred::UGE},     {"ult", FCmpPred::ULT},
+        {"ule", FCmpPred::ULE},     {"une", FCmpPred::UNE},
+        {"uno", FCmpPred::UNO},     {"true", FCmpPred::True},
+    };
+    auto it = table.find(w);
+    if (it == table.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::optional<Intrinsic>
+intrinsicFromSymbol(const std::string &symbol)
+{
+    static const std::vector<std::pair<std::string, Intrinsic>> table = {
+        {"llvm.umin.", Intrinsic::UMin},
+        {"llvm.umax.", Intrinsic::UMax},
+        {"llvm.smin.", Intrinsic::SMin},
+        {"llvm.smax.", Intrinsic::SMax},
+        {"llvm.abs.", Intrinsic::Abs},
+        {"llvm.ctpop.", Intrinsic::CtPop},
+        {"llvm.ctlz.", Intrinsic::CtLz},
+        {"llvm.cttz.", Intrinsic::CtTz},
+        {"llvm.fabs.", Intrinsic::FAbs},
+        {"llvm.usub.sat.", Intrinsic::USubSat},
+        {"llvm.uadd.sat.", Intrinsic::UAddSat},
+        {"llvm.ssub.sat.", Intrinsic::SSubSat},
+        {"llvm.sadd.sat.", Intrinsic::SAddSat},
+    };
+    for (const auto &[prefix, intr] : table)
+        if (startsWith(symbol, prefix))
+            return intr;
+    return std::nullopt;
+}
+
+} // namespace
+
+Result<Instruction *>
+FunctionParser::parseInstruction(LineCursor &cur, BasicBlock *block)
+{
+    int line = cur.lineNo();
+    pending_.clear();
+
+    std::string result_name;
+    bool has_result = false;
+    {
+        // Look ahead for "%name =".
+        LineCursor probe = cur;
+        if (probe.peekChar() == '%') {
+            std::string name = *probe.localName();
+            if (probe.consume('=')) {
+                result_name = name;
+                has_result = true;
+                cur = probe;
+            }
+        }
+    }
+
+    std::string op = cur.word();
+    InstFlags flags;
+
+    auto finish = [&](std::unique_ptr<Instruction> inst)
+        -> Result<Instruction *> {
+        inst->flags().tail = flags.tail || inst->flags().tail;
+        if (has_result) {
+            if (inst->type()->isVoid())
+                return err(line, "cannot name a void instruction");
+            inst->setName(result_name);
+        } else if (!inst->type()->isVoid() && !inst->isTerminator()) {
+            return err(line, "instruction result must be named");
+        }
+        Instruction *placed = block->append(std::move(inst));
+        if (has_result) {
+            if (values_.count(result_name))
+                return err(line, "multiple definition of local value '%" +
+                                     result_name + "'");
+            values_[result_name] = placed;
+        }
+        for (const auto &[index, name] : pending_)
+            fixups_.push_back(Fixup{placed, index, name, line});
+        return placed;
+    };
+
+    // Binary operators (with optional wrap/exact/disjoint flags).
+    if (auto bin_op = binaryOpcodeFromName(op)) {
+        for (;;) {
+            if (cur.consumeWord("nuw")) { flags.nuw = true; continue; }
+            if (cur.consumeWord("nsw")) { flags.nsw = true; continue; }
+            if (cur.consumeWord("exact")) { flags.exact = true; continue; }
+            if (cur.consumeWord("disjoint")) {
+                flags.disjoint = true;
+                continue;
+            }
+            break;
+        }
+        const Type *type = nullptr;
+        current_operand_index_ = 0;
+        Result<Value *> lhs = parseTypedValue(cur, &type);
+        if (!lhs)
+            return lhs.error();
+        if (!cur.consume(','))
+            return err(line, "expected ',' after first operand");
+        current_operand_index_ = 1;
+        Result<Value *> rhs = parseValueRef(cur, type);
+        if (!rhs)
+            return rhs.error();
+        bool is_fp = *bin_op >= Opcode::FAdd && *bin_op <= Opcode::FDiv;
+        if (is_fp && !type->isFPOrFPVector())
+            return err(line, "floating-point operation on non-float type");
+        if (!is_fp && !type->isIntOrIntVector())
+            return err(line, "integer operation on non-integer type");
+        auto inst = std::make_unique<Instruction>(
+            *bin_op, type, std::vector<Value *>{*lhs, *rhs});
+        inst->flags() = flags;
+        return finish(std::move(inst));
+    }
+
+    if (op == "icmp" || op == "fcmp") {
+        std::string pred_word = cur.word();
+        const Type *type = nullptr;
+        current_operand_index_ = 0;
+        Result<Value *> lhs = parseTypedValue(cur, &type);
+        if (!lhs)
+            return lhs.error();
+        if (!cur.consume(','))
+            return err(line, "expected ',' after first operand");
+        current_operand_index_ = 1;
+        Result<Value *> rhs = parseValueRef(cur, type);
+        if (!rhs)
+            return rhs.error();
+        const Type *result = type->isVector()
+            ? context_.types().vectorTy(context_.types().boolTy(),
+                                        type->lanes())
+            : context_.types().boolTy();
+        auto inst = std::make_unique<Instruction>(
+            op == "icmp" ? Opcode::ICmp : Opcode::FCmp, result,
+            std::vector<Value *>{*lhs, *rhs});
+        if (op == "icmp") {
+            auto pred = icmpPredFromName(pred_word);
+            if (!pred)
+                return err(line, "invalid icmp predicate '" + pred_word +
+                                     "'");
+            if (!type->isIntOrIntVector() && !type->isPtr())
+                return err(line, "icmp requires integer operands");
+            inst->setICmpPred(*pred);
+        } else {
+            auto pred = fcmpPredFromName(pred_word);
+            if (!pred)
+                return err(line, "invalid fcmp predicate '" + pred_word +
+                                     "'");
+            if (!type->isFPOrFPVector())
+                return err(line, "fcmp requires floating-point operands");
+            inst->setFCmpPred(*pred);
+        }
+        return finish(std::move(inst));
+    }
+
+    if (op == "select") {
+        const Type *cond_type = nullptr;
+        current_operand_index_ = 0;
+        Result<Value *> cond = parseTypedValue(cur, &cond_type);
+        if (!cond)
+            return cond.error();
+        if (!cur.consume(','))
+            return err(line, "expected ',' after select condition");
+        const Type *val_type = nullptr;
+        current_operand_index_ = 1;
+        Result<Value *> tval = parseTypedValue(cur, &val_type);
+        if (!tval)
+            return tval.error();
+        if (!cur.consume(','))
+            return err(line, "expected ',' after select true value");
+        const Type *fval_type = nullptr;
+        current_operand_index_ = 2;
+        Result<Value *> fval = parseTypedValue(cur, &fval_type);
+        if (!fval)
+            return fval.error();
+        if (val_type != fval_type)
+            return err(line, "select operand types differ");
+        bool cond_ok = cond_type->isBool() ||
+            (cond_type->isVector() && cond_type->scalarType()->isBool() &&
+             val_type->isVector() &&
+             cond_type->lanes() == val_type->lanes());
+        if (!cond_ok)
+            return err(line, "select condition must be i1 or matching "
+                             "<N x i1>");
+        auto inst = std::make_unique<Instruction>(
+            Opcode::Select, val_type,
+            std::vector<Value *>{*cond, *tval, *fval});
+        return finish(std::move(inst));
+    }
+
+    if (op == "trunc" || op == "zext" || op == "sext") {
+        for (;;) {
+            if (op == "trunc" && cur.consumeWord("nuw")) {
+                flags.nuw = true;
+                continue;
+            }
+            if (op == "trunc" && cur.consumeWord("nsw")) {
+                flags.nsw = true;
+                continue;
+            }
+            if (op == "zext" && cur.consumeWord("nneg")) {
+                flags.nneg = true;
+                continue;
+            }
+            break;
+        }
+        const Type *src_type = nullptr;
+        current_operand_index_ = 0;
+        Result<Value *> src = parseTypedValue(cur, &src_type);
+        if (!src)
+            return src.error();
+        if (!cur.consumeWord("to"))
+            return err(line, "expected 'to' in cast");
+        Result<const Type *> dst = parseType(cur);
+        if (!dst)
+            return dst.error();
+        if (!src_type->isIntOrIntVector() || !(*dst)->isIntOrIntVector())
+            return err(line, "cast requires integer types");
+        if (src_type->isVector() != (*dst)->isVector() ||
+            (src_type->isVector() &&
+             src_type->lanes() != (*dst)->lanes())) {
+            return err(line, "cast lane count mismatch");
+        }
+        unsigned src_w = src_type->scalarType()->intWidth();
+        unsigned dst_w = (*dst)->scalarType()->intWidth();
+        if (op == "trunc" && dst_w >= src_w)
+            return err(line, "trunc must narrow the type");
+        if (op != "trunc" && dst_w <= src_w)
+            return err(line, "extension must widen the type");
+        Opcode opcode = op == "trunc"
+            ? Opcode::Trunc
+            : (op == "zext" ? Opcode::ZExt : Opcode::SExt);
+        auto inst = std::make_unique<Instruction>(
+            opcode, *dst, std::vector<Value *>{*src});
+        inst->flags() = flags;
+        return finish(std::move(inst));
+    }
+
+    if (op == "freeze") {
+        const Type *type = nullptr;
+        current_operand_index_ = 0;
+        Result<Value *> val = parseTypedValue(cur, &type);
+        if (!val)
+            return val.error();
+        auto inst = std::make_unique<Instruction>(
+            Opcode::Freeze, type, std::vector<Value *>{*val});
+        return finish(std::move(inst));
+    }
+
+    if (op == "tail" || op == "call") {
+        if (op == "tail") {
+            flags.tail = true;
+            if (!cur.consumeWord("call"))
+                return err(line, "expected 'call' after 'tail'");
+        }
+        Result<const Type *> ret_type = parseType(cur);
+        if (!ret_type)
+            return ret_type.error();
+        if (!cur.consume('@'))
+            return err(line, "expected callee name");
+        std::string symbol = cur.word();
+        auto intr = intrinsicFromSymbol(symbol);
+        if (!intr)
+            return err(line, "unknown or unsupported callee '@" + symbol +
+                             "'");
+        if (!cur.consume('('))
+            return err(line, "expected '(' in call");
+        std::vector<Value *> args;
+        if (!cur.consume(')')) {
+            for (;;) {
+                current_operand_index_ = args.size();
+                Result<Value *> arg = parseTypedValue(cur, nullptr);
+                if (!arg)
+                    return arg.error();
+                args.push_back(*arg);
+                if (cur.consume(')'))
+                    break;
+                if (!cur.consume(','))
+                    return err(line, "expected ',' or ')' in call");
+            }
+        }
+        // Arity / type checks per intrinsic.
+        auto bad_signature = [&]() {
+            return err(line, "invalid signature for '@" + symbol + "'");
+        };
+        switch (*intr) {
+          case Intrinsic::UMin: case Intrinsic::UMax:
+          case Intrinsic::SMin: case Intrinsic::SMax:
+          case Intrinsic::USubSat: case Intrinsic::UAddSat:
+          case Intrinsic::SSubSat: case Intrinsic::SAddSat:
+            if (args.size() != 2 || args[0]->type() != *ret_type ||
+                args[1]->type() != *ret_type ||
+                !(*ret_type)->isIntOrIntVector()) {
+                return bad_signature();
+            }
+            break;
+          case Intrinsic::Abs:
+          case Intrinsic::CtLz:
+          case Intrinsic::CtTz:
+            if (args.size() != 2 || args[0]->type() != *ret_type ||
+                !args[1]->type()->isBool() ||
+                !(*ret_type)->isIntOrIntVector()) {
+                return bad_signature();
+            }
+            break;
+          case Intrinsic::CtPop:
+            if (args.size() != 1 || args[0]->type() != *ret_type ||
+                !(*ret_type)->isIntOrIntVector()) {
+                return bad_signature();
+            }
+            break;
+          case Intrinsic::FAbs:
+            if (args.size() != 1 || args[0]->type() != *ret_type ||
+                !(*ret_type)->isFPOrFPVector()) {
+                return bad_signature();
+            }
+            break;
+          case Intrinsic::None:
+            return bad_signature();
+        }
+        auto inst = std::make_unique<Instruction>(
+            Opcode::Call, *ret_type, std::move(args));
+        inst->setIntrinsic(*intr);
+        inst->flags().tail = flags.tail;
+        return finish(std::move(inst));
+    }
+
+    if (op == "load") {
+        Result<const Type *> type = parseType(cur);
+        if (!type)
+            return type.error();
+        if (!cur.consume(','))
+            return err(line, "expected ',' after load type");
+        const Type *ptr_type = nullptr;
+        current_operand_index_ = 0;
+        Result<Value *> ptr = parseTypedValue(cur, &ptr_type);
+        if (!ptr)
+            return ptr.error();
+        if (!ptr_type->isPtr())
+            return err(line, "load pointer operand must have type 'ptr'");
+        auto inst = std::make_unique<Instruction>(
+            Opcode::Load, *type, std::vector<Value *>{*ptr});
+        inst->setAccessType(*type);
+        if (cur.consume(',') && cur.consumeWord("align")) {
+            std::string a = cur.word();
+            if (isIntegerLiteral(a))
+                inst->setAlign(std::stoul(a));
+        }
+        return finish(std::move(inst));
+    }
+
+    if (op == "store") {
+        const Type *val_type = nullptr;
+        current_operand_index_ = 0;
+        Result<Value *> val = parseTypedValue(cur, &val_type);
+        if (!val)
+            return val.error();
+        if (!cur.consume(','))
+            return err(line, "expected ',' after store value");
+        const Type *ptr_type = nullptr;
+        current_operand_index_ = 1;
+        Result<Value *> ptr = parseTypedValue(cur, &ptr_type);
+        if (!ptr)
+            return ptr.error();
+        if (!ptr_type->isPtr())
+            return err(line, "store pointer operand must have type 'ptr'");
+        auto inst = std::make_unique<Instruction>(
+            Opcode::Store, context_.types().voidTy(),
+            std::vector<Value *>{*val, *ptr});
+        inst->setAccessType(val_type);
+        if (cur.consume(',') && cur.consumeWord("align")) {
+            std::string a = cur.word();
+            if (isIntegerLiteral(a))
+                inst->setAlign(std::stoul(a));
+        }
+        return finish(std::move(inst));
+    }
+
+    if (op == "getelementptr") {
+        for (;;) {
+            if (cur.consumeWord("inbounds")) {
+                flags.inbounds = true;
+                continue;
+            }
+            if (cur.consumeWord("nuw")) { flags.nuw = true; continue; }
+            if (cur.consumeWord("nusw")) { continue; } // accepted, ignored
+            break;
+        }
+        Result<const Type *> elem = parseType(cur);
+        if (!elem)
+            return elem.error();
+        std::vector<Value *> operands;
+        while (cur.consume(',')) {
+            current_operand_index_ = operands.size();
+            Result<Value *> v = parseTypedValue(cur, nullptr);
+            if (!v)
+                return v.error();
+            operands.push_back(*v);
+        }
+        if (operands.empty() || !operands[0]->type()->isPtr())
+            return err(line, "getelementptr requires a pointer base");
+        if (operands.size() != 2 ||
+            !operands[1]->type()->isInt()) {
+            return err(line, "only single-index getelementptr supported");
+        }
+        auto inst = std::make_unique<Instruction>(
+            Opcode::Gep, context_.types().ptrTy(), std::move(operands));
+        inst->setAccessType(*elem);
+        inst->flags() = flags;
+        return finish(std::move(inst));
+    }
+
+    if (op == "phi") {
+        Result<const Type *> type = parseType(cur);
+        if (!type)
+            return type.error();
+        std::vector<Value *> incoming;
+        std::vector<std::string> labels;
+        for (;;) {
+            if (!cur.consume('['))
+                return err(line, "expected '[' in phi");
+            current_operand_index_ = incoming.size();
+            Result<Value *> v = parseValueRef(cur, *type);
+            if (!v)
+                return v.error();
+            incoming.push_back(*v);
+            if (!cur.consume(','))
+                return err(line, "expected ',' in phi incoming pair");
+            auto label = cur.localName();
+            if (!label)
+                return err(line, "expected predecessor label in phi");
+            labels.push_back(*label);
+            if (!cur.consume(']'))
+                return err(line, "expected ']' in phi");
+            if (!cur.consume(','))
+                break;
+        }
+        auto inst = std::make_unique<Instruction>(
+            Opcode::Phi, *type, std::move(incoming));
+        inst->setPhiLabels(std::move(labels));
+        return finish(std::move(inst));
+    }
+
+    if (op == "br") {
+        if (cur.consumeWord("label")) {
+            auto label = cur.localName();
+            if (!label)
+                return err(line, "expected label in br");
+            auto inst = std::make_unique<Instruction>(
+                Opcode::Br, context_.types().voidTy(),
+                std::vector<Value *>{});
+            inst->setBrLabels({*label});
+            return finish(std::move(inst));
+        }
+        const Type *cond_type = nullptr;
+        current_operand_index_ = 0;
+        Result<Value *> cond = parseTypedValue(cur, &cond_type);
+        if (!cond)
+            return cond.error();
+        if (!cond_type->isBool())
+            return err(line, "br condition must be i1");
+        std::vector<std::string> labels;
+        for (int i = 0; i < 2; ++i) {
+            if (!cur.consume(','))
+                return err(line, "expected ',' in br");
+            if (!cur.consumeWord("label"))
+                return err(line, "expected 'label' in br");
+            auto label = cur.localName();
+            if (!label)
+                return err(line, "expected label in br");
+            labels.push_back(*label);
+        }
+        auto inst = std::make_unique<Instruction>(
+            Opcode::Br, context_.types().voidTy(),
+            std::vector<Value *>{*cond});
+        inst->setBrLabels(std::move(labels));
+        return finish(std::move(inst));
+    }
+
+    if (op == "ret") {
+        if (cur.consumeWord("void")) {
+            auto inst = std::make_unique<Instruction>(
+                Opcode::Ret, context_.types().voidTy(),
+                std::vector<Value *>{});
+            return finish(std::move(inst));
+        }
+        current_operand_index_ = 0;
+        Result<Value *> val = parseTypedValue(cur, nullptr);
+        if (!val)
+            return val.error();
+        auto inst = std::make_unique<Instruction>(
+            Opcode::Ret, context_.types().voidTy(),
+            std::vector<Value *>{*val});
+        return finish(std::move(inst));
+    }
+
+    // This is the message LLVM's parser produces for a bogus opcode;
+    // the LLM feedback loop depends on its wording (paper Fig. 3c).
+    return err(line, "expected instruction opcode\n" + std::string(op));
+}
+
+Result<bool>
+FunctionParser::resolveFixups()
+{
+    for (const Fixup &fixup : fixups_) {
+        Value *v = lookup(fixup.name);
+        if (!v) {
+            return Error{"use of undefined value '%" + fixup.name + "'",
+                         fixup.line, 0};
+        }
+        fixup.inst->setOperand(fixup.operand_index, v);
+    }
+    fixups_.clear();
+    return true;
+}
+
+Result<std::unique_ptr<Function>>
+FunctionParser::run(const std::vector<std::pair<int, std::string>> &lines,
+                    size_t &index)
+{
+    // Parse the "define" header.
+    LineCursor header(lines[index].second, lines[index].first);
+    if (!header.consumeWord("define"))
+        return err(header.lineNo(), "expected 'define'");
+    // Skip common attribute keywords between define and the type.
+    while (header.consumeWord("internal") || header.consumeWord("dso_local")
+           || header.consumeWord("noundef") || header.consumeWord("hidden"))
+        ;
+    Result<const Type *> ret_type = parseType(header);
+    if (!ret_type)
+        return ret_type.error();
+    if (!header.consume('@'))
+        return err(header.lineNo(), "expected function name");
+    std::string fn_name = header.word();
+    if (!header.consume('('))
+        return err(header.lineNo(), "expected '(' in function header");
+
+    fn_ = std::make_unique<Function>(context_, fn_name, *ret_type);
+    if (!header.consume(')')) {
+        for (;;) {
+            Result<const Type *> arg_type = parseType(header);
+            if (!arg_type)
+                return arg_type.error();
+            // Skip parameter attributes.
+            while (header.consumeWord("noundef") ||
+                   header.consumeWord("nonnull") ||
+                   header.consumeWord("readonly") ||
+                   header.consumeWord("nocapture") ||
+                   header.consumeWord("writeonly"))
+                ;
+            auto arg_name = header.localName();
+            std::string name = arg_name ? *arg_name : std::string();
+            Argument *arg = fn_->addArg(*arg_type, name);
+            if (!name.empty()) {
+                if (values_.count(name))
+                    return err(header.lineNo(),
+                               "duplicate argument name '%" + name + "'");
+                values_[name] = arg;
+            }
+            if (header.consume(')'))
+                break;
+            if (!header.consume(','))
+                return err(header.lineNo(),
+                           "expected ',' or ')' in argument list");
+        }
+    }
+    fn_->numberValues();
+    // Register auto-assigned numeric argument names.
+    for (const auto &arg : fn_->args())
+        if (!values_.count(arg->name()))
+            values_[arg->name()] = arg.get();
+    if (!header.consume('{'))
+        return err(header.lineNo(), "expected '{' to begin function body");
+    ++index;
+
+    BasicBlock *block = nullptr;
+    auto ensure_block = [&]() {
+        if (!block)
+            block = fn_->addBlock("entry");
+        return block;
+    };
+
+    for (; index < lines.size(); ++index) {
+        const auto &[line_no, text] = lines[index];
+        std::string_view body = trim(text);
+        if (body == "}") {
+            ++index;
+            if (!fn_->blocks().empty() && fn_->entry()->terminator() ==
+                nullptr && fn_->blocks().size() == 1 &&
+                fn_->entry()->empty()) {
+                return err(line_no, "empty function body");
+            }
+            Result<bool> resolved = resolveFixups();
+            if (!resolved)
+                return resolved.error();
+            if (fn_->blocks().empty())
+                return err(line_no, "function has no basic blocks");
+            for (const auto &bb : fn_->blocks()) {
+                if (!bb->terminator()) {
+                    return err(line_no, "block '" + bb->label() +
+                                            "' lacks a terminator");
+                }
+            }
+            fn_->numberValues();
+            return std::move(fn_);
+        }
+        // Label line: "name:".
+        if (!body.empty() && body.back() == ':' &&
+            body.find(' ') == std::string_view::npos) {
+            std::string label(body.substr(0, body.size() - 1));
+            block = fn_->addBlock(label);
+            continue;
+        }
+        LineCursor cur(text, line_no);
+        Result<Instruction *> inst = parseInstruction(cur, ensure_block());
+        if (!inst)
+            return inst.error();
+    }
+    return err(lines.back().first, "expected '}' to close function body");
+}
+
+/** Strip comments/blank lines; keep (original line number, text). */
+std::vector<std::pair<int, std::string>>
+preprocess(std::string_view text)
+{
+    std::vector<std::pair<int, std::string>> lines;
+    int line_no = 0;
+    for (const std::string &raw : split(text, '\n')) {
+        ++line_no;
+        std::string stripped = raw;
+        size_t comment = stripped.find(';');
+        if (comment != std::string::npos)
+            stripped = stripped.substr(0, comment);
+        if (trim(stripped).empty())
+            continue;
+        lines.emplace_back(line_no, stripped);
+    }
+    return lines;
+}
+
+} // namespace
+
+Result<std::unique_ptr<Module>>
+parseModule(Context &context, std::string_view text, std::string module_name)
+{
+    auto module = std::make_unique<Module>(context, std::move(module_name));
+    auto lines = preprocess(text);
+    size_t index = 0;
+    while (index < lines.size()) {
+        std::string_view body = trim(lines[index].second);
+        if (!startsWith(body, "define")) {
+            ++index; // tolerate declarations/attributes/metadata
+            continue;
+        }
+        FunctionParser fp(context);
+        Result<std::unique_ptr<Function>> fn = fp.run(lines, index);
+        if (!fn)
+            return fn.error();
+        module->addFunction(fn.take());
+    }
+    if (module->functions().empty())
+        return Error{"no function definitions found", 0, 0};
+    return module;
+}
+
+Result<std::unique_ptr<Function>>
+parseFunction(Context &context, std::string_view text)
+{
+    auto lines = preprocess(text);
+    for (size_t index = 0; index < lines.size(); ++index) {
+        if (startsWith(trim(lines[index].second), "define")) {
+            FunctionParser fp(context);
+            return fp.run(lines, index);
+        }
+    }
+    return Error{"no function definition found", 0, 0};
+}
+
+} // namespace lpo::ir

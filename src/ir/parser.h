@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Parser for the textual IR (LLVM-like syntax).
+ *
+ * This is the front half of the "opt" substitute: LLM candidates come
+ * back as text and re-enter the system through this parser, whose
+ * error messages (e.g. "expected instruction opcode") double as the
+ * syntax feedback LPO sends back to the model (paper Fig. 3c).
+ */
+#ifndef LPO_IR_PARSER_H
+#define LPO_IR_PARSER_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "ir/module.h"
+#include "support/error.h"
+
+namespace lpo::ir {
+
+/** Parse a whole module (one or more "define" blocks). */
+Result<std::unique_ptr<Module>> parseModule(Context &context,
+                                            std::string_view text,
+                                            std::string module_name = "m");
+
+/**
+ * Parse a single function definition.
+ *
+ * Leading/trailing text outside the define block is ignored, which
+ * lets the pipeline accept LLM output that wraps code in prose or
+ * markdown fences.
+ */
+Result<std::unique_ptr<Function>> parseFunction(Context &context,
+                                                std::string_view text);
+
+} // namespace lpo::ir
+
+#endif // LPO_IR_PARSER_H

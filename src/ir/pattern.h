@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Pattern-matching helpers and structural hashing / equality.
+ *
+ * The matchers keep InstCombine rules and the rewrite library terse;
+ * the structural hash implements Algorithm 2's dedup digest, and
+ * structural equality backs the interestingness checker's "differs
+ * syntactically" test.
+ */
+#ifndef LPO_IR_PATTERN_H
+#define LPO_IR_PATTERN_H
+
+#include <cstdint>
+
+#include "ir/function.h"
+
+namespace lpo::ir {
+
+/** If @p v is an instruction with opcode @p op, bind its operands. */
+bool matchBinary(Value *v, Opcode op, Value **lhs, Value **rhs);
+
+/** Match an icmp, binding predicate and operands. */
+bool matchICmp(Value *v, ICmpPred *pred, Value **lhs, Value **rhs);
+
+/** Match a select, binding condition and both arms. */
+bool matchSelect(Value *v, Value **cond, Value **tval, Value **fval);
+
+/** Match an intrinsic call with two data operands (min/max family). */
+bool matchIntrinsic2(Value *v, Intrinsic intr, Value **lhs, Value **rhs);
+
+/** Match a cast of the given opcode, binding the source. */
+bool matchCast(Value *v, Opcode op, Value **src);
+
+/**
+ * If @p v is a scalar integer constant or an integer splat, bind its
+ * per-lane value.
+ */
+bool matchConstInt(const Value *v, APInt *out);
+
+/** True if @p v is the all-zero integer (scalar or splat). */
+bool isZeroInt(const Value *v);
+/** True if @p v is the all-ones integer (scalar or splat). */
+bool isAllOnesInt(const Value *v);
+
+/**
+ * Structural digest of a function.
+ *
+ * Hashes opcodes, types, flags, predicates, and operand shape
+ * (argument index, constant payload, or defining-instruction
+ * position), so alpha-equivalent sequences collide and anything else
+ * almost surely does not.
+ */
+uint64_t structuralHash(const Function &fn);
+
+/** Alpha-equivalence of two functions (exact, not hash-based). */
+bool structurallyEqual(const Function &a, const Function &b);
+
+} // namespace lpo::ir
+
+#endif // LPO_IR_PATTERN_H

@@ -1,0 +1,284 @@
+#include "ir/printer.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace lpo::ir {
+namespace {
+
+std::string
+formatDouble(double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%e", value);
+    return buffer;
+}
+
+bool
+isZeroConstant(const Value *v)
+{
+    switch (v->kind()) {
+      case Value::Kind::ConstInt:
+        return static_cast<const ConstantInt *>(v)->value().isZero();
+      case Value::Kind::ConstFP:
+        return static_cast<const ConstantFP *>(v)->value() == 0.0;
+      case Value::Kind::ConstVector: {
+        for (const Value *e :
+             static_cast<const ConstantVector *>(v)->elements()) {
+            if (!isZeroConstant(e))
+                return false;
+        }
+        return true;
+      }
+      default:
+        return false;
+    }
+}
+
+/** "i32 255" for a splat payload or vector element. */
+std::string
+typedRef(const Value *v)
+{
+    return v->type()->toString() + " " + printValueRef(v);
+}
+
+std::string
+intrinsicSuffix(const Type *type)
+{
+    if (type->isVector()) {
+        return ".v" + std::to_string(type->lanes()) +
+               type->scalarType()->toString();
+    }
+    if (type->isFloat())
+        return ".f64";
+    return "." + type->toString();
+}
+
+} // namespace
+
+std::string
+printValueRef(const Value *v)
+{
+    switch (v->kind()) {
+      case Value::Kind::Argument:
+      case Value::Kind::Instruction:
+        return "%" + v->name();
+      case Value::Kind::ConstInt: {
+        const auto *ci = static_cast<const ConstantInt *>(v);
+        if (ci->type()->isBool())
+            return ci->value().isZero() ? "false" : "true";
+        return ci->value().toString();
+      }
+      case Value::Kind::ConstFP:
+        return formatDouble(static_cast<const ConstantFP *>(v)->value());
+      case Value::Kind::Poison:
+        return "poison";
+      case Value::Kind::ConstVector: {
+        const auto *cv = static_cast<const ConstantVector *>(v);
+        if (isZeroConstant(cv))
+            return "zeroinitializer";
+        if (cv->isSplat())
+            return "splat (" + typedRef(cv->splatValue()) + ")";
+        std::string out = "<";
+        for (size_t i = 0; i < cv->elements().size(); ++i) {
+            if (i)
+                out += ", ";
+            out += typedRef(cv->elements()[i]);
+        }
+        return out + ">";
+      }
+    }
+    return "?";
+}
+
+std::string
+printInstruction(const Instruction *inst)
+{
+    std::string out;
+    if (!inst->type()->isVoid() && !inst->isTerminator())
+        out += "%" + inst->name() + " = ";
+
+    const InstFlags &flags = inst->flags();
+    auto operand_ref = [&](unsigned i) {
+        return printValueRef(inst->operand(i));
+    };
+    auto typed_operand = [&](unsigned i) {
+        return inst->operand(i)->type()->toString() + " " + operand_ref(i);
+    };
+
+    switch (inst->op()) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::Shl: {
+        out += opcodeName(inst->op());
+        if (flags.nuw)
+            out += " nuw";
+        if (flags.nsw)
+            out += " nsw";
+        out += " " + typed_operand(0) + ", " + operand_ref(1);
+        return out;
+      }
+      case Opcode::UDiv: case Opcode::SDiv:
+      case Opcode::LShr: case Opcode::AShr: {
+        out += opcodeName(inst->op());
+        if (flags.exact)
+            out += " exact";
+        out += " " + typed_operand(0) + ", " + operand_ref(1);
+        return out;
+      }
+      case Opcode::URem: case Opcode::SRem:
+      case Opcode::And: case Opcode::Xor:
+      case Opcode::FAdd: case Opcode::FSub:
+      case Opcode::FMul: case Opcode::FDiv: {
+        out += std::string(opcodeName(inst->op())) + " " +
+               typed_operand(0) + ", " + operand_ref(1);
+        return out;
+      }
+      case Opcode::Or: {
+        out += "or";
+        if (flags.disjoint)
+            out += " disjoint";
+        out += " " + typed_operand(0) + ", " + operand_ref(1);
+        return out;
+      }
+      case Opcode::ICmp: {
+        out += std::string("icmp ") + icmpPredName(inst->icmpPred()) + " " +
+               typed_operand(0) + ", " + operand_ref(1);
+        return out;
+      }
+      case Opcode::FCmp: {
+        out += std::string("fcmp ") + fcmpPredName(inst->fcmpPred()) + " " +
+               typed_operand(0) + ", " + operand_ref(1);
+        return out;
+      }
+      case Opcode::Select: {
+        out += "select " + typed_operand(0) + ", " + typed_operand(1) +
+               ", " + typed_operand(2);
+        return out;
+      }
+      case Opcode::Trunc: {
+        out += "trunc";
+        if (flags.nuw)
+            out += " nuw";
+        if (flags.nsw)
+            out += " nsw";
+        out += " " + typed_operand(0) + " to " + inst->type()->toString();
+        return out;
+      }
+      case Opcode::ZExt: {
+        out += "zext";
+        if (flags.nneg)
+            out += " nneg";
+        out += " " + typed_operand(0) + " to " + inst->type()->toString();
+        return out;
+      }
+      case Opcode::SExt: {
+        out += "sext " + typed_operand(0) + " to " +
+               inst->type()->toString();
+        return out;
+      }
+      case Opcode::Freeze: {
+        out += "freeze " + typed_operand(0);
+        return out;
+      }
+      case Opcode::Call: {
+        if (flags.tail)
+            out += "tail ";
+        out += "call " + inst->type()->toString() + " @";
+        out += intrinsicName(inst->intrinsic());
+        // The type suffix follows the leading argument's type (fabs is
+        // keyed on the return type, same thing for our fragment).
+        out += intrinsicSuffix(inst->operand(0)->type());
+        out += "(";
+        for (unsigned i = 0; i < inst->numOperands(); ++i) {
+            if (i)
+                out += ", ";
+            out += typed_operand(i);
+        }
+        out += ")";
+        return out;
+      }
+      case Opcode::Load: {
+        out += "load " + inst->type()->toString() + ", " + typed_operand(0);
+        if (inst->align())
+            out += ", align " + std::to_string(inst->align());
+        return out;
+      }
+      case Opcode::Store: {
+        out += "store " + typed_operand(0) + ", " + typed_operand(1);
+        if (inst->align())
+            out += ", align " + std::to_string(inst->align());
+        return out;
+      }
+      case Opcode::Gep: {
+        out += "getelementptr";
+        if (flags.inbounds)
+            out += " inbounds";
+        if (flags.nuw)
+            out += " nuw";
+        out += " " + inst->accessType()->toString();
+        for (unsigned i = 0; i < inst->numOperands(); ++i)
+            out += ", " + typed_operand(i);
+        return out;
+      }
+      case Opcode::Phi: {
+        out += "phi " + inst->type()->toString() + " ";
+        for (unsigned i = 0; i < inst->numOperands(); ++i) {
+            if (i)
+                out += ", ";
+            out += "[ " + operand_ref(i) + ", %" + inst->phiLabels()[i] +
+                   " ]";
+        }
+        return out;
+      }
+      case Opcode::Br: {
+        if (inst->numOperands() == 0)
+            return "br label %" + inst->brLabels()[0];
+        return "br " + typed_operand(0) + ", label %" +
+               inst->brLabels()[0] + ", label %" + inst->brLabels()[1];
+      }
+      case Opcode::Ret: {
+        if (inst->numOperands() == 0)
+            return "ret void";
+        return "ret " + typed_operand(0);
+      }
+    }
+    assert(false && "unhandled opcode in printer");
+    return out;
+}
+
+std::string
+printFunction(const Function &fn)
+{
+    std::string out = "define " + fn.returnType()->toString() + " @" +
+                      fn.name() + "(";
+    for (unsigned i = 0; i < fn.numArgs(); ++i) {
+        if (i)
+            out += ", ";
+        out += fn.arg(i)->type()->toString() + " %" + fn.arg(i)->name();
+    }
+    out += ") {\n";
+    bool first = true;
+    for (const auto &bb : fn.blocks()) {
+        if (!first || fn.blocks().size() > 1)
+            out += bb->label() + ":\n";
+        first = false;
+        for (const auto &inst : bb->instructions())
+            out += "  " + printInstruction(inst.get()) + "\n";
+    }
+    out += "}\n";
+    return out;
+}
+
+std::string
+printModule(const Module &module)
+{
+    std::string out;
+    out += "; ModuleID = '" + module.name() + "'\n";
+    for (const auto &fn : module.functions()) {
+        out += "\n";
+        out += printFunction(*fn);
+    }
+    return out;
+}
+
+} // namespace lpo::ir

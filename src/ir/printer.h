@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Textual IR emission in LLVM-like syntax.
+ *
+ * The printer and parser are inverses: print(parse(text)) is stable,
+ * which the extractor's dedup hashing and the LLM feedback loop rely
+ * on.
+ */
+#ifndef LPO_IR_PRINTER_H
+#define LPO_IR_PRINTER_H
+
+#include <string>
+
+#include "ir/module.h"
+
+namespace lpo::ir {
+
+/** Render a constant/argument/instruction reference (no type). */
+std::string printValueRef(const Value *v);
+
+/** Render a single instruction line (no leading indentation). */
+std::string printInstruction(const Instruction *inst);
+
+/** Render a full function definition. */
+std::string printFunction(const Function &fn);
+
+/** Render a module (all functions, in order). */
+std::string printModule(const Module &module);
+
+} // namespace lpo::ir
+
+#endif // LPO_IR_PRINTER_H

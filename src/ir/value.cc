@@ -1,0 +1,125 @@
+#include "ir/value.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace lpo::ir {
+
+bool
+ConstantVector::isSplat() const
+{
+    for (const Value *e : elements_)
+        if (e != elements_.front())
+            return false;
+    return true;
+}
+
+ConstantInt *
+Context::getInt(unsigned width, uint64_t value)
+{
+    return getInt(types_.intTy(width), APInt(width, value));
+}
+
+ConstantInt *
+Context::getInt(const Type *type, const APInt &value)
+{
+    assert(type->isInt() && type->intWidth() == value.width());
+    auto key = std::make_pair(type, value.zext());
+    auto it = ints_.find(key);
+    if (it != ints_.end())
+        return it->second;
+    auto owned = std::make_unique<ConstantInt>(type, value);
+    ConstantInt *c = owned.get();
+    pool_.push_back(std::move(owned));
+    ints_[key] = c;
+    return c;
+}
+
+ConstantFP *
+Context::getFP(double value)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    auto it = fps_.find(bits);
+    if (it != fps_.end())
+        return it->second;
+    auto owned = std::make_unique<ConstantFP>(types_.floatTy(), value);
+    ConstantFP *c = owned.get();
+    pool_.push_back(std::move(owned));
+    fps_[bits] = c;
+    return c;
+}
+
+ConstantVector *
+Context::getVector(const Type *type, std::vector<const Value *> elements)
+{
+    assert(type->isVector() && elements.size() == type->lanes());
+    auto key = std::make_pair(type, elements);
+    auto it = vectors_.find(key);
+    if (it != vectors_.end())
+        return it->second;
+    auto owned = std::make_unique<ConstantVector>(type, std::move(elements));
+    ConstantVector *c = owned.get();
+    pool_.push_back(std::move(owned));
+    vectors_[key] = c;
+    return c;
+}
+
+ConstantVector *
+Context::getSplat(const Type *vec_type, const Value *scalar)
+{
+    assert(vec_type->isVector());
+    std::vector<const Value *> elems(vec_type->lanes(), scalar);
+    return getVector(vec_type, std::move(elems));
+}
+
+Value *
+Context::getNullValue(const Type *type)
+{
+    if (type->isInt())
+        return getInt(type, APInt::zero(type->intWidth()));
+    if (type->isFloat())
+        return getFP(0.0);
+    if (type->isVector())
+        return getSplat(type, getNullValue(type->scalarType()));
+    assert(false && "no null value for this type");
+    return nullptr;
+}
+
+PoisonValue *
+Context::getPoison(const Type *type)
+{
+    auto it = poisons_.find(type);
+    if (it != poisons_.end())
+        return it->second;
+    auto owned = std::make_unique<PoisonValue>(type);
+    PoisonValue *c = owned.get();
+    pool_.push_back(std::move(owned));
+    poisons_[type] = c;
+    return c;
+}
+
+bool
+isConstIntValue(const Value *v, uint64_t value)
+{
+    if (const auto *ci = asConstIntOrSplat(v))
+        return ci->value().zext() == APInt(ci->value().width(), value).zext();
+    return false;
+}
+
+const ConstantInt *
+asConstIntOrSplat(const Value *v)
+{
+    if (v->kind() == Value::Kind::ConstInt)
+        return static_cast<const ConstantInt *>(v);
+    if (v->kind() == Value::Kind::ConstVector) {
+        const auto *cv = static_cast<const ConstantVector *>(v);
+        if (cv->isSplat() &&
+            cv->splatValue()->kind() == Value::Kind::ConstInt) {
+            return static_cast<const ConstantInt *>(cv->splatValue());
+        }
+    }
+    return nullptr;
+}
+
+} // namespace lpo::ir

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * SSA values: arguments, constants, and the Context that interns them.
+ *
+ * Instructions (the remaining Value kind) live in instruction.h.
+ * Constants are interned per Context so they can be shared freely
+ * between functions and modules without cloning.
+ */
+#ifndef LPO_IR_VALUE_H
+#define LPO_IR_VALUE_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/type.h"
+#include "support/apint.h"
+
+namespace lpo::ir {
+
+/** Base class of everything an instruction operand can be. */
+class Value
+{
+  public:
+    enum class Kind { Argument, ConstInt, ConstFP, ConstVector, Poison,
+                      Instruction };
+
+    virtual ~Value() = default;
+
+    Kind kind() const { return kind_; }
+    const Type *type() const { return type_; }
+
+    bool isConstant() const
+    {
+        return kind_ == Kind::ConstInt || kind_ == Kind::ConstFP ||
+               kind_ == Kind::ConstVector || kind_ == Kind::Poison;
+    }
+
+    /** SSA name without the leading '%' (may be empty for constants). */
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+  protected:
+    Value(Kind kind, const Type *type) : kind_(kind), type_(type) {}
+
+    Kind kind_;
+    const Type *type_;
+    std::string name_;
+};
+
+/** A formal parameter of a Function. */
+class Argument : public Value
+{
+  public:
+    Argument(const Type *type, unsigned index)
+        : Value(Kind::Argument, type), index_(index)
+    {}
+
+    unsigned index() const { return index_; }
+
+  private:
+    unsigned index_;
+};
+
+/** A scalar integer constant. */
+class ConstantInt : public Value
+{
+  public:
+    ConstantInt(const Type *type, APInt value)
+        : Value(Kind::ConstInt, type), value_(value)
+    {}
+
+    const APInt &value() const { return value_; }
+
+  private:
+    APInt value_;
+};
+
+/** A scalar double-precision constant. */
+class ConstantFP : public Value
+{
+  public:
+    ConstantFP(const Type *type, double value)
+        : Value(Kind::ConstFP, type), value_(value)
+    {}
+
+    double value() const { return value_; }
+
+  private:
+    double value_;
+};
+
+/**
+ * A vector constant.
+ *
+ * Elements reference interned scalar constants. A splat is a vector
+ * constant whose elements are all identical; zeroinitializer is a
+ * splat of zero.
+ */
+class ConstantVector : public Value
+{
+  public:
+    ConstantVector(const Type *type, std::vector<const Value *> elements)
+        : Value(Kind::ConstVector, type), elements_(std::move(elements))
+    {}
+
+    const std::vector<const Value *> &elements() const { return elements_; }
+    bool isSplat() const;
+    /** The common element when isSplat(). */
+    const Value *splatValue() const { return elements_.front(); }
+
+  private:
+    std::vector<const Value *> elements_;
+};
+
+/** The poison constant of a given type (undef is folded into poison). */
+class PoisonValue : public Value
+{
+  public:
+    explicit PoisonValue(const Type *type) : Value(Kind::Poison, type) {}
+};
+
+/**
+ * Owner of types and interned constants.
+ *
+ * A Context outlives every Module / Function built against it; all IR
+ * objects hold plain pointers into it.
+ */
+class Context
+{
+  public:
+    Context() = default;
+    Context(const Context &) = delete;
+    Context &operator=(const Context &) = delete;
+
+    TypeContext &types() { return types_; }
+
+    /** The iN constant @p value (interned). */
+    ConstantInt *getInt(unsigned width, uint64_t value);
+    ConstantInt *getInt(const Type *type, const APInt &value);
+    ConstantInt *getBool(bool value) { return getInt(1, value); }
+    /** The double constant @p value (interned on the bit pattern). */
+    ConstantFP *getFP(double value);
+    /** A vector constant from per-lane scalars. */
+    ConstantVector *getVector(const Type *type,
+                                    std::vector<const Value *> elements);
+    /** The splat vector whose lanes all equal @p scalar. */
+    ConstantVector *getSplat(const Type *vec_type,
+                                   const Value *scalar);
+    /** The all-zero constant of @p type (scalar or vector). */
+    Value *getNullValue(const Type *type);
+    /** The poison constant of @p type. */
+    PoisonValue *getPoison(const Type *type);
+
+  private:
+    TypeContext types_;
+    std::vector<std::unique_ptr<Value>> pool_;
+    std::map<std::pair<const Type *, uint64_t>, ConstantInt *> ints_;
+    std::map<uint64_t, ConstantFP *> fps_;
+    std::map<const Type *, PoisonValue *> poisons_;
+    std::map<std::pair<const Type *, std::vector<const Value *>>,
+             ConstantVector *> vectors_;
+};
+
+/** True if @p v is an integer constant (scalar) equal to @p value. */
+bool isConstIntValue(const Value *v, uint64_t value);
+/** If @p v is a scalar int constant or an int splat, return it. */
+const ConstantInt *asConstIntOrSplat(const Value *v);
+
+} // namespace lpo::ir
+
+#endif // LPO_IR_VALUE_H

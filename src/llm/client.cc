@@ -1,0 +1,11 @@
+#include "llm/client.h"
+
+namespace lpo::llm {
+
+uint64_t
+estimateTokens(const std::string &text)
+{
+    return (text.size() + 3) / 4;
+}
+
+} // namespace lpo::llm

@@ -1,0 +1,59 @@
+#include "llm/model_profile.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lpo::llm {
+
+double
+ModelProfile::findProbability(double difficulty) const
+{
+    // Linear logit around the model's skill; benchmarks with
+    // difficulty 2.0 are beyond every model by construction.
+    double p = (skill - difficulty) * 2.5 + 0.5;
+    return std::clamp(p, 0.0, 0.97);
+}
+
+const std::vector<ModelProfile> &
+modelRegistry()
+{
+    static const std::vector<ModelProfile> registry = [] {
+        std::vector<ModelProfile> models;
+        // name, version, reasoning, cutoff, local,
+        // skill, syn_err, sem_err, repair, latency, $/Mtok in, out
+        models.push_back({"Gemma3", "gemma3:27b", false, "08/2024", true,
+                          0.20, 0.25, 0.15, 0.20, 14.0, 0.0, 0.0});
+        models.push_back({"Llama3.3", "llama3.3:70b", false, "12/2023",
+                          true, 0.55, 0.25, 0.10, 0.80, 24.0, 0.0, 0.0});
+        models.push_back({"Gemini2.0", "gemini-2.0-flash", false,
+                          "08/2024", false, 0.55, 0.20, 0.08, 0.85, 4.2,
+                          0.10, 0.40});
+        models.push_back({"Gemini2.0T",
+                          "gemini-2.0-flash-thinking-exp-01-21", true,
+                          "08/2024", false, 0.78, 0.28, 0.07, 0.95, 8.5,
+                          0.10, 0.40});
+        models.push_back({"GPT-4.1", "gpt-4.1-2025-04-14", false,
+                          "06/2024", false, 0.55, 0.45, 0.30, 0.85, 5.5,
+                          2.00, 8.00});
+        models.push_back({"o4-mini", "o4-mini-2025-04-16", true,
+                          "06/2024", false, 0.73, 0.25, 0.08, 0.90, 11.0,
+                          1.10, 4.40});
+        models.push_back({"Gemini2.5", "gemini-2.5-flash-lite", true,
+                          "01/2025", false, 0.62, 0.08, 0.05, 0.80, 4.8,
+                          0.10, 0.40});
+        return models;
+    }();
+    return registry;
+}
+
+const ModelProfile &
+modelByName(const std::string &name)
+{
+    for (const ModelProfile &model : modelRegistry())
+        if (model.name == name)
+            return model;
+    assert(false && "unknown model name");
+    return modelRegistry().front();
+}
+
+} // namespace lpo::llm

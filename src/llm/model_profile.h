@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Model capability profiles (paper Table 1).
+ *
+ * Each profile calibrates the simulated model's behaviour:
+ *  - skill: how hard a pattern it can spot (matched against each
+ *    benchmark's difficulty);
+ *  - error rates: how often a correct idea is emitted with a syntax
+ *    error (invalid opcode spelling, Fig. 3b) or a semantic slip
+ *    (wrong constant / dropped flag);
+ *  - repair skill: how well verifier feedback is converted into a fix
+ *    (this is what separates LPO from LPO-);
+ *  - latency / price: drive the RQ3 throughput and cost table.
+ */
+#ifndef LPO_LLM_MODEL_PROFILE_H
+#define LPO_LLM_MODEL_PROFILE_H
+
+#include <string>
+#include <vector>
+
+namespace lpo::llm {
+
+/** Static description + calibration of one model. */
+struct ModelProfile
+{
+    std::string name;          ///< e.g. "Gemini2.0T"
+    std::string version;       ///< e.g. "gemini-2.0-flash-thinking-..."
+    bool reasoning = false;
+    std::string cutoff;        ///< knowledge cut-off date
+    bool local = false;        ///< locally deployed vs API
+
+    double skill = 0.5;            ///< pattern-spotting ability [0,1]
+    double syntax_error_rate = 0.2;
+    double semantic_error_rate = 0.1;
+    double repair_skill = 0.5;     ///< P(fix | feedback)
+
+    double latency_seconds = 5.0;  ///< per completion
+    double usd_per_mtok_in = 0.1;
+    double usd_per_mtok_out = 0.4;
+
+    /** Success probability against a pattern of @p difficulty. */
+    double findProbability(double difficulty) const;
+};
+
+/** The Table 1 registry. */
+const std::vector<ModelProfile> &modelRegistry();
+
+/** Look up a profile by display name (aborts if unknown). */
+const ModelProfile &modelByName(const std::string &name);
+
+} // namespace lpo::llm
+
+#endif // LPO_LLM_MODEL_PROFILE_H

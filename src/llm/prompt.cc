@@ -1,0 +1,29 @@
+#include "llm/prompt.h"
+
+namespace lpo::llm {
+
+const std::string &
+systemPrompt()
+{
+    static const std::string prompt =
+        "If the provided instruction sequence is suboptimal, output the "
+        "optimal and correct implementation. If the result is incorrect, "
+        "revise it based on the provided feedback. Keep the function "
+        "signature unchanged and answer with LLVM IR only.";
+    return prompt;
+}
+
+std::string
+buildUserPrompt(const std::string &function_text,
+                const std::string &feedback)
+{
+    std::string prompt = "```llvm\n" + function_text + "```\n";
+    if (!feedback.empty()) {
+        prompt += "\nYour previous attempt was rejected with the "
+                  "following feedback:\n" + feedback +
+                  "\nPlease produce a corrected optimal function.\n";
+    }
+    return prompt;
+}
+
+} // namespace lpo::llm

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Prompt construction for the optimizer loop (paper Fig. 2, "System
+ * Prompt"). The mock model does not read natural language, but the
+ * prompts are materialized anyway so logs and token/cost accounting
+ * match what a real API deployment would send.
+ */
+#ifndef LPO_LLM_PROMPT_H
+#define LPO_LLM_PROMPT_H
+
+#include <string>
+
+namespace lpo::llm {
+
+/** The fixed system prompt from the paper's workflow figure. */
+const std::string &systemPrompt();
+
+/** Assemble the user prompt for one attempt. */
+std::string buildUserPrompt(const std::string &function_text,
+                            const std::string &feedback);
+
+} // namespace lpo::llm
+
+#endif // LPO_LLM_PROMPT_H

@@ -1,0 +1,834 @@
+#include "llm/rewrite_library.h"
+
+#include <algorithm>
+#include <map>
+
+#include "ir/builder.h"
+#include "ir/pattern.h"
+#include "ir/printer.h"
+
+namespace lpo::llm {
+
+using ir::Argument;
+using ir::Builder;
+using ir::Context;
+using ir::ICmpPred;
+using ir::InstFlags;
+using ir::Instruction;
+using ir::Intrinsic;
+using ir::Opcode;
+using ir::Type;
+using ir::Value;
+
+ir::Value *
+returnedValue(const ir::Function &fn)
+{
+    for (const auto &bb : fn.blocks()) {
+        const Instruction *term = bb->terminator();
+        if (term && term->op() == Opcode::Ret && term->numOperands() == 1)
+            return term->operand(0);
+    }
+    return nullptr;
+}
+
+namespace {
+
+/** Builds the rewritten function with the source's signature. */
+class Rewriter
+{
+  public:
+    explicit Rewriter(const ir::Function &src)
+        : src_(src),
+          out_(std::make_unique<ir::Function>(src.context(), src.name(),
+                                              src.returnType()))
+    {
+        for (const auto &arg : src.args())
+            out_->addArg(arg->type(), arg->name());
+        block_ = out_->addBlock("entry");
+        builder_ = std::make_unique<Builder>(*out_, block_);
+    }
+
+    Builder &b() { return *builder_; }
+    Context &ctx() { return src_.context(); }
+
+    /** Map a source argument / constant into the new function. */
+    Value *
+    map(Value *v)
+    {
+        if (v->kind() == Value::Kind::Argument)
+            return out_->arg(static_cast<Argument *>(v)->index());
+        return v; // constants are shared via the Context
+    }
+
+    /**
+     * Materialize @p v in the new function, recursively cloning its
+     * defining instruction chain. This lets a rule fire when the
+     * pattern's leaves are loads/geps or other computations rather
+     * than bare arguments (e.g. the Fig. 1d vector body, where the
+     * clamped value is a wide load).
+     */
+    Value *
+    take(Value *v)
+    {
+        if (v->kind() == Value::Kind::Argument)
+            return map(v);
+        if (v->isConstant())
+            return v;
+        auto it = cloned_.find(v);
+        if (it != cloned_.end())
+            return it->second;
+        auto *inst = static_cast<Instruction *>(v);
+        std::vector<Value *> operands;
+        operands.reserve(inst->numOperands());
+        for (Value *operand : inst->operands())
+            operands.push_back(take(operand));
+        auto copy = std::make_unique<Instruction>(
+            inst->op(), inst->type(), std::move(operands));
+        copy->flags() = inst->flags();
+        copy->setICmpPred(inst->icmpPred());
+        copy->setFCmpPred(inst->fcmpPred());
+        copy->setIntrinsic(inst->intrinsic());
+        copy->setAccessType(inst->accessType());
+        copy->setAlign(inst->align());
+        copy->setName("p" + std::to_string(cloned_.size()));
+        Instruction *placed = block_->append(std::move(copy));
+        cloned_[v] = placed;
+        return placed;
+    }
+
+    std::string
+    finish(Value *result)
+    {
+        builder_->ret(result);
+        out_->numberValues();
+        return ir::printFunction(*out_);
+    }
+
+  private:
+    const ir::Function &src_;
+    std::unique_ptr<ir::Function> out_;
+    ir::BasicBlock *block_ = nullptr;
+    std::unique_ptr<Builder> builder_;
+    std::map<Value *, Value *> cloned_;
+};
+
+bool
+isArg(const Value *v)
+{
+    return v->kind() == Value::Kind::Argument;
+}
+
+/** Typed constant matching @p type (scalar or splat). */
+Value *
+typedConst(Context &ctx, const Type *type, const APInt &value)
+{
+    ir::ConstantInt *scalar = ctx.getInt(type->scalarType(), value);
+    if (type->isVector())
+        return ctx.getSplat(type, scalar);
+    return scalar;
+}
+
+// ---------------- individual rules ----------------
+
+std::optional<std::string>
+rwClampUMin(const ir::Function &fn)
+{
+    Value *ret = returnedValue(fn);
+    if (!ret)
+        return std::nullopt;
+    Value *cond, *tval, *fval;
+    Value *select_v = ret;
+    Instruction *trunc_inst = nullptr;
+    // Optional trailing trunc above the select or below it: the
+    // canonical Fig. 1 form has the trunc inside the select's arm.
+    if (!ir::matchSelect(select_v, &cond, &tval, &fval))
+        return std::nullopt;
+    ICmpPred pred;
+    Value *cx, *cy;
+    if (!ir::matchICmp(cond, &pred, &cx, &cy) || pred != ICmpPred::SLT ||
+        !ir::isZeroInt(cy) || !ir::isZeroInt(tval))
+        return std::nullopt;
+    // fval is umin(x, C) or trunc nuw (umin(x, C)).
+    Value *umin_v = fval;
+    Value *mx, *mc;
+    if (ir::matchCast(fval, Opcode::Trunc, &umin_v)) {
+        trunc_inst = static_cast<Instruction *>(fval);
+        if (!trunc_inst->flags().nuw)
+            return std::nullopt;
+    }
+    if (!ir::matchIntrinsic2(umin_v, Intrinsic::UMin, &mx, &mc))
+        return std::nullopt;
+    APInt limit;
+    if (mx != cx || !ir::matchConstInt(mc, &limit))
+        return std::nullopt;
+
+    Rewriter rw(fn);
+    Value *x = rw.take(cx);
+    Value *smax = rw.b().smax(x, rw.ctx().getNullValue(x->type()));
+    Value *umin = rw.b().umin(smax, rw.take(mc));
+    Value *result = umin;
+    if (trunc_inst) {
+        InstFlags flags;
+        flags.nuw = true;
+        result = rw.b().cast(Opcode::Trunc, umin, trunc_inst->type(),
+                             flags);
+    }
+    return rw.finish(result);
+}
+
+std::optional<std::string>
+rwLoadMerge(const ir::Function &fn)
+{
+    Value *ret = returnedValue(fn);
+    if (!ret)
+        return std::nullopt;
+    Value *shl_v, *zlo_v;
+    if (!ir::matchBinary(ret, Opcode::Or, &shl_v, &zlo_v))
+        return std::nullopt;
+    if (!static_cast<Instruction *>(ret)->flags().disjoint)
+        return std::nullopt;
+    Value *zhi_v, *shamt_v;
+    if (!ir::matchBinary(shl_v, Opcode::Shl, &zhi_v, &shamt_v))
+        return std::nullopt;
+    Value *hi_load_v, *lo_load_v;
+    if (!ir::matchCast(zhi_v, Opcode::ZExt, &hi_load_v) ||
+        !ir::matchCast(zlo_v, Opcode::ZExt, &lo_load_v))
+        return std::nullopt;
+    APInt shamt;
+    if (!ir::matchConstInt(shamt_v, &shamt))
+        return std::nullopt;
+    if (hi_load_v->kind() != Value::Kind::Instruction ||
+        lo_load_v->kind() != Value::Kind::Instruction)
+        return std::nullopt;
+    auto *hi_load = static_cast<Instruction *>(hi_load_v);
+    auto *lo_load = static_cast<Instruction *>(lo_load_v);
+    if (hi_load->op() != Opcode::Load || lo_load->op() != Opcode::Load)
+        return std::nullopt;
+    const Type *half = lo_load->type();
+    if (hi_load->type() != half || !half->isInt())
+        return std::nullopt;
+    unsigned half_bits = half->intWidth();
+    if (shamt.zext() != half_bits ||
+        ret->type()->intWidth() != half_bits * 2)
+        return std::nullopt;
+    // lo load from %p, hi load from gep(%p, half_bits/8 bytes).
+    Value *base = lo_load->operand(0);
+    Value *hi_ptr = hi_load->operand(0);
+    if (hi_ptr->kind() != Value::Kind::Instruction)
+        return std::nullopt;
+    auto *gep = static_cast<Instruction *>(hi_ptr);
+    if (gep->op() != Opcode::Gep || gep->operand(0) != base)
+        return std::nullopt;
+    APInt offset;
+    if (!ir::matchConstInt(gep->operand(1), &offset))
+        return std::nullopt;
+    unsigned elem_bytes = gep->accessType()->storeSizeBytes();
+    if (offset.zext() * elem_bytes != half_bits / 8)
+        return std::nullopt;
+
+    Rewriter rw(fn);
+    Value *merged = rw.b().load(ret->type(), rw.take(base),
+                                lo_load->align());
+    return rw.finish(merged);
+}
+
+std::optional<std::string>
+rwUMaxShl(const ir::Function &fn)
+{
+    Value *ret = returnedValue(fn);
+    if (!ret)
+        return std::nullopt;
+    Value *shl_v, *c2_v;
+    if (!ir::matchIntrinsic2(ret, Intrinsic::UMax, &shl_v, &c2_v))
+        return std::nullopt;
+    Value *inner_v, *k_v;
+    if (!ir::matchBinary(shl_v, Opcode::Shl, &inner_v, &k_v) ||
+        !static_cast<Instruction *>(shl_v)->flags().nuw)
+        return std::nullopt;
+    Value *x, *c1_v;
+    if (!ir::matchIntrinsic2(inner_v, Intrinsic::UMax, &x, &c1_v))
+        return std::nullopt;
+    APInt c1, c2, k;
+    if (!ir::matchConstInt(c1_v, &c1) || !ir::matchConstInt(c2_v, &c2) ||
+        !ir::matchConstInt(k_v, &k))
+        return std::nullopt;
+    unsigned width = c1.width();
+    if (k.zext() >= width || c1.shlOverflowsUnsigned(
+            static_cast<unsigned>(k.zext())))
+        return std::nullopt;
+    if (!c1.shl(static_cast<unsigned>(k.zext())).ule(c2))
+        return std::nullopt;
+
+    Rewriter rw(fn);
+    InstFlags flags;
+    flags.nuw = true;
+    Value *shl = rw.b().shl(rw.take(x), rw.take(k_v), flags);
+    Value *result = rw.b().umax(shl, rw.take(c2_v));
+    return rw.finish(result);
+}
+
+std::optional<std::string>
+rwFcmpOrdSelect(const ir::Function &fn)
+{
+    Value *ret = returnedValue(fn);
+    if (!ret || ret->kind() != Value::Kind::Instruction)
+        return std::nullopt;
+    auto *cmp = static_cast<Instruction *>(ret);
+    if (cmp->op() != Opcode::FCmp || cmp->fcmpPred() != ir::FCmpPred::OEQ)
+        return std::nullopt;
+    Value *sel_v = cmp->operand(0);
+    Value *cmp_const = cmp->operand(1);
+    if (cmp_const->kind() != Value::Kind::ConstFP ||
+        static_cast<ir::ConstantFP *>(cmp_const)->value() == 0.0)
+        return std::nullopt;
+    Value *cond, *tval, *fval;
+    if (!ir::matchSelect(sel_v, &cond, &tval, &fval))
+        return std::nullopt;
+    if (cond->kind() != Value::Kind::Instruction)
+        return std::nullopt;
+    auto *ord = static_cast<Instruction *>(cond);
+    if (ord->op() != Opcode::FCmp || ord->fcmpPred() != ir::FCmpPred::ORD)
+        return std::nullopt;
+    Value *x = ord->operand(0);
+    if (tval != x)
+        return std::nullopt;
+    if (fval->kind() != Value::Kind::ConstFP ||
+        static_cast<ir::ConstantFP *>(fval)->value() != 0.0)
+        return std::nullopt;
+
+    Rewriter rw(fn);
+    Value *result = rw.b().fcmp(ir::FCmpPred::OEQ, rw.take(x), cmp_const);
+    return rw.finish(result);
+}
+
+std::optional<std::string>
+rwSubAddCmp(const ir::Function &fn)
+{
+    Value *ret = returnedValue(fn);
+    ICmpPred pred;
+    Value *sub_v, *add_v;
+    if (!ret || !ir::matchICmp(ret, &pred, &sub_v, &add_v) ||
+        pred != ICmpPred::SGT)
+        return std::nullopt;
+    Value *sa, *sb, *aa, *ab;
+    if (!ir::matchBinary(sub_v, Opcode::Sub, &sa, &sb) ||
+        !ir::matchBinary(add_v, Opcode::Add, &aa, &ab))
+        return std::nullopt;
+    if (!static_cast<Instruction *>(sub_v)->flags().nsw ||
+        !static_cast<Instruction *>(add_v)->flags().nsw)
+        return std::nullopt;
+    bool operands_match = (sa == aa && sb == ab) || (sa == ab && sb == aa);
+    if (!operands_match)
+        return std::nullopt;
+
+    Rewriter rw(fn);
+    Value *b = rw.take(sb);
+    Value *result = rw.b().icmp(ICmpPred::SLT, b,
+                                rw.ctx().getNullValue(b->type()));
+    return rw.finish(result);
+}
+
+std::optional<std::string>
+rwAddSignbit(const ir::Function &fn)
+{
+    Value *ret = returnedValue(fn);
+    Value *x, *c_v;
+    if (!ret || !ir::matchBinary(ret, Opcode::Add, &x, &c_v))
+        return std::nullopt;
+    APInt c;
+    if (!ir::matchConstInt(c_v, &c) || !c.isSignedMin())
+        return std::nullopt;
+    if (static_cast<Instruction *>(ret)->flags().nuw ||
+        static_cast<Instruction *>(ret)->flags().nsw)
+        return std::nullopt;
+
+    Rewriter rw(fn);
+    Value *result = rw.b().xorOp(rw.take(x), rw.take(c_v));
+    return rw.finish(result);
+}
+
+std::optional<std::string>
+rwICmpLshr(const ir::Function &fn)
+{
+    Value *ret = returnedValue(fn);
+    ICmpPred pred;
+    Value *shift_v, *zero_v;
+    if (!ret || !ir::matchICmp(ret, &pred, &shift_v, &zero_v) ||
+        pred != ICmpPred::EQ || !ir::isZeroInt(zero_v))
+        return std::nullopt;
+    Value *x, *k_v;
+    if (!ir::matchBinary(shift_v, Opcode::LShr, &x, &k_v))
+        return std::nullopt;
+    APInt k;
+    if (!ir::matchConstInt(k_v, &k) || k.isZero() ||
+        k.zext() >= k.width())
+        return std::nullopt;
+
+    Rewriter rw(fn);
+    Value *xx = rw.take(x);
+    APInt bound = APInt::one(k.width()).shl(
+        static_cast<unsigned>(k.zext()));
+    Value *result = rw.b().icmp(
+        ICmpPred::ULT, xx, typedConst(rw.ctx(), xx->type(), bound));
+    return rw.finish(result);
+}
+
+std::optional<std::string>
+rwUMinZext(const ir::Function &fn)
+{
+    Value *ret = returnedValue(fn);
+    Value *z_v, *c_v;
+    if (!ret || !ir::matchIntrinsic2(ret, Intrinsic::UMin, &z_v, &c_v))
+        return std::nullopt;
+    Value *x;
+    if (!ir::matchCast(z_v, Opcode::ZExt, &x))
+        return std::nullopt;
+    APInt c;
+    if (!ir::matchConstInt(c_v, &c))
+        return std::nullopt;
+    unsigned narrow = x->type()->scalarType()->intWidth();
+    APInt narrow_max = APInt::allOnes(narrow).zextTo(c.width());
+    if (!c.uge(narrow_max))
+        return std::nullopt;
+
+    Rewriter rw(fn);
+    Value *result = rw.b().zext(rw.take(x), ret->type());
+    return rw.finish(result);
+}
+
+std::optional<std::string>
+rwUSubSat(const ir::Function &fn)
+{
+    Value *ret = returnedValue(fn);
+    Value *cond, *tval, *fval;
+    if (!ret || !ir::matchSelect(ret, &cond, &tval, &fval) ||
+        !ir::isZeroInt(fval))
+        return std::nullopt;
+    ICmpPred pred;
+    Value *cx, *cy;
+    if (!ir::matchICmp(cond, &pred, &cx, &cy))
+        return std::nullopt;
+    Value *sx, *sy;
+    if (!ir::matchBinary(tval, Opcode::Sub, &sx, &sy))
+        return std::nullopt;
+    bool gt_form = (pred == ICmpPred::UGT && cx == sx && cy == sy) ||
+                   (pred == ICmpPred::ULT && cx == sy && cy == sx) ||
+                   (pred == ICmpPred::UGE && cx == sx && cy == sy);
+    if (!gt_form)
+        return std::nullopt;
+    // uge also works: x == y gives sub == 0 == the select's else value.
+
+    Rewriter rw(fn);
+    Value *result = rw.b().intrinsic(Intrinsic::USubSat,
+                                     {rw.take(sx), rw.take(sy)});
+    return rw.finish(result);
+}
+
+std::optional<std::string>
+rwUMaxSub(const ir::Function &fn)
+{
+    Value *ret = returnedValue(fn);
+    Value *max_v, *y1;
+    if (!ret || !ir::matchBinary(ret, Opcode::Sub, &max_v, &y1))
+        return std::nullopt;
+    Value *x, *y2;
+    if (!ir::matchIntrinsic2(max_v, Intrinsic::UMax, &x, &y2))
+        return std::nullopt;
+    if (y2 == y1) {
+        // umax(x, y) - y
+    } else if (x == y1) {
+        std::swap(x, y2); // umax(y, x) - y
+    } else {
+        return std::nullopt;
+    }
+
+    Rewriter rw(fn);
+    Value *result = rw.b().intrinsic(Intrinsic::USubSat,
+                                     {rw.take(x), rw.take(y1)});
+    return rw.finish(result);
+}
+
+std::optional<std::string>
+rwUMinIdem(const ir::Function &fn)
+{
+    Value *ret = returnedValue(fn);
+    Value *inner_v, *z;
+    if (!ret || !ir::matchIntrinsic2(ret, Intrinsic::UMin, &inner_v, &z))
+        return std::nullopt;
+    Value *x, *y;
+    if (!ir::matchIntrinsic2(inner_v, Intrinsic::UMin, &x, &y))
+        return std::nullopt;
+    if (z != x && z != y)
+        return std::nullopt;
+
+    Rewriter rw(fn);
+    Value *result = rw.b().umin(rw.take(x), rw.take(y));
+    return rw.finish(result);
+}
+
+std::optional<std::string>
+rwTruncAnd(const ir::Function &fn)
+{
+    Value *ret = returnedValue(fn);
+    Value *and_v;
+    if (!ret || !ir::matchCast(ret, Opcode::Trunc, &and_v))
+        return std::nullopt;
+    if (static_cast<Instruction *>(ret)->flags().nuw ||
+        static_cast<Instruction *>(ret)->flags().nsw)
+        return std::nullopt;
+    Value *x, *m_v;
+    if (!ir::matchBinary(and_v, Opcode::And, &x, &m_v))
+        return std::nullopt;
+    APInt mask;
+    if (!ir::matchConstInt(m_v, &mask))
+        return std::nullopt;
+    unsigned narrow = ret->type()->scalarType()->intWidth();
+    APInt needed = APInt::allOnes(narrow).zextTo(mask.width());
+    if (!mask.andOp(needed).eq(needed))
+        return std::nullopt; // mask must keep all narrow bits
+
+    Rewriter rw(fn);
+    Value *result = rw.b().trunc(rw.take(x), ret->type());
+    return rw.finish(result);
+}
+
+std::optional<std::string>
+rwNegSub(const ir::Function &fn)
+{
+    Value *ret = returnedValue(fn);
+    Value *zero_v, *inner_v;
+    if (!ret || !ir::matchBinary(ret, Opcode::Sub, &zero_v, &inner_v) ||
+        !ir::isZeroInt(zero_v))
+        return std::nullopt;
+    if (static_cast<Instruction *>(ret)->flags().nsw ||
+        static_cast<Instruction *>(ret)->flags().nuw)
+        return std::nullopt;
+    Value *x, *y;
+    if (!ir::matchBinary(inner_v, Opcode::Sub, &x, &y))
+        return std::nullopt;
+    auto *inner = static_cast<Instruction *>(inner_v);
+    if (inner->flags().nsw || inner->flags().nuw)
+        return std::nullopt;
+
+    Rewriter rw(fn);
+    Value *result = rw.b().sub(rw.take(y), rw.take(x));
+    return rw.finish(result);
+}
+
+std::optional<std::string>
+rwSMaxAbs(const ir::Function &fn)
+{
+    Value *ret = returnedValue(fn);
+    Value *a, *b;
+    if (!ret || !ir::matchIntrinsic2(ret, Intrinsic::SMax, &a, &b))
+        return std::nullopt;
+    auto is_neg_of = [](Value *neg, Value *x) {
+        Value *z, *v;
+        if (!ir::matchBinary(neg, Opcode::Sub, &z, &v))
+            return false;
+        if (static_cast<Instruction *>(neg)->flags().nsw)
+            return false;
+        return ir::isZeroInt(z) && v == x;
+    };
+    Value *x = nullptr;
+    if (is_neg_of(b, a))
+        x = a;
+    else if (is_neg_of(a, b))
+        x = b;
+    if (!x)
+        return std::nullopt;
+
+    Rewriter rw(fn);
+    Value *result = rw.b().intrinsic(
+        Intrinsic::Abs, {rw.take(x), rw.ctx().getBool(false)});
+    return rw.finish(result);
+}
+
+std::optional<std::string>
+rwOrZext(const ir::Function &fn)
+{
+    Value *ret = returnedValue(fn);
+    Value *za_v, *zb_v;
+    if (!ret || !ir::matchBinary(ret, Opcode::Or, &za_v, &zb_v))
+        return std::nullopt;
+    Value *a, *b;
+    if (!ir::matchCast(za_v, Opcode::ZExt, &a) ||
+        !ir::matchCast(zb_v, Opcode::ZExt, &b))
+        return std::nullopt;
+    if (a->type() != b->type() || !a->type()->isBool())
+        return std::nullopt;
+
+    Rewriter rw(fn);
+    Value *or_v = rw.b().orOp(rw.take(a), rw.take(b));
+    Value *result = rw.b().zext(or_v, ret->type());
+    return rw.finish(result);
+}
+
+std::optional<std::string>
+rwAddAndOr(const ir::Function &fn)
+{
+    Value *ret = returnedValue(fn);
+    Value *and_v, *or_v;
+    if (!ret || !ir::matchBinary(ret, Opcode::Add, &and_v, &or_v))
+        return std::nullopt;
+    if (static_cast<Instruction *>(ret)->flags().nuw ||
+        static_cast<Instruction *>(ret)->flags().nsw)
+        return std::nullopt;
+    Value *ax, *ay, *ox, *oy;
+    if (!ir::matchBinary(and_v, Opcode::And, &ax, &ay)) {
+        std::swap(and_v, or_v);
+        if (!ir::matchBinary(and_v, Opcode::And, &ax, &ay))
+            return std::nullopt;
+    }
+    if (!ir::matchBinary(or_v, Opcode::Or, &ox, &oy))
+        return std::nullopt;
+    bool same = (ax == ox && ay == oy) || (ax == oy && ay == ox);
+    if (!same)
+        return std::nullopt;
+
+    Rewriter rw(fn);
+    Value *result = rw.b().add(rw.take(ax), rw.take(ay));
+    return rw.finish(result);
+}
+
+std::optional<std::string>
+rwAnd1Trunc(const ir::Function &fn)
+{
+    Value *ret = returnedValue(fn);
+    ICmpPred pred;
+    Value *and_v, *zero_v;
+    if (!ret || !ir::matchICmp(ret, &pred, &and_v, &zero_v) ||
+        pred != ICmpPred::NE || !ir::isZeroInt(zero_v))
+        return std::nullopt;
+    Value *x, *one_v;
+    if (!ir::matchBinary(and_v, Opcode::And, &x, &one_v) ||
+        !ir::isConstIntValue(one_v, 1))
+        return std::nullopt;
+    if (x->type()->isVector())
+        return std::nullopt;
+
+    Rewriter rw(fn);
+    Value *result = rw.b().trunc(rw.take(x), rw.ctx().types().boolTy());
+    return rw.finish(result);
+}
+
+std::optional<std::string>
+rwMulParity(const ir::Function &fn)
+{
+    Value *ret = returnedValue(fn);
+    Value *mul_v, *one_v;
+    if (!ret || !ir::matchBinary(ret, Opcode::And, &mul_v, &one_v) ||
+        !ir::isConstIntValue(one_v, 1))
+        return std::nullopt;
+    Value *x, *y;
+    if (!ir::matchBinary(mul_v, Opcode::Mul, &x, &y) || x != y)
+        return std::nullopt;
+    auto *mul = static_cast<Instruction *>(mul_v);
+    if (mul->flags().nuw || mul->flags().nsw)
+        return std::nullopt;
+
+    Rewriter rw(fn);
+    Value *result = rw.b().andOp(rw.take(x), rw.take(one_v));
+    return rw.finish(result);
+}
+
+std::optional<std::string>
+rwSdivExact(const ir::Function &fn)
+{
+    Value *ret = returnedValue(fn);
+    Value *x, *c_v;
+    if (!ret || !ir::matchBinary(ret, Opcode::SDiv, &x, &c_v))
+        return std::nullopt;
+    if (!static_cast<Instruction *>(ret)->flags().exact)
+        return std::nullopt;
+    APInt c;
+    if (!ir::matchConstInt(c_v, &c) || !c.isPowerOf2() || c.isOne())
+        return std::nullopt;
+
+    Rewriter rw(fn);
+    InstFlags flags;
+    flags.exact = true;
+    Value *xx = rw.take(x);
+    Value *result = rw.b().binary(
+        Opcode::AShr, xx,
+        typedConst(rw.ctx(), xx->type(),
+                   APInt(c.width(), c.countTrailingZeros())),
+        flags);
+    return rw.finish(result);
+}
+
+std::optional<std::string>
+rwFabsOlt(const ir::Function &fn)
+{
+    Value *ret = returnedValue(fn);
+    if (!ret || ret->kind() != Value::Kind::Instruction)
+        return std::nullopt;
+    auto *cmp = static_cast<Instruction *>(ret);
+    if (cmp->op() != Opcode::FCmp || cmp->fcmpPred() != ir::FCmpPred::OLT)
+        return std::nullopt;
+    Value *fabs_v = cmp->operand(0);
+    Value *zero_v = cmp->operand(1);
+    if (zero_v->kind() != Value::Kind::ConstFP ||
+        static_cast<ir::ConstantFP *>(zero_v)->value() != 0.0)
+        return std::nullopt;
+    if (fabs_v->kind() != Value::Kind::Instruction)
+        return std::nullopt;
+    auto *fabs_inst = static_cast<Instruction *>(fabs_v);
+    if (fabs_inst->op() != Opcode::Call ||
+        fabs_inst->intrinsic() != Intrinsic::FAbs)
+        return std::nullopt;
+    Value *x = fabs_inst->operand(0);
+
+    Rewriter rw(fn);
+    Value *xx = rw.take(x);
+    Value *result = rw.b().fcmp(ir::FCmpPred::False, xx, xx);
+    return rw.finish(result);
+}
+
+std::optional<std::string>
+rwUAddSat(const ir::Function &fn)
+{
+    Value *ret = returnedValue(fn);
+    Value *cond, *tval, *fval;
+    if (!ret || !ir::matchSelect(ret, &cond, &tval, &fval) ||
+        !ir::isAllOnesInt(tval))
+        return std::nullopt;
+    Value *sum_v = fval;
+    Value *x, *y;
+    if (!ir::matchBinary(sum_v, Opcode::Add, &x, &y))
+        return std::nullopt;
+    auto *add = static_cast<Instruction *>(sum_v);
+    if (add->flags().nuw || add->flags().nsw)
+        return std::nullopt;
+    ICmpPred pred;
+    Value *cx, *cy;
+    if (!ir::matchICmp(cond, &pred, &cx, &cy) || pred != ICmpPred::ULT ||
+        cx != sum_v || (cy != x && cy != y))
+        return std::nullopt;
+
+    Rewriter rw(fn);
+    Value *result = rw.b().intrinsic(Intrinsic::UAddSat,
+                                     {rw.take(x), rw.take(y)});
+    return rw.finish(result);
+}
+
+std::optional<std::string>
+rwClzCmp(const ir::Function &fn)
+{
+    Value *ret = returnedValue(fn);
+    ICmpPred pred;
+    Value *clz_v, *w_v;
+    if (!ret || !ir::matchICmp(ret, &pred, &clz_v, &w_v) ||
+        pred != ICmpPred::EQ)
+        return std::nullopt;
+    Value *x, *flag;
+    if (!ir::matchIntrinsic2(clz_v, Intrinsic::CtLz, &x, &flag) ||
+        !ir::isConstIntValue(flag, 0))
+        return std::nullopt;
+    unsigned width = x->type()->scalarType()->intWidth();
+    if (!ir::isConstIntValue(w_v, width))
+        return std::nullopt;
+
+    Rewriter rw(fn);
+    Value *xx = rw.take(x);
+    Value *result = rw.b().icmp(ICmpPred::EQ, xx,
+                                rw.ctx().getNullValue(xx->type()));
+    return rw.finish(result);
+}
+
+std::optional<std::string>
+rwCttzAnd(const ir::Function &fn)
+{
+    Value *ret = returnedValue(fn);
+    ICmpPred pred;
+    Value *ctz_v, *k_v;
+    if (!ret || !ir::matchICmp(ret, &pred, &ctz_v, &k_v) ||
+        (pred != ICmpPred::UGE && pred != ICmpPred::UGT))
+        return std::nullopt;
+    Value *x, *flag;
+    if (!ir::matchIntrinsic2(ctz_v, Intrinsic::CtTz, &x, &flag) ||
+        !ir::isConstIntValue(flag, 0))
+        return std::nullopt;
+    APInt k;
+    if (!ir::matchConstInt(k_v, &k))
+        return std::nullopt;
+    if (pred == ICmpPred::UGT)
+        k = k.add(APInt::one(k.width())); // ugt k-1 == uge k
+    if (k.isZero() || k.zext() >= k.width())
+        return std::nullopt;
+
+    Rewriter rw(fn);
+    Value *xx = rw.take(x);
+    APInt mask = APInt::one(k.width())
+                     .shl(static_cast<unsigned>(k.zext()))
+                     .sub(APInt::one(k.width()));
+    Value *and_v = rw.b().andOp(xx,
+                                typedConst(rw.ctx(), xx->type(), mask));
+    Value *result = rw.b().icmp(ICmpPred::EQ, and_v,
+                                rw.ctx().getNullValue(xx->type()));
+    return rw.finish(result);
+}
+
+std::optional<std::string>
+rwSatChain(const ir::Function &fn)
+{
+    Value *ret = returnedValue(fn);
+    Value *inner_v, *c2_v;
+    if (!ret ||
+        !ir::matchIntrinsic2(ret, Intrinsic::UAddSat, &inner_v, &c2_v))
+        return std::nullopt;
+    Value *x, *c1_v;
+    if (!ir::matchIntrinsic2(inner_v, Intrinsic::UAddSat, &x, &c1_v))
+        return std::nullopt;
+    APInt c1, c2;
+    if (!ir::matchConstInt(c1_v, &c1) || !ir::matchConstInt(c2_v, &c2))
+        return std::nullopt;
+    if (c1.addOverflowsUnsigned(c2))
+        return std::nullopt;
+
+    Rewriter rw(fn);
+    Value *xx = rw.take(x);
+    Value *result = rw.b().intrinsic(
+        Intrinsic::UAddSat,
+        {xx, typedConst(rw.ctx(), xx->type(), c1.add(c2))});
+    return rw.finish(result);
+}
+
+} // namespace
+
+const std::vector<RewriteRule> &
+rewriteLibrary()
+{
+    static const std::vector<RewriteRule> library = [] {
+        std::vector<RewriteRule> rules;
+        rules.push_back({"add_signbit", 0.30, rwAddSignbit});
+        rules.push_back({"trunc_and", 0.32, rwTruncAnd});
+        rules.push_back({"neg_sub", 0.35, rwNegSub});
+        rules.push_back({"umin_idem", 0.36, rwUMinIdem});
+        rules.push_back({"add_and_or", 0.38, rwAddAndOr});
+        rules.push_back({"icmp_lshr", 0.52, rwICmpLshr});
+        rules.push_back({"sdiv_exact", 0.54, rwSdivExact});
+        rules.push_back({"sub_add_cmp", 0.55, rwSubAddCmp});
+        rules.push_back({"umin_zext", 0.55, rwUMinZext});
+        rules.push_back({"and1_trunc", 0.57, rwAnd1Trunc});
+        rules.push_back({"mul_parity", 0.58, rwMulParity});
+        rules.push_back({"or_zext", 0.60, rwOrZext});
+        rules.push_back({"clamp_umin", 0.72, rwClampUMin});
+        rules.push_back({"umax_sub", 0.76, rwUMaxSub});
+        rules.push_back({"usub_sat", 0.78, rwUSubSat});
+        rules.push_back({"fcmp_ord_select", 0.80, rwFcmpOrdSelect});
+        rules.push_back({"smax_abs", 0.80, rwSMaxAbs});
+        rules.push_back({"umax_shl", 0.80, rwUMaxShl});
+        rules.push_back({"uadd_sat", 0.82, rwUAddSat});
+        rules.push_back({"load_merge", 0.88, rwLoadMerge});
+        rules.push_back({"fabs_olt", 0.90, rwFabsOlt});
+        // Beyond current models (paper Table 2's empty rows).
+        rules.push_back({"clz_cmp", 2.0, rwClzCmp});
+        rules.push_back({"cttz_and", 2.0, rwCttzAnd});
+        rules.push_back({"sat_chain", 2.0, rwSatChain});
+        return rules;
+    }();
+    return library;
+}
+
+} // namespace lpo::llm

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Rewrite library: "rule set B", the mock models' optimization
+ * knowledge.
+ *
+ * Each rule is a generalized pattern matcher + rewriter covering one
+ * family of missed optimizations (any width, scalar or vector,
+ * arbitrary constants satisfying the side conditions). The in-tree
+ * InstCombine ("rule set A") deliberately lacks these rules, so every
+ * match is a genuine missed optimization of this compiler — the same
+ * relationship the paper's 25 GitHub issues have to LLVM.
+ *
+ * The mock LLM applies its rule subset to the function under
+ * optimization and emits the rewrite as text; the capability profile
+ * decides which rules the model "sees" and whether the emission is
+ * corrupted (hallucination).
+ */
+#ifndef LPO_LLM_REWRITE_LIBRARY_H
+#define LPO_LLM_REWRITE_LIBRARY_H
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace lpo::llm {
+
+/** One optimization pattern in the library. */
+struct RewriteRule
+{
+    std::string family;   ///< matches corpus::MissedOptBenchmark::family
+    double difficulty;    ///< how hard the pattern is to spot [0,1]; 2.0
+                          ///< marks rules beyond current models
+    /**
+     * Try the rule on @p fn; on success return the rewritten function
+     * as IR text (same signature, function renamed to @p fn's name).
+     */
+    std::function<std::optional<std::string>(const ir::Function &)> apply;
+};
+
+/** The full library, ordered by increasing difficulty. */
+const std::vector<RewriteRule> &rewriteLibrary();
+
+/** The value returned by a single-exit function (nullptr for void). */
+ir::Value *returnedValue(const ir::Function &fn);
+
+} // namespace lpo::llm
+
+#endif // LPO_LLM_REWRITE_LIBRARY_H

@@ -1,0 +1,144 @@
+#include "mca/cost_model.h"
+
+#include <algorithm>
+#include <map>
+
+namespace lpo::mca {
+
+using ir::Instruction;
+using ir::Intrinsic;
+using ir::Opcode;
+
+CpuModel
+btver2()
+{
+    return CpuModel{"btver2", 2.0, 1.3};
+}
+
+double
+instructionLatency(const Instruction &inst, const CpuModel &cpu)
+{
+    double base;
+    switch (inst.op()) {
+      case Opcode::Add: case Opcode::Sub:
+      case Opcode::And: case Opcode::Or: case Opcode::Xor:
+        base = 1.0;
+        break;
+      case Opcode::Shl: case Opcode::LShr: case Opcode::AShr:
+        base = 1.0;
+        break;
+      case Opcode::Mul:
+        base = 3.0;
+        break;
+      case Opcode::UDiv: case Opcode::SDiv:
+      case Opcode::URem: case Opcode::SRem:
+        base = 25.0; // integer division is microcoded
+        break;
+      case Opcode::FAdd: case Opcode::FSub:
+        base = 3.0;
+        break;
+      case Opcode::FMul:
+        base = 5.0;
+        break;
+      case Opcode::FDiv:
+        base = 19.0;
+        break;
+      case Opcode::ICmp:
+        base = 1.0;
+        break;
+      case Opcode::FCmp:
+        base = 2.0;
+        break;
+      case Opcode::Select:
+        base = 1.0; // cmov
+        break;
+      case Opcode::Trunc:
+        base = 0.5; // usually free (register aliasing)
+        break;
+      case Opcode::ZExt: case Opcode::SExt:
+        base = 1.0;
+        break;
+      case Opcode::Freeze:
+        base = 0.0;
+        break;
+      case Opcode::Call:
+        switch (inst.intrinsic()) {
+          case Intrinsic::UMin: case Intrinsic::UMax:
+          case Intrinsic::SMin: case Intrinsic::SMax:
+            base = 1.0; // cmp+cmov or pmin/pmax
+            break;
+          case Intrinsic::Abs:
+            base = 1.0;
+            break;
+          case Intrinsic::CtPop:
+            base = 3.0;
+            break;
+          case Intrinsic::CtLz: case Intrinsic::CtTz:
+            base = 2.0;
+            break;
+          case Intrinsic::FAbs:
+            base = 1.0;
+            break;
+          default:
+            base = 2.0;
+            break;
+        }
+        break;
+      case Opcode::Load:
+        base = 4.0; // L1 hit
+        break;
+      case Opcode::Store:
+        base = 1.0;
+        break;
+      case Opcode::Gep:
+        base = 1.0; // folds into addressing most of the time
+        break;
+      case Opcode::Phi: case Opcode::Br: case Opcode::Ret:
+        base = 0.0;
+        break;
+      default:
+        base = 1.0;
+        break;
+    }
+    // SIMD ops on this narrow core pay a modest penalty but are far
+    // cheaper than lane-by-lane scalar execution.
+    if (inst.type()->isVector() ||
+        (inst.numOperands() > 0 && inst.operand(0)->type()->isVector()))
+        base *= cpu.vector_penalty;
+    return base;
+}
+
+CostSummary
+analyzeFunction(const ir::Function &fn, const CpuModel &cpu)
+{
+    CostSummary summary;
+    std::map<const ir::Value *, double> ready_at;
+    double total_latency = 0.0;
+    double max_path = 0.0;
+
+    for (const auto &bb : fn.blocks()) {
+        for (const auto &inst : bb->instructions()) {
+            if (inst->isTerminator())
+                continue;
+            ++summary.instruction_count;
+            double start = 0.0;
+            for (const ir::Value *operand : inst->operands()) {
+                auto it = ready_at.find(operand);
+                if (it != ready_at.end())
+                    start = std::max(start, it->second);
+            }
+            double latency = instructionLatency(*inst, cpu);
+            total_latency += latency;
+            double done = start + latency;
+            ready_at[inst.get()] = done;
+            max_path = std::max(max_path, done);
+        }
+    }
+    summary.critical_path = max_path;
+    summary.issue_bound = summary.instruction_count / cpu.issue_width;
+    summary.total_cycles = std::max(summary.critical_path,
+                                    summary.issue_bound);
+    return summary;
+}
+
+} // namespace lpo::mca

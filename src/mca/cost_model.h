@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Static performance model (the llvm-mca substitute).
+ *
+ * Estimates the cycle cost of a straight-line function on a
+ * btver2-like x86 core: each opcode has a latency and a reciprocal
+ * throughput drawn from published scheduling models; the estimate is
+ * the maximum of the dependence-chain critical path and the issue
+ * bandwidth bound. This provides the "total cycles" metric used by the
+ * interestingness checker (paper §3.3) alongside instruction count.
+ */
+#ifndef LPO_MCA_COST_MODEL_H
+#define LPO_MCA_COST_MODEL_H
+
+#include <string>
+
+#include "ir/function.h"
+
+namespace lpo::mca {
+
+/** A target CPU description. */
+struct CpuModel
+{
+    std::string name;
+    double issue_width = 2.0;     ///< instructions decoded per cycle
+    double vector_penalty = 1.3;  ///< per-lane-op slowdown factor
+};
+
+/** The default evaluation target (paper: x86-64 btver2). */
+CpuModel btver2();
+
+/** Per-instruction latency in cycles on @p cpu. */
+double instructionLatency(const ir::Instruction &inst, const CpuModel &cpu);
+
+/** Cost summary for a function. */
+struct CostSummary
+{
+    unsigned instruction_count = 0;
+    double total_cycles = 0.0;   ///< max(critical path, issue bound)
+    double critical_path = 0.0;
+    double issue_bound = 0.0;
+};
+
+/** Analyze a (straight-line) function. */
+CostSummary analyzeFunction(const ir::Function &fn,
+                            const CpuModel &cpu = btver2());
+
+} // namespace lpo::mca
+
+#endif // LPO_MCA_COST_MODEL_H

@@ -1,0 +1,68 @@
+#include "opt/const_fold.h"
+
+#include "interp/interp.h"
+
+namespace lpo::opt {
+
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+
+ir::Value *
+foldConstant(const Instruction *inst, ir::Context &context)
+{
+    switch (inst->op()) {
+      case Opcode::Load: case Opcode::Store: case Opcode::Gep:
+      case Opcode::Phi: case Opcode::Br: case Opcode::Ret:
+        return nullptr;
+      default:
+        break;
+    }
+    for (const Value *operand : inst->operands())
+        if (!operand->isConstant())
+            return nullptr;
+
+    // Evaluate by wrapping the instruction in a zero-argument function
+    // and running the interpreter; this keeps folding semantics
+    // identical to execution semantics by construction.
+    ir::Function probe(context, "const.fold", inst->type());
+    ir::BasicBlock *block = probe.addBlock("entry");
+    auto copy = std::make_unique<Instruction>(
+        inst->op(), inst->type(),
+        std::vector<Value *>(inst->operands()));
+    copy->flags() = inst->flags();
+    copy->setICmpPred(inst->icmpPred());
+    copy->setFCmpPred(inst->fcmpPred());
+    copy->setIntrinsic(inst->intrinsic());
+    copy->setAccessType(inst->accessType());
+    copy->setName("v");
+    Instruction *placed = block->append(std::move(copy));
+    auto ret = std::make_unique<Instruction>(
+        Opcode::Ret, context.types().voidTy(),
+        std::vector<Value *>{placed});
+    block->append(std::move(ret));
+
+    interp::ExecutionResult run = interp::execute(probe, {});
+    if (run.ub || !run.ret)
+        return nullptr; // do not fold immediate UB away
+
+    const ir::Type *type = inst->type();
+    const ir::Type *scalar = type->scalarType();
+    auto lane_constant = [&](const interp::LaneValue &lane) -> Value * {
+        if (lane.poison)
+            return context.getPoison(scalar);
+        if (lane.is_fp)
+            return context.getFP(lane.fp);
+        return context.getInt(scalar, lane.bits);
+    };
+
+    if (!type->isVector())
+        return lane_constant(run.ret->lanes[0]);
+
+    std::vector<const Value *> elems;
+    for (const interp::LaneValue &lane : run.ret->lanes)
+        elems.push_back(lane_constant(lane));
+    return context.getVector(type, std::move(elems));
+}
+
+} // namespace lpo::opt

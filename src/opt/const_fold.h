@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Constant folding for instructions whose operands are all constant.
+ */
+#ifndef LPO_OPT_CONST_FOLD_H
+#define LPO_OPT_CONST_FOLD_H
+
+#include "ir/function.h"
+
+namespace lpo::opt {
+
+/**
+ * Fold @p inst if every operand is constant.
+ *
+ * @returns the folded constant (possibly poison), or nullptr when the
+ * instruction cannot be folded (non-constant operands, memory ops, or
+ * folds that would hide immediate UB such as division by zero).
+ */
+ir::Value *foldConstant(const ir::Instruction *inst, ir::Context &context);
+
+} // namespace lpo::opt
+
+#endif // LPO_OPT_CONST_FOLD_H

@@ -1,0 +1,31 @@
+#include "opt/dce.h"
+
+namespace lpo::opt {
+
+unsigned
+removeDeadInstructions(ir::Function &fn)
+{
+    unsigned removed = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        auto uses = fn.computeUseCounts();
+        for (const auto &bb : fn.blocks()) {
+            for (size_t i = bb->size(); i > 0; --i) {
+                ir::Instruction *inst = bb->at(i - 1);
+                if (inst->hasSideEffects() || inst->type()->isVoid())
+                    continue;
+                if (uses[inst] == 0) {
+                    bb->erase(i - 1);
+                    ++removed;
+                    changed = true;
+                }
+            }
+            if (changed)
+                break; // recompute use counts
+        }
+    }
+    return removed;
+}
+
+} // namespace lpo::opt

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Dead code elimination.
+ */
+#ifndef LPO_OPT_DCE_H
+#define LPO_OPT_DCE_H
+
+#include "ir/function.h"
+
+namespace lpo::opt {
+
+/**
+ * Remove instructions whose results are unused and that have no side
+ * effects. Iterates to a fixpoint. @returns number of removals.
+ */
+unsigned removeDeadInstructions(ir::Function &fn);
+
+} // namespace lpo::opt
+
+#endif // LPO_OPT_DCE_H

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * InstCombine: the peephole optimization pass ("rule set A").
+ *
+ * A worklist-driven pattern rewriter modeled on LLVM's InstCombine.
+ * It canonicalizes (constants to the right-hand side, multiplies by
+ * powers of two to shifts, strict comparisons against adjacent
+ * constants to eq/ne, select-of-compare to min/max intrinsics) and
+ * simplifies (identities, absorbing elements, known-bits masks,
+ * cast/shift/min-max folds, constant folding).
+ *
+ * Deliberately absent are the "rule set B" patterns catalogued in
+ * corpus/benchmarks.cc: those are the missed optimizations the LPO
+ * pipeline is expected to discover, exactly as the 25 GitHub issues
+ * are missed by LLVM's InstCombine.
+ */
+#ifndef LPO_OPT_INSTCOMBINE_H
+#define LPO_OPT_INSTCOMBINE_H
+
+#include "ir/function.h"
+
+namespace lpo::opt {
+
+/** Counters reported by the pass (used by Table 5's cost model). */
+struct InstCombineStats
+{
+    unsigned iterations = 0;    ///< fixpoint sweeps executed
+    unsigned pattern_checks = 0; ///< rule match attempts (compile cost)
+    unsigned rewrites = 0;       ///< successful replacements
+};
+
+/**
+ * Run InstCombine on @p fn to a fixpoint.
+ * @returns true if the function changed.
+ */
+bool runInstCombine(ir::Function &fn, InstCombineStats *stats = nullptr);
+
+} // namespace lpo::opt
+
+#endif // LPO_OPT_INSTCOMBINE_H

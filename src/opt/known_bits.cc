@@ -1,0 +1,210 @@
+#include "opt/known_bits.h"
+
+#include "ir/pattern.h"
+
+namespace lpo::opt {
+
+using ir::Instruction;
+using ir::Intrinsic;
+using ir::Opcode;
+using ir::Value;
+
+namespace {
+
+KnownBits
+addKnownBits(const KnownBits &a, const KnownBits &b)
+{
+    // Bitwise carry propagation: a bit of the sum is known when both
+    // operand bits and the incoming carry are known.
+    unsigned width = a.width();
+    KnownBits out(width);
+    int carry = 0; // 0 = known 0, 1 = known 1, -1 = unknown
+    for (unsigned i = 0; i < width; ++i) {
+        uint64_t mask = uint64_t(1) << i;
+        bool az = a.zeros.zext() & mask;
+        bool ao = a.ones.zext() & mask;
+        bool bz = b.zeros.zext() & mask;
+        bool bo = b.ones.zext() & mask;
+        if ((az || ao) && (bz || bo) && carry != -1) {
+            int abit = ao ? 1 : 0;
+            int bbit = bo ? 1 : 0;
+            int sum = abit + bbit + carry;
+            if (sum & 1)
+                out.ones = out.ones.orOp(APInt(width, mask));
+            else
+                out.zeros = out.zeros.orOp(APInt(width, mask));
+            carry = sum >> 1;
+        } else {
+            // Carry may still be known zero: if both bits and carry
+            // are known zero-ish... conservatively unknown from here.
+            carry = -1;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+KnownBits
+computeKnownBits(const Value *v, unsigned depth)
+{
+    const ir::Type *type = v->type();
+    if (!type->isInt())
+        return KnownBits(1);
+    unsigned width = type->intWidth();
+    KnownBits out(width);
+
+    APInt c;
+    if (ir::matchConstInt(v, &c) && !type->isVector()) {
+        out.ones = c;
+        out.zeros = c.notOp();
+        return out;
+    }
+    if (v->kind() != Value::Kind::Instruction || depth == 0)
+        return out;
+
+    const auto *inst = static_cast<const Instruction *>(v);
+    auto known = [&](unsigned i) {
+        return computeKnownBits(inst->operand(i), depth - 1);
+    };
+
+    switch (inst->op()) {
+      case Opcode::And: {
+        KnownBits a = known(0), b = known(1);
+        out.ones = a.ones.andOp(b.ones);
+        out.zeros = a.zeros.orOp(b.zeros);
+        return out;
+      }
+      case Opcode::Or: {
+        KnownBits a = known(0), b = known(1);
+        out.ones = a.ones.orOp(b.ones);
+        out.zeros = a.zeros.andOp(b.zeros);
+        return out;
+      }
+      case Opcode::Xor: {
+        KnownBits a = known(0), b = known(1);
+        out.ones = a.ones.andOp(b.zeros).orOp(a.zeros.andOp(b.ones));
+        out.zeros = a.zeros.andOp(b.zeros).orOp(a.ones.andOp(b.ones));
+        return out;
+      }
+      case Opcode::Add:
+        return addKnownBits(known(0), known(1));
+      case Opcode::Shl: {
+        APInt amount;
+        if (ir::matchConstInt(inst->operand(1), &amount) &&
+            amount.zext() < width) {
+            KnownBits a = known(0);
+            unsigned s = static_cast<unsigned>(amount.zext());
+            out.ones = a.ones.shl(s);
+            // Shifted-in low bits are known zero.
+            out.zeros = a.zeros.shl(s);
+            if (s > 0)
+                out.zeros = out.zeros.orOp(
+                    APInt(width, (uint64_t(1) << s) - 1));
+            return out;
+        }
+        return out;
+      }
+      case Opcode::LShr: {
+        APInt amount;
+        if (ir::matchConstInt(inst->operand(1), &amount) &&
+            amount.zext() < width) {
+            KnownBits a = known(0);
+            unsigned s = static_cast<unsigned>(amount.zext());
+            out.ones = a.ones.lshr(s);
+            out.zeros = a.zeros.lshr(s);
+            // High s bits become zero.
+            if (s > 0)
+                out.zeros = out.zeros.orOp(
+                    APInt::allOnes(width).shl(width - s));
+            return out;
+        }
+        return out;
+      }
+      case Opcode::AShr: {
+        APInt amount;
+        if (ir::matchConstInt(inst->operand(1), &amount) &&
+            amount.zext() < width) {
+            KnownBits a = known(0);
+            unsigned s = static_cast<unsigned>(amount.zext());
+            out.ones = a.ones.ashr(s);
+            out.zeros = a.zeros.ashr(s);
+            return out;
+        }
+        return out;
+      }
+      case Opcode::ZExt: {
+        KnownBits a = computeKnownBits(inst->operand(0), depth - 1);
+        unsigned src_width = a.width();
+        out.ones = a.ones.zextTo(width);
+        out.zeros = a.zeros.zextTo(width).orOp(
+            APInt::allOnes(width).shl(src_width));
+        return out;
+      }
+      case Opcode::SExt: {
+        KnownBits a = computeKnownBits(inst->operand(0), depth - 1);
+        out.ones = a.ones.sextTo(width);
+        out.zeros = a.zeros.sextTo(width);
+        return out;
+      }
+      case Opcode::Trunc: {
+        KnownBits a = computeKnownBits(inst->operand(0), depth - 1);
+        out.ones = a.ones.truncTo(width);
+        out.zeros = a.zeros.truncTo(width);
+        return out;
+      }
+      case Opcode::URem: {
+        APInt divisor;
+        if (ir::matchConstInt(inst->operand(1), &divisor) &&
+            divisor.isPowerOf2()) {
+            // x % 2^k keeps only the low k bits.
+            out.zeros = APInt(width, ~(divisor.zext() - 1));
+            return out;
+        }
+        return out;
+      }
+      case Opcode::Select: {
+        KnownBits a = computeKnownBits(inst->operand(1), depth - 1);
+        KnownBits b = computeKnownBits(inst->operand(2), depth - 1);
+        out.ones = a.ones.andOp(b.ones);
+        out.zeros = a.zeros.andOp(b.zeros);
+        return out;
+      }
+      case Opcode::Call: {
+        switch (inst->intrinsic()) {
+          case Intrinsic::UMin: {
+            // Result <= min of operand umaxes: high zero bits union.
+            KnownBits a = known(0), b = known(1);
+            out.zeros = a.zeros.andOp(b.zeros);
+            // Leading zeros: result has at least as many as the
+            // operand with more known leading zeros... conservative:
+            unsigned lz = std::max(a.umax().countLeadingZeros(),
+                                   b.umax().countLeadingZeros());
+            if (lz > 0 && lz < width)
+                out.zeros = out.zeros.orOp(
+                    APInt::allOnes(width).shl(width - lz));
+            else if (lz >= width)
+                out.zeros = APInt::allOnes(width);
+            return out;
+          }
+          case Intrinsic::CtPop:
+          case Intrinsic::CtLz:
+          case Intrinsic::CtTz: {
+            // Result <= width: all bits above log2(width) are zero.
+            unsigned meaningful = 1;
+            while ((1u << meaningful) < width + 1)
+                ++meaningful;
+            if (meaningful < width)
+                out.zeros = APInt::allOnes(width).shl(meaningful);
+            return out;
+          }
+          default:
+            return out;
+        }
+      }
+      default:
+        return out;
+    }
+}
+
+} // namespace lpo::opt

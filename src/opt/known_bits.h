@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Known-bits dataflow analysis over scalar integer SSA values.
+ *
+ * Tracks, per bit, whether it is known zero or known one, following
+ * LLVM's computeKnownBits. InstCombine uses it for mask
+ * simplifications and for inferring comparison results.
+ */
+#ifndef LPO_OPT_KNOWN_BITS_H
+#define LPO_OPT_KNOWN_BITS_H
+
+#include "ir/function.h"
+
+namespace lpo::opt {
+
+/** Bit-level knowledge about a value. */
+struct KnownBits
+{
+    APInt zeros; ///< bits known to be 0
+    APInt ones;  ///< bits known to be 1
+
+    explicit KnownBits(unsigned width = 1)
+        : zeros(APInt::zero(width)), ones(APInt::zero(width))
+    {}
+
+    unsigned width() const { return zeros.width(); }
+    bool isConstant() const
+    {
+        return zeros.orOp(ones).isAllOnes();
+    }
+    const APInt &constant() const { return ones; }
+    /** True if this knowledge proves the value nonnegative (signed). */
+    bool nonNegative() const
+    {
+        return zeros.isSignBitSet();
+    }
+    bool negative() const { return ones.isSignBitSet(); }
+    /** Largest unsigned value consistent with the knowledge. */
+    APInt umax() const { return zeros.notOp(); }
+    /** Smallest unsigned value consistent with the knowledge. */
+    APInt umin() const { return ones; }
+};
+
+/**
+ * Compute known bits for @p v within @p fn.
+ *
+ * Only scalar integers produce information; everything else returns
+ * the no-knowledge element. @p depth bounds recursion.
+ */
+KnownBits computeKnownBits(const ir::Value *v, unsigned depth = 6);
+
+} // namespace lpo::opt
+
+#endif // LPO_OPT_KNOWN_BITS_H

@@ -1,0 +1,42 @@
+#include "opt/opt_driver.h"
+
+#include "ir/ir_verifier.h"
+#include "ir/parser.h"
+#include "opt/pass_manager.h"
+
+namespace lpo::opt {
+
+OptResult
+runOpt(ir::Context &context, const std::string &text)
+{
+    OptResult result;
+    auto parsed = ir::parseFunction(context, text);
+    if (!parsed) {
+        result.failed = true;
+        result.error_message = "error: " + parsed.error().toString();
+        return result;
+    }
+    result.function = parsed.take();
+    auto issues = ir::verifyFunction(*result.function);
+    if (!issues.empty()) {
+        result.failed = true;
+        result.error_message = "error: " + issues.front().message;
+        result.function.reset();
+        return result;
+    }
+    PassManager pipeline = PassManager::standardPipeline();
+    result.changed = pipeline.run(*result.function);
+    result.function->numberValues();
+    return result;
+}
+
+std::unique_ptr<ir::Function>
+optimizeFunction(const ir::Function &fn)
+{
+    std::unique_ptr<ir::Function> copy = fn.clone(fn.name());
+    PassManager::standardPipeline().run(*copy);
+    copy->numberValues();
+    return copy;
+}
+
+} // namespace lpo::opt

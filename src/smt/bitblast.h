@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Bit-blasting: bit-vector circuits Tseitin-encoded into SAT clauses.
+ *
+ * Together with SatSolver this forms the SMT(QF_BV) substrate the
+ * translation validator runs on. Words are vectors of literals, LSB
+ * first. Gate constructors fold constants so that circuits built over
+ * constant inputs produce no clauses at all.
+ */
+#ifndef LPO_SMT_BITBLAST_H
+#define LPO_SMT_BITBLAST_H
+
+#include <vector>
+
+#include "smt/sat.h"
+#include "support/apint.h"
+
+namespace lpo::smt {
+
+/** A circuit literal: +/-var, or the constant true/false sentinels. */
+using CLit = int;
+
+/** A bit-vector as little-endian circuit literals. */
+using BitVec = std::vector<CLit>;
+
+/** Builds circuits over a SatSolver. */
+class CircuitBuilder
+{
+  public:
+    static constexpr CLit kTrue = 1 << 30;
+    static constexpr CLit kFalse = -(1 << 30);
+
+    explicit CircuitBuilder(SatSolver &solver) : solver_(solver) {}
+
+    SatSolver &solver() { return solver_; }
+
+    /** A fresh unconstrained literal. */
+    CLit freshLit();
+    /** A fresh unconstrained bit-vector of @p width bits. */
+    BitVec freshBV(unsigned width);
+    /** The constant bit-vector for @p value. */
+    static BitVec constBV(const APInt &value);
+
+    static CLit notGate(CLit a) { return -a; }
+    CLit andGate(CLit a, CLit b);
+    CLit orGate(CLit a, CLit b);
+    CLit xorGate(CLit a, CLit b);
+    CLit iffGate(CLit a, CLit b) { return -xorGate(a, b); }
+    /** sel ? t : f. */
+    CLit muxGate(CLit sel, CLit t, CLit f);
+    CLit andMany(const std::vector<CLit> &lits);
+    CLit orMany(const std::vector<CLit> &lits);
+
+    /** Assert @p a at the top level. */
+    void require(CLit a);
+    /** Assert (guard -> a). */
+    void requireImplies(CLit guard, CLit a);
+
+    // Bit-vector logic.
+    BitVec bvAnd(const BitVec &a, const BitVec &b);
+    BitVec bvOr(const BitVec &a, const BitVec &b);
+    BitVec bvXor(const BitVec &a, const BitVec &b);
+    BitVec bvNot(const BitVec &a);
+    BitVec bvMux(CLit sel, const BitVec &t, const BitVec &f);
+
+    // Arithmetic.
+    /** Sum; if @p carry_out is non-null, receives the final carry. */
+    BitVec bvAdd(const BitVec &a, const BitVec &b,
+                 CLit *carry_out = nullptr);
+    BitVec bvSub(const BitVec &a, const BitVec &b,
+                 CLit *borrow_out = nullptr);
+    BitVec bvNeg(const BitVec &a);
+    /** Low @p a.size() bits of the product. */
+    BitVec bvMul(const BitVec &a, const BitVec &b);
+    /** Full 2N-bit product. */
+    BitVec bvMulFull(const BitVec &a, const BitVec &b);
+
+    /**
+     * Unsigned division/remainder via auxiliary variables.
+     *
+     * The defining constraints (x == q*y + r, r < y) are only asserted
+     * under @p guard; callers pass the "divisor is nonzero" condition,
+     * matching the IR's UB rules.
+     */
+    void bvUDivRem(const BitVec &x, const BitVec &y, CLit guard,
+                   BitVec *quotient, BitVec *remainder);
+    /** Signed division/remainder (C semantics, truncating). */
+    void bvSDivRem(const BitVec &x, const BitVec &y, CLit guard,
+                   BitVec *quotient, BitVec *remainder);
+
+    // Shifts (barrel shifter for variable amounts).
+    BitVec bvShl(const BitVec &a, const BitVec &amount);
+    BitVec bvLShr(const BitVec &a, const BitVec &amount);
+    BitVec bvAShr(const BitVec &a, const BitVec &amount);
+
+    // Predicates.
+    CLit bvEq(const BitVec &a, const BitVec &b);
+    CLit bvULt(const BitVec &a, const BitVec &b);
+    CLit bvULe(const BitVec &a, const BitVec &b);
+    CLit bvSLt(const BitVec &a, const BitVec &b);
+    CLit bvSLe(const BitVec &a, const BitVec &b);
+    /** True if any bit is set. */
+    CLit bvNonZero(const BitVec &a);
+
+    // Width changes.
+    static BitVec bvTrunc(const BitVec &a, unsigned width);
+    static BitVec bvZext(const BitVec &a, unsigned width);
+    static BitVec bvSext(const BitVec &a, unsigned width);
+
+    // Overflow predicates mirroring the APInt ones.
+    CLit addOverflowsU(const BitVec &a, const BitVec &b);
+    CLit addOverflowsS(const BitVec &a, const BitVec &b);
+    CLit subOverflowsU(const BitVec &a, const BitVec &b);
+    CLit subOverflowsS(const BitVec &a, const BitVec &b);
+    CLit mulOverflowsU(const BitVec &a, const BitVec &b);
+    CLit mulOverflowsS(const BitVec &a, const BitVec &b);
+
+    /** Read a literal from the model after Sat. */
+    bool modelLit(CLit a) const;
+    /** Read a bit-vector value from the model after Sat. */
+    APInt modelBV(const BitVec &a) const;
+
+  private:
+    SatSolver &solver_;
+};
+
+} // namespace lpo::smt
+
+#endif // LPO_SMT_BITBLAST_H

@@ -1,0 +1,312 @@
+#include "smt/sat.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lpo::smt {
+
+int
+SatSolver::newVar()
+{
+    ++num_vars_;
+    assigns_.push_back(Assign::Unassigned);
+    levels_.push_back(0);
+    reasons_.push_back(-1);
+    activities_.push_back(0.0);
+    polarity_.push_back(false);
+    watches_.resize((num_vars_ + 1) * 2);
+    return num_vars_;
+}
+
+void
+SatSolver::attachClause(int index)
+{
+    const Clause &clause = clauses_[index];
+    assert(clause.lits.size() >= 2);
+    watches_[litNeg(clause.lits[0])].push_back(index);
+    watches_[litNeg(clause.lits[1])].push_back(index);
+}
+
+bool
+SatSolver::addClause(std::vector<Lit> lits)
+{
+    if (unsat_)
+        return false;
+    assert(!lits.empty());
+    // Encode, dedup, and drop tautologies.
+    std::vector<int> enc;
+    enc.reserve(lits.size());
+    for (Lit lit : lits) {
+        assert(lit != 0 && std::abs(lit) <= num_vars_);
+        enc.push_back(encode(lit));
+    }
+    std::sort(enc.begin(), enc.end());
+    enc.erase(std::unique(enc.begin(), enc.end()), enc.end());
+    for (size_t i = 0; i + 1 < enc.size(); ++i)
+        if (litVar(enc[i]) == litVar(enc[i + 1]))
+            return true; // tautology: v OR !v
+    // Remove literals already false at level 0; satisfied => drop.
+    std::vector<int> pruned;
+    for (int e : enc) {
+        Assign value = valueOf(e);
+        if (value == Assign::True && levels_[litVar(e)] == 0)
+            return true;
+        if (value == Assign::False && levels_[litVar(e)] == 0)
+            continue;
+        pruned.push_back(e);
+    }
+    if (pruned.empty()) {
+        unsat_ = true;
+        return false;
+    }
+    if (pruned.size() == 1) {
+        if (!enqueue(pruned[0], -1)) {
+            unsat_ = true;
+            return false;
+        }
+        if (propagate() != -1) {
+            unsat_ = true;
+            return false;
+        }
+        return true;
+    }
+    clauses_.push_back(Clause{std::move(pruned), false, 0.0});
+    attachClause(static_cast<int>(clauses_.size()) - 1);
+    return true;
+}
+
+bool
+SatSolver::enqueue(int enc, int reason)
+{
+    Assign value = valueOf(enc);
+    if (value != Assign::Unassigned)
+        return value == Assign::True;
+    int var = litVar(enc);
+    assigns_[var] = (enc & 1) ? Assign::False : Assign::True;
+    levels_[var] = static_cast<int>(trail_limits_.size());
+    reasons_[var] = reason;
+    polarity_[var] = !(enc & 1);
+    trail_.push_back(enc);
+    return true;
+}
+
+int
+SatSolver::propagate()
+{
+    while (propagate_head_ < trail_.size()) {
+        int enc = trail_[propagate_head_++];
+        ++propagations_;
+        std::vector<int> &watch_list = watches_[enc];
+        size_t keep = 0;
+        for (size_t wi = 0; wi < watch_list.size(); ++wi) {
+            int ci = watch_list[wi];
+            Clause &clause = clauses_[ci];
+            // Normalize: watched literals are lits[0] and lits[1];
+            // the falsified one must be lits[1].
+            int falsified = litNeg(enc);
+            if (clause.lits[0] == falsified)
+                std::swap(clause.lits[0], clause.lits[1]);
+            if (valueOf(clause.lits[0]) == Assign::True) {
+                watch_list[keep++] = ci;
+                continue;
+            }
+            // Find a new watch.
+            bool moved = false;
+            for (size_t k = 2; k < clause.lits.size(); ++k) {
+                if (valueOf(clause.lits[k]) != Assign::False) {
+                    std::swap(clause.lits[1], clause.lits[k]);
+                    watches_[litNeg(clause.lits[1])].push_back(ci);
+                    moved = true;
+                    break;
+                }
+            }
+            if (moved)
+                continue;
+            // Unit or conflict.
+            watch_list[keep++] = ci;
+            if (!enqueue(clause.lits[0], ci)) {
+                // Conflict: keep remaining watches and report.
+                for (size_t rest = wi + 1; rest < watch_list.size(); ++rest)
+                    watch_list[keep++] = watch_list[rest];
+                watch_list.resize(keep);
+                propagate_head_ = trail_.size();
+                return ci;
+            }
+        }
+        watch_list.resize(keep);
+    }
+    return -1;
+}
+
+void
+SatSolver::bumpVar(int var)
+{
+    activities_[var] += var_inc_;
+    if (activities_[var] > 1e100) {
+        for (double &activity : activities_)
+            activity *= 1e-100;
+        var_inc_ *= 1e-100;
+    }
+}
+
+void
+SatSolver::decayActivities()
+{
+    var_inc_ /= 0.95;
+}
+
+int
+SatSolver::analyze(int conflict, std::vector<int> &learnt)
+{
+    // First-UIP conflict analysis.
+    learnt.clear();
+    learnt.push_back(0); // placeholder for the asserting literal
+    std::vector<bool> seen(num_vars_ + 1, false);
+    int counter = 0;
+    int enc = -1;
+    size_t trail_index = trail_.size();
+    int current_level = static_cast<int>(trail_limits_.size());
+
+    int reason_clause = conflict;
+    do {
+        assert(reason_clause != -1);
+        Clause &clause = clauses_[reason_clause];
+        size_t start = (enc == -1) ? 0 : 1;
+        for (size_t i = start; i < clause.lits.size(); ++i) {
+            int q = clause.lits[i];
+            if (enc != -1 && clause.lits[0] != litNeg(enc) && i == 0) {
+                // shouldn't happen; reason clause has asserting lit first
+            }
+            int var = litVar(q);
+            if (seen[var] || levels_[var] == 0)
+                continue;
+            seen[var] = true;
+            bumpVar(var);
+            if (levels_[var] >= current_level) {
+                ++counter;
+            } else {
+                learnt.push_back(q);
+            }
+        }
+        // Pick the next literal from the trail to resolve on.
+        do {
+            assert(trail_index > 0);
+            enc = trail_[--trail_index];
+        } while (!seen[litVar(enc)]);
+        seen[litVar(enc)] = false;
+        reason_clause = reasons_[litVar(enc)];
+        --counter;
+    } while (counter > 0);
+    learnt[0] = litNeg(enc);
+
+    // Compute the backtrack level (second-highest level in clause).
+    int bt_level = 0;
+    if (learnt.size() > 1) {
+        size_t max_i = 1;
+        for (size_t i = 2; i < learnt.size(); ++i)
+            if (levels_[litVar(learnt[i])] >
+                levels_[litVar(learnt[max_i])])
+                max_i = i;
+        std::swap(learnt[1], learnt[max_i]);
+        bt_level = levels_[litVar(learnt[1])];
+    }
+    return bt_level;
+}
+
+void
+SatSolver::backtrack(int level)
+{
+    if (static_cast<int>(trail_limits_.size()) <= level)
+        return;
+    size_t limit = trail_limits_[level];
+    for (size_t i = trail_.size(); i > limit; --i) {
+        int var = litVar(trail_[i - 1]);
+        assigns_[var] = Assign::Unassigned;
+        reasons_[var] = -1;
+    }
+    trail_.resize(limit);
+    trail_limits_.resize(level);
+    propagate_head_ = trail_.size();
+}
+
+int
+SatSolver::pickBranchVar()
+{
+    int best = -1;
+    double best_activity = -1.0;
+    for (int v = 1; v <= num_vars_; ++v) {
+        if (assigns_[v] == Assign::Unassigned &&
+            activities_[v] > best_activity) {
+            best = v;
+            best_activity = activities_[v];
+        }
+    }
+    return best;
+}
+
+SatResult
+SatSolver::solve(uint64_t conflict_budget)
+{
+    if (unsat_)
+        return SatResult::Unsat;
+    if (propagate() != -1) {
+        unsat_ = true;
+        return SatResult::Unsat;
+    }
+    uint64_t restart_limit = 100;
+    uint64_t conflicts_since_restart = 0;
+
+    for (;;) {
+        int conflict = propagate();
+        if (conflict != -1) {
+            ++conflicts_;
+            ++conflicts_since_restart;
+            if (trail_limits_.empty()) {
+                unsat_ = true;
+                return SatResult::Unsat;
+            }
+            if (conflict_budget && conflicts_ >= conflict_budget)
+                return SatResult::Unknown;
+            std::vector<int> learnt;
+            int bt_level = analyze(conflict, learnt);
+            backtrack(bt_level);
+            if (learnt.size() == 1) {
+                if (!enqueue(learnt[0], -1)) {
+                    unsat_ = true;
+                    return SatResult::Unsat;
+                }
+            } else {
+                clauses_.push_back(Clause{learnt, true, 0.0});
+                int ci = static_cast<int>(clauses_.size()) - 1;
+                attachClause(ci);
+                bool ok = enqueue(learnt[0], ci);
+                assert(ok && "learnt clause must be asserting");
+                (void)ok;
+            }
+            decayActivities();
+        } else {
+            if (conflicts_since_restart >= restart_limit) {
+                conflicts_since_restart = 0;
+                restart_limit = restart_limit * 3 / 2;
+                backtrack(0);
+                continue;
+            }
+            int var = pickBranchVar();
+            if (var == -1)
+                return SatResult::Sat;
+            ++decisions_;
+            trail_limits_.push_back(static_cast<int>(trail_.size()));
+            enqueue(var * 2 + (polarity_[var] ? 0 : 1), -1);
+        }
+    }
+}
+
+bool
+SatSolver::modelValue(int var) const
+{
+    assert(var >= 1 && var <= num_vars_);
+    return assigns_[var] == Assign::True;
+}
+
+} // namespace lpo::smt

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * A CDCL SAT solver.
+ *
+ * This is the decision engine under the translation validator (the
+ * system's Z3 substitute). It implements the standard conflict-driven
+ * clause-learning loop: two-watched-literal propagation, 1UIP conflict
+ * analysis with clause learning, activity-based (VSIDS-style) decision
+ * ordering, geometric restarts, and a conflict budget so callers can
+ * bound verification time (Alive2-style timeouts).
+ */
+#ifndef LPO_SMT_SAT_H
+#define LPO_SMT_SAT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lpo::smt {
+
+/**
+ * A literal: variable index (1-based) with sign.
+ *
+ * Encoded as var*2 + (negated ? 1 : 0) internally; the public API uses
+ * signed ints like DIMACS (+v / -v).
+ */
+using Lit = int;
+
+/** Solver outcome. */
+enum class SatResult { Sat, Unsat, Unknown };
+
+/** CDCL solver over clauses of DIMACS-style literals. */
+class SatSolver
+{
+  public:
+    SatSolver()
+    {
+        // Variables are 1-based; reserve the dummy slot 0.
+        assigns_.push_back(Assign::Unassigned);
+        levels_.push_back(0);
+        reasons_.push_back(-1);
+        activities_.push_back(0.0);
+        polarity_.push_back(false);
+    }
+
+    /** Allocate and return a fresh variable (1-based). */
+    int newVar();
+    int numVars() const { return num_vars_; }
+
+    /**
+     * Add a clause (non-empty literals over existing vars).
+     * Returns false if the formula is already trivially unsat.
+     */
+    bool addClause(std::vector<Lit> lits);
+    bool addUnit(Lit a) { return addClause({a}); }
+    bool addBinary(Lit a, Lit b) { return addClause({a, b}); }
+    bool addTernary(Lit a, Lit b, Lit c) { return addClause({a, b, c}); }
+
+    /**
+     * Solve the current formula.
+     * @param conflict_budget maximum conflicts before Unknown
+     *        (0 = unlimited).
+     */
+    SatResult solve(uint64_t conflict_budget = 0);
+
+    /** After Sat: the value assigned to @p var. */
+    bool modelValue(int var) const;
+
+    /** Statistics for the throughput benchmarks. */
+    uint64_t conflicts() const { return conflicts_; }
+    uint64_t decisions() const { return decisions_; }
+    uint64_t propagations() const { return propagations_; }
+
+  private:
+    // Internal literal encoding: v*2 (positive) / v*2+1 (negative).
+    static int encode(Lit lit)
+    {
+        int v = lit > 0 ? lit : -lit;
+        return v * 2 + (lit < 0 ? 1 : 0);
+    }
+    static int litVar(int enc) { return enc / 2; }
+    static int litNeg(int enc) { return enc ^ 1; }
+
+    struct Clause
+    {
+        std::vector<int> lits; // encoded
+        bool learnt = false;
+        double activity = 0.0;
+    };
+
+    enum class Assign : int8_t { Unassigned = -1, False = 0, True = 1 };
+
+    Assign valueOf(int enc) const
+    {
+        Assign a = assigns_[litVar(enc)];
+        if (a == Assign::Unassigned)
+            return a;
+        bool val = (a == Assign::True) != (enc & 1);
+        return val ? Assign::True : Assign::False;
+    }
+
+    bool enqueue(int enc, int reason);
+    int propagate(); // returns conflicting clause index or -1
+    int analyze(int conflict, std::vector<int> &learnt);
+    void backtrack(int level);
+    void bumpVar(int var);
+    void decayActivities();
+    int pickBranchVar();
+    void attachClause(int index);
+
+    int num_vars_ = 0;
+    std::vector<Clause> clauses_;
+    std::vector<std::vector<int>> watches_; // enc-lit -> clause indices
+    std::vector<Assign> assigns_;           // per var
+    std::vector<int> levels_;               // per var
+    std::vector<int> reasons_;              // per var, clause index or -1
+    std::vector<double> activities_;        // per var
+    std::vector<bool> polarity_;            // per var, phase saving
+    std::vector<int> trail_;                // encoded lits
+    std::vector<int> trail_limits_;
+    size_t propagate_head_ = 0;
+    double var_inc_ = 1.0;
+    bool unsat_ = false;
+
+    uint64_t conflicts_ = 0;
+    uint64_t decisions_ = 0;
+    uint64_t propagations_ = 0;
+};
+
+} // namespace lpo::smt
+
+#endif // LPO_SMT_SAT_H

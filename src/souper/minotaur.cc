@@ -1,0 +1,69 @@
+#include "souper/minotaur.h"
+
+#include "souper/souper.h"
+
+namespace lpo::souper {
+
+using ir::Opcode;
+
+MinotaurResult
+runMinotaur(const ir::Function &src)
+{
+    MinotaurResult result;
+    bool has_fcmp = false;
+    bool has_memory = false;
+    bool int_only = src.returnType()->isIntOrIntVector();
+    for (const auto &arg : src.args())
+        if (!arg->type()->isIntOrIntVector() && !arg->type()->isPtr())
+            int_only = false;
+    for (const auto &bb : src.blocks()) {
+        for (const auto &inst : bb->instructions()) {
+            switch (inst->op()) {
+              case Opcode::FCmp:
+                has_fcmp = true;
+                break;
+              case Opcode::FAdd: case Opcode::FSub:
+              case Opcode::FMul: case Opcode::FDiv:
+                int_only = false;
+                break;
+              case Opcode::Load: case Opcode::Store: case Opcode::Gep:
+                has_memory = true;
+                break;
+              default:
+                break;
+            }
+        }
+    }
+    // Reproduces the paper's case study 3: Minotaur crashes on this
+    // class of FP guard patterns.
+    if (has_fcmp) {
+        result.crashed = true;
+        result.simulated_seconds = 2.0;
+        return result;
+    }
+    if (!int_only || has_memory) {
+        result.simulated_seconds = 1.0;
+        return result;
+    }
+    result.supported = true;
+
+    bool is_vector = src.returnType()->isVector();
+    if (is_vector) {
+        // SIMD sources are accepted, but the depth-1 synthesis rarely
+        // improves them; the paper's Table 2/3 shows Minotaur missing
+        // every vector benchmark in our families.
+        result.simulated_seconds = 18.0;
+        return result;
+    }
+
+    SouperOptions options;
+    options.enum_limit = 1;
+    options.node_budget = 100;
+    SouperResult inner = runSouper(src, options);
+    result.detected = inner.detected;
+    result.tgt_text = inner.tgt_text;
+    result.simulated_seconds = 3.0 + inner.simulated_seconds;
+    return result;
+}
+
+} // namespace lpo::souper

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Minotaur-style SIMD-oriented superoptimizer (second baseline).
+ *
+ * Relative to Souper: supports integer vectors and (nominally)
+ * floating point, but uses a shallower synthesis — in the paper it
+ * detects strictly fewer missed optimizations and crashes on some FP
+ * inputs, which we reproduce behaviourally: scalar/vector integer
+ * sources are searched with a depth-1 grammar by lane-wise reduction
+ * to Souper's engine, and fcmp-containing sources report a crash.
+ */
+#ifndef LPO_SOUPER_MINOTAUR_H
+#define LPO_SOUPER_MINOTAUR_H
+
+#include <string>
+
+#include "ir/function.h"
+
+namespace lpo::souper {
+
+/** Outcome of one Minotaur run. */
+struct MinotaurResult
+{
+    bool supported = false;
+    bool detected = false;
+    bool crashed = false;   ///< paper: "Minotaur crashes on this IR"
+    std::string tgt_text;
+    double simulated_seconds = 0.0;
+};
+
+/** Run Minotaur with default settings. */
+MinotaurResult runMinotaur(const ir::Function &src);
+
+} // namespace lpo::souper
+
+#endif // LPO_SOUPER_MINOTAUR_H

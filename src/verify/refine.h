@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Refinement checking (the Alive2 substitute).
+ *
+ * Given a source/target function pair, decides whether target refines
+ * source: for every input on which the source is defined, the target
+ * must be defined and produce the same value; the target may only
+ * remove nondeterminism (poison), never add it.
+ *
+ * Two backends:
+ *  - "sat": sound bit-blasting over the pure integer fragment
+ *    (scalar + vector, no memory/FP), with counterexample extraction;
+ *  - "exhaustive"/"sampled": bounded concrete testing through the
+ *    interpreter for everything else (floating point, loads, geps),
+ *    mirroring Alive2's own boundedness.
+ *
+ * Incorrect results carry an Alive2-style counterexample string that
+ * the LPO loop feeds back to the LLM.
+ */
+#ifndef LPO_VERIFY_REFINE_H
+#define LPO_VERIFY_REFINE_H
+
+#include <optional>
+#include <string>
+
+#include "interp/interp.h"
+#include "ir/function.h"
+
+namespace lpo::verify {
+
+/** The verifier's verdict for a candidate transformation. */
+enum class Verdict {
+    Correct,      ///< target refines source (within backend bounds)
+    Incorrect,    ///< counterexample found
+    Unsupported,  ///< function outside every backend's fragment
+    BadSignature, ///< src/tgt signatures differ (fixable LLM mistake)
+    Timeout,      ///< solver budget exhausted
+};
+
+/** A concrete input violating refinement. */
+struct Counterexample
+{
+    interp::ExecutionInput input;
+    std::string source_value;
+    std::string target_value;
+};
+
+/** Full result of a refinement query. */
+struct RefinementResult
+{
+    Verdict verdict = Verdict::Unsupported;
+    std::string backend;        ///< "sat", "exhaustive", or "sampled"
+    std::string detail;         ///< human-readable explanation
+    std::optional<Counterexample> counterexample;
+
+    bool correct() const { return verdict == Verdict::Correct; }
+
+    /** Alive2-style feedback message for the LLM loop. */
+    std::string feedbackMessage(const ir::Function &src) const;
+};
+
+/** Tunables for the checker. */
+struct RefineOptions
+{
+    /** SAT conflict budget before reporting Timeout (0 = unlimited). */
+    uint64_t conflict_budget = 2'000'000;
+    /** Max total input bits for exhaustive concrete testing. */
+    unsigned exhaustive_bit_limit = 16;
+    /** Number of random inputs for the sampled backend. */
+    unsigned sample_count = 20'000;
+    /** Byte size of the object backing each pointer argument. */
+    unsigned memory_object_bytes = 64;
+    /** Seed for the sampled backend. */
+    uint64_t seed = 0xA11CE;
+};
+
+/** Check whether @p tgt refines @p src. */
+RefinementResult checkRefinement(const ir::Function &src,
+                                 const ir::Function &tgt,
+                                 const RefineOptions &options = {});
+
+} // namespace lpo::verify
+
+#endif // LPO_VERIFY_REFINE_H

@@ -1,0 +1,94 @@
+// Catalog invariants: every RQ1/RQ2 benchmark parses, its target
+// refines its source, and the target is strictly better under the
+// interestingness metrics. This is the ground-truth integrity suite
+// for Tables 2 and 3.
+
+#include <gtest/gtest.h>
+
+#include "core/interestingness.h"
+#include "corpus/benchmarks.h"
+#include "ir/parser.h"
+#include "verify/refine.h"
+
+using namespace lpo;
+using corpus::MissedOptBenchmark;
+
+namespace {
+
+class CatalogTest
+    : public testing::TestWithParam<const MissedOptBenchmark *>
+{
+};
+
+std::vector<const MissedOptBenchmark *>
+allBenchmarks()
+{
+    std::vector<const MissedOptBenchmark *> out;
+    for (const auto &b : corpus::rq1Benchmarks())
+        out.push_back(&b);
+    for (const auto &b : corpus::rq2Benchmarks())
+        out.push_back(&b);
+    return out;
+}
+
+} // namespace
+
+TEST(CatalogCounts, MatchThePaper)
+{
+    EXPECT_EQ(corpus::rq1Benchmarks().size(), 25u);
+    EXPECT_EQ(corpus::rq2Benchmarks().size(), 62u);
+    unsigned confirmed = 0, fixed = 0, dup = 0, wontfix = 0;
+    for (const auto &b : corpus::rq2Benchmarks()) {
+        confirmed += b.status == corpus::IssueStatus::Confirmed;
+        fixed += b.status == corpus::IssueStatus::Fixed;
+        dup += b.status == corpus::IssueStatus::Duplicate;
+        wontfix += b.status == corpus::IssueStatus::Wontfix;
+    }
+    // Paper: 28 confirmed, 13 fixed, 4 duplicates, 3 wontfix.
+    EXPECT_EQ(confirmed, 28u);
+    EXPECT_EQ(fixed, 13u);
+    EXPECT_EQ(dup, 4u);
+    EXPECT_EQ(wontfix, 3u);
+}
+
+TEST(CatalogCounts, LookupByIssueId)
+{
+    EXPECT_NE(corpus::findBenchmark("104875"), nullptr);
+    EXPECT_NE(corpus::findBenchmark("128134"), nullptr);
+    EXPECT_EQ(corpus::findBenchmark("999999"), nullptr);
+}
+
+TEST_P(CatalogTest, TargetRefinesSource)
+{
+    const MissedOptBenchmark *bench = GetParam();
+    ir::Context ctx;
+    auto src = ir::parseFunction(ctx, bench->src_text);
+    auto tgt = ir::parseFunction(ctx, bench->tgt_text);
+    ASSERT_TRUE(src.ok()) << src.error().toString();
+    ASSERT_TRUE(tgt.ok()) << tgt.error().toString();
+    verify::RefineOptions opts;
+    opts.sample_count = 4000;
+    auto verdict = verify::checkRefinement(**src, **tgt, opts);
+    EXPECT_EQ(verdict.verdict, verify::Verdict::Correct)
+        << bench->issue_id << " (" << verdict.backend
+        << "): " << verdict.detail;
+}
+
+TEST_P(CatalogTest, TargetIsInteresting)
+{
+    const MissedOptBenchmark *bench = GetParam();
+    ir::Context ctx;
+    auto src = ir::parseFunction(ctx, bench->src_text).take();
+    auto tgt = ir::parseFunction(ctx, bench->tgt_text).take();
+    auto gate = core::checkInteresting(*src, *tgt);
+    EXPECT_TRUE(gate.interesting) << bench->issue_id;
+    EXPECT_LE(gate.instruction_delta, 0) << bench->issue_id;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, CatalogTest, testing::ValuesIn(allBenchmarks()),
+    [](const testing::TestParamInfo<const MissedOptBenchmark *> &info) {
+        return "issue" + info.param->issue_id +
+               (info.param->status == corpus::IssueStatus::Reported
+                    ? "_rq1" : "_rq2");
+    });

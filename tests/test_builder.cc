@@ -1,0 +1,91 @@
+// Builder tests: constructed IR is valid and well-typed.
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/ir_verifier.h"
+
+using namespace lpo::ir;
+
+TEST(BuilderTest, ArithmeticChain)
+{
+    Context ctx;
+    Function fn(ctx, "f", ctx.types().intTy(32));
+    Argument *x = fn.addArg(ctx.types().intTy(32), "x");
+    Argument *y = fn.addArg(ctx.types().intTy(32), "y");
+    BasicBlock *bb = fn.addBlock("entry");
+    Builder b(fn, bb);
+    Value *sum = b.add(x, y);
+    Value *mask = b.andOp(sum, ctx.getInt(32, 0xff));
+    Value *shifted = b.shl(mask, ctx.getInt(32, 2));
+    b.ret(shifted);
+    fn.numberValues();
+    EXPECT_TRUE(isValid(fn));
+    EXPECT_EQ(fn.instructionCount(), 3u);
+}
+
+TEST(BuilderTest, ComparisonResultTypes)
+{
+    Context ctx;
+    Function fn(ctx, "f", ctx.types().boolTy());
+    const Type *vec = ctx.types().vectorTy(ctx.types().intTy(8), 4);
+    Argument *v = fn.addArg(vec, "v");
+    Argument *s = fn.addArg(ctx.types().intTy(8), "s");
+    BasicBlock *bb = fn.addBlock("entry");
+    Builder b(fn, bb);
+    Instruction *vc = b.icmp(ICmpPred::ULT, v, ctx.getNullValue(vec));
+    EXPECT_TRUE(vc->type()->isVector());
+    EXPECT_TRUE(vc->type()->scalarType()->isBool());
+    Instruction *sc = b.icmp(ICmpPred::EQ, s, ctx.getInt(8, 1));
+    EXPECT_TRUE(sc->type()->isBool());
+    b.ret(sc);
+    EXPECT_TRUE(isValid(fn));
+}
+
+TEST(BuilderTest, IntrinsicTypes)
+{
+    Context ctx;
+    Function fn(ctx, "f", ctx.types().intTy(16));
+    Argument *x = fn.addArg(ctx.types().intTy(16), "x");
+    BasicBlock *bb = fn.addBlock("entry");
+    Builder b(fn, bb);
+    Instruction *m = b.umax(x, ctx.getInt(16, 3));
+    EXPECT_EQ(m->intrinsic(), Intrinsic::UMax);
+    EXPECT_EQ(m->type(), x->type());
+    Instruction *abs = b.intrinsic(Intrinsic::Abs,
+                                   {m, ctx.getBool(false)});
+    b.ret(abs);
+    EXPECT_TRUE(isValid(fn));
+}
+
+TEST(BuilderTest, ControlFlow)
+{
+    Context ctx;
+    Function fn(ctx, "f", ctx.types().intTy(32));
+    Argument *n = fn.addArg(ctx.types().intTy(32), "n");
+    BasicBlock *entry = fn.addBlock("entry");
+    BasicBlock *then_bb = fn.addBlock("then");
+    BasicBlock *else_bb = fn.addBlock("else");
+    Builder be(fn, entry);
+    Value *c = be.icmp(ICmpPred::SGT, n, ctx.getInt(32, 0));
+    be.condBr(c, "then", "else");
+    Builder bt(fn, then_bb);
+    bt.ret(n);
+    Builder bx(fn, else_bb);
+    bx.ret(ctx.getInt(32, 0));
+    EXPECT_TRUE(isValid(fn));
+    EXPECT_EQ(fn.blocks().size(), 3u);
+}
+
+TEST(BuilderTest, FreshNamesAreUnique)
+{
+    Context ctx;
+    Function fn(ctx, "f", ctx.types().intTy(8));
+    Argument *x = fn.addArg(ctx.types().intTy(8), "x");
+    BasicBlock *bb = fn.addBlock("entry");
+    Builder b(fn, bb);
+    Value *a = b.add(x, x);
+    Value *c = b.add(a, x);
+    EXPECT_NE(a->name(), c->name());
+    b.ret(c);
+}

@@ -1,0 +1,101 @@
+// Constant folding tests.
+
+#include <gtest/gtest.h>
+
+#include "ir/parser.h"
+#include "llm/rewrite_library.h"
+#include "opt/const_fold.h"
+
+using namespace lpo;
+using ir::Value;
+
+namespace {
+
+Value *
+foldRet(ir::Context &ctx, const std::string &text)
+{
+    auto fn = ir::parseFunction(ctx, text).take();
+    Value *ret = llm::returnedValue(*fn);
+    if (ret->kind() != Value::Kind::Instruction)
+        return nullptr;
+    return opt::foldConstant(static_cast<ir::Instruction *>(ret), ctx);
+}
+
+} // namespace
+
+TEST(ConstFoldTest, Arithmetic)
+{
+    ir::Context ctx;
+    Value *v = foldRet(ctx,
+        "define i8 @f() {\n  %r = add i8 100, 100\n  ret i8 %r\n}\n");
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(static_cast<ir::ConstantInt *>(v)->value().zext(), 200u);
+}
+
+TEST(ConstFoldTest, PoisonProducingFold)
+{
+    ir::Context ctx;
+    Value *v = foldRet(ctx,
+        "define i8 @f() {\n  %r = add nuw i8 255, 1\n  ret i8 %r\n}\n");
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->kind(), Value::Kind::Poison);
+}
+
+TEST(ConstFoldTest, RefusesToFoldUB)
+{
+    ir::Context ctx;
+    // Division by zero is immediate UB and must never be folded away.
+    Value *v = foldRet(ctx,
+        "define i8 @f() {\n  %r = udiv i8 1, 0\n  ret i8 %r\n}\n");
+    EXPECT_EQ(v, nullptr);
+}
+
+TEST(ConstFoldTest, NonConstantOperandsRejected)
+{
+    ir::Context ctx;
+    Value *v = foldRet(ctx,
+        "define i8 @f(i8 %x) {\n  %r = add i8 %x, 1\n  ret i8 %r\n}\n");
+    EXPECT_EQ(v, nullptr);
+}
+
+TEST(ConstFoldTest, IntrinsicsAndComparisons)
+{
+    ir::Context ctx;
+    Value *m = foldRet(ctx,
+        "define i8 @f() {\n"
+        "  %r = call i8 @llvm.umin.i8(i8 9, i8 4)\n  ret i8 %r\n}\n");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(static_cast<ir::ConstantInt *>(m)->value().zext(), 4u);
+
+    Value *c = foldRet(ctx,
+        "define i1 @f() {\n  %r = icmp slt i8 -3, 2\n  ret i1 %r\n}\n");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(static_cast<ir::ConstantInt *>(c)->value().zext(), 1u);
+}
+
+TEST(ConstFoldTest, VectorFold)
+{
+    ir::Context ctx;
+    Value *v = foldRet(ctx,
+        "define <2 x i8> @f() {\n"
+        "  %r = add <2 x i8> <i8 1, i8 2>, splat (i8 10)\n"
+        "  ret <2 x i8> %r\n}\n");
+    ASSERT_NE(v, nullptr);
+    ASSERT_EQ(v->kind(), Value::Kind::ConstVector);
+    const auto *cv = static_cast<ir::ConstantVector *>(v);
+    EXPECT_EQ(static_cast<const ir::ConstantInt *>(cv->elements()[0])
+                  ->value().zext(), 11u);
+    EXPECT_EQ(static_cast<const ir::ConstantInt *>(cv->elements()[1])
+                  ->value().zext(), 12u);
+}
+
+TEST(ConstFoldTest, FloatFold)
+{
+    ir::Context ctx;
+    Value *v = foldRet(ctx,
+        "define double @f() {\n"
+        "  %r = fadd double 1.500000e+00, 2.500000e+00\n"
+        "  ret double %r\n}\n");
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(static_cast<ir::ConstantFP *>(v)->value(), 4.0);
+}

@@ -1,0 +1,99 @@
+// Corpus generator tests.
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "extract/extractor.h"
+#include "ir/ir_verifier.h"
+#include "ir/printer.h"
+
+using namespace lpo;
+using corpus::CorpusGenerator;
+using corpus::CorpusOptions;
+
+TEST(CorpusTest, FourteenPaperProjects)
+{
+    const auto &projects = corpus::paperProjects();
+    EXPECT_EQ(projects.size(), 14u);
+    bool has_linux = false, has_ripgrep = false;
+    for (const auto &p : projects) {
+        has_linux |= p.name == "linux";
+        has_ripgrep |= p.name == "ripgrep" && p.language == "Rust";
+    }
+    EXPECT_TRUE(has_linux);
+    EXPECT_TRUE(has_ripgrep);
+}
+
+TEST(CorpusTest, DeterministicFromSeed)
+{
+    ir::Context ctx;
+    CorpusOptions opts;
+    opts.files_per_project = 1;
+    CorpusGenerator g1(ctx, opts);
+    CorpusGenerator g2(ctx, opts);
+    auto m1 = g1.generateFile(corpus::paperProjects()[0], 0);
+    auto m2 = g2.generateFile(corpus::paperProjects()[0], 0);
+    EXPECT_EQ(ir::printModule(*m1), ir::printModule(*m2));
+}
+
+TEST(CorpusTest, GeneratedFunctionsAreValid)
+{
+    ir::Context ctx;
+    CorpusOptions opts;
+    opts.files_per_project = 2;
+    CorpusGenerator generator(ctx, opts);
+    unsigned functions = 0;
+    for (const auto &module : generator.generateAll()) {
+        for (const auto &fn : module->functions()) {
+            ++functions;
+            auto issues = ir::verifyFunction(*fn);
+            EXPECT_TRUE(issues.empty())
+                << fn->name() << ": "
+                << (issues.empty() ? "" : issues[0].message);
+        }
+    }
+    EXPECT_GT(functions, 100u);
+}
+
+TEST(CorpusTest, EmbeddingsAreRecorded)
+{
+    ir::Context ctx;
+    CorpusOptions opts;
+    opts.files_per_project = 4;
+    opts.pattern_density = 0.5;
+    CorpusGenerator generator(ctx, opts);
+    auto modules = generator.generateAll();
+    EXPECT_FALSE(generator.embeddings().empty());
+    // Every embedding names a function that exists in some module.
+    const auto &embed = generator.embeddings().front();
+    bool found = false;
+    for (const auto &module : modules)
+        found |= module->findFunction(embed.function_name) != nullptr;
+    EXPECT_TRUE(found);
+}
+
+TEST(CorpusTest, EmbeddedPatternsSurviveExtraction)
+{
+    // Patterns planted by the generator must come out of the
+    // extractor intact (they are opt-stable by catalog invariant).
+    ir::Context ctx;
+    CorpusOptions opts;
+    opts.files_per_project = 2;
+    opts.pattern_density = 1.0; // every function is a pattern
+    CorpusGenerator generator(ctx, opts);
+    extract::Extractor extractor;
+    auto module = generator.generateFile(corpus::paperProjects()[0], 0);
+    auto seqs = extractor.extractFromModule(*module);
+    EXPECT_GT(seqs.size(), 0u);
+}
+
+TEST(CorpusTest, LoopFunctionsPresent)
+{
+    ir::Context ctx;
+    CorpusGenerator generator(ctx, {});
+    auto module = generator.generateFile(corpus::paperProjects()[1], 0);
+    bool has_loop = false;
+    for (const auto &fn : module->functions())
+        has_loop |= fn->blocks().size() > 1;
+    EXPECT_TRUE(has_loop);
+}

@@ -1,0 +1,157 @@
+// Function / BasicBlock / Module API tests.
+
+#include <gtest/gtest.h>
+
+#include "ir/module.h"
+#include "ir/parser.h"
+#include "ir/pattern.h"
+#include "ir/printer.h"
+
+using namespace lpo::ir;
+
+namespace {
+
+std::unique_ptr<Function>
+parse(Context &ctx, const std::string &text)
+{
+    return parseFunction(ctx, text).take();
+}
+
+} // namespace
+
+TEST(FunctionTest, InstructionCountExcludesTerminators)
+{
+    Context ctx;
+    auto fn = parse(ctx,
+        "define i8 @f(i8 %x) {\n"
+        "  %a = add i8 %x, 1\n"
+        "  %b = mul i8 %a, 3\n"
+        "  ret i8 %b\n}\n");
+    EXPECT_EQ(fn->instructionCount(), 2u);
+}
+
+TEST(FunctionTest, UseCountsAndHasOneUse)
+{
+    Context ctx;
+    auto fn = parse(ctx,
+        "define i8 @f(i8 %x) {\n"
+        "  %a = add i8 %x, 1\n"
+        "  %b = mul i8 %a, %a\n"
+        "  ret i8 %b\n}\n");
+    const Instruction *a = fn->entry()->at(0);
+    const Instruction *b = fn->entry()->at(1);
+    auto counts = fn->computeUseCounts();
+    EXPECT_EQ(counts[a], 2u); // both mul operands
+    EXPECT_EQ(counts[b], 1u); // the ret
+    EXPECT_FALSE(fn->hasOneUse(a));
+    EXPECT_TRUE(fn->hasOneUse(b));
+}
+
+TEST(FunctionTest, ReplaceAllUses)
+{
+    Context ctx;
+    auto fn = parse(ctx,
+        "define i8 @f(i8 %x, i8 %y) {\n"
+        "  %a = add i8 %x, 1\n"
+        "  %b = mul i8 %a, %a\n"
+        "  ret i8 %b\n}\n");
+    Instruction *a = fn->entry()->at(0);
+    fn->replaceAllUses(a, fn->arg(1));
+    const Instruction *b = fn->entry()->at(1);
+    EXPECT_EQ(b->operand(0), fn->arg(1));
+    EXPECT_EQ(b->operand(1), fn->arg(1));
+}
+
+TEST(FunctionTest, CloneIsDeepAndEquivalent)
+{
+    Context ctx;
+    auto fn = parse(ctx,
+        "define i8 @f(i8 %x) {\n"
+        "  %a = add nuw i8 %x, 1\n"
+        "  %b = call i8 @llvm.umin.i8(i8 %a, i8 9)\n"
+        "  ret i8 %b\n}\n");
+    auto copy = fn->clone("g");
+    EXPECT_TRUE(structurallyEqual(*fn, *copy));
+    EXPECT_EQ(copy->name(), "g");
+    // Mutating the clone leaves the original alone.
+    copy->entry()->erase(size_t(0));
+    EXPECT_EQ(fn->instructionCount(), 2u);
+    EXPECT_EQ(copy->instructionCount(), 1u);
+}
+
+TEST(FunctionTest, CloneMapsPhiOperands)
+{
+    Context ctx;
+    auto module = parseModule(ctx,
+        "define i32 @f(i32 %n) {\n"
+        "entry:\n"
+        "  br label %loop\n"
+        "loop:\n"
+        "  %i = phi i32 [ 0, %entry ], [ %i2, %loop ]\n"
+        "  %i2 = add i32 %i, 1\n"
+        "  %c = icmp uge i32 %i2, %n\n"
+        "  br i1 %c, label %exit, label %loop\n"
+        "exit:\n"
+        "  ret i32 %i2\n}\n").take();
+    Function *fn = module->functions()[0].get();
+    auto copy = fn->clone("g");
+    EXPECT_TRUE(structurallyEqual(*fn, *copy));
+    // The cloned phi's back-edge operand points at the cloned add.
+    const Instruction *phi = copy->findBlock("loop")->at(0);
+    EXPECT_EQ(phi->operand(1), copy->findBlock("loop")->at(1));
+}
+
+TEST(BasicBlockTest, InsertEraseTerminator)
+{
+    Context ctx;
+    auto fn = parse(ctx,
+        "define i8 @f(i8 %x) {\n"
+        "  %a = add i8 %x, 1\n"
+        "  ret i8 %a\n}\n");
+    BasicBlock *bb = fn->entry();
+    EXPECT_NE(bb->terminator(), nullptr);
+    auto extra = std::make_unique<Instruction>(
+        Opcode::Xor, ctx.types().intTy(8),
+        std::vector<Value *>{fn->arg(0), fn->arg(0)});
+    extra->setName("z");
+    bb->insert(1, std::move(extra));
+    EXPECT_EQ(bb->size(), 3u);
+    EXPECT_EQ(bb->at(1)->name(), "z");
+    bb->erase(bb->at(1));
+    EXPECT_EQ(bb->size(), 2u);
+}
+
+TEST(ModuleTest, FindAndCount)
+{
+    Context ctx;
+    Module module(ctx, "m");
+    Function *f = module.createFunction("f", ctx.types().intTy(8));
+    f->addArg(ctx.types().intTy(8), "x");
+    BasicBlock *bb = f->addBlock("entry");
+    auto ret = std::make_unique<Instruction>(
+        Opcode::Ret, ctx.types().voidTy(),
+        std::vector<Value *>{f->arg(0)});
+    bb->append(std::move(ret));
+    EXPECT_EQ(module.findFunction("f"), f);
+    EXPECT_EQ(module.findFunction("g"), nullptr);
+    EXPECT_EQ(module.instructionCount(), 0u); // only the terminator
+}
+
+TEST(FunctionTest, NumberValuesIsLLVMStyle)
+{
+    Context ctx;
+    Function fn(ctx, "f", ctx.types().intTy(8));
+    fn.addArg(ctx.types().intTy(8), ""); // unnamed
+    BasicBlock *bb = fn.addBlock("entry");
+    auto inst = std::make_unique<Instruction>(
+        Opcode::Add, ctx.types().intTy(8),
+        std::vector<Value *>{fn.arg(0), ctx.getInt(8, 1)});
+    Instruction *placed = bb->append(std::move(inst));
+    auto ret = std::make_unique<Instruction>(
+        Opcode::Ret, ctx.types().voidTy(),
+        std::vector<Value *>{placed});
+    bb->append(std::move(ret));
+    fn.numberValues();
+    EXPECT_EQ(fn.arg(0)->name(), "0");
+    EXPECT_EQ(placed->name(), "1");
+}

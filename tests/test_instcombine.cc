@@ -1,0 +1,204 @@
+// InstCombine tests: individual rules, fixpoint behaviour, and the
+// key property that every rewrite preserves refinement.
+
+#include <gtest/gtest.h>
+
+#include "corpus/benchmarks.h"
+#include "ir/parser.h"
+#include "ir/pattern.h"
+#include "ir/printer.h"
+#include "opt/instcombine.h"
+#include "opt/opt_driver.h"
+#include "verify/refine.h"
+
+using namespace lpo;
+
+namespace {
+
+std::string
+optimize(const std::string &text)
+{
+    static ir::Context ctx;
+    auto fn = ir::parseFunction(ctx, text).take();
+    opt::runInstCombine(*fn);
+    fn->numberValues();
+    return ir::printFunction(*fn);
+}
+
+} // namespace
+
+TEST(InstCombineTest, Identities)
+{
+    EXPECT_NE(optimize("define i8 @f(i8 %x) {\n  %r = add i8 %x, 0\n"
+                       "  ret i8 %r\n}\n").find("ret i8 %x"),
+              std::string::npos);
+    EXPECT_NE(optimize("define i8 @f(i8 %x) {\n  %r = mul i8 %x, 0\n"
+                       "  ret i8 %r\n}\n").find("ret i8 0"),
+              std::string::npos);
+    EXPECT_NE(optimize("define i8 @f(i8 %x) {\n  %r = xor i8 %x, %x\n"
+                       "  ret i8 %r\n}\n").find("ret i8 0"),
+              std::string::npos);
+    EXPECT_NE(optimize("define i8 @f(i8 %x) {\n  %r = and i8 %x, -1\n"
+                       "  ret i8 %r\n}\n").find("ret i8 %x"),
+              std::string::npos);
+}
+
+TEST(InstCombineTest, Canonicalization)
+{
+    // Constant moves right on commutative ops.
+    EXPECT_NE(optimize("define i8 @f(i8 %x) {\n  %r = add i8 5, %x\n"
+                       "  ret i8 %r\n}\n").find("add i8 %x, 5"),
+              std::string::npos);
+    // sub x, C -> add x, -C.
+    EXPECT_NE(optimize("define i8 @f(i8 %x) {\n  %r = sub i8 %x, 5\n"
+                       "  ret i8 %r\n}\n").find("add i8 %x, -5"),
+              std::string::npos);
+    // mul x, 8 -> shl x, 3.
+    EXPECT_NE(optimize("define i8 @f(i8 %x) {\n  %r = mul i8 %x, 8\n"
+                       "  ret i8 %r\n}\n").find("shl i8 %x, 3"),
+              std::string::npos);
+    // icmp with constant LHS swaps.
+    EXPECT_NE(optimize("define i1 @f(i8 %x) {\n"
+                       "  %r = icmp slt i8 3, %x\n  ret i1 %r\n}\n")
+                  .find("icmp sgt i8 %x, 3"),
+              std::string::npos);
+}
+
+TEST(InstCombineTest, DivisionRules)
+{
+    EXPECT_NE(optimize("define i8 @f(i8 %x) {\n  %r = udiv i8 %x, 4\n"
+                       "  ret i8 %r\n}\n").find("lshr i8 %x, 2"),
+              std::string::npos);
+    EXPECT_NE(optimize("define i8 @f(i8 %x) {\n  %r = urem i8 %x, 8\n"
+                       "  ret i8 %r\n}\n").find("and i8 %x, 7"),
+              std::string::npos);
+    EXPECT_NE(optimize("define i8 @f(i8 %x) {\n  %r = udiv i8 %x, %x\n"
+                       "  ret i8 %r\n}\n").find("ret i8 1"),
+              std::string::npos);
+}
+
+TEST(InstCombineTest, SelectToMinMax)
+{
+    std::string out = optimize(
+        "define i8 @f(i8 %x, i8 %y) {\n"
+        "  %c = icmp ult i8 %x, %y\n"
+        "  %r = select i1 %c, i8 %x, i8 %y\n"
+        "  ret i8 %r\n}\n");
+    EXPECT_NE(out.find("llvm.umin"), std::string::npos);
+
+    out = optimize(
+        "define i8 @f(i8 %x, i8 %y) {\n"
+        "  %c = icmp sgt i8 %x, %y\n"
+        "  %r = select i1 %c, i8 %y, i8 %x\n"
+        "  ret i8 %r\n}\n");
+    EXPECT_NE(out.find("llvm.smin"), std::string::npos);
+}
+
+TEST(InstCombineTest, KnownBitsComparisons)
+{
+    std::string out = optimize(
+        "define i1 @f(i8 %x) {\n"
+        "  %a = and i8 %x, 15\n"
+        "  %r = icmp ult i8 %a, 16\n"
+        "  ret i1 %r\n}\n");
+    EXPECT_NE(out.find("ret i1 true"), std::string::npos);
+}
+
+TEST(InstCombineTest, MinMaxFolds)
+{
+    EXPECT_NE(optimize("define i8 @f(i8 %x) {\n"
+                       "  %r = call i8 @llvm.umin.i8(i8 %x, i8 0)\n"
+                       "  ret i8 %r\n}\n").find("ret i8 0"),
+              std::string::npos);
+    std::string nested = optimize(
+        "define i8 @f(i8 %x) {\n"
+        "  %a = call i8 @llvm.umin.i8(i8 %x, i8 9)\n"
+        "  %r = call i8 @llvm.umin.i8(i8 %a, i8 5)\n"
+        "  ret i8 %r\n}\n");
+    EXPECT_NE(nested.find("i8 5)"), std::string::npos);
+    EXPECT_EQ(nested.find("i8 9"), std::string::npos);
+}
+
+TEST(InstCombineTest, CastFolds)
+{
+    std::string out = optimize(
+        "define i8 @f(i8 %x) {\n"
+        "  %z = zext i8 %x to i32\n"
+        "  %t = trunc i32 %z to i8\n"
+        "  ret i8 %t\n}\n");
+    EXPECT_NE(out.find("ret i8 %x"), std::string::npos);
+
+    out = optimize(
+        "define i32 @f(i8 %x) {\n"
+        "  %a = zext i8 %x to i16\n"
+        "  %b = zext i16 %a to i32\n"
+        "  ret i32 %b\n}\n");
+    EXPECT_NE(out.find("zext i8 %x to i32"), std::string::npos);
+}
+
+TEST(InstCombineTest, ReportsStats)
+{
+    ir::Context ctx;
+    auto fn = ir::parseFunction(ctx,
+        "define i8 @f(i8 %x) {\n"
+        "  %a = add i8 %x, 0\n"
+        "  %b = mul i8 %a, 1\n"
+        "  ret i8 %b\n}\n").take();
+    opt::InstCombineStats stats;
+    EXPECT_TRUE(opt::runInstCombine(*fn, &stats));
+    EXPECT_GT(stats.rewrites, 0u);
+    EXPECT_GT(stats.pattern_checks, 0u);
+    EXPECT_GE(stats.iterations, 2u);
+}
+
+// Property: InstCombine must be semantics-preserving on every RQ1/RQ2
+// benchmark source and target (rewrites are refinements).
+class InstCombineSoundness
+    : public testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(InstCombineSoundness, RewritesAreRefinements)
+{
+    ir::Context ctx;
+    auto fn = ir::parseFunction(ctx, GetParam()).take();
+    auto optimized = opt::optimizeFunction(*fn);
+    auto verdict = verify::checkRefinement(*fn, *optimized);
+    EXPECT_EQ(verdict.verdict, verify::Verdict::Correct)
+        << "InstCombine broke:\n" << GetParam() << "->\n"
+        << ir::printFunction(*optimized) << verdict.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Snippets, InstCombineSoundness,
+testing::Values(
+    "define i8 @f(i8 %x) {\n  %a = add i8 %x, 0\n  %b = sub i8 %a, 3\n"
+    "  %c = mul i8 %b, 4\n  ret i8 %c\n}\n",
+    "define i8 @f(i8 %x, i8 %y) {\n  %a = xor i8 %x, -1\n"
+    "  %b = and i8 %x, %a\n  %c = or i8 %b, %y\n  ret i8 %c\n}\n",
+    "define i1 @f(i8 %x) {\n  %a = and i8 %x, 7\n"
+    "  %r = icmp eq i8 %a, 9\n  ret i1 %r\n}\n",
+    "define i8 @f(i8 %x, i8 %y) {\n  %c = icmp sle i8 %x, %y\n"
+    "  %r = select i1 %c, i8 %x, i8 %y\n  ret i8 %r\n}\n",
+    "define i16 @f(i8 %x) {\n  %a = and i8 %x, 127\n"
+    "  %s = sext i8 %a to i16\n  ret i16 %s\n}\n",
+    "define i8 @f(i8 %x) {\n  %a = shl i8 %x, 2\n"
+    "  %b = lshr i8 %a, 2\n  ret i8 %b\n}\n"));
+
+// Property: InstCombine leaves every catalog src alone (they are
+// genuinely missed by rule set A) but does not undo catalog tgts into
+// something worse.
+TEST(InstCombineMissedness, CatalogSourcesAreStable)
+{
+    ir::Context ctx;
+    auto check = [&](const corpus::MissedOptBenchmark &bench) {
+        auto src = ir::parseFunction(ctx, bench.src_text).take();
+        auto optimized = opt::optimizeFunction(*src);
+        EXPECT_TRUE(ir::structurallyEqual(*src, *optimized))
+            << bench.issue_id << " is not missed by InstCombine:\n"
+            << ir::printFunction(*optimized);
+    };
+    for (const auto &bench : corpus::rq1Benchmarks())
+        check(bench);
+    for (const auto &bench : corpus::rq2Benchmarks())
+        check(bench);
+}

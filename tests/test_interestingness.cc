@@ -1,0 +1,80 @@
+// Interestingness checker tests (paper §3.3).
+
+#include <gtest/gtest.h>
+
+#include "core/interestingness.h"
+#include "ir/parser.h"
+
+using namespace lpo;
+using core::checkInteresting;
+
+namespace {
+
+core::Interestingness
+gate(const std::string &src, const std::string &tgt)
+{
+    static ir::Context ctx;
+    auto s = ir::parseFunction(ctx, src).take();
+    auto t = ir::parseFunction(ctx, tgt).take();
+    return checkInteresting(*s, *t);
+}
+
+} // namespace
+
+TEST(InterestingnessTest, FewerInstructionsWins)
+{
+    auto g = gate(
+        "define i8 @f(i8 %x) {\n  %a = add i8 %x, 1\n"
+        "  %b = add i8 %a, 1\n  ret i8 %b\n}\n",
+        "define i8 @f(i8 %x) {\n  %a = add i8 %x, 2\n"
+        "  ret i8 %a\n}\n");
+    EXPECT_TRUE(g.interesting);
+    EXPECT_EQ(g.instruction_delta, -1);
+    EXPECT_EQ(g.reason, "fewer instructions");
+}
+
+TEST(InterestingnessTest, IdenticalIsBoring)
+{
+    const char *text =
+        "define i8 @f(i8 %x) {\n  %a = add i8 %x, 1\n"
+        "  ret i8 %a\n}\n";
+    auto g = gate(text, text);
+    EXPECT_FALSE(g.interesting);
+}
+
+TEST(InterestingnessTest, MoreInstructionsIsBoring)
+{
+    auto g = gate(
+        "define i8 @f(i8 %x) {\n  %a = add i8 %x, 2\n"
+        "  ret i8 %a\n}\n",
+        "define i8 @f(i8 %x) {\n  %a = add i8 %x, 1\n"
+        "  %b = add i8 %a, 1\n  ret i8 %b\n}\n");
+    EXPECT_FALSE(g.interesting);
+    EXPECT_GT(g.instruction_delta, 0);
+}
+
+TEST(InterestingnessTest, EqualCountFewerCycles)
+{
+    // Same instruction count; division vs shift — cycles decide.
+    auto g = gate(
+        "define i8 @f(i8 %x, i8 %y) {\n  %a = sdiv i8 %x, %y\n"
+        "  ret i8 %a\n}\n",
+        "define i8 @f(i8 %x, i8 %y) {\n  %a = ashr i8 %x, 2\n"
+        "  ret i8 %a\n}\n");
+    EXPECT_TRUE(g.interesting);
+    EXPECT_EQ(g.reason, "fewer estimated cycles");
+    EXPECT_LT(g.cycle_delta, 0.0);
+}
+
+TEST(InterestingnessTest, EqualCostDifferentShapeStaysInteresting)
+{
+    // add x, -128 vs xor x, -128: same count, same cycles, different
+    // syntax — may enable further optimization (paper §3.3).
+    auto g = gate(
+        "define i8 @f(i8 %x) {\n  %a = add i8 %x, -128\n"
+        "  ret i8 %a\n}\n",
+        "define i8 @f(i8 %x) {\n  %a = xor i8 %x, -128\n"
+        "  ret i8 %a\n}\n");
+    EXPECT_TRUE(g.interesting);
+    EXPECT_EQ(g.reason, "syntactically different at equal cost");
+}

@@ -1,0 +1,275 @@
+// Interpreter tests: poison and immediate-UB semantics, vectors,
+// memory, intrinsics, control flow.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "interp/interp.h"
+#include "ir/parser.h"
+
+using namespace lpo;
+using namespace lpo::interp;
+
+namespace {
+
+struct Runner
+{
+    ir::Context ctx;
+    std::unique_ptr<ir::Function> fn;
+
+    explicit Runner(const std::string &text)
+    {
+        auto parsed = ir::parseFunction(ctx, text);
+        EXPECT_TRUE(parsed.ok())
+            << (parsed.ok() ? "" : parsed.error().toString());
+        if (parsed.ok())
+            fn = parsed.take();
+    }
+
+    ExecutionResult
+    run(std::vector<uint64_t> args)
+    {
+        ExecutionInput input;
+        for (unsigned i = 0; i < fn->numArgs(); ++i) {
+            unsigned w = fn->arg(i)->type()->intWidth();
+            input.args.push_back(RtValue::scalarInt(APInt(w, args[i])));
+        }
+        return execute(*fn, input);
+    }
+};
+
+} // namespace
+
+TEST(InterpTest, BasicArithmetic)
+{
+    Runner r("define i8 @f(i8 %x, i8 %y) {\n"
+             "  %a = add i8 %x, %y\n"
+             "  %m = mul i8 %a, 3\n"
+             "  ret i8 %m\n}\n");
+    auto out = r.run({10, 20});
+    ASSERT_FALSE(out.ub);
+    EXPECT_EQ(out.ret->scalar().bits.zext(), (30 * 3) % 256u);
+}
+
+TEST(InterpTest, NswOverflowIsPoison)
+{
+    Runner r("define i8 @f(i8 %x) {\n"
+             "  %a = add nsw i8 %x, 1\n"
+             "  ret i8 %a\n}\n");
+    EXPECT_FALSE(r.run({10}).ret->scalar().poison);
+    EXPECT_TRUE(r.run({127}).ret->scalar().poison); // 127+1 overflows
+}
+
+TEST(InterpTest, DivisionByZeroIsUB)
+{
+    Runner r("define i8 @f(i8 %x, i8 %y) {\n"
+             "  %d = udiv i8 %x, %y\n"
+             "  ret i8 %d\n}\n");
+    EXPECT_FALSE(r.run({10, 2}).ub);
+    auto out = r.run({10, 0});
+    EXPECT_TRUE(out.ub);
+    EXPECT_NE(out.ub_reason.find("zero"), std::string::npos);
+}
+
+TEST(InterpTest, SignedDivOverflowIsUB)
+{
+    Runner r("define i8 @f(i8 %x, i8 %y) {\n"
+             "  %d = sdiv i8 %x, %y\n"
+             "  ret i8 %d\n}\n");
+    EXPECT_TRUE(r.run({0x80, 0xff}).ub); // INT_MIN / -1
+    EXPECT_FALSE(r.run({0x80, 1}).ub);
+}
+
+TEST(InterpTest, OversizeShiftIsPoison)
+{
+    Runner r("define i8 @f(i8 %x, i8 %s) {\n"
+             "  %v = shl i8 %x, %s\n"
+             "  ret i8 %v\n}\n");
+    EXPECT_FALSE(r.run({1, 7}).ret->scalar().poison);
+    EXPECT_TRUE(r.run({1, 8}).ret->scalar().poison);
+}
+
+TEST(InterpTest, DisjointOrViolationIsPoison)
+{
+    Runner r("define i8 @f(i8 %x) {\n"
+             "  %v = or disjoint i8 %x, 1\n"
+             "  ret i8 %v\n}\n");
+    EXPECT_FALSE(r.run({2}).ret->scalar().poison);
+    EXPECT_TRUE(r.run({3}).ret->scalar().poison); // low bit overlaps
+}
+
+TEST(InterpTest, TruncNuwAndZextNneg)
+{
+    Runner r1("define i8 @f(i16 %x) {\n"
+              "  %t = trunc nuw i16 %x to i8\n"
+              "  ret i8 %t\n}\n");
+    EXPECT_FALSE(r1.run({255}).ret->scalar().poison);
+    EXPECT_TRUE(r1.run({256}).ret->scalar().poison);
+
+    Runner r2("define i16 @f(i8 %x) {\n"
+              "  %z = zext nneg i8 %x to i16\n"
+              "  ret i16 %z\n}\n");
+    EXPECT_FALSE(r2.run({127}).ret->scalar().poison);
+    EXPECT_TRUE(r2.run({128}).ret->scalar().poison);
+}
+
+TEST(InterpTest, SelectBlocksPoisonPropagation)
+{
+    // Poison in the *unchosen* arm must not leak through.
+    Runner r("define i8 @f(i8 %x, i1 %c) {\n"
+             "  %p = add nsw i8 %x, 1\n"
+             "  %s = select i1 %c, i8 %p, i8 0\n"
+             "  ret i8 %s\n}\n");
+    auto chosen = r.run({127, 1});
+    EXPECT_TRUE(chosen.ret->scalar().poison);
+    auto unchosen = r.run({127, 0});
+    EXPECT_FALSE(unchosen.ret->scalar().poison);
+    EXPECT_EQ(unchosen.ret->scalar().bits.zext(), 0u);
+}
+
+TEST(InterpTest, VectorLanewisePoison)
+{
+    Runner r("define <2 x i8> @f(<2 x i8> %x) {\n"
+             "  %a = add nuw <2 x i8> %x, splat (i8 1)\n"
+             "  ret <2 x i8> %a\n}\n");
+    ExecutionInput input;
+    RtValue v;
+    v.lanes.push_back(LaneValue::ofInt(APInt(8, 255))); // overflows
+    v.lanes.push_back(LaneValue::ofInt(APInt(8, 10)));
+    input.args.push_back(v);
+    auto out = execute(*r.fn, input);
+    ASSERT_FALSE(out.ub);
+    EXPECT_TRUE(out.ret->lanes[0].poison);
+    EXPECT_FALSE(out.ret->lanes[1].poison);
+    EXPECT_EQ(out.ret->lanes[1].bits.zext(), 11u);
+}
+
+TEST(InterpTest, IntrinsicSemantics)
+{
+    Runner r("define i8 @f(i8 %x, i8 %y) {\n"
+             "  %a = call i8 @llvm.umin.i8(i8 %x, i8 %y)\n"
+             "  %b = call i8 @llvm.smax.i8(i8 %a, i8 %y)\n"
+             "  %c = call i8 @llvm.ctpop.i8(i8 %b)\n"
+             "  ret i8 %c\n}\n");
+    // x=200,y=7: umin=7, smax(7,7)=7, ctpop(7)=3.
+    EXPECT_EQ(r.run({200, 7}).ret->scalar().bits.zext(), 3u);
+}
+
+TEST(InterpTest, AbsIntMinPoisonFlag)
+{
+    Runner flag_true(
+        "define i8 @f(i8 %x) {\n"
+        "  %a = call i8 @llvm.abs.i8(i8 %x, i1 true)\n"
+        "  ret i8 %a\n}\n");
+    EXPECT_TRUE(flag_true.run({0x80}).ret->scalar().poison);
+    Runner flag_false(
+        "define i8 @f(i8 %x) {\n"
+        "  %a = call i8 @llvm.abs.i8(i8 %x, i1 false)\n"
+        "  ret i8 %a\n}\n");
+    EXPECT_EQ(flag_false.run({0x80}).ret->scalar().bits.zext(), 0x80u);
+    EXPECT_EQ(flag_false.run({0xff}).ret->scalar().bits.zext(), 1u);
+}
+
+TEST(InterpTest, SaturatingIntrinsics)
+{
+    Runner r("define i8 @f(i8 %x, i8 %y) {\n"
+             "  %a = call i8 @llvm.uadd.sat.i8(i8 %x, i8 %y)\n"
+             "  ret i8 %a\n}\n");
+    EXPECT_EQ(r.run({250, 10}).ret->scalar().bits.zext(), 255u);
+    EXPECT_EQ(r.run({5, 10}).ret->scalar().bits.zext(), 15u);
+
+    Runner s("define i8 @f(i8 %x, i8 %y) {\n"
+             "  %a = call i8 @llvm.usub.sat.i8(i8 %x, i8 %y)\n"
+             "  ret i8 %a\n}\n");
+    EXPECT_EQ(s.run({5, 10}).ret->scalar().bits.zext(), 0u);
+    EXPECT_EQ(s.run({10, 5}).ret->scalar().bits.zext(), 5u);
+}
+
+TEST(InterpTest, MemoryLoadsAndBounds)
+{
+    Runner r("define i16 @f(ptr %p) {\n"
+             "  %g = getelementptr i8, ptr %p, i64 2\n"
+             "  %v = load i16, ptr %g, align 1\n"
+             "  ret i16 %v\n}\n");
+    ExecutionInput input;
+    MemoryObject object;
+    object.bytes = {1, 2, 0x34, 0x12};
+    input.memory.push_back(object);
+    input.args.push_back(RtValue{{LaneValue::ofPtr(0, 0)}});
+    auto ok = execute(*r.fn, input);
+    ASSERT_FALSE(ok.ub);
+    EXPECT_EQ(ok.ret->scalar().bits.zext(), 0x1234u); // little-endian
+
+    // Out-of-bounds: only 3 bytes -> i16 at offset 2 overruns.
+    input.memory[0].bytes = {1, 2, 3};
+    auto oob = execute(*r.fn, input);
+    EXPECT_TRUE(oob.ub);
+    EXPECT_NE(oob.ub_reason.find("out-of-bounds"), std::string::npos);
+}
+
+TEST(InterpTest, StoreWritesMemory)
+{
+    Runner r("define void @f(ptr %p, i16 %v) {\n"
+             "  store i16 %v, ptr %p, align 2\n"
+             "  ret void\n}\n");
+    ExecutionInput input;
+    input.memory.push_back(MemoryObject{{0, 0, 0, 0}});
+    input.args.push_back(RtValue{{LaneValue::ofPtr(0, 0)}});
+    input.args.push_back(RtValue::scalarInt(APInt(16, 0xBEEF)));
+    auto out = execute(*r.fn, input);
+    ASSERT_FALSE(out.ub);
+    EXPECT_EQ(out.memory[0].bytes[0], 0xEF);
+    EXPECT_EQ(out.memory[0].bytes[1], 0xBE);
+}
+
+TEST(InterpTest, LoopWithPhi)
+{
+    Runner r("define i32 @f(i32 %n) {\n"
+             "entry:\n"
+             "  br label %body\n"
+             "body:\n"
+             "  %i = phi i32 [ 0, %entry ], [ %i1, %body ]\n"
+             "  %acc = phi i32 [ 0, %entry ], [ %acc1, %body ]\n"
+             "  %acc1 = add i32 %acc, %i\n"
+             "  %i1 = add i32 %i, 1\n"
+             "  %done = icmp uge i32 %i1, %n\n"
+             "  br i1 %done, label %exit, label %body\n"
+             "exit:\n"
+             "  ret i32 %acc1\n}\n");
+    // sum 0..9 = 45
+    EXPECT_EQ(r.run({10}).ret->scalar().bits.zext(), 45u);
+}
+
+TEST(InterpTest, StepLimitTrapsInfiniteLoop)
+{
+    Runner r("define i32 @f() {\n"
+             "entry:\n"
+             "  br label %spin\n"
+             "spin:\n"
+             "  br label %spin\n"
+             "}\n");
+    ExecutionInput input;
+    auto out = execute(*r.fn, input, 1000);
+    EXPECT_TRUE(out.ub);
+    EXPECT_NE(out.ub_reason.find("step limit"), std::string::npos);
+}
+
+TEST(InterpTest, FloatingPointAndFcmp)
+{
+    ir::Context ctx;
+    auto fn = ir::parseFunction(ctx,
+        "define i1 @f(double %x) {\n"
+        "  %o = fcmp ord double %x, 0.000000e+00\n"
+        "  %s = select i1 %o, double %x, double 0.000000e+00\n"
+        "  %r = fcmp oeq double %s, 1.000000e+00\n"
+        "  ret i1 %r\n}\n").take();
+    auto run_fp = [&](double v) {
+        ExecutionInput input;
+        input.args.push_back(RtValue::scalarFP(v));
+        return execute(*fn, input);
+    };
+    EXPECT_EQ(run_fp(1.0).ret->scalar().bits.zext(), 1u);
+    EXPECT_EQ(run_fp(2.0).ret->scalar().bits.zext(), 0u);
+    EXPECT_EQ(run_fp(std::nan("")).ret->scalar().bits.zext(), 0u);
+}

@@ -1,0 +1,85 @@
+// Structural verifier tests.
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/ir_verifier.h"
+#include "ir/parser.h"
+
+using namespace lpo::ir;
+
+TEST(IrVerifierTest, AcceptsValidFunction)
+{
+    Context ctx;
+    auto fn = parseFunction(ctx,
+        "define i8 @f(i8 %x) {\n"
+        "  %r = add i8 %x, 1\n"
+        "  ret i8 %r\n}\n");
+    ASSERT_TRUE(fn.ok());
+    EXPECT_TRUE(isValid(**fn));
+}
+
+TEST(IrVerifierTest, RejectsSelfReference)
+{
+    Context ctx;
+    Function fn(ctx, "f", ctx.types().intTy(8));
+    Argument *x = fn.addArg(ctx.types().intTy(8), "x");
+    BasicBlock *bb = fn.addBlock("entry");
+    Builder b(fn, bb);
+    Instruction *a = b.add(x, x);
+    Instruction *c = b.add(a, x);
+    b.ret(c);
+    EXPECT_TRUE(verifyFunction(fn).empty());
+    c->setOperand(0, c); // self-reference: use before definition
+    EXPECT_FALSE(verifyFunction(fn).empty());
+}
+
+TEST(IrVerifierTest, RejectsTypeMismatch)
+{
+    Context ctx;
+    Function fn(ctx, "f", ctx.types().intTy(8));
+    Argument *x = fn.addArg(ctx.types().intTy(8), "x");
+    Argument *y = fn.addArg(ctx.types().intTy(16), "y");
+    BasicBlock *bb = fn.addBlock("entry");
+    auto bad = std::make_unique<Instruction>(
+        Opcode::Add, ctx.types().intTy(8),
+        std::vector<Value *>{x, y});
+    bad->setName("r");
+    Instruction *placed = bb->append(std::move(bad));
+    Builder b(fn, bb);
+    b.ret(placed);
+    auto issues = verifyFunction(fn);
+    ASSERT_FALSE(issues.empty());
+    EXPECT_NE(issues[0].message.find("malformed"), std::string::npos);
+}
+
+TEST(IrVerifierTest, RejectsMissingTerminator)
+{
+    Context ctx;
+    Function fn(ctx, "f", ctx.types().intTy(8));
+    Argument *x = fn.addArg(ctx.types().intTy(8), "x");
+    BasicBlock *bb = fn.addBlock("entry");
+    Builder b(fn, bb);
+    b.add(x, x);
+    (void)bb;
+    EXPECT_FALSE(verifyFunction(fn).empty());
+}
+
+TEST(IrVerifierTest, RejectsReturnTypeMismatch)
+{
+    Context ctx;
+    Function fn(ctx, "f", ctx.types().intTy(16));
+    Argument *x = fn.addArg(ctx.types().intTy(8), "x");
+    BasicBlock *bb = fn.addBlock("entry");
+    Builder b(fn, bb);
+    b.ret(x); // returns i8 from an i16 function
+    auto issues = verifyFunction(fn);
+    ASSERT_FALSE(issues.empty());
+}
+
+TEST(IrVerifierTest, RejectsEmptyFunction)
+{
+    Context ctx;
+    Function fn(ctx, "f", ctx.types().voidTy());
+    EXPECT_FALSE(verifyFunction(fn).empty());
+}

@@ -1,0 +1,123 @@
+// Known-bits analysis tests, including a random-consistency property:
+// whatever the analysis claims must hold on concrete executions.
+
+#include <gtest/gtest.h>
+
+#include "interp/interp.h"
+#include "ir/parser.h"
+#include "llm/rewrite_library.h"
+#include "opt/known_bits.h"
+#include "support/rng.h"
+
+using namespace lpo;
+using opt::KnownBits;
+using opt::computeKnownBits;
+
+namespace {
+
+ir::Value *
+retValue(ir::Function &fn)
+{
+    return llm::returnedValue(fn);
+}
+
+} // namespace
+
+TEST(KnownBitsTest, Constants)
+{
+    ir::Context ctx;
+    KnownBits kb = computeKnownBits(ctx.getInt(8, 0xA5));
+    EXPECT_TRUE(kb.isConstant());
+    EXPECT_EQ(kb.constant().zext(), 0xA5u);
+}
+
+TEST(KnownBitsTest, MaskingAndShifting)
+{
+    ir::Context ctx;
+    auto fn = ir::parseFunction(ctx,
+        "define i8 @f(i8 %x) {\n"
+        "  %a = and i8 %x, 15\n"
+        "  %s = shl i8 %a, 2\n"
+        "  ret i8 %s\n}\n").take();
+    KnownBits kb = computeKnownBits(retValue(*fn));
+    // High 2 bits zero (from the mask), low 2 bits zero (from shl).
+    EXPECT_EQ(kb.zeros.zext() & 0xC3u, 0xC3u);
+}
+
+TEST(KnownBitsTest, LshrIntroducesHighZeros)
+{
+    ir::Context ctx;
+    auto fn = ir::parseFunction(ctx,
+        "define i8 @f(i8 %x) {\n"
+        "  %s = lshr i8 %x, 5\n"
+        "  ret i8 %s\n}\n").take();
+    KnownBits kb = computeKnownBits(retValue(*fn));
+    EXPECT_EQ(kb.zeros.zext() & 0xF8u, 0xF8u);
+    EXPECT_TRUE(kb.nonNegative());
+}
+
+TEST(KnownBitsTest, ZextNonNegative)
+{
+    ir::Context ctx;
+    auto fn = ir::parseFunction(ctx,
+        "define i16 @f(i8 %x) {\n"
+        "  %z = zext i8 %x to i16\n"
+        "  ret i16 %z\n}\n").take();
+    KnownBits kb = computeKnownBits(retValue(*fn));
+    EXPECT_TRUE(kb.nonNegative());
+    EXPECT_EQ(kb.zeros.zext() & 0xFF00u, 0xFF00u);
+}
+
+TEST(KnownBitsTest, UminBoundsKnown)
+{
+    ir::Context ctx;
+    auto fn = ir::parseFunction(ctx,
+        "define i32 @f(i32 %x) {\n"
+        "  %m = call i32 @llvm.umin.i32(i32 %x, i32 255)\n"
+        "  ret i32 %m\n}\n").take();
+    KnownBits kb = computeKnownBits(retValue(*fn));
+    // Result <= 255: bits above 8 known zero.
+    EXPECT_EQ(kb.zeros.zext() & 0xFFFFFF00u, 0xFFFFFF00u);
+}
+
+class KnownBitsSoundness : public testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(KnownBitsSoundness, ClaimsHoldOnConcreteRuns)
+{
+    ir::Context ctx;
+    auto fn = ir::parseFunction(ctx, GetParam()).take();
+    KnownBits kb = computeKnownBits(retValue(*fn));
+    Rng rng(123);
+    for (int iter = 0; iter < 200; ++iter) {
+        interp::ExecutionInput input;
+        for (unsigned i = 0; i < fn->numArgs(); ++i) {
+            unsigned w = fn->arg(i)->type()->intWidth();
+            input.args.push_back(
+                interp::RtValue::scalarInt(APInt(w, rng.next())));
+        }
+        auto run = interp::execute(*fn, input);
+        if (run.ub || run.ret->scalar().poison)
+            continue;
+        uint64_t value = run.ret->scalar().bits.zext();
+        EXPECT_EQ(value & kb.zeros.zext(), 0u) << "known-zero violated";
+        EXPECT_EQ(value & kb.ones.zext(), kb.ones.zext())
+            << "known-one violated";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Functions, KnownBitsSoundness, testing::Values(
+    "define i8 @f(i8 %x) {\n  %a = and i8 %x, 60\n  %o = or i8 %a, 3\n"
+    "  ret i8 %o\n}\n",
+    "define i16 @f(i16 %x, i16 %y) {\n  %a = and i16 %x, 255\n"
+    "  %b = and i16 %y, 255\n  %s = add i16 %a, %b\n"
+    "  ret i16 %s\n}\n",
+    "define i8 @f(i8 %x) {\n  %r = urem i8 %x, 8\n  ret i8 %r\n}\n",
+    "define i32 @f(i8 %x) {\n  %z = zext i8 %x to i32\n"
+    "  %s = shl i32 %z, 4\n  ret i32 %s\n}\n",
+    "define i8 @f(i8 %x, i1 %c) {\n  %a = and i8 %x, 12\n"
+    "  %b = and i8 %x, 40\n  %s = select i1 %c, i8 %a, i8 %b\n"
+    "  ret i8 %s\n}\n",
+    "define i8 @f(i8 %x) {\n"
+    "  %p = call i8 @llvm.ctpop.i8(i8 %x)\n  ret i8 %p\n}\n"));

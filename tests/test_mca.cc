@@ -1,0 +1,92 @@
+// Static cost model (llvm-mca substitute) tests.
+
+#include <gtest/gtest.h>
+
+#include "ir/parser.h"
+#include "mca/cost_model.h"
+
+using namespace lpo;
+using mca::analyzeFunction;
+
+namespace {
+
+mca::CostSummary
+analyze(const std::string &text)
+{
+    static ir::Context ctx;
+    auto fn = ir::parseFunction(ctx, text).take();
+    return analyzeFunction(*fn);
+}
+
+} // namespace
+
+TEST(McaTest, CountsInstructions)
+{
+    auto s = analyze(
+        "define i8 @f(i8 %x) {\n"
+        "  %a = add i8 %x, 1\n  %b = xor i8 %a, 3\n"
+        "  ret i8 %b\n}\n");
+    EXPECT_EQ(s.instruction_count, 2u);
+    EXPECT_GT(s.total_cycles, 0.0);
+}
+
+TEST(McaTest, DivisionDominatesCost)
+{
+    auto cheap = analyze(
+        "define i8 @f(i8 %x) {\n  %a = add i8 %x, 1\n"
+        "  ret i8 %a\n}\n");
+    auto costly = analyze(
+        "define i8 @f(i8 %x, i8 %y) {\n  %a = sdiv i8 %x, %y\n"
+        "  ret i8 %a\n}\n");
+    EXPECT_GT(costly.total_cycles, 10 * cheap.total_cycles);
+}
+
+TEST(McaTest, DependenceChainVsParallel)
+{
+    // Four dependent adds: critical path 4. Four independent adds:
+    // critical path 1, issue-bound 2.
+    auto chain = analyze(
+        "define i8 @f(i8 %x) {\n"
+        "  %a = add i8 %x, 1\n  %b = add i8 %a, 1\n"
+        "  %c = add i8 %b, 1\n  %d = add i8 %c, 1\n"
+        "  ret i8 %d\n}\n");
+    auto parallel = analyze(
+        "define i8 @f(i8 %x, i8 %y, i8 %z, i8 %w) {\n"
+        "  %a = add i8 %x, 1\n  %b = add i8 %y, 1\n"
+        "  %c = add i8 %z, 1\n  %d = add i8 %w, 1\n"
+        "  %e = or i8 %a, %b\n"
+        "  ret i8 %e\n}\n");
+    EXPECT_GT(chain.critical_path, parallel.critical_path);
+    EXPECT_EQ(chain.critical_path, 4.0);
+}
+
+TEST(McaTest, FewerInstructionsFewerCycles)
+{
+    // The Fig. 1 pair: tgt must cost less than src on both metrics.
+    auto src = analyze(
+        "define i8 @f(i32 %x) {\n"
+        "  %c = icmp slt i32 %x, 0\n"
+        "  %m = tail call i32 @llvm.umin.i32(i32 %x, i32 255)\n"
+        "  %t = trunc nuw i32 %m to i8\n"
+        "  %r = select i1 %c, i8 0, i8 %t\n"
+        "  ret i8 %r\n}\n");
+    auto tgt = analyze(
+        "define i8 @f(i32 %x) {\n"
+        "  %s = tail call i32 @llvm.smax.i32(i32 %x, i32 0)\n"
+        "  %m = tail call i32 @llvm.umin.i32(i32 %s, i32 255)\n"
+        "  %t = trunc nuw i32 %m to i8\n"
+        "  ret i8 %t\n}\n");
+    EXPECT_LT(tgt.instruction_count, src.instruction_count);
+    EXPECT_LE(tgt.total_cycles, src.total_cycles);
+}
+
+TEST(McaTest, VectorPenaltyApplied)
+{
+    auto scalar = analyze(
+        "define i32 @f(i32 %x, i32 %y) {\n  %a = add i32 %x, %y\n"
+        "  ret i32 %a\n}\n");
+    auto vector = analyze(
+        "define <4 x i32> @f(<4 x i32> %x, <4 x i32> %y) {\n"
+        "  %a = add <4 x i32> %x, %y\n  ret <4 x i32> %a\n}\n");
+    EXPECT_GT(vector.critical_path, scalar.critical_path);
+}

@@ -1,0 +1,71 @@
+// opt driver tests: syntax checking, error messages, canonicalization.
+
+#include <gtest/gtest.h>
+
+#include "opt/opt_driver.h"
+
+using namespace lpo;
+
+TEST(OptDriverTest, AcceptsAndOptimizes)
+{
+    ir::Context ctx;
+    auto result = opt::runOpt(ctx,
+        "define i8 @f(i8 %x) {\n"
+        "  %a = add i8 %x, 0\n"
+        "  ret i8 %a\n}\n");
+    ASSERT_FALSE(result.failed);
+    EXPECT_TRUE(result.changed);
+    EXPECT_EQ(result.function->instructionCount(), 0u);
+}
+
+TEST(OptDriverTest, SyntaxErrorMessage)
+{
+    // Figure 3c: "error: expected instruction opcode".
+    ir::Context ctx;
+    auto result = opt::runOpt(ctx,
+        "define i8 @f(i8 %x) {\n"
+        "  %a = smax i8 %x, 0\n"
+        "  ret i8 %a\n}\n");
+    ASSERT_TRUE(result.failed);
+    EXPECT_NE(result.error_message.find(
+                  "error: line 2: expected instruction opcode"),
+              std::string::npos);
+}
+
+TEST(OptDriverTest, AlreadyOptimalUnchanged)
+{
+    ir::Context ctx;
+    auto result = opt::runOpt(ctx,
+        "define i8 @f(i8 %x, i8 %y) {\n"
+        "  %a = call i8 @llvm.umin.i8(i8 %x, i8 %y)\n"
+        "  ret i8 %a\n}\n");
+    ASSERT_FALSE(result.failed);
+    EXPECT_FALSE(result.changed);
+}
+
+TEST(OptDriverTest, AcceptsMarkdownWrappedOutput)
+{
+    // LLM replies often wrap the IR in prose; the driver must cope.
+    ir::Context ctx;
+    auto result = opt::runOpt(ctx,
+        "Sure! Here is the optimized function:\n"
+        "define i8 @f(i8 %x) {\n"
+        "  %a = add i8 %x, 1\n"
+        "  ret i8 %a\n}\n"
+        "This is optimal.\n");
+    EXPECT_FALSE(result.failed);
+}
+
+TEST(OptDriverTest, OptimizeFunctionClones)
+{
+    ir::Context ctx;
+    auto result = opt::runOpt(ctx,
+        "define i8 @f(i8 %x) {\n"
+        "  %a = add i8 %x, 0\n"
+        "  ret i8 %a\n}\n");
+    // The original parsed function was mutated in place by runOpt;
+    // optimizeFunction must not mutate its input.
+    auto copy = opt::optimizeFunction(*result.function);
+    EXPECT_EQ(result.function->instructionCount(),
+              copy->instructionCount());
+}

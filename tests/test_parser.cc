@@ -1,0 +1,259 @@
+// Parser tests: the paper's example functions, error messages, and a
+// print/parse round-trip property.
+
+#include <gtest/gtest.h>
+
+#include "ir/parser.h"
+#include "ir/pattern.h"
+#include "ir/printer.h"
+
+using namespace lpo::ir;
+
+namespace {
+
+std::unique_ptr<Function>
+parseOk(Context &ctx, const std::string &text)
+{
+    auto result = parseFunction(ctx, text);
+    EXPECT_TRUE(result.ok()) << (result.ok() ? ""
+                                             : result.error().toString());
+    return result.ok() ? result.take() : nullptr;
+}
+
+} // namespace
+
+TEST(ParserTest, PaperFigure1bSrc)
+{
+    Context ctx;
+    auto fn = parseOk(ctx,
+        "define i8 @src(i32 %0) {\n"
+        "  %2 = icmp slt i32 %0, 0\n"
+        "  %3 = tail call i32 @llvm.umin.i32(i32 %0, i32 255)\n"
+        "  %4 = trunc nuw i32 %3 to i8\n"
+        "  %5 = select i1 %2, i8 0, i8 %4\n"
+        "  ret i8 %5\n"
+        "}\n");
+    ASSERT_NE(fn, nullptr);
+    EXPECT_EQ(fn->name(), "src");
+    EXPECT_EQ(fn->numArgs(), 1u);
+    EXPECT_EQ(fn->instructionCount(), 4u);
+    const Instruction *call = fn->entry()->at(1);
+    EXPECT_EQ(call->op(), Opcode::Call);
+    EXPECT_EQ(call->intrinsic(), Intrinsic::UMin);
+    EXPECT_TRUE(call->flags().tail);
+    EXPECT_TRUE(fn->entry()->at(2)->flags().nuw);
+}
+
+TEST(ParserTest, PaperFigure4aLoadMerge)
+{
+    Context ctx;
+    auto fn = parseOk(ctx,
+        "define i32 @src(ptr %0) {\n"
+        "  %2 = load i16, ptr %0, align 2\n"
+        "  %3 = getelementptr i8, ptr %0, i64 2\n"
+        "  %4 = load i16, ptr %3, align 1\n"
+        "  %5 = zext i16 %4 to i32\n"
+        "  %6 = shl nuw i32 %5, 16\n"
+        "  %7 = zext i16 %2 to i32\n"
+        "  %8 = or disjoint i32 %6, %7\n"
+        "  ret i32 %8\n"
+        "}\n");
+    ASSERT_NE(fn, nullptr);
+    EXPECT_EQ(fn->entry()->at(0)->op(), Opcode::Load);
+    EXPECT_EQ(fn->entry()->at(0)->align(), 2u);
+    EXPECT_EQ(fn->entry()->at(1)->op(), Opcode::Gep);
+    EXPECT_TRUE(fn->entry()->at(6)->flags().disjoint);
+}
+
+TEST(ParserTest, VectorTypesSplatAndZeroinitializer)
+{
+    Context ctx;
+    auto fn = parseOk(ctx,
+        "define <4 x i8> @src(<4 x i32> %x) {\n"
+        "  %c = icmp slt <4 x i32> %x, zeroinitializer\n"
+        "  %m = tail call <4 x i32> @llvm.umin.v4i32(<4 x i32> %x, "
+        "<4 x i32> splat (i32 255))\n"
+        "  %t = trunc nuw <4 x i32> %m to <4 x i8>\n"
+        "  %r = select <4 x i1> %c, <4 x i8> zeroinitializer, "
+        "<4 x i8> %t\n"
+        "  ret <4 x i8> %r\n"
+        "}\n");
+    ASSERT_NE(fn, nullptr);
+    EXPECT_TRUE(fn->returnType()->isVector());
+    lpo::APInt splat;
+    EXPECT_TRUE(matchConstInt(fn->entry()->at(1)->operand(1), &splat));
+    EXPECT_EQ(splat.zext(), 255u);
+}
+
+TEST(ParserTest, FloatingPoint)
+{
+    Context ctx;
+    auto fn = parseOk(ctx,
+        "define i1 @src(double %0) {\n"
+        "  %2 = fcmp ord double %0, 0.000000e+00\n"
+        "  %3 = select i1 %2, double %0, double 0.000000e+00\n"
+        "  %4 = fcmp oeq double %3, 1.000000e+00\n"
+        "  ret i1 %4\n"
+        "}\n");
+    ASSERT_NE(fn, nullptr);
+    EXPECT_EQ(fn->entry()->at(0)->fcmpPred(), FCmpPred::ORD);
+    EXPECT_EQ(fn->entry()->at(2)->fcmpPred(), FCmpPred::OEQ);
+}
+
+TEST(ParserTest, ModuleWithLoopPhiBr)
+{
+    Context ctx;
+    auto module = parseModule(ctx,
+        "define i32 @loop(i64 %n, i32 %seed) {\n"
+        "entry:\n"
+        "  br label %body\n"
+        "body:\n"
+        "  %i = phi i64 [ 0, %entry ], [ %i.next, %body ]\n"
+        "  %acc = phi i32 [ %seed, %entry ], [ %acc.next, %body ]\n"
+        "  %acc.next = xor i32 %acc, 2654435761\n"
+        "  %i.next = add nuw i64 %i, 1\n"
+        "  %done = icmp uge i64 %i.next, %n\n"
+        "  br i1 %done, label %exit, label %body\n"
+        "exit:\n"
+        "  ret i32 %acc\n"
+        "}\n");
+    ASSERT_TRUE(module.ok()) << module.error().toString();
+    Function *fn = (*module)->findFunction("loop");
+    ASSERT_NE(fn, nullptr);
+    EXPECT_EQ(fn->blocks().size(), 3u);
+    // The phi's back-edge forward reference resolved.
+    const Instruction *phi = fn->findBlock("body")->at(0);
+    ASSERT_EQ(phi->op(), Opcode::Phi);
+    EXPECT_EQ(phi->operand(1)->name(), "i.next");
+}
+
+TEST(ParserTest, NegativeAndBooleanConstants)
+{
+    Context ctx;
+    auto fn = parseOk(ctx,
+        "define i8 @f(i8 %x, i1 %c) {\n"
+        "  %a = add i8 %x, -128\n"
+        "  %b = select i1 %c, i8 %a, i8 %x\n"
+        "  %d = select i1 true, i8 %b, i8 poison\n"
+        "  ret i8 %d\n"
+        "}\n");
+    ASSERT_NE(fn, nullptr);
+    lpo::APInt c;
+    ASSERT_TRUE(matchConstInt(fn->entry()->at(0)->operand(1), &c));
+    EXPECT_TRUE(c.isSignedMin());
+}
+
+TEST(ParserTest, ExpectedInstructionOpcodeError)
+{
+    // Figure 3b/3c: the invalid bare `smax` opcode must yield the
+    // LLVM-style "expected instruction opcode" message used as
+    // feedback.
+    Context ctx;
+    auto fn = parseFunction(ctx,
+        "define i8 @src(i8 %x) {\n"
+        "  %m = smax i8 %x, 0\n"
+        "  ret i8 %m\n"
+        "}\n");
+    ASSERT_FALSE(fn.ok());
+    EXPECT_NE(fn.error().message.find("expected instruction opcode"),
+              std::string::npos);
+    EXPECT_EQ(fn.error().line, 2);
+}
+
+TEST(ParserTest, UndefinedValueError)
+{
+    Context ctx;
+    auto fn = parseFunction(ctx,
+        "define i8 @src(i8 %x) {\n"
+        "  %r = add i8 %x, %nope\n"
+        "  ret i8 %r\n"
+        "}\n");
+    ASSERT_FALSE(fn.ok());
+    EXPECT_NE(fn.error().message.find("use of undefined value"),
+              std::string::npos);
+}
+
+TEST(ParserTest, TypeErrors)
+{
+    Context ctx;
+    EXPECT_FALSE(parseFunction(ctx,
+        "define i8 @f(i8 %x) {\n"
+        "  %r = add i8 %x, 1.5\n"
+        "  ret i8 %r\n}\n").ok());
+    EXPECT_FALSE(parseFunction(ctx,
+        "define i8 @f(double %x) {\n"
+        "  %r = add double %x, 0.0\n"
+        "  ret i8 %r\n}\n").ok());
+    EXPECT_FALSE(parseFunction(ctx,
+        "define i8 @f(i8 %x) {\n"
+        "  %r = trunc i8 %x to i16\n"
+        "  ret i16 %r\n}\n").ok());
+    EXPECT_FALSE(parseFunction(ctx,
+        "define i8 @f(i8 %x) {\n"
+        "  %r = add i8 %x, 1\n"
+        "}\n").ok()); // missing terminator
+}
+
+TEST(ParserTest, DuplicateDefinitionRejected)
+{
+    Context ctx;
+    auto fn = parseFunction(ctx,
+        "define i8 @f(i8 %x) {\n"
+        "  %r = add i8 %x, 1\n"
+        "  %r = add i8 %x, 2\n"
+        "  ret i8 %r\n}\n");
+    ASSERT_FALSE(fn.ok());
+    EXPECT_NE(fn.error().message.find("multiple definition"),
+              std::string::npos);
+}
+
+TEST(ParserTest, IgnoresCommentsAndSurroundingProse)
+{
+    Context ctx;
+    auto fn = parseOk(ctx,
+        "Here is the optimized function:\n"
+        "; a comment line\n"
+        "define i8 @f(i8 %x) { ; trailing comment\n"
+        "  %r = add i8 %x, 1 ; note\n"
+        "  ret i8 %r\n"
+        "}\n"
+        "That should be optimal.\n");
+    ASSERT_NE(fn, nullptr);
+    EXPECT_EQ(fn->instructionCount(), 1u);
+}
+
+TEST(ParserTest, RoundTripStability)
+{
+    // print(parse(text)) must be a fixpoint of parse∘print.
+    Context ctx;
+    const char *samples[] = {
+        "define i8 @a(i32 %x) {\n"
+        "  %c = icmp slt i32 %x, 0\n"
+        "  %m = tail call i32 @llvm.umin.i32(i32 %x, i32 255)\n"
+        "  %t = trunc nuw i32 %m to i8\n"
+        "  %r = select i1 %c, i8 0, i8 %t\n"
+        "  ret i8 %r\n}\n",
+        "define i32 @b(ptr %p) {\n"
+        "  %l = load i32, ptr %p, align 4\n"
+        "  %g = getelementptr inbounds nuw i32, ptr %p, i64 1\n"
+        "  %m = load i32, ptr %g, align 4\n"
+        "  %r = add nsw i32 %l, %m\n"
+        "  ret i32 %r\n}\n",
+        "define <4 x i8> @c(<4 x i8> %x) {\n"
+        "  %r = call <4 x i8> @llvm.abs.v4i8(<4 x i8> %x, i1 true)\n"
+        "  ret <4 x i8> %r\n}\n",
+        "define i16 @d(i16 %x) {\n"
+        "  %f = freeze i16 %x\n"
+        "  %r = call i16 @llvm.ctlz.i16(i16 %f, i1 false)\n"
+        "  ret i16 %r\n}\n",
+    };
+    for (const char *text : samples) {
+        auto first = parseOk(ctx, text);
+        ASSERT_NE(first, nullptr);
+        std::string printed = printFunction(*first);
+        auto second = parseOk(ctx, printed);
+        ASSERT_NE(second, nullptr);
+        EXPECT_EQ(printed, printFunction(*second));
+        EXPECT_TRUE(structurallyEqual(*first, *second));
+    }
+}

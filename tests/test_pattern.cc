@@ -1,0 +1,117 @@
+// Pattern matcher, structural hash, and alpha-equivalence tests.
+
+#include <gtest/gtest.h>
+
+#include "ir/parser.h"
+#include "ir/pattern.h"
+
+using namespace lpo::ir;
+using lpo::APInt;
+
+namespace {
+
+std::unique_ptr<Function>
+parse(Context &ctx, const std::string &text)
+{
+    auto r = parseFunction(ctx, text);
+    EXPECT_TRUE(r.ok());
+    return r.take();
+}
+
+} // namespace
+
+TEST(PatternTest, Matchers)
+{
+    Context ctx;
+    auto fn = parse(ctx,
+        "define i8 @f(i8 %x, i8 %y, i1 %c) {\n"
+        "  %a = add i8 %x, %y\n"
+        "  %p = icmp ult i8 %a, 10\n"
+        "  %m = call i8 @llvm.umin.i8(i8 %x, i8 %y)\n"
+        "  %s = select i1 %c, i8 %a, i8 %m\n"
+        "  %t = zext i8 %s to i16\n"
+        "  %u = trunc i16 %t to i8\n"
+        "  ret i8 %u\n}\n");
+    BasicBlock *bb = fn->entry();
+
+    Value *l, *r;
+    EXPECT_TRUE(matchBinary(bb->at(0), Opcode::Add, &l, &r));
+    EXPECT_EQ(l->name(), "x");
+    EXPECT_FALSE(matchBinary(bb->at(0), Opcode::Sub, &l, &r));
+
+    ICmpPred pred;
+    EXPECT_TRUE(matchICmp(bb->at(1), &pred, &l, &r));
+    EXPECT_EQ(pred, ICmpPred::ULT);
+    APInt c;
+    EXPECT_TRUE(matchConstInt(r, &c));
+    EXPECT_EQ(c.zext(), 10u);
+
+    EXPECT_TRUE(matchIntrinsic2(bb->at(2), Intrinsic::UMin, &l, &r));
+    EXPECT_FALSE(matchIntrinsic2(bb->at(2), Intrinsic::UMax, &l, &r));
+
+    Value *cond, *t, *f;
+    EXPECT_TRUE(matchSelect(bb->at(3), &cond, &t, &f));
+    EXPECT_EQ(cond->name(), "c");
+
+    Value *src;
+    EXPECT_TRUE(matchCast(bb->at(4), Opcode::ZExt, &src));
+    EXPECT_TRUE(matchCast(bb->at(5), Opcode::Trunc, &src));
+}
+
+TEST(PatternTest, ZeroAndAllOnesHelpers)
+{
+    Context ctx;
+    EXPECT_TRUE(isZeroInt(ctx.getInt(8, 0)));
+    EXPECT_FALSE(isZeroInt(ctx.getInt(8, 1)));
+    EXPECT_TRUE(isAllOnesInt(ctx.getInt(8, 255)));
+    const Type *vec = ctx.types().vectorTy(ctx.types().intTy(8), 4);
+    EXPECT_TRUE(isZeroInt(ctx.getNullValue(vec)));
+    EXPECT_TRUE(isAllOnesInt(ctx.getSplat(vec, ctx.getInt(8, 255))));
+}
+
+TEST(PatternTest, StructuralHashAlphaEquivalence)
+{
+    Context ctx;
+    auto a = parse(ctx,
+        "define i8 @f(i8 %x) {\n"
+        "  %r = add i8 %x, 1\n  ret i8 %r\n}\n");
+    auto b = parse(ctx,
+        "define i8 @g(i8 %zzz) {\n"
+        "  %q = add i8 %zzz, 1\n  ret i8 %q\n}\n");
+    auto c = parse(ctx,
+        "define i8 @h(i8 %x) {\n"
+        "  %r = add i8 %x, 2\n  ret i8 %r\n}\n");
+    EXPECT_EQ(structuralHash(*a), structuralHash(*b));
+    EXPECT_NE(structuralHash(*a), structuralHash(*c));
+    EXPECT_TRUE(structurallyEqual(*a, *b));
+    EXPECT_FALSE(structurallyEqual(*a, *c));
+}
+
+TEST(PatternTest, HashSensitivity)
+{
+    Context ctx;
+    // Flags, predicates, and types all affect the digest.
+    auto base = parse(ctx,
+        "define i8 @f(i8 %x) {\n  %r = add i8 %x, 1\n  ret i8 %r\n}\n");
+    auto flagged = parse(ctx,
+        "define i8 @f(i8 %x) {\n  %r = add nuw i8 %x, 1\n"
+        "  ret i8 %r\n}\n");
+    auto wider = parse(ctx,
+        "define i16 @f(i16 %x) {\n  %r = add i16 %x, 1\n"
+        "  ret i16 %r\n}\n");
+    EXPECT_NE(structuralHash(*base), structuralHash(*flagged));
+    EXPECT_NE(structuralHash(*base), structuralHash(*wider));
+    EXPECT_FALSE(structurallyEqual(*base, *flagged));
+}
+
+TEST(PatternTest, EqualityDistinguishesOperandOrder)
+{
+    Context ctx;
+    auto ab = parse(ctx,
+        "define i8 @f(i8 %a, i8 %b) {\n"
+        "  %r = sub i8 %a, %b\n  ret i8 %r\n}\n");
+    auto ba = parse(ctx,
+        "define i8 @f(i8 %a, i8 %b) {\n"
+        "  %r = sub i8 %b, %a\n  ret i8 %r\n}\n");
+    EXPECT_FALSE(structurallyEqual(*ab, *ba));
+}

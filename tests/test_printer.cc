@@ -1,0 +1,114 @@
+// Printer tests: exact textual forms for every instruction class.
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+
+using namespace lpo::ir;
+using lpo::APInt;
+
+TEST(PrinterTest, ValueRefs)
+{
+    Context ctx;
+    EXPECT_EQ(printValueRef(ctx.getInt(32, 42)), "42");
+    EXPECT_EQ(printValueRef(ctx.getInt(8, 255)), "-1");
+    EXPECT_EQ(printValueRef(ctx.getBool(true)), "true");
+    EXPECT_EQ(printValueRef(ctx.getBool(false)), "false");
+    EXPECT_EQ(printValueRef(ctx.getPoison(ctx.types().intTy(8))),
+              "poison");
+    EXPECT_EQ(printValueRef(ctx.getFP(1.0)), "1.000000e+00");
+
+    const Type *vec = ctx.types().vectorTy(ctx.types().intTy(32), 4);
+    EXPECT_EQ(printValueRef(ctx.getNullValue(vec)), "zeroinitializer");
+    EXPECT_EQ(printValueRef(ctx.getSplat(vec, ctx.getInt(32, 255))),
+              "splat (i32 255)");
+}
+
+TEST(PrinterTest, InstructionForms)
+{
+    Context ctx;
+    Function fn(ctx, "f", ctx.types().intTy(32));
+    Argument *x = fn.addArg(ctx.types().intTy(32), "x");
+    BasicBlock *bb = fn.addBlock("entry");
+    Builder b(fn, bb);
+
+    InstFlags wrap;
+    wrap.nuw = true;
+    wrap.nsw = true;
+    Instruction *add = b.binary(Opcode::Add, x, ctx.getInt(32, 1), wrap);
+    add->setName("a");
+    EXPECT_EQ(printInstruction(add), "%a = add nuw nsw i32 %x, 1");
+
+    Instruction *cmp = b.icmp(ICmpPred::SLT, x, ctx.getInt(32, 0));
+    cmp->setName("c");
+    EXPECT_EQ(printInstruction(cmp), "%c = icmp slt i32 %x, 0");
+
+    Instruction *sel = b.select(cmp, x, add);
+    sel->setName("s");
+    EXPECT_EQ(printInstruction(sel),
+              "%s = select i1 %c, i32 %x, i32 %a");
+
+    Instruction *mm = b.umin(x, ctx.getInt(32, 7));
+    mm->setName("m");
+    EXPECT_EQ(printInstruction(mm),
+              "%m = call i32 @llvm.umin.i32(i32 %x, i32 7)");
+
+    Instruction *tr = b.trunc(x, ctx.types().intTy(8));
+    tr->setName("t");
+    EXPECT_EQ(printInstruction(tr), "%t = trunc i32 %x to i8");
+
+    InstFlags disjoint;
+    disjoint.disjoint = true;
+    Instruction *orr = b.binary(Opcode::Or, x, add, disjoint);
+    orr->setName("o");
+    EXPECT_EQ(printInstruction(orr), "%o = or disjoint i32 %x, %a");
+
+    Instruction *fr = b.freeze(x);
+    fr->setName("z");
+    EXPECT_EQ(printInstruction(fr), "%z = freeze i32 %x");
+
+    Instruction *ret = b.ret(sel);
+    EXPECT_EQ(printInstruction(ret), "ret i32 %s");
+}
+
+TEST(PrinterTest, MemoryForms)
+{
+    Context ctx;
+    Function fn(ctx, "f", ctx.types().intTy(32));
+    Argument *p = fn.addArg(ctx.types().ptrTy(), "p");
+    BasicBlock *bb = fn.addBlock("entry");
+    Builder b(fn, bb);
+
+    Instruction *load = b.load(ctx.types().intTy(32), p, 4);
+    load->setName("l");
+    EXPECT_EQ(printInstruction(load), "%l = load i32, ptr %p, align 4");
+
+    InstFlags flags;
+    flags.inbounds = true;
+    flags.nuw = true;
+    Instruction *gep = b.gep(ctx.types().intTy(32), p,
+                             ctx.getInt(64, 2), flags);
+    gep->setName("g");
+    EXPECT_EQ(printInstruction(gep),
+              "%g = getelementptr inbounds nuw i32, ptr %p, i64 2");
+
+    Instruction *store = b.store(load, gep, 4);
+    EXPECT_EQ(printInstruction(store),
+              "store i32 %l, ptr %g, align 4");
+}
+
+TEST(PrinterTest, ModuleHeader)
+{
+    Context ctx;
+    Module module(ctx, "demo.ll");
+    Function *fn = module.createFunction("f", ctx.types().voidTy());
+    BasicBlock *bb = fn->addBlock("entry");
+    Builder b(*fn, bb);
+    b.retVoid();
+    std::string text = printModule(module);
+    EXPECT_NE(text.find("; ModuleID = 'demo.ll'"), std::string::npos);
+    EXPECT_NE(text.find("define void @f()"), std::string::npos);
+    EXPECT_NE(text.find("ret void"), std::string::npos);
+}

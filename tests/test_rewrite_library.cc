@@ -1,0 +1,136 @@
+// Rewrite library ("rule set B") tests: every catalog entry is
+// matched by its family rule, the rewrite verifies, and rules also
+// fire on patterns embedded in longer chains.
+
+#include <gtest/gtest.h>
+
+#include "corpus/benchmarks.h"
+#include "ir/parser.h"
+#include "llm/rewrite_library.h"
+#include "opt/opt_driver.h"
+#include "verify/refine.h"
+
+using namespace lpo;
+
+TEST(RewriteLibraryTest, CoversEveryCatalogFamily)
+{
+    std::set<std::string> families;
+    for (const auto &rule : llm::rewriteLibrary())
+        families.insert(rule.family);
+    for (const auto &bench : corpus::rq1Benchmarks()) {
+        if (bench.family == "clamp_umin_vec")
+            continue; // handled by the clamp_umin rule
+        EXPECT_TRUE(families.count(bench.family))
+            << "no rule for family " << bench.family;
+    }
+}
+
+TEST(RewriteLibraryTest, EveryBenchmarkMatchesAndVerifies)
+{
+    ir::Context ctx;
+    auto check = [&](const corpus::MissedOptBenchmark &bench) {
+        auto src = ir::parseFunction(ctx, bench.src_text).take();
+        bool matched = false;
+        for (const auto &rule : llm::rewriteLibrary()) {
+            auto text = rule.apply(*src);
+            if (!text)
+                continue;
+            matched = true;
+            auto opted = opt::runOpt(ctx, *text);
+            ASSERT_FALSE(opted.failed)
+                << bench.issue_id << ": " << opted.error_message;
+            verify::RefineOptions opts;
+            opts.sample_count = 3000;
+            auto verdict =
+                verify::checkRefinement(*src, *opted.function, opts);
+            EXPECT_EQ(verdict.verdict, verify::Verdict::Correct)
+                << bench.issue_id << ": " << verdict.detail;
+            break;
+        }
+        EXPECT_TRUE(matched) << bench.issue_id << " (" << bench.family
+                             << ") not matched by any rule";
+    };
+    for (const auto &bench : corpus::rq1Benchmarks())
+        check(bench);
+    for (const auto &bench : corpus::rq2Benchmarks())
+        check(bench);
+}
+
+TEST(RewriteLibraryTest, MatchesPatternWithInstructionLeaves)
+{
+    // The clamp pattern applied to a loaded value, not an argument —
+    // the extractor produces exactly this shape from Fig. 1d.
+    ir::Context ctx;
+    auto src = ir::parseFunction(ctx,
+        "define <4 x i8> @seq(ptr %p, i64 %i) {\n"
+        "  %g = getelementptr inbounds nuw i32, ptr %p, i64 %i\n"
+        "  %v = load <4 x i32>, ptr %g, align 4\n"
+        "  %c = icmp slt <4 x i32> %v, zeroinitializer\n"
+        "  %m = tail call <4 x i32> @llvm.umin.v4i32(<4 x i32> %v, "
+        "<4 x i32> splat (i32 255))\n"
+        "  %t = trunc nuw <4 x i32> %m to <4 x i8>\n"
+        "  %r = select <4 x i1> %c, <4 x i8> zeroinitializer, "
+        "<4 x i8> %t\n"
+        "  ret <4 x i8> %r\n}\n").take();
+    bool matched = false;
+    for (const auto &rule : llm::rewriteLibrary()) {
+        if (rule.family != "clamp_umin")
+            continue;
+        auto text = rule.apply(*src);
+        ASSERT_TRUE(text.has_value());
+        matched = true;
+        auto tgt = ir::parseFunction(ctx, *text);
+        ASSERT_TRUE(tgt.ok()) << tgt.error().toString();
+        auto verdict = verify::checkRefinement(*src, **tgt);
+        EXPECT_EQ(verdict.verdict, verify::Verdict::Correct)
+            << verdict.detail;
+        // The prefix (gep + load) is preserved in the rewrite.
+        EXPECT_NE(text->find("getelementptr"), std::string::npos);
+        EXPECT_NE(text->find("llvm.smax"), std::string::npos);
+    }
+    EXPECT_TRUE(matched);
+}
+
+TEST(RewriteLibraryTest, NoFalsePositivesOnPlainCode)
+{
+    ir::Context ctx;
+    auto fn = ir::parseFunction(ctx,
+        "define i8 @f(i8 %x, i8 %y) {\n"
+        "  %a = add i8 %x, %y\n"
+        "  %b = xor i8 %a, 29\n"
+        "  ret i8 %b\n}\n").take();
+    for (const auto &rule : llm::rewriteLibrary())
+        EXPECT_FALSE(rule.apply(*fn).has_value()) << rule.family;
+}
+
+TEST(RewriteLibraryTest, SideConditionsEnforced)
+{
+    ir::Context ctx;
+    // umin_zext must NOT fire when the constant is below the narrow
+    // maximum (the rewrite would be wrong).
+    auto fn = ir::parseFunction(ctx,
+        "define i32 @f(i8 %x) {\n"
+        "  %z = zext i8 %x to i32\n"
+        "  %r = call i32 @llvm.umin.i32(i32 %z, i32 200)\n"
+        "  ret i32 %r\n}\n").take();
+    for (const auto &rule : llm::rewriteLibrary())
+        if (rule.family == "umin_zext")
+            EXPECT_FALSE(rule.apply(*fn).has_value());
+
+    // sat_chain must not fire when the constants overflow together.
+    auto fn2 = ir::parseFunction(ctx,
+        "define i8 @f(i8 %x) {\n"
+        "  %a = call i8 @llvm.uadd.sat.i8(i8 %x, i8 200)\n"
+        "  %r = call i8 @llvm.uadd.sat.i8(i8 %a, i8 100)\n"
+        "  ret i8 %r\n}\n").take();
+    for (const auto &rule : llm::rewriteLibrary())
+        if (rule.family == "sat_chain")
+            EXPECT_FALSE(rule.apply(*fn2).has_value());
+}
+
+TEST(RewriteLibraryTest, RulesSortedByDifficulty)
+{
+    const auto &rules = llm::rewriteLibrary();
+    for (size_t i = 1; i < rules.size(); ++i)
+        EXPECT_LE(rules[i - 1].difficulty, rules[i].difficulty);
+}

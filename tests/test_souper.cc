@@ -1,0 +1,168 @@
+// Souper / Minotaur baseline tests.
+
+#include <gtest/gtest.h>
+
+#include "corpus/benchmarks.h"
+#include "ir/parser.h"
+#include "souper/minotaur.h"
+#include "souper/souper.h"
+#include "verify/refine.h"
+
+using namespace lpo;
+using souper::runMinotaur;
+using souper::runSouper;
+using souper::SouperOptions;
+
+namespace {
+
+std::unique_ptr<ir::Function>
+parse(ir::Context &ctx, const std::string &text)
+{
+    return ir::parseFunction(ctx, text).take();
+}
+
+} // namespace
+
+TEST(SouperTest, FragmentRestrictions)
+{
+    ir::Context ctx;
+    // Intrinsics (llvm.umin.*) are unsupported — exactly the gap the
+    // paper's illustrative example exploits.
+    auto with_intrinsic = parse(ctx,
+        "define i8 @f(i8 %x) {\n"
+        "  %r = call i8 @llvm.umin.i8(i8 %x, i8 9)\n"
+        "  ret i8 %r\n}\n");
+    EXPECT_FALSE(runSouper(*with_intrinsic).supported);
+
+    auto with_memory = parse(ctx,
+        "define i8 @f(ptr %p) {\n"
+        "  %r = load i8, ptr %p, align 1\n  ret i8 %r\n}\n");
+    EXPECT_FALSE(runSouper(*with_memory).supported);
+
+    auto with_vector = parse(ctx,
+        "define <2 x i8> @f(<2 x i8> %x) {\n"
+        "  %r = add <2 x i8> %x, splat (i8 1)\n"
+        "  ret <2 x i8> %r\n}\n");
+    EXPECT_FALSE(runSouper(*with_vector).supported);
+
+    auto plain = parse(ctx,
+        "define i8 @f(i8 %x) {\n  %r = add i8 %x, 1\n"
+        "  ret i8 %r\n}\n");
+    EXPECT_TRUE(runSouper(*plain).supported);
+}
+
+TEST(SouperTest, SynthesizesSimplerForm)
+{
+    ir::Context ctx;
+    // (x & y) + (x | y) -> x + y: strictly cheaper, level-1 find.
+    auto src = parse(ctx,
+        "define i8 @f(i8 %x, i8 %y) {\n"
+        "  %a = and i8 %x, %y\n"
+        "  %o = or i8 %x, %y\n"
+        "  %r = add i8 %a, %o\n"
+        "  ret i8 %r\n}\n");
+    SouperOptions opts;
+    opts.enum_limit = 1;
+    auto result = runSouper(*src, opts);
+    ASSERT_TRUE(result.detected);
+    // The synthesized replacement must itself verify.
+    auto tgt = ir::parseFunction(ctx, result.tgt_text);
+    ASSERT_TRUE(tgt.ok());
+    EXPECT_EQ(verify::checkRefinement(*src, **tgt).verdict,
+              verify::Verdict::Correct);
+}
+
+TEST(SouperTest, SynthesizesConstants)
+{
+    ir::Context ctx;
+    // (x >> 4) == 0 -> x < 16 requires inventing the constant 16.
+    auto src = parse(ctx,
+        "define i1 @f(i8 %x) {\n"
+        "  %s = lshr i8 %x, 4\n"
+        "  %r = icmp eq i8 %s, 0\n"
+        "  ret i1 %r\n}\n");
+    SouperOptions opts;
+    opts.enum_limit = 1;
+    auto result = runSouper(*src, opts);
+    EXPECT_TRUE(result.detected);
+}
+
+TEST(SouperTest, BudgetGovernsDepth)
+{
+    ir::Context ctx;
+    // Wider types blow the default budget but fit Enum=1's.
+    auto src32 = parse(ctx,
+        "define i1 @f(i32 %x) {\n"
+        "  %s = lshr i32 %x, 4\n"
+        "  %r = icmp eq i32 %s, 0\n"
+        "  ret i1 %r\n}\n");
+    SouperOptions fast; // default
+    EXPECT_FALSE(runSouper(*src32, fast).detected);
+    SouperOptions deep;
+    deep.enum_limit = 1;
+    EXPECT_TRUE(runSouper(*src32, deep).detected);
+}
+
+TEST(SouperTest, TimeoutSemantics)
+{
+    ir::Context ctx;
+    // Nothing cheaper exists for a single add; Enum=2 search exhausts
+    // its budget exploring and reports a timeout with 20-minute cost.
+    auto src = parse(ctx,
+        "define i64 @f(i64 %x, i64 %y, i64 %z) {\n"
+        "  %a = mul i64 %x, %y\n"
+        "  %b = xor i64 %a, %z\n"
+        "  %c = add i64 %b, %x\n"
+        "  ret i64 %c\n}\n");
+    SouperOptions opts;
+    opts.enum_limit = 2;
+    auto result = runSouper(*src, opts);
+    EXPECT_FALSE(result.detected);
+    if (result.timeout)
+        EXPECT_EQ(result.simulated_seconds, 1200.0);
+    // The default configuration never times out (paper Table 4).
+    SouperOptions fast;
+    auto fast_result = runSouper(*src, fast);
+    EXPECT_FALSE(fast_result.timeout);
+    EXPECT_LE(fast_result.simulated_seconds, 4.0);
+}
+
+TEST(MinotaurTest, CrashesOnFcmp)
+{
+    ir::Context ctx;
+    const auto *bench = corpus::findBenchmark("137161"); // fabs_olt
+    auto src = parse(ctx, bench->src_text);
+    auto result = runMinotaur(*src);
+    EXPECT_TRUE(result.crashed);
+    EXPECT_FALSE(result.detected);
+}
+
+TEST(MinotaurTest, AcceptsVectorsButMissesRewrites)
+{
+    ir::Context ctx;
+    const auto *bench = corpus::findBenchmark("129947"); // clamp vec
+    auto src = parse(ctx, bench->src_text);
+    auto result = runMinotaur(*src);
+    EXPECT_FALSE(result.crashed);
+    EXPECT_FALSE(result.detected);
+}
+
+TEST(MinotaurTest, DetectsSubsetOfSouper)
+{
+    ir::Context ctx;
+    unsigned minotaur_only = 0;
+    for (const auto &bench : corpus::rq1Benchmarks()) {
+        auto src = parse(ctx, bench.src_text);
+        bool m = runMinotaur(*src).detected;
+        bool s = false;
+        for (unsigned e = 0; e <= 1 && !s; ++e) {
+            SouperOptions opts;
+            opts.enum_limit = e;
+            s = runSouper(*src, opts).detected;
+        }
+        if (m && !s)
+            ++minotaur_only;
+    }
+    // Paper: every Minotaur detection is also found by Souper.
+    EXPECT_EQ(minotaur_only, 0u);
+}

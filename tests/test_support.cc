@@ -1,0 +1,122 @@
+// Tests for the RNG, string utilities, and Result type.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/error.h"
+#include "support/rng.h"
+#include "support/string_utils.h"
+
+using namespace lpo;
+
+TEST(RngTest, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, ForkIsIndependentAndStable)
+{
+    Rng base(7);
+    Rng f1 = base.fork("alpha");
+    Rng f2 = base.fork("alpha");
+    Rng f3 = base.fork("beta");
+    EXPECT_EQ(f1.next(), f2.next());
+    Rng f4 = Rng(7).fork("beta");
+    EXPECT_EQ(f3.next(), f4.next());
+}
+
+TEST(RngTest, NextBelowInRangeAndCoversValues)
+{
+    Rng rng(3);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t v = rng.nextBelow(10);
+        EXPECT_LT(v, 10u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, NextRangeInclusive)
+{
+    Rng rng(5);
+    for (int i = 0; i < 500; ++i) {
+        int64_t v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+    }
+}
+
+TEST(RngTest, ChanceExtremes)
+{
+    Rng rng(9);
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(StringUtilsTest, Split)
+{
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(StringUtilsTest, Trim)
+{
+    EXPECT_EQ(trim("  x y  "), "x y");
+    EXPECT_EQ(trim("\t\n"), "");
+    EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(StringUtilsTest, StartsWithAndJoin)
+{
+    EXPECT_TRUE(startsWith("define i32", "define"));
+    EXPECT_FALSE(startsWith("def", "define"));
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StringUtilsTest, HashingStableAndSensitive)
+{
+    EXPECT_EQ(fnv1a64("hello"), fnv1a64("hello"));
+    EXPECT_NE(fnv1a64("hello"), fnv1a64("hellp"));
+    EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+}
+
+TEST(StringUtilsTest, FormatFixed)
+{
+    EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(formatFixed(2.0, 1), "2.0");
+}
+
+TEST(ResultTest, ValueAndError)
+{
+    Result<int> ok(7);
+    ASSERT_TRUE(ok.ok());
+    EXPECT_EQ(*ok, 7);
+
+    Result<int> bad(Error{"boom", 3, 0});
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().toString(), "line 3: boom");
+
+    Result<int> no_loc(Error{"plain"});
+    EXPECT_EQ(no_loc.error().toString(), "plain");
+}

@@ -1,0 +1,66 @@
+// Tests for the interned type system.
+
+#include <gtest/gtest.h>
+
+#include "ir/type.h"
+
+using namespace lpo::ir;
+
+TEST(TypeTest, InterningGivesIdentity)
+{
+    TypeContext ctx;
+    EXPECT_EQ(ctx.intTy(32), ctx.intTy(32));
+    EXPECT_NE(ctx.intTy(32), ctx.intTy(33));
+    EXPECT_EQ(ctx.vectorTy(ctx.intTy(8), 4), ctx.vectorTy(ctx.intTy(8), 4));
+    EXPECT_NE(ctx.vectorTy(ctx.intTy(8), 4), ctx.vectorTy(ctx.intTy(8), 8));
+}
+
+TEST(TypeTest, Predicates)
+{
+    TypeContext ctx;
+    const Type *i1 = ctx.boolTy();
+    const Type *i32 = ctx.intTy(32);
+    const Type *v = ctx.vectorTy(i32, 4);
+    const Type *fv = ctx.vectorTy(ctx.floatTy(), 2);
+
+    EXPECT_TRUE(i1->isBool());
+    EXPECT_FALSE(i32->isBool());
+    EXPECT_TRUE(i32->isIntOrIntVector());
+    EXPECT_TRUE(v->isIntOrIntVector());
+    EXPECT_FALSE(fv->isIntOrIntVector());
+    EXPECT_TRUE(fv->isFPOrFPVector());
+    EXPECT_TRUE(ctx.floatTy()->isFPOrFPVector());
+    EXPECT_TRUE(ctx.ptrTy()->isPtr());
+    EXPECT_TRUE(ctx.voidTy()->isVoid());
+}
+
+TEST(TypeTest, ScalarTypeAndLanes)
+{
+    TypeContext ctx;
+    const Type *v = ctx.vectorTy(ctx.intTy(16), 8);
+    EXPECT_EQ(v->scalarType(), ctx.intTy(16));
+    EXPECT_EQ(v->lanes(), 8u);
+    EXPECT_EQ(ctx.intTy(16)->scalarType(), ctx.intTy(16));
+}
+
+TEST(TypeTest, StoreSize)
+{
+    TypeContext ctx;
+    EXPECT_EQ(ctx.intTy(1)->storeSizeBytes(), 1u);
+    EXPECT_EQ(ctx.intTy(8)->storeSizeBytes(), 1u);
+    EXPECT_EQ(ctx.intTy(12)->storeSizeBytes(), 2u);
+    EXPECT_EQ(ctx.intTy(64)->storeSizeBytes(), 8u);
+    EXPECT_EQ(ctx.floatTy()->storeSizeBytes(), 8u);
+    EXPECT_EQ(ctx.ptrTy()->storeSizeBytes(), 8u);
+    EXPECT_EQ(ctx.vectorTy(ctx.intTy(32), 4)->storeSizeBytes(), 16u);
+}
+
+TEST(TypeTest, ToString)
+{
+    TypeContext ctx;
+    EXPECT_EQ(ctx.intTy(32)->toString(), "i32");
+    EXPECT_EQ(ctx.vectorTy(ctx.intTy(8), 4)->toString(), "<4 x i8>");
+    EXPECT_EQ(ctx.floatTy()->toString(), "double");
+    EXPECT_EQ(ctx.ptrTy()->toString(), "ptr");
+    EXPECT_EQ(ctx.voidTy()->toString(), "void");
+}

@@ -1,0 +1,84 @@
+// Tests for constants, interning, and the Context.
+
+#include <gtest/gtest.h>
+
+#include "ir/value.h"
+
+using namespace lpo::ir;
+using lpo::APInt;
+
+TEST(ValueTest, IntConstantInterning)
+{
+    Context ctx;
+    EXPECT_EQ(ctx.getInt(32, 7), ctx.getInt(32, 7));
+    EXPECT_NE(ctx.getInt(32, 7), ctx.getInt(32, 8));
+    EXPECT_NE(ctx.getInt(32, 7), ctx.getInt(16, 7));
+    EXPECT_EQ(ctx.getInt(8, 0x107)->value().zext(), 7u);
+}
+
+TEST(ValueTest, BoolConstants)
+{
+    Context ctx;
+    EXPECT_EQ(ctx.getBool(true)->value().zext(), 1u);
+    EXPECT_EQ(ctx.getBool(false)->value().zext(), 0u);
+    EXPECT_TRUE(ctx.getBool(true)->type()->isBool());
+}
+
+TEST(ValueTest, FPConstantInterning)
+{
+    Context ctx;
+    EXPECT_EQ(ctx.getFP(1.5), ctx.getFP(1.5));
+    EXPECT_NE(ctx.getFP(1.5), ctx.getFP(2.5));
+    // +0.0 and -0.0 are distinct bit patterns.
+    EXPECT_NE(ctx.getFP(0.0), ctx.getFP(-0.0));
+}
+
+TEST(ValueTest, SplatAndZeroInitializer)
+{
+    Context ctx;
+    const Type *vec = ctx.types().vectorTy(ctx.types().intTy(32), 4);
+    ConstantVector *splat = ctx.getSplat(vec, ctx.getInt(32, 255));
+    EXPECT_TRUE(splat->isSplat());
+    EXPECT_EQ(splat->elements().size(), 4u);
+    EXPECT_EQ(splat, ctx.getSplat(vec, ctx.getInt(32, 255)));
+
+    Value *zero = ctx.getNullValue(vec);
+    ASSERT_EQ(zero->kind(), Value::Kind::ConstVector);
+    EXPECT_TRUE(static_cast<ConstantVector *>(zero)->isSplat());
+}
+
+TEST(ValueTest, PoisonPerType)
+{
+    Context ctx;
+    EXPECT_EQ(ctx.getPoison(ctx.types().intTy(8)),
+              ctx.getPoison(ctx.types().intTy(8)));
+    EXPECT_NE(ctx.getPoison(ctx.types().intTy(8)),
+              ctx.getPoison(ctx.types().intTy(16)));
+    EXPECT_TRUE(ctx.getPoison(ctx.types().intTy(8))->isConstant());
+}
+
+TEST(ValueTest, AsConstIntOrSplat)
+{
+    Context ctx;
+    const Type *vec = ctx.types().vectorTy(ctx.types().intTy(8), 4);
+    EXPECT_NE(asConstIntOrSplat(ctx.getInt(8, 3)), nullptr);
+    EXPECT_NE(asConstIntOrSplat(ctx.getSplat(vec, ctx.getInt(8, 3))),
+              nullptr);
+    EXPECT_EQ(asConstIntOrSplat(ctx.getFP(1.0)), nullptr);
+    // Non-splat vector is not a splat constant.
+    ConstantVector *mixed = ctx.getVector(
+        vec, {ctx.getInt(8, 1), ctx.getInt(8, 2), ctx.getInt(8, 1),
+              ctx.getInt(8, 1)});
+    EXPECT_FALSE(mixed->isSplat());
+    EXPECT_EQ(asConstIntOrSplat(mixed), nullptr);
+}
+
+TEST(ValueTest, IsConstIntValue)
+{
+    Context ctx;
+    EXPECT_TRUE(isConstIntValue(ctx.getInt(8, 255), 255));
+    // Signed spelling matches through truncation.
+    EXPECT_TRUE(isConstIntValue(ctx.getInt(8, 255),
+                                static_cast<uint64_t>(-1)));
+    EXPECT_FALSE(isConstIntValue(ctx.getInt(8, 254), 255));
+}
