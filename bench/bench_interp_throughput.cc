@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Interpreter throughput: legacy map-based engine vs the pre-compiled
+ * ExecPlan engine, measured on 16-bit exhaustive verification sweeps
+ * (the exact workload checkWithTesting runs per candidate).
+ *
+ * The legacy side is what checkWithTesting used to do per input:
+ * build an ExecutionInput by decoding the sweep index, then re-walk
+ * the ir::Function through interp::executeLegacy. The plan side
+ * compiles once and runs the index-addressed loop over a reusable
+ * frame. Emits BENCH_interp.json so CI tracks the trajectory.
+ */
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "interp/exec_plan.h"
+#include "interp/interp.h"
+#include "ir/parser.h"
+
+using namespace lpo;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct BenchCase
+{
+    const char *name;
+    const char *text;
+};
+
+// Representative straight-line sequences with a 16-bit input space,
+// shaped like the extractor's wrapped candidates.
+const BenchCase kCases[] = {
+    {"i8x2_arith_chain",
+     "define i8 @f(i8 %x, i8 %y) {\n"
+     "  %a = add i8 %x, %y\n"
+     "  %m = mul i8 %a, 3\n"
+     "  %s = sub i8 %m, %x\n"
+     "  %o = or i8 %s, 1\n"
+     "  %r = xor i8 %o, %y\n"
+     "  ret i8 %r\n}\n"},
+    {"i8x2_flags_poison",
+     "define i8 @f(i8 %x, i8 %y) {\n"
+     "  %a = add nsw i8 %x, 1\n"
+     "  %s = shl nuw i8 %a, 1\n"
+     "  %c = icmp slt i8 %s, %y\n"
+     "  %r = select i1 %c, i8 %s, i8 %y\n"
+     "  ret i8 %r\n}\n"},
+    {"i16_bit_tricks",
+     "define i16 @f(i16 %x) {\n"
+     "  %n = sub i16 0, %x\n"
+     "  %a = and i16 %x, %n\n"
+     "  %p = tail call i16 @llvm.ctpop.i16(i16 %a)\n"
+     "  %z = tail call i16 @llvm.ctlz.i16(i16 %x, i1 0)\n"
+     "  %r = add i16 %p, %z\n"
+     "  ret i16 %r\n}\n"},
+    {"v2i8_vector_clamp",
+     "define <2 x i8> @f(<2 x i8> %x) {\n"
+     "  %c = icmp slt <2 x i8> %x, zeroinitializer\n"
+     "  %m = tail call <2 x i8> @llvm.umin.v2i8(<2 x i8> %x, "
+     "<2 x i8> splat (i8 100))\n"
+     "  %r = select <2 x i1> %c, <2 x i8> zeroinitializer, "
+     "<2 x i8> %m\n"
+     "  ret <2 x i8> %r\n}\n"},
+};
+
+/** The sweep-index decoding the legacy checkWithTesting performed. */
+interp::ExecutionInput
+decodeExhaustive(const ir::Function &fn, uint64_t index)
+{
+    interp::ExecutionInput input;
+    for (const auto &arg : fn.args()) {
+        const ir::Type *type = arg->type();
+        unsigned lanes = type->isVector() ? type->lanes() : 1;
+        unsigned width = type->scalarType()->intWidth();
+        interp::RtValue value;
+        for (unsigned lane = 0; lane < lanes; ++lane) {
+            uint64_t mask = width == 64 ? ~uint64_t(0)
+                                        : ((uint64_t(1) << width) - 1);
+            value.lanes.push_back(
+                interp::LaneValue::ofInt(APInt(width, index & mask)));
+            index >>= width;
+        }
+        input.args.push_back(value);
+    }
+    return input;
+}
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct CaseResult
+{
+    std::string name;
+    uint64_t inputs = 0;
+    double legacy_seconds = 0;
+    double plan_seconds = 0;
+    uint64_t check = 0; ///< fold of results, defeats dead-code elim
+};
+
+CaseResult
+runCase(const BenchCase &bench)
+{
+    ir::Context ctx;
+    auto parsed = ir::parseFunction(ctx, bench.text);
+    if (!parsed.ok()) {
+        std::fprintf(stderr, "parse failed for %s\n", bench.name);
+        std::exit(1);
+    }
+    const ir::Function &fn = **parsed;
+
+    unsigned bits = 0;
+    for (const auto &arg : fn.args()) {
+        const ir::Type *t = arg->type();
+        unsigned lanes = t->isVector() ? t->lanes() : 1;
+        bits += lanes * t->scalarType()->intWidth();
+    }
+    CaseResult result;
+    result.name = bench.name;
+    result.inputs = uint64_t(1) << bits;
+
+    // Legacy: per-input ExecutionInput build + tree-walk execution.
+    {
+        auto start = Clock::now();
+        for (uint64_t i = 0; i < result.inputs; ++i) {
+            interp::ExecutionInput input = decodeExhaustive(fn, i);
+            interp::ExecutionResult r = interp::executeLegacy(fn, input);
+            result.check +=
+                r.ub ? 1
+                     : (r.ret ? r.ret->lanes[0].bits.zext() : 0);
+        }
+        result.legacy_seconds = secondsSince(start);
+    }
+
+    // ExecPlan: compile once, reuse one frame, decode in place.
+    {
+        auto start = Clock::now();
+        interp::ExecPlan plan = interp::ExecPlan::compile(fn);
+        interp::ExecFrame frame = plan.makeFrame();
+        uint64_t check = 0;
+        for (uint64_t i = 0; i < result.inputs; ++i) {
+            interp::PlanResult r = plan.runExhaustive(frame, i);
+            check += r.ub ? 1
+                          : (r.has_ret ? r.ret[0].bits.zext() : 0);
+        }
+        result.plan_seconds = secondsSince(start);
+        if (check != result.check) {
+            std::fprintf(stderr,
+                         "ENGINE DISAGREEMENT on %s: legacy=%llu "
+                         "plan=%llu\n",
+                         bench.name,
+                         static_cast<unsigned long long>(result.check),
+                         static_cast<unsigned long long>(check));
+            std::exit(1);
+        }
+    }
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::vector<CaseResult> results;
+    double speedup_product = 1.0;
+    for (const BenchCase &bench : kCases)
+        results.push_back(runCase(bench));
+
+    std::printf("%-22s %10s %14s %14s %9s\n", "case", "inputs",
+                "legacy in/s", "plan in/s", "speedup");
+    std::string json = "{\n  \"benchmarks\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const CaseResult &r = results[i];
+        double legacy_ips = r.inputs / r.legacy_seconds;
+        double plan_ips = r.inputs / r.plan_seconds;
+        double speedup = plan_ips / legacy_ips;
+        speedup_product *= speedup;
+        std::printf("%-22s %10llu %14.0f %14.0f %8.1fx\n",
+                    r.name.c_str(),
+                    static_cast<unsigned long long>(r.inputs),
+                    legacy_ips, plan_ips, speedup);
+        char buf[512];
+        std::snprintf(buf, sizeof buf,
+                      "    {\"name\": \"%s\", \"inputs\": %llu, "
+                      "\"legacy_inputs_per_sec\": %.0f, "
+                      "\"plan_inputs_per_sec\": %.0f, "
+                      "\"speedup\": %.2f}%s\n",
+                      r.name.c_str(),
+                      static_cast<unsigned long long>(r.inputs),
+                      legacy_ips, plan_ips, speedup,
+                      i + 1 < results.size() ? "," : "");
+        json += buf;
+    }
+    double geomean =
+        std::pow(speedup_product, 1.0 / results.size());
+    std::printf("geomean speedup: %.1fx\n", geomean);
+    char tail[128];
+    std::snprintf(tail, sizeof tail,
+                  "  ],\n  \"geomean_speedup\": %.2f\n}\n", geomean);
+    json += tail;
+
+    std::ofstream out("BENCH_interp.json");
+    out << json;
+    std::printf("wrote BENCH_interp.json\n");
+    return 0;
+}

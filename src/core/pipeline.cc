@@ -1,8 +1,10 @@
 #include "core/pipeline.h"
 
 #include "core/interestingness.h"
+#include "ir/parser.h"
 #include "ir/printer.h"
 #include "opt/opt_driver.h"
+#include "support/thread_pool.h"
 
 namespace lpo::core {
 
@@ -23,8 +25,16 @@ caseStatusName(CaseStatus status)
 CaseOutcome
 Pipeline::optimizeSequence(const ir::Function &seq, uint64_t round_seed)
 {
+    return runCase(seq, round_seed, stats_, config_.refine);
+}
+
+CaseOutcome
+Pipeline::runCase(const ir::Function &seq, uint64_t round_seed,
+                  PipelineStats &stats,
+                  const verify::RefineOptions &refine)
+{
     CaseOutcome outcome;
-    ++stats_.cases;
+    ++stats.cases;
     outcome.total_seconds = config_.overhead_seconds;
 
     std::string seq_text = ir::printFunction(seq);
@@ -38,7 +48,7 @@ Pipeline::optimizeSequence(const ir::Function &seq, uint64_t round_seed)
         request.feedback = feedback;
         request.seed = round_seed * 7919 + counter;
         llm::LlmResponse response = client_.complete(request);
-        ++stats_.llm_calls;
+        ++stats.llm_calls;
         ++outcome.attempts;
         outcome.llm_seconds += response.latency_seconds;
         outcome.total_seconds += response.latency_seconds;
@@ -48,7 +58,7 @@ Pipeline::optimizeSequence(const ir::Function &seq, uint64_t round_seed)
         ir::Context &context = seq.context();
         opt::OptResult opted = opt::runOpt(context, response.text);
         if (opted.failed) {
-            ++stats_.syntax_errors;
+            ++stats.syntax_errors;
             ++counter;
             outcome.status = CaseStatus::SyntaxError;
             outcome.last_feedback = opted.error_message;
@@ -61,7 +71,7 @@ Pipeline::optimizeSequence(const ir::Function &seq, uint64_t round_seed)
         // Step: interestingness gate (before the costlier verifier).
         Interestingness gate = checkInteresting(seq, *opted.function);
         if (!gate.interesting) {
-            ++stats_.not_interesting;
+            ++stats.not_interesting;
             outcome.status = CaseStatus::NotInteresting;
             outcome.last_feedback = gate.reason;
             break; // abandon this sequence (Algorithm 1 line 16)
@@ -69,8 +79,8 @@ Pipeline::optimizeSequence(const ir::Function &seq, uint64_t round_seed)
 
         // Step 5: correctness via the translation validator.
         verify::RefinementResult verdict =
-            verify::checkRefinement(seq, *opted.function, config_.refine);
-        ++stats_.verifier_calls;
+            verify::checkRefinement(seq, *opted.function, refine);
+        ++stats.verifier_calls;
         outcome.total_seconds += config_.verify_seconds;
         outcome.verifier_backend = verdict.backend;
 
@@ -80,7 +90,7 @@ Pipeline::optimizeSequence(const ir::Function &seq, uint64_t round_seed)
             break;
         }
         if (!verdict.correct()) {
-            ++stats_.incorrect_candidates;
+            ++stats.incorrect_candidates;
             ++counter;
             outcome.status = CaseStatus::Incorrect;
             outcome.last_feedback = verdict.feedbackMessage(seq);
@@ -93,7 +103,7 @@ Pipeline::optimizeSequence(const ir::Function &seq, uint64_t round_seed)
         // Success: record the pair for further analysis (step 7).
         outcome.status = CaseStatus::Found;
         outcome.candidate_text = ir::printFunction(*opted.function);
-        ++stats_.found;
+        ++stats.found;
         break;
     }
 
@@ -105,8 +115,8 @@ Pipeline::optimizeSequence(const ir::Function &seq, uint64_t round_seed)
         outcome.status = CaseStatus::NoCandidate;
     }
 
-    stats_.total_seconds += outcome.total_seconds;
-    stats_.total_cost_usd += outcome.cost_usd;
+    stats.total_seconds += outcome.total_seconds;
+    stats.total_cost_usd += outcome.cost_usd;
     return outcome;
 }
 
@@ -114,10 +124,72 @@ std::vector<CaseOutcome>
 Pipeline::processModule(const ir::Module &module,
                         extract::Extractor &extractor, uint64_t round_seed)
 {
-    std::vector<CaseOutcome> outcomes;
     auto sequences = extractor.extractFromModule(module);
-    for (const auto &seq : sequences)
-        outcomes.push_back(optimizeSequence(*seq, round_seed));
+    unsigned threads = config_.num_threads
+                           ? config_.num_threads
+                           : ThreadPool::hardwareThreads();
+    std::vector<CaseOutcome> outcomes(sequences.size());
+
+    if (threads <= 1 || sequences.size() <= 1) {
+        for (size_t i = 0; i < sequences.size(); ++i)
+            outcomes[i] = optimizeSequence(*sequences[i], round_seed);
+        return outcomes;
+    }
+
+    // Parallel fan-out. The extracted sequences all live in the
+    // module's shared ir::Context, which is not safe to mutate
+    // concurrently (runOpt parses candidates into it), so each worker
+    // re-parses its sequence's text into a private Context and runs
+    // the whole loop there. print(parse(print(f))) is stable, so the
+    // prompt text — and therefore the mock model's seeded RNG stream —
+    // is byte-identical to the serial path.
+    std::vector<std::string> texts(sequences.size());
+    for (size_t i = 0; i < sequences.size(); ++i)
+        texts[i] = ir::printFunction(*sequences[i]);
+
+    // The pipeline-level fan-out already saturates the machine, so
+    // each worker runs its verification sweeps serially rather than
+    // nesting a second hardware-wide pool per candidate.
+    verify::RefineOptions worker_refine = config_.refine;
+    worker_refine.num_threads = 1;
+
+    std::vector<PipelineStats> deltas(sequences.size());
+    ThreadPool pool(threads);
+    pool.parallelFor(0, sequences.size(), 1, [&](uint64_t lo, uint64_t hi) {
+        for (uint64_t i = lo; i < hi; ++i) {
+            ir::Context context;
+            auto parsed = ir::parseFunction(context, texts[i]);
+            if (!parsed.ok()) {
+                // Cannot happen for printer output; recorded rather
+                // than silently dropped if it ever does.
+                ++deltas[i].cases;
+                ++deltas[i].syntax_errors;
+                outcomes[i].status = CaseStatus::SyntaxError;
+                outcomes[i].last_feedback = parsed.error().toString();
+                outcomes[i].total_seconds = config_.overhead_seconds;
+                deltas[i].total_seconds += outcomes[i].total_seconds;
+                continue;
+            }
+            outcomes[i] = runCase(**parsed, round_seed, deltas[i],
+                                  worker_refine);
+        }
+    });
+
+    // Per-case stat deltas fold into the shared stats in sequence
+    // order — the exact accumulation order of the serial path, so
+    // totals (including the doubles) are bit-identical for any thread
+    // count.
+    for (const PipelineStats &delta : deltas) {
+        stats_.cases += delta.cases;
+        stats_.found += delta.found;
+        stats_.llm_calls += delta.llm_calls;
+        stats_.verifier_calls += delta.verifier_calls;
+        stats_.syntax_errors += delta.syntax_errors;
+        stats_.incorrect_candidates += delta.incorrect_candidates;
+        stats_.not_interesting += delta.not_interesting;
+        stats_.total_seconds += delta.total_seconds;
+        stats_.total_cost_usd += delta.total_cost_usd;
+    }
     return outcomes;
 }
 

@@ -35,6 +35,16 @@ struct PipelineConfig
     double overhead_seconds = 0.5;
     /** Additional simulated seconds per verifier invocation. */
     double verify_seconds = 0.4;
+    /**
+     * Threads for processModule's per-sequence fan-out (0 = hardware
+     * concurrency; 1 reproduces the original serial behavior). Every
+     * thread count produces bit-identical outcomes and stats: each
+     * case's seed depends only on its position, workers run cases in
+     * isolated per-thread IR contexts, and per-case stat deltas are
+     * merged in sequence order (see DESIGN.md, "Deterministic
+     * parallelism").
+     */
+    unsigned num_threads = 0;
 };
 
 /** Why a case ended. */
@@ -101,6 +111,16 @@ class Pipeline
     const PipelineStats &stats() const { return stats_; }
 
   private:
+    /**
+     * One sequence's trip through the loop, accounted into @p stats,
+     * verifying with @p refine (processModule workers pass a serial
+     * copy so per-case sweeps don't nest thread pools; by the
+     * deterministic-parallelism contract this cannot change results).
+     */
+    CaseOutcome runCase(const ir::Function &seq, uint64_t round_seed,
+                        PipelineStats &stats,
+                        const verify::RefineOptions &refine);
+
     llm::LlmClient &client_;
     PipelineConfig config_;
     PipelineStats stats_;

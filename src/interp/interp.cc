@@ -5,6 +5,7 @@
 #include <cstring>
 #include <map>
 
+#include "interp/exec_plan.h"
 #include "ir/printer.h"
 
 namespace lpo::interp {
@@ -652,6 +653,18 @@ Machine::run()
 ExecutionResult
 execute(const ir::Function &fn, const ExecutionInput &input,
         unsigned step_limit)
+{
+    assert(input.args.size() == fn.numArgs() &&
+           "argument count mismatch");
+    ExecPlan plan = ExecPlan::compile(fn, step_limit);
+    ExecFrame frame = plan.makeFrame();
+    PlanResult result = plan.run(frame, input);
+    return plan.materialize(frame, result);
+}
+
+ExecutionResult
+executeLegacy(const ir::Function &fn, const ExecutionInput &input,
+              unsigned step_limit)
 {
     assert(input.args.size() == fn.numArgs() &&
            "argument count mismatch");

@@ -120,11 +120,27 @@ struct ExecutionResult
 /**
  * Execute @p fn on @p input.
  *
+ * Since the ExecPlan engine landed this is a thin wrapper that
+ * compiles @p fn once and runs the plan (see interp/exec_plan.h), so
+ * every caller — including the encoder cross-check tests — exercises
+ * the production evaluation path. Batch callers should compile a plan
+ * themselves and reuse an ExecFrame across inputs.
+ *
  * @param step_limit aborts looping functions; exceeding it is
  *        reported as UB with reason "step limit".
  */
 ExecutionResult execute(const ir::Function &fn, const ExecutionInput &input,
                         unsigned step_limit = 100000);
+
+/**
+ * The original tree-walking interpreter (map-based operand lookup,
+ * per-run allocations). Retained as the reference implementation for
+ * the ExecPlan differential suite and the throughput benchmark; new
+ * code should call execute() or use ExecPlan directly.
+ */
+ExecutionResult executeLegacy(const ir::Function &fn,
+                              const ExecutionInput &input,
+                              unsigned step_limit = 100000);
 
 /**
  * Render a counterexample input in the style Alive2 uses for feedback

@@ -45,7 +45,16 @@ class LlmClient
     /** Model display name (Table 1's "Model Name"). */
     virtual const std::string &name() const = 0;
 
-    /** Run one completion. */
+    /**
+     * Run one completion.
+     *
+     * MUST be safe to call concurrently from multiple threads:
+     * core::Pipeline::processModule fans sequences out over a worker
+     * pool (PipelineConfig::num_threads) and shares one client across
+     * workers. MockModel is stateless per call; implementations with
+     * internal state (sessions, caches, accounting) need their own
+     * synchronization.
+     */
     virtual LlmResponse complete(const LlmRequest &request) = 0;
 };
 

@@ -1,0 +1,99 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+
+namespace lpo {
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads)
+    : num_threads_(num_threads ? num_threads : hardwareThreads())
+{
+    // The calling thread participates in every parallelFor, so a pool
+    // of size N spawns N-1 workers; size 1 spawns none and stays
+    // strictly serial.
+    for (unsigned i = 1; i < num_threads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    job_ready_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen_generation = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+        job_ready_.wait(lock, [&] {
+            return stop_ || generation_ != seen_generation;
+        });
+        if (stop_)
+            return;
+        seen_generation = generation_;
+        const auto *body = body_;
+        uint64_t end = end_;
+        uint64_t chunk = chunk_;
+        lock.unlock();
+        while (true) {
+            uint64_t lo = cursor_.fetch_add(chunk);
+            if (lo >= end)
+                break;
+            (*body)(lo, std::min(lo + chunk, end));
+        }
+        lock.lock();
+        if (--pending_ == 0)
+            job_done_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(uint64_t begin, uint64_t end, uint64_t chunk,
+                        const std::function<void(uint64_t, uint64_t)> &body)
+{
+    if (begin >= end)
+        return;
+    if (chunk == 0)
+        chunk = 1;
+    // Serial pool, or a range that fits in one chunk: run inline.
+    if (workers_.empty() || end - begin <= chunk) {
+        for (uint64_t lo = begin; lo < end; lo += chunk)
+            body(lo, std::min(lo + chunk, end));
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        body_ = &body;
+        cursor_.store(begin);
+        end_ = end;
+        chunk_ = chunk;
+        pending_ = static_cast<unsigned>(workers_.size());
+        ++generation_;
+    }
+    job_ready_.notify_all();
+    // The caller claims chunks alongside the workers.
+    while (true) {
+        uint64_t lo = cursor_.fetch_add(chunk);
+        if (lo >= end)
+            break;
+        body(lo, std::min(lo + chunk, end));
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_done_.wait(lock, [&] { return pending_ == 0; });
+    body_ = nullptr;
+}
+
+} // namespace lpo

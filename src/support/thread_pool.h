@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A small fixed-size worker pool with a chunked parallel-for.
+ *
+ * Built for the verification sweep and the pipeline fan-out: callers
+ * hand the pool a half-open index range and a chunk size; workers (and
+ * the calling thread, which participates) claim chunks from an atomic
+ * cursor until the range is exhausted. With one thread the pool spawns
+ * no workers at all and parallelFor degenerates to a plain serial
+ * loop, which is the reproducibility baseline the determinism tests
+ * pin down.
+ *
+ * The pool makes no ordering promises between chunks; components that
+ * need deterministic answers (first counterexample, merged statistics)
+ * must reduce their per-chunk results by index, as refine.cc and
+ * pipeline.cc do. Bodies must not throw, and at most one parallelFor
+ * may be in flight per pool at a time.
+ */
+#ifndef LPO_SUPPORT_THREAD_POOL_H
+#define LPO_SUPPORT_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lpo {
+
+class ThreadPool
+{
+  public:
+    /** @param num_threads total parallelism; 0 means hardwareThreads(). */
+    explicit ThreadPool(unsigned num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total parallelism, counting the calling thread. */
+    unsigned size() const { return num_threads_; }
+
+    /** std::thread::hardware_concurrency(), never zero. */
+    static unsigned hardwareThreads();
+
+    /**
+     * Invoke @p body(lo, hi) over @p chunk-sized sub-ranges of
+     * [begin, end) from every pool thread plus the caller; returns
+     * once the whole range has been processed. Chunks are claimed in
+     * increasing order but may complete in any order.
+     */
+    void parallelFor(uint64_t begin, uint64_t end, uint64_t chunk,
+                     const std::function<void(uint64_t, uint64_t)> &body);
+
+  private:
+    void workerLoop();
+
+    unsigned num_threads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable job_ready_;
+    std::condition_variable job_done_;
+    const std::function<void(uint64_t, uint64_t)> *body_ = nullptr;
+    std::atomic<uint64_t> cursor_{0};
+    uint64_t end_ = 0;
+    uint64_t chunk_ = 1;
+    uint64_t generation_ = 0;
+    unsigned pending_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace lpo
+
+#endif // LPO_SUPPORT_THREAD_POOL_H

@@ -1,20 +1,27 @@
 #include "verify/refine.h"
 
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <map>
 
+#include "interp/exec_plan.h"
 #include "ir/printer.h"
 #include "support/rng.h"
+#include "support/thread_pool.h"
 #include "verify/encoder.h"
 
 namespace lpo::verify {
 
+using interp::ExecFrame;
+using interp::ExecPlan;
 using interp::ExecutionInput;
 using interp::ExecutionResult;
 using interp::LaneValue;
 using interp::MemoryObject;
+using interp::PlanResult;
 using interp::RtValue;
 using ir::Type;
 using smt::CircuitBuilder;
@@ -171,9 +178,9 @@ checkWithSat(const ir::Function &src, const ir::Function &tgt,
 
     result.verdict = Verdict::Incorrect;
     Counterexample cex;
-    cex.input = input;
     cex.source_value = interp::describeResult(src_run);
     cex.target_value = interp::describeResult(tgt_run);
+    cex.input = std::move(input);
     std::string why;
     if (!violatesRefinement(src_run, tgt_run, &why))
         why = "value mismatch"; // defensive: model disagrees with interp
@@ -255,9 +262,29 @@ decodeExhaustive(const ir::Function &fn, uint64_t index)
     return input;
 }
 
+/** Special integer patterns per distinct argument width, built once
+ *  per sweep instead of once per sampled lane. */
+using SpecialPatternCache = std::map<unsigned, std::vector<uint64_t>>;
+
+SpecialPatternCache
+buildSpecialPatterns(const ir::Function &fn)
+{
+    SpecialPatternCache cache;
+    for (const auto &arg : fn.args()) {
+        const Type *type = arg->type();
+        if (type->isPtr() || type->scalarType()->isFloat())
+            continue;
+        unsigned width = type->scalarType()->intWidth();
+        if (!cache.count(width))
+            cache.emplace(width, specialPatterns(width));
+    }
+    return cache;
+}
+
 /** Build a randomized input, mixing special values generously. */
 ExecutionInput
-randomInput(const ir::Function &fn, Rng &rng, unsigned object_bytes)
+randomInput(const ir::Function &fn, Rng &rng, unsigned object_bytes,
+            const SpecialPatternCache &special_cache)
 {
     ExecutionInput input;
     for (const auto &arg : fn.args()) {
@@ -291,7 +318,7 @@ randomInput(const ir::Function &fn, Rng &rng, unsigned object_bytes)
             unsigned width = type->scalarType()->intWidth();
             uint64_t bits;
             if (rng.chance(0.5)) {
-                auto specials = specialPatterns(width);
+                const auto &specials = special_cache.at(width);
                 bits = specials[rng.nextBelow(specials.size())];
             } else {
                 bits = rng.next();
@@ -303,50 +330,148 @@ randomInput(const ir::Function &fn, Rng &rng, unsigned object_bytes)
     return input;
 }
 
+/**
+ * The sampled input for sweep position @p index. A pure function of
+ * (seed, index) so the parallel sweep generates identical inputs
+ * regardless of how indices are distributed over threads.
+ */
+ExecutionInput
+sampledInputAt(const ir::Function &fn, const RefineOptions &options,
+               uint64_t index, const SpecialPatternCache &special_cache)
+{
+    Rng rng(options.seed ^ ((index + 1) * 0x9e3779b97f4a7c15ull));
+    return randomInput(fn, rng, options.memory_object_bytes,
+                       special_cache);
+}
+
+/** violatesRefinement over in-frame plan results (no allocation). */
+bool
+violatesPlanRefinement(const PlanResult &src, const PlanResult &tgt)
+{
+    if (src.ub)
+        return false; // source UB: anything goes
+    if (tgt.ub)
+        return true;
+    if (!src.has_ret || !tgt.has_ret)
+        return false;
+    for (uint32_t lane = 0; lane < src.ret_lanes; ++lane) {
+        const LaneValue &s = src.ret[lane];
+        const LaneValue &t = tgt.ret[lane];
+        if (s.poison)
+            continue; // target may refine poison to anything
+        if (t.poison)
+            return true;
+        if (s.is_fp) {
+            bool both_nan = std::isnan(s.fp) && std::isnan(t.fp);
+            if (!both_nan) {
+                uint64_t sb, tb;
+                std::memcpy(&sb, &s.fp, 8);
+                std::memcpy(&tb, &t.fp, 8);
+                if (sb != tb)
+                    return true;
+            }
+        } else if (s.bits.zext() != t.bits.zext()) {
+            return true;
+        }
+    }
+    return false;
+}
+
+constexpr uint64_t kNoViolation = std::numeric_limits<uint64_t>::max();
+
+/** Lower @p candidate into @p lowest (atomic min). */
+void
+recordViolation(std::atomic<uint64_t> &lowest, uint64_t candidate)
+{
+    uint64_t current = lowest.load(std::memory_order_relaxed);
+    while (candidate < current &&
+           !lowest.compare_exchange_weak(current, candidate))
+        ;
+}
+
 RefinementResult
 checkWithTesting(const ir::Function &src, const ir::Function &tgt,
                  const RefineOptions &options)
 {
     RefinementResult result;
 
-    auto try_input = [&](const ExecutionInput &input) -> bool {
-        ExecutionResult src_run = interp::execute(src, input);
-        ExecutionResult tgt_run = interp::execute(tgt, input);
-        std::string why;
-        if (violatesRefinement(src_run, tgt_run, &why)) {
-            result.verdict = Verdict::Incorrect;
-            result.detail = why;
-            Counterexample cex;
-            cex.input = input;
-            cex.source_value = interp::describeResult(src_run);
-            cex.target_value = interp::describeResult(tgt_run);
-            result.counterexample = std::move(cex);
-            return true;
-        }
-        return false;
-    };
+    // Compile both functions ONCE; the sweep then runs each input
+    // through the flat plans with a per-worker reusable frame.
+    const ExecPlan src_plan = ExecPlan::compile(src);
+    const ExecPlan tgt_plan = ExecPlan::compile(tgt);
 
     unsigned bits = inputSpaceBits(src);
-    if (bits <= options.exhaustive_bit_limit) {
-        result.backend = "exhaustive";
-        uint64_t total = uint64_t(1) << bits;
-        for (uint64_t index = 0; index < total; ++index)
-            if (try_input(decodeExhaustive(src, index)))
-                return result;
+    const bool exhaustive = bits <= options.exhaustive_bit_limit;
+    const uint64_t total =
+        exhaustive ? uint64_t(1) << bits : options.sample_count;
+    result.backend = exhaustive ? "exhaustive" : "sampled";
+
+    SpecialPatternCache special_cache =
+        exhaustive ? SpecialPatternCache{} : buildSpecialPatterns(src);
+
+    // The sweep is chunked over the pool. first_bad converges on the
+    // LOWEST violating input index, so the reported counterexample is
+    // independent of thread count and scheduling.
+    std::atomic<uint64_t> first_bad{kNoViolation};
+    const uint64_t chunk = exhaustive ? 1024 : 256;
+    // Sweeps that fit in one chunk gain nothing from workers; skip
+    // the thread spawn entirely (parallelFor runs inline on a
+    // single-thread pool).
+    ThreadPool pool(total > chunk ? options.num_threads : 1);
+    pool.parallelFor(0, total, chunk, [&](uint64_t lo, uint64_t hi) {
+        ExecFrame src_frame = src_plan.makeFrame();
+        ExecFrame tgt_frame = tgt_plan.makeFrame();
+        for (uint64_t index = lo; index < hi; ++index) {
+            // A violation at a lower index makes the rest of this
+            // chunk (and every later chunk) irrelevant.
+            if (first_bad.load(std::memory_order_relaxed) <= index)
+                return;
+            PlanResult s, t;
+            if (exhaustive) {
+                s = src_plan.runExhaustive(src_frame, index);
+                t = tgt_plan.runExhaustive(tgt_frame, index);
+            } else {
+                ExecutionInput input =
+                    sampledInputAt(src, options, index, special_cache);
+                s = src_plan.run(src_frame, input);
+                t = tgt_plan.run(tgt_frame, input);
+            }
+            if (violatesPlanRefinement(s, t)) {
+                recordViolation(first_bad, index);
+                return;
+            }
+        }
+    });
+
+    uint64_t bad = first_bad.load();
+    if (bad == kNoViolation) {
         result.verdict = Verdict::Correct;
-        result.detail = "exhaustive over " + std::to_string(total) +
-                        " inputs";
+        result.detail =
+            exhaustive
+                ? "exhaustive over " + std::to_string(total) + " inputs"
+                : "bounded testing over " + std::to_string(total) +
+                      " samples";
         return result;
     }
 
-    result.backend = "sampled";
-    Rng rng(options.seed);
-    for (unsigned i = 0; i < options.sample_count; ++i)
-        if (try_input(randomInput(src, rng, options.memory_object_bytes)))
-            return result;
-    result.verdict = Verdict::Correct;
-    result.detail = "bounded testing over " +
-                    std::to_string(options.sample_count) + " samples";
+    // Re-run the single failing input to render the counterexample;
+    // results are described exactly once, and the input is MOVED into
+    // the counterexample rather than copied.
+    ExecutionInput input =
+        exhaustive ? decodeExhaustive(src, bad)
+                   : sampledInputAt(src, options, bad, special_cache);
+    ExecutionResult src_run = interp::execute(src, input);
+    ExecutionResult tgt_run = interp::execute(tgt, input);
+    std::string why;
+    if (!violatesRefinement(src_run, tgt_run, &why))
+        why = "value mismatch"; // defensive
+    result.verdict = Verdict::Incorrect;
+    result.detail = why;
+    Counterexample cex;
+    cex.source_value = interp::describeResult(src_run);
+    cex.target_value = interp::describeResult(tgt_run);
+    cex.input = std::move(input);
+    result.counterexample = std::move(cex);
     return result;
 }
 

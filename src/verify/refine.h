@@ -72,6 +72,14 @@ struct RefineOptions
     unsigned memory_object_bytes = 64;
     /** Seed for the sampled backend. */
     uint64_t seed = 0xA11CE;
+    /**
+     * Threads for the concrete-testing sweep (0 = hardware
+     * concurrency, 1 = serial). Results are bit-identical for every
+     * thread count: inputs are derived from their index alone and the
+     * lowest violating input index always wins (see DESIGN.md,
+     * "Deterministic parallelism").
+     */
+    unsigned num_threads = 0;
 };
 
 /** Check whether @p tgt refines @p src. */

@@ -1,0 +1,75 @@
+// ThreadPool tests: full coverage of the range, reuse across jobs,
+// serial degeneration, and chunk boundary handling.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "support/thread_pool.h"
+
+using lpo::ThreadPool;
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce)
+{
+    for (unsigned threads : {1u, 2u, 8u}) {
+        ThreadPool pool(threads);
+        constexpr uint64_t kTotal = 10'000;
+        std::vector<std::atomic<uint32_t>> hits(kTotal);
+        pool.parallelFor(0, kTotal, 64, [&](uint64_t lo, uint64_t hi) {
+            for (uint64_t i = lo; i < hi; ++i)
+                hits[i].fetch_add(1);
+        });
+        for (uint64_t i = 0; i < kTotal; ++i)
+            ASSERT_EQ(hits[i].load(), 1u) << "index " << i
+                                          << " threads " << threads;
+    }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossJobs)
+{
+    ThreadPool pool(4);
+    std::atomic<uint64_t> sum{0};
+    for (int job = 0; job < 3; ++job) {
+        sum.store(0);
+        pool.parallelFor(1, 101, 7, [&](uint64_t lo, uint64_t hi) {
+            uint64_t local = 0;
+            for (uint64_t i = lo; i < hi; ++i)
+                local += i;
+            sum.fetch_add(local);
+        });
+        EXPECT_EQ(sum.load(), 5050u);
+    }
+}
+
+TEST(ThreadPoolTest, EmptyAndTinyRanges)
+{
+    ThreadPool pool(4);
+    std::atomic<uint32_t> calls{0};
+    pool.parallelFor(5, 5, 16, [&](uint64_t, uint64_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0u);
+    pool.parallelFor(5, 6, 16, [&](uint64_t lo, uint64_t hi) {
+        EXPECT_EQ(lo, 5u);
+        EXPECT_EQ(hi, 6u);
+        ++calls;
+    });
+    EXPECT_EQ(calls.load(), 1u);
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesClampToEnd)
+{
+    ThreadPool pool(2);
+    std::atomic<uint64_t> covered{0};
+    pool.parallelFor(0, 100, 33, [&](uint64_t lo, uint64_t hi) {
+        EXPECT_LE(hi, 100u);
+        covered.fetch_add(hi - lo);
+    });
+    EXPECT_EQ(covered.load(), 100u);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsNonZero)
+{
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+    ThreadPool defaulted(0);
+    EXPECT_EQ(defaulted.size(), ThreadPool::hardwareThreads());
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI entry point: build Release + Debug, run the test suite in both,
+# and run the interpreter throughput benchmark, leaving BENCH_interp.json
+# in the repo root so the perf trajectory is tracked per commit.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+for config in Release Debug; do
+    build_dir="build-${config,,}"
+    echo "=== Configuring ${config} ==="
+    cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE="${config}"
+    echo "=== Building ${config} ==="
+    cmake --build "${build_dir}" -j "${jobs}"
+    echo "=== Testing ${config} ==="
+    ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+done
+
+echo "=== Interpreter throughput benchmark (Release) ==="
+# The benchmark writes BENCH_interp.json into its working directory.
+(cd build-release && ./bench_interp_throughput)
+cp build-release/BENCH_interp.json .
+echo "BENCH_interp.json:"
+cat BENCH_interp.json
