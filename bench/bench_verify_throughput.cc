@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Verification throughput: the pre-PR proving path (no structural
+ * hashing, no result cache) vs the accelerated one, measured as
+ * verified candidates/sec over the full missed-optimization corpus
+ * (RQ1 + RQ2 pairs).
+ *
+ * The workload verifies every (src, tgt) pair kRounds times — the
+ * shape the rewrite library actually produces, where structurally
+ * identical candidates recur across sites and rounds. The baseline
+ * re-proves each recurrence from scratch; the accelerated path proves
+ * once and hits the verification cache afterwards, and its first
+ * proof is itself cheaper because hash-consed circuits are smaller.
+ *
+ * Also records, for every SAT-fragment pair, the encoded query size
+ * (variables/clauses) with and without structural hashing — the
+ * variable count must shrink on every pair, since src and tgt share
+ * argument structure at minimum. Emits BENCH_verify.json; tools/ci.sh
+ * gates on geomean_speedup against the committed baseline.
+ */
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/benchmarks.h"
+#include "core/report.h"
+#include "ir/parser.h"
+#include "smt/bitblast.h"
+#include "smt/sat.h"
+#include "verify/cache.h"
+#include "verify/encoder.h"
+#include "verify/refine.h"
+
+using namespace lpo;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr unsigned kRounds = 3;
+/** Measurement repetitions; per-case times keep the minimum, which
+ *  de-noises the microsecond-scale fast cases on loaded runners. The
+ *  cache is recreated per repetition so every rep measures the same
+ *  cold-to-warm 3-round workload. */
+constexpr unsigned kReps = 3;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct QuerySize
+{
+    int vars = 0;
+    uint64_t clauses = 0;
+    uint64_t unique_hits = 0;
+};
+
+/** Size of the production SAT query (verify::encodeRefinementQuery). */
+QuerySize
+encodeQuery(const ir::Function &src, const ir::Function &tgt,
+            bool structural_hashing)
+{
+    smt::SatSolver solver;
+    smt::CircuitBuilder builder(solver, structural_hashing);
+    if (!verify::encodeRefinementQuery(builder, src, tgt))
+        return {};
+    return {solver.numVars(), solver.clausesAdded(),
+            builder.uniqueTableHits()};
+}
+
+struct CaseResult
+{
+    std::string name;
+    std::string backend;
+    double baseline_seconds = 0;
+    double optimized_seconds = 0;
+    QuerySize size_before;
+    QuerySize size_after;
+};
+
+} // namespace
+
+int
+main()
+{
+    std::vector<corpus::MissedOptBenchmark> catalog =
+        corpus::rq1Benchmarks();
+    for (const auto &bench : corpus::rq2Benchmarks())
+        catalog.push_back(bench);
+
+    // Parse every pair once, up front.
+    std::vector<std::unique_ptr<ir::Context>> contexts;
+    std::vector<std::unique_ptr<ir::Function>> srcs, tgts;
+    std::vector<CaseResult> results;
+    for (const auto &bench : catalog) {
+        contexts.push_back(std::make_unique<ir::Context>());
+        auto src = ir::parseFunction(*contexts.back(), bench.src_text);
+        auto tgt = ir::parseFunction(*contexts.back(), bench.tgt_text);
+        if (!src.ok() || !tgt.ok()) {
+            std::fprintf(stderr, "parse failed for %s\n",
+                         bench.issue_id.c_str());
+            return 1;
+        }
+        srcs.push_back(std::move(*src));
+        tgts.push_back(std::move(*tgt));
+        CaseResult result;
+        result.name = bench.issue_id;
+        results.push_back(std::move(result));
+    }
+
+    verify::VerifyCache::Stats cache_stats;
+    for (unsigned rep = 0; rep < kReps; ++rep) {
+        verify::VerifyCache cache;
+        for (size_t i = 0; i < catalog.size(); ++i) {
+            // Pre-PR path: no unique table, every recurrence
+            // re-proved.
+            verify::RefineOptions baseline_options;
+            baseline_options.num_threads = 1;
+            baseline_options.structural_hashing = false;
+            auto start = Clock::now();
+            for (unsigned round = 0; round < kRounds; ++round) {
+                auto verdict = verify::checkRefinement(
+                    *srcs[i], *tgts[i], baseline_options);
+                results[i].backend = verdict.backend;
+            }
+            double baseline_seconds = secondsSince(start);
+
+            // Accelerated path: hash-consed circuits + shared cache.
+            verify::RefineOptions optimized_options;
+            optimized_options.num_threads = 1;
+            optimized_options.cache = &cache;
+            start = Clock::now();
+            for (unsigned round = 0; round < kRounds; ++round)
+                verify::checkRefinement(*srcs[i], *tgts[i],
+                                        optimized_options);
+            double optimized_seconds = secondsSince(start);
+
+            if (rep == 0 ||
+                baseline_seconds < results[i].baseline_seconds)
+                results[i].baseline_seconds = baseline_seconds;
+            if (rep == 0 ||
+                optimized_seconds < results[i].optimized_seconds)
+                results[i].optimized_seconds = optimized_seconds;
+        }
+        // Hit/miss counts are identical every rep (deterministic);
+        // keep the last rep's.
+        cache_stats = cache.stats();
+    }
+
+    double baseline_total = 0, optimized_total = 0;
+    bool all_sat_queries_shrank = true;
+    for (size_t i = 0; i < catalog.size(); ++i) {
+        // Query-size accounting for the SAT fragment.
+        if (verify::usesSatBackend(*srcs[i], *tgts[i])) {
+            results[i].size_before = encodeQuery(*srcs[i], *tgts[i],
+                                                 false);
+            results[i].size_after = encodeQuery(*srcs[i], *tgts[i],
+                                                true);
+            // Any unique-table hit is a gate that would otherwise
+            // have allocated a variable, so queries WITH repeated
+            // subcircuits must strictly shrink; those without must at
+            // least not grow.
+            bool has_repetition = results[i].size_after.unique_hits > 0;
+            if (results[i].size_after.vars >
+                    results[i].size_before.vars ||
+                (has_repetition && results[i].size_after.vars >=
+                                       results[i].size_before.vars))
+                all_sat_queries_shrank = false;
+        }
+        baseline_total += results[i].baseline_seconds;
+        optimized_total += results[i].optimized_seconds;
+    }
+
+    const uint64_t candidates = catalog.size() * kRounds;
+    double baseline_cps = candidates / baseline_total;
+    double optimized_cps = candidates / optimized_total;
+
+    std::printf("%-14s %-10s %12s %12s %9s %8s %8s\n", "case", "backend",
+                "base cand/s", "opt cand/s", "speedup", "vars-",
+                "vars+");
+    std::vector<double> speedups;
+    std::string json = "{\n  \"benchmarks\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const CaseResult &r = results[i];
+        double speedup = r.baseline_seconds / r.optimized_seconds;
+        speedups.push_back(speedup);
+        std::printf("%-14s %-10s %12.0f %12.0f %8.1fx %8d %8d\n",
+                    r.name.c_str(), r.backend.c_str(),
+                    kRounds / r.baseline_seconds,
+                    kRounds / r.optimized_seconds, speedup,
+                    r.size_before.vars, r.size_after.vars);
+        char buf[512];
+        std::snprintf(
+            buf, sizeof buf,
+            "    {\"name\": \"%s\", \"backend\": \"%s\", "
+            "\"baseline_cands_per_sec\": %.1f, "
+            "\"optimized_cands_per_sec\": %.1f, \"speedup\": %.2f, "
+            "\"sat_vars_before\": %d, \"sat_vars_after\": %d, "
+            "\"sat_clauses_before\": %llu, "
+            "\"sat_clauses_after\": %llu, "
+            "\"unique_table_hits\": %llu}%s\n",
+            r.name.c_str(), r.backend.c_str(),
+            kRounds / r.baseline_seconds,
+            kRounds / r.optimized_seconds, speedup, r.size_before.vars,
+            r.size_after.vars,
+            static_cast<unsigned long long>(r.size_before.clauses),
+            static_cast<unsigned long long>(r.size_after.clauses),
+            static_cast<unsigned long long>(r.size_after.unique_hits),
+            i + 1 < results.size() ? "," : "");
+        json += buf;
+    }
+
+    double geomean_speedup = core::geomean(speedups);
+    double hit_rate = cache_stats.hitRate();
+    std::printf("\ncorpus: %llu candidates over %u rounds\n",
+                static_cast<unsigned long long>(candidates), kRounds);
+    std::printf("baseline:  %10.1f verified candidates/sec\n",
+                baseline_cps);
+    std::printf("optimized: %10.1f verified candidates/sec\n",
+                optimized_cps);
+    std::printf("geomean speedup: %.2fx\n", geomean_speedup);
+    std::printf("verify cache: %s\n",
+                core::cacheSummary(cache_stats.hits, cache_stats.misses)
+                    .c_str());
+    std::printf("SAT vars reduced on every repeated-subcircuit query: "
+                "%s\n",
+                all_sat_queries_shrank ? "yes" : "NO");
+
+    char tail[512];
+    std::snprintf(tail, sizeof tail,
+                  "  ],\n"
+                  "  \"rounds\": %u,\n"
+                  "  \"baseline_cands_per_sec\": %.1f,\n"
+                  "  \"optimized_cands_per_sec\": %.1f,\n"
+                  "  \"cache_hits\": %llu,\n"
+                  "  \"cache_misses\": %llu,\n"
+                  "  \"cache_hit_rate\": %.4f,\n"
+                  "  \"sat_vars_reduced_on_all_queries\": %s,\n"
+                  "  \"geomean_speedup\": %.2f\n}\n",
+                  kRounds, baseline_cps, optimized_cps,
+                  static_cast<unsigned long long>(cache_stats.hits),
+                  static_cast<unsigned long long>(cache_stats.misses),
+                  hit_rate, all_sat_queries_shrank ? "true" : "false",
+                  geomean_speedup);
+    json += tail;
+
+    std::ofstream out("BENCH_verify.json");
+    out << json;
+    std::printf("wrote BENCH_verify.json\n");
+
+    if (!all_sat_queries_shrank) {
+        std::fprintf(stderr,
+                     "FAIL: structural hashing did not shrink every "
+                     "SAT query\n");
+        return 1;
+    }
+    if (cache_stats.hits == 0) {
+        std::fprintf(stderr, "FAIL: cache hit rate is zero\n");
+        return 1;
+    }
+    return 0;
+}

@@ -25,7 +25,17 @@ caseStatusName(CaseStatus status)
 CaseOutcome
 Pipeline::optimizeSequence(const ir::Function &seq, uint64_t round_seed)
 {
-    return runCase(seq, round_seed, stats_, config_.refine);
+    CaseOutcome outcome = runCase(seq, round_seed, stats_, config_.refine);
+    refreshCacheStats();
+    return outcome;
+}
+
+void
+Pipeline::refreshCacheStats()
+{
+    verify::VerifyCache::Stats cache_stats = verify_cache_.stats();
+    stats_.verify_cache_hits = cache_stats.hits;
+    stats_.verify_cache_misses = cache_stats.misses;
 }
 
 CaseOutcome
@@ -36,6 +46,12 @@ Pipeline::runCase(const ir::Function &seq, uint64_t round_seed,
     CaseOutcome outcome;
     ++stats.cases;
     outcome.total_seconds = config_.overhead_seconds;
+
+    // All workers share the pipeline-lifetime cache; the RefineOptions
+    // copy just points at it.
+    verify::RefineOptions refine_opts = refine;
+    refine_opts.cache =
+        config_.enable_verify_cache ? &verify_cache_ : nullptr;
 
     std::string seq_text = ir::printFunction(seq);
     std::string feedback;
@@ -79,7 +95,7 @@ Pipeline::runCase(const ir::Function &seq, uint64_t round_seed,
 
         // Step 5: correctness via the translation validator.
         verify::RefinementResult verdict =
-            verify::checkRefinement(seq, *opted.function, refine);
+            verify::checkRefinement(seq, *opted.function, refine_opts);
         ++stats.verifier_calls;
         outcome.total_seconds += config_.verify_seconds;
         outcome.verifier_backend = verdict.backend;
@@ -190,6 +206,7 @@ Pipeline::processModule(const ir::Module &module,
         stats_.total_seconds += delta.total_seconds;
         stats_.total_cost_usd += delta.total_cost_usd;
     }
+    refreshCacheStats();
     return outcomes;
 }
 

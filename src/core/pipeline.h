@@ -19,6 +19,7 @@
 #include "extract/extractor.h"
 #include "ir/module.h"
 #include "llm/client.h"
+#include "verify/cache.h"
 #include "verify/refine.h"
 
 namespace lpo::core {
@@ -45,6 +46,12 @@ struct PipelineConfig
      * parallelism").
      */
     unsigned num_threads = 0;
+    /**
+     * Share a verification result cache across all cases and workers
+     * (see verify/cache.h). Outcomes and stats are bit-identical with
+     * the cache on or off; only the cache hit/miss counters differ.
+     */
+    bool enable_verify_cache = true;
 };
 
 /** Why a case ended. */
@@ -84,6 +91,14 @@ struct PipelineStats
     uint64_t syntax_errors = 0;
     uint64_t incorrect_candidates = 0;
     uint64_t not_interesting = 0;
+    /**
+     * Verification cache counters (absolute snapshots of the shared
+     * cache, not per-run deltas). Compute-once semantics make both
+     * counts thread-count-invariant: exactly one miss per distinct
+     * query key, ever.
+     */
+    uint64_t verify_cache_hits = 0;
+    uint64_t verify_cache_misses = 0;
     double total_seconds = 0.0;
     double total_cost_usd = 0.0;
 };
@@ -121,9 +136,18 @@ class Pipeline
                         PipelineStats &stats,
                         const verify::RefineOptions &refine);
 
+    /** Copy the shared cache's counters into stats_. */
+    void refreshCacheStats();
+
     llm::LlmClient &client_;
     PipelineConfig config_;
     PipelineStats stats_;
+    /** Shared across every case and worker thread for the lifetime
+     *  of the pipeline, so repeat candidates across modules hit. The
+     *  soft entry cap bounds memory on long-running deployments; it
+     *  is far above any single run's distinct-query count, so stats
+     *  stay thread-count-invariant in practice (see verify/cache.h). */
+    verify::VerifyCache verify_cache_{16, size_t(1) << 20};
 };
 
 } // namespace lpo::core

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 
 namespace lpo::core {
 
@@ -52,6 +53,21 @@ geomean(const std::vector<double> &values)
     for (double v : values)
         log_sum += std::log(v);
     return std::exp(log_sum / values.size());
+}
+
+std::string
+cacheSummary(uint64_t hits, uint64_t misses)
+{
+    uint64_t total = hits + misses;
+    double rate = total ? 100.0 * static_cast<double>(hits) /
+                              static_cast<double>(total)
+                        : 0.0;
+    char buffer[96];
+    std::snprintf(buffer, sizeof(buffer),
+                  "%llu hits / %llu misses (%.1f%% hit rate)",
+                  static_cast<unsigned long long>(hits),
+                  static_cast<unsigned long long>(misses), rate);
+    return buffer;
 }
 
 } // namespace lpo::core

@@ -8,6 +8,7 @@
 #ifndef LPO_CORE_REPORT_H
 #define LPO_CORE_REPORT_H
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,12 @@ class TextTable
 
 /** Geometric mean of a series (values must be positive). */
 double geomean(const std::vector<double> &values);
+
+/**
+ * "12 hits / 4 misses (75.0% hit rate)" — the standard rendering of
+ * cache counters (verification cache, unique table) for reports.
+ */
+std::string cacheSummary(uint64_t hits, uint64_t misses);
 
 } // namespace lpo::core
 

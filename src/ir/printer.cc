@@ -2,9 +2,24 @@
 
 #include <cassert>
 #include <cstdio>
+#include <map>
 
 namespace lpo::ir {
 namespace {
+
+/**
+ * Optional renaming applied while printing. When null, values and
+ * labels print under their own names (the default, parser-stable
+ * syntax); printFunctionCanonical supplies maps that alpha-rename
+ * values to %0,%1,... and labels to b0,b1,... so structurally
+ * identical functions print identically.
+ */
+struct PrintNames
+{
+    std::map<const Value *, std::string> values;
+    std::map<std::string, std::string> labels;
+    std::string function_name;
+};
 
 std::string
 formatDouble(double value)
@@ -35,11 +50,13 @@ isZeroConstant(const Value *v)
     }
 }
 
+std::string valueRefImpl(const Value *v, const PrintNames *names);
+
 /** "i32 255" for a splat payload or vector element. */
 std::string
-typedRef(const Value *v)
+typedRef(const Value *v, const PrintNames *names)
 {
-    return v->type()->toString() + " " + printValueRef(v);
+    return v->type()->toString() + " " + valueRefImpl(v, names);
 }
 
 std::string
@@ -54,15 +71,30 @@ intrinsicSuffix(const Type *type)
     return "." + type->toString();
 }
 
-} // namespace
+std::string
+labelRef(const std::string &label, const PrintNames *names)
+{
+    if (names) {
+        auto it = names->labels.find(label);
+        assert(it != names->labels.end());
+        return it->second;
+    }
+    return label;
+}
 
 std::string
-printValueRef(const Value *v)
+valueRefImpl(const Value *v, const PrintNames *names)
 {
     switch (v->kind()) {
       case Value::Kind::Argument:
-      case Value::Kind::Instruction:
+      case Value::Kind::Instruction: {
+        if (names) {
+            auto it = names->values.find(v);
+            assert(it != names->values.end());
+            return "%" + it->second;
+        }
         return "%" + v->name();
+      }
       case Value::Kind::ConstInt: {
         const auto *ci = static_cast<const ConstantInt *>(v);
         if (ci->type()->isBool())
@@ -78,12 +110,12 @@ printValueRef(const Value *v)
         if (isZeroConstant(cv))
             return "zeroinitializer";
         if (cv->isSplat())
-            return "splat (" + typedRef(cv->splatValue()) + ")";
+            return "splat (" + typedRef(cv->splatValue(), names) + ")";
         std::string out = "<";
         for (size_t i = 0; i < cv->elements().size(); ++i) {
             if (i)
                 out += ", ";
-            out += typedRef(cv->elements()[i]);
+            out += typedRef(cv->elements()[i], names);
         }
         return out + ">";
       }
@@ -92,15 +124,15 @@ printValueRef(const Value *v)
 }
 
 std::string
-printInstruction(const Instruction *inst)
+instructionImpl(const Instruction *inst, const PrintNames *names)
 {
     std::string out;
     if (!inst->type()->isVoid() && !inst->isTerminator())
-        out += "%" + inst->name() + " = ";
+        out += valueRefImpl(inst, names) + " = ";
 
     const InstFlags &flags = inst->flags();
     auto operand_ref = [&](unsigned i) {
-        return printValueRef(inst->operand(i));
+        return valueRefImpl(inst->operand(i), names);
     };
     auto typed_operand = [&](unsigned i) {
         return inst->operand(i)->type()->toString() + " " + operand_ref(i);
@@ -225,16 +257,17 @@ printInstruction(const Instruction *inst)
         for (unsigned i = 0; i < inst->numOperands(); ++i) {
             if (i)
                 out += ", ";
-            out += "[ " + operand_ref(i) + ", %" + inst->phiLabels()[i] +
-                   " ]";
+            out += "[ " + operand_ref(i) + ", %" +
+                   labelRef(inst->phiLabels()[i], names) + " ]";
         }
         return out;
       }
       case Opcode::Br: {
         if (inst->numOperands() == 0)
-            return "br label %" + inst->brLabels()[0];
+            return "br label %" + labelRef(inst->brLabels()[0], names);
         return "br " + typed_operand(0) + ", label %" +
-               inst->brLabels()[0] + ", label %" + inst->brLabels()[1];
+               labelRef(inst->brLabels()[0], names) + ", label %" +
+               labelRef(inst->brLabels()[1], names);
       }
       case Opcode::Ret: {
         if (inst->numOperands() == 0)
@@ -247,26 +280,68 @@ printInstruction(const Instruction *inst)
 }
 
 std::string
-printFunction(const Function &fn)
+functionImpl(const Function &fn, const PrintNames *names)
 {
+    std::string fn_name = names ? names->function_name : fn.name();
     std::string out = "define " + fn.returnType()->toString() + " @" +
-                      fn.name() + "(";
+                      fn_name + "(";
     for (unsigned i = 0; i < fn.numArgs(); ++i) {
         if (i)
             out += ", ";
-        out += fn.arg(i)->type()->toString() + " %" + fn.arg(i)->name();
+        out += fn.arg(i)->type()->toString() + " " +
+               valueRefImpl(fn.arg(i), names);
     }
     out += ") {\n";
     bool first = true;
     for (const auto &bb : fn.blocks()) {
         if (!first || fn.blocks().size() > 1)
-            out += bb->label() + ":\n";
+            out += labelRef(bb->label(), names) + ":\n";
         first = false;
         for (const auto &inst : bb->instructions())
-            out += "  " + printInstruction(inst.get()) + "\n";
+            out += "  " + instructionImpl(inst.get(), names) + "\n";
     }
     out += "}\n";
     return out;
+}
+
+} // namespace
+
+std::string
+printValueRef(const Value *v)
+{
+    return valueRefImpl(v, nullptr);
+}
+
+std::string
+printInstruction(const Instruction *inst)
+{
+    return instructionImpl(inst, nullptr);
+}
+
+std::string
+printFunction(const Function &fn)
+{
+    return functionImpl(fn, nullptr);
+}
+
+std::string
+printFunctionCanonical(const Function &fn)
+{
+    PrintNames names;
+    names.function_name = "f";
+    unsigned next_value = 0;
+    for (unsigned i = 0; i < fn.numArgs(); ++i)
+        names.values.emplace(fn.arg(i), std::to_string(next_value++));
+    unsigned next_label = 0;
+    for (const auto &bb : fn.blocks()) {
+        names.labels.emplace(bb->label(), "b" + std::to_string(next_label++));
+        for (const auto &inst : bb->instructions()) {
+            if (!inst->type()->isVoid() && !inst->isTerminator())
+                names.values.emplace(inst.get(),
+                                     std::to_string(next_value++));
+        }
+    }
+    return functionImpl(fn, &names);
 }
 
 std::string

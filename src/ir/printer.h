@@ -24,6 +24,18 @@ std::string printInstruction(const Instruction *inst);
 /** Render a full function definition. */
 std::string printFunction(const Function &fn);
 
+/**
+ * Render @p fn in canonical alpha-renamed form: the function prints as
+ * @f, values (arguments, then instruction results in block order) as
+ * %0, %1, ..., labels as b0, b1, ... Two structurally identical
+ * functions — same types, opcodes, flags, constants, and dataflow —
+ * produce byte-identical canonical text regardless of how the LLM or
+ * extractor named things. The verification cache keys on this form
+ * (see verify/cache.h); it is NOT guaranteed to re-parse (labels may
+ * collide with value names), so use printFunction for round-trips.
+ */
+std::string printFunctionCanonical(const Function &fn);
+
 /** Render a module (all functions, in order). */
 std::string printModule(const Module &module);
 

@@ -10,6 +10,8 @@
 #ifndef LPO_SMT_BITBLAST_H
 #define LPO_SMT_BITBLAST_H
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "smt/sat.h"
@@ -23,16 +25,41 @@ using CLit = int;
 /** A bit-vector as little-endian circuit literals. */
 using BitVec = std::vector<CLit>;
 
-/** Builds circuits over a SatSolver. */
+/**
+ * Builds circuits over a SatSolver.
+ *
+ * Gate construction is structurally hashed (AIG-style unique table):
+ * AND/XOR/MUX nodes are canonicalized (commutative operands ordered,
+ * XOR negations pulled out of the node, MUX selector made positive)
+ * and looked up before any variable or clause is emitted, so an
+ * identical subcircuit built twice — e.g. the re-encoded source
+ * function shared by every candidate of one extraction site, or the
+ * shared prefix of a src/tgt pair — costs one variable and one clause
+ * set, not two. See DESIGN.md, "Structural hashing in the circuit
+ * builder" for the invariants.
+ */
 class CircuitBuilder
 {
   public:
     static constexpr CLit kTrue = 1 << 30;
     static constexpr CLit kFalse = -(1 << 30);
 
-    explicit CircuitBuilder(SatSolver &solver) : solver_(solver) {}
+    /**
+     * @param structural_hashing enables the unique table. Disabled
+     *        only by the throughput benchmark to measure the pre-PR
+     *        encoding cost; production callers leave it on.
+     */
+    explicit CircuitBuilder(SatSolver &solver,
+                            bool structural_hashing = true)
+        : solver_(solver), hashing_(structural_hashing)
+    {}
 
     SatSolver &solver() { return solver_; }
+
+    /** Gate constructions answered from the unique table. */
+    uint64_t uniqueTableHits() const { return unique_hits_; }
+    /** Distinct hashed nodes created so far. */
+    uint64_t uniqueTableSize() const { return unique_.size(); }
 
     /** A fresh unconstrained literal. */
     CLit freshLit();
@@ -121,7 +148,43 @@ class CircuitBuilder
     APInt modelBV(const BitVec &a) const;
 
   private:
+    /** Unique-table key: a canonicalized gate application. */
+    struct NodeKey
+    {
+        uint8_t kind; // 0 = and, 1 = xor, 2 = mux
+        CLit a = 0;
+        CLit b = 0;
+        CLit c = 0;
+
+        bool operator==(const NodeKey &o) const
+        {
+            return kind == o.kind && a == o.a && b == o.b && c == o.c;
+        }
+    };
+    struct NodeKeyHash
+    {
+        size_t operator()(const NodeKey &k) const
+        {
+            // FNV-1a over the four fields.
+            uint64_t h = 0xcbf29ce484222325ull;
+            for (uint64_t v : {uint64_t(k.kind), uint64_t(uint32_t(k.a)),
+                               uint64_t(uint32_t(k.b)),
+                               uint64_t(uint32_t(k.c))}) {
+                h ^= v;
+                h *= 0x100000001b3ull;
+            }
+            return static_cast<size_t>(h);
+        }
+    };
+
+    /** Table lookup; returns 0 (never a valid CLit) on miss. */
+    CLit lookupNode(const NodeKey &key);
+    void insertNode(const NodeKey &key, CLit out);
+
     SatSolver &solver_;
+    bool hashing_;
+    std::unordered_map<NodeKey, CLit, NodeKeyHash> unique_;
+    uint64_t unique_hits_ = 0;
 };
 
 } // namespace lpo::smt

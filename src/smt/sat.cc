@@ -15,8 +15,64 @@ SatSolver::newVar()
     reasons_.push_back(-1);
     activities_.push_back(0.0);
     polarity_.push_back(false);
+    heap_pos_.push_back(-1);
     watches_.resize((num_vars_ + 1) * 2);
+    heapInsert(num_vars_);
     return num_vars_;
+}
+
+// ---------------------------------------------------------------------
+// Decision-order heap
+// ---------------------------------------------------------------------
+
+void
+SatSolver::heapSwap(size_t i, size_t j)
+{
+    std::swap(order_heap_[i], order_heap_[j]);
+    heap_pos_[order_heap_[i]] = static_cast<int>(i);
+    heap_pos_[order_heap_[j]] = static_cast<int>(j);
+}
+
+void
+SatSolver::heapUp(size_t i)
+{
+    while (i > 0) {
+        size_t parent = (i - 1) / 2;
+        if (!heapLess(order_heap_[i], order_heap_[parent]))
+            break;
+        heapSwap(i, parent);
+        i = parent;
+    }
+}
+
+void
+SatSolver::heapDown(size_t i)
+{
+    for (;;) {
+        size_t left = 2 * i + 1;
+        size_t right = 2 * i + 2;
+        size_t best = i;
+        if (left < order_heap_.size() &&
+            heapLess(order_heap_[left], order_heap_[best]))
+            best = left;
+        if (right < order_heap_.size() &&
+            heapLess(order_heap_[right], order_heap_[best]))
+            best = right;
+        if (best == i)
+            break;
+        heapSwap(i, best);
+        i = best;
+    }
+}
+
+void
+SatSolver::heapInsert(int var)
+{
+    if (heap_pos_[var] != -1)
+        return;
+    heap_pos_[var] = static_cast<int>(order_heap_.size());
+    order_heap_.push_back(var);
+    heapUp(order_heap_.size() - 1);
 }
 
 void
@@ -61,6 +117,7 @@ SatSolver::addClause(std::vector<Lit> lits)
         return false;
     }
     if (pruned.size() == 1) {
+        ++clauses_added_;
         if (!enqueue(pruned[0], -1)) {
             unsat_ = true;
             return false;
@@ -71,6 +128,7 @@ SatSolver::addClause(std::vector<Lit> lits)
         }
         return true;
     }
+    ++clauses_added_;
     clauses_.push_back(Clause{std::move(pruned), false, 0.0});
     attachClause(static_cast<int>(clauses_.size()) - 1);
     return true;
@@ -147,6 +205,21 @@ SatSolver::bumpVar(int var)
         for (double &activity : activities_)
             activity *= 1e-100;
         var_inc_ *= 1e-100;
+        // Uniform rescaling preserves the heap order exactly.
+    }
+    if (heap_pos_[var] != -1)
+        heapUp(static_cast<size_t>(heap_pos_[var]));
+}
+
+void
+SatSolver::bumpClause(Clause &clause)
+{
+    clause.activity += cla_inc_;
+    if (clause.activity > 1e20) {
+        for (Clause &c : clauses_)
+            if (c.learnt)
+                c.activity *= 1e-20;
+        cla_inc_ *= 1e-20;
     }
 }
 
@@ -154,6 +227,7 @@ void
 SatSolver::decayActivities()
 {
     var_inc_ /= 0.95;
+    cla_inc_ /= 0.999;
 }
 
 int
@@ -172,6 +246,8 @@ SatSolver::analyze(int conflict, std::vector<int> &learnt)
     do {
         assert(reason_clause != -1);
         Clause &clause = clauses_[reason_clause];
+        if (clause.learnt)
+            bumpClause(clause);
         size_t start = (enc == -1) ? 0 : 1;
         for (size_t i = start; i < clause.lits.size(); ++i) {
             int q = clause.lits[i];
@@ -224,6 +300,7 @@ SatSolver::backtrack(int level)
         int var = litVar(trail_[i - 1]);
         assigns_[var] = Assign::Unassigned;
         reasons_[var] = -1;
+        heapInsert(var);
     }
     trail_.resize(limit);
     trail_limits_.resize(level);
@@ -233,16 +310,67 @@ SatSolver::backtrack(int level)
 int
 SatSolver::pickBranchVar()
 {
-    int best = -1;
-    double best_activity = -1.0;
-    for (int v = 1; v <= num_vars_; ++v) {
-        if (assigns_[v] == Assign::Unassigned &&
-            activities_[v] > best_activity) {
-            best = v;
-            best_activity = activities_[v];
-        }
+    // Pop until an unassigned variable surfaces; assigned entries are
+    // discarded (they re-enter the heap when backtracking unassigns
+    // them).
+    while (!order_heap_.empty()) {
+        int var = order_heap_[0];
+        heapSwap(0, order_heap_.size() - 1);
+        order_heap_.pop_back();
+        heap_pos_[var] = -1;
+        heapDown(0);
+        if (assigns_[var] == Assign::Unassigned)
+            return var;
     }
-    return best;
+    return -1;
+}
+
+void
+SatSolver::reduceLearnts()
+{
+    // Called at decision level 0. Level-0 assignments may still carry
+    // clause-index reasons from root propagation; analyze() never
+    // dereferences level-0 reasons, so they can be cleared before the
+    // indices are invalidated by compaction.
+    for (int enc : trail_)
+        reasons_[litVar(enc)] = -1;
+
+    // Rank non-binary learnt clauses by activity, ties to the older
+    // (lower-index) clause so the reduction is deterministic; drop the
+    // less active half. Binary learnt clauses are cheap to keep and
+    // high-value, so they are never dropped.
+    std::vector<int> candidates;
+    for (size_t i = 0; i < clauses_.size(); ++i)
+        if (clauses_[i].learnt && clauses_[i].lits.size() > 2)
+            candidates.push_back(static_cast<int>(i));
+    if (candidates.size() < 2)
+        return;
+    std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+        if (clauses_[a].activity != clauses_[b].activity)
+            return clauses_[a].activity > clauses_[b].activity;
+        return a < b;
+    });
+    std::vector<bool> drop(clauses_.size(), false);
+    for (size_t i = candidates.size() / 2; i < candidates.size(); ++i)
+        drop[candidates[i]] = true;
+
+    std::vector<Clause> kept;
+    kept.reserve(clauses_.size());
+    for (size_t i = 0; i < clauses_.size(); ++i) {
+        if (drop[i])
+            continue;
+        kept.push_back(std::move(clauses_[i]));
+    }
+    uint64_t removed = clauses_.size() - kept.size();
+    clauses_ = std::move(kept);
+    learnts_removed_ += removed;
+    num_learnts_ -= removed;
+
+    // Clause indices changed wholesale; rebuild every watch list.
+    for (std::vector<int> &watch_list : watches_)
+        watch_list.clear();
+    for (size_t i = 0; i < clauses_.size(); ++i)
+        attachClause(static_cast<int>(i));
 }
 
 SatResult
@@ -277,7 +405,8 @@ SatSolver::solve(uint64_t conflict_budget)
                     return SatResult::Unsat;
                 }
             } else {
-                clauses_.push_back(Clause{learnt, true, 0.0});
+                clauses_.push_back(Clause{learnt, true, cla_inc_});
+                ++num_learnts_;
                 int ci = static_cast<int>(clauses_.size()) - 1;
                 attachClause(ci);
                 bool ok = enqueue(learnt[0], ci);
@@ -290,6 +419,12 @@ SatSolver::solve(uint64_t conflict_budget)
                 conflicts_since_restart = 0;
                 restart_limit = restart_limit * 3 / 2;
                 backtrack(0);
+                // Restart is the safe point to shed inactive learnt
+                // clauses: nothing above level 0 holds a reason.
+                if (num_learnts_ > reduce_limit_) {
+                    reduceLearnts();
+                    reduce_limit_ += reduce_limit_ / 2;
+                }
                 continue;
             }
             int var = pickBranchVar();

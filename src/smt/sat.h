@@ -6,8 +6,10 @@
  * system's Z3 substitute). It implements the standard conflict-driven
  * clause-learning loop: two-watched-literal propagation, 1UIP conflict
  * analysis with clause learning, activity-based (VSIDS-style) decision
- * ordering, geometric restarts, and a conflict budget so callers can
- * bound verification time (Alive2-style timeouts).
+ * ordering over a binary heap, phase saving, geometric restarts with
+ * activity-based learnt-clause database reduction, and a conflict
+ * budget so callers can bound verification time (Alive2-style
+ * timeouts).
  */
 #ifndef LPO_SMT_SAT_H
 #define LPO_SMT_SAT_H
@@ -41,6 +43,7 @@ class SatSolver
         reasons_.push_back(-1);
         activities_.push_back(0.0);
         polarity_.push_back(false);
+        heap_pos_.push_back(-1);
     }
 
     /** Allocate and return a fresh variable (1-based). */
@@ -70,6 +73,16 @@ class SatSolver
     uint64_t conflicts() const { return conflicts_; }
     uint64_t decisions() const { return decisions_; }
     uint64_t propagations() const { return propagations_; }
+    /** Problem clauses accepted (stored or enqueued as units). */
+    uint64_t clausesAdded() const { return clauses_added_; }
+    /** Learnt clauses dropped by database reduction. */
+    uint64_t learntsRemoved() const { return learnts_removed_; }
+    /**
+     * Learnt-clause count that triggers database reduction at the
+     * next restart (grows geometrically afterwards). Exposed so tests
+     * can force reductions on small instances.
+     */
+    void setReduceLimit(uint64_t limit) { reduce_limit_ = limit; }
 
   private:
     // Internal literal encoding: v*2 (positive) / v*2+1 (negative).
@@ -104,9 +117,23 @@ class SatSolver
     int analyze(int conflict, std::vector<int> &learnt);
     void backtrack(int level);
     void bumpVar(int var);
+    void bumpClause(Clause &clause);
     void decayActivities();
     int pickBranchVar();
     void attachClause(int index);
+    void reduceLearnts();
+
+    // Decision-order heap (max-heap on activity, ties to the lower
+    // variable index so the order is fully deterministic).
+    bool heapLess(int a, int b) const
+    {
+        return activities_[a] > activities_[b] ||
+               (activities_[a] == activities_[b] && a < b);
+    }
+    void heapSwap(size_t i, size_t j);
+    void heapUp(size_t i);
+    void heapDown(size_t i);
+    void heapInsert(int var);
 
     int num_vars_ = 0;
     std::vector<Clause> clauses_;
@@ -116,15 +143,22 @@ class SatSolver
     std::vector<int> reasons_;              // per var, clause index or -1
     std::vector<double> activities_;        // per var
     std::vector<bool> polarity_;            // per var, phase saving
+    std::vector<int> order_heap_;           // vars, heap-ordered
+    std::vector<int> heap_pos_;             // var -> index or -1
     std::vector<int> trail_;                // encoded lits
     std::vector<int> trail_limits_;
     size_t propagate_head_ = 0;
     double var_inc_ = 1.0;
+    double cla_inc_ = 1.0;
+    uint64_t num_learnts_ = 0;
+    uint64_t reduce_limit_ = 2000;
     bool unsat_ = false;
 
     uint64_t conflicts_ = 0;
     uint64_t decisions_ = 0;
     uint64_t propagations_ = 0;
+    uint64_t clauses_added_ = 0;
+    uint64_t learnts_removed_ = 0;
 };
 
 } // namespace lpo::smt

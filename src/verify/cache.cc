@@ -1,0 +1,126 @@
+#include "verify/cache.h"
+
+#include "support/string_utils.h"
+
+namespace lpo::verify {
+
+VerifyCache::VerifyCache(unsigned shard_count, size_t max_entries)
+    : shard_count_(shard_count ? shard_count : 1),
+      max_entries_(max_entries),
+      shards_(std::make_unique<Shard[]>(shard_count ? shard_count : 1))
+{
+}
+
+VerifyCache::Shard &
+VerifyCache::shardOf(const std::string &key)
+{
+    return shards_[fnv1a64(key) % shard_count_];
+}
+
+RefinementResult
+VerifyCache::lookupOrCompute(
+    const std::string &key, const std::function<Computed()> &compute,
+    const std::function<RefinementResult(const CachedVerdict &)> &rederive)
+{
+    Shard &shard = shardOf(key);
+    std::shared_ptr<Entry> entry;
+    bool owner = false;
+    bool over_cap = false;
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.map.find(key);
+        if (it == shard.map.end()) {
+            // Soft bound: over the cap, compute without inserting so
+            // memory stays bounded while existing keys keep hitting.
+            if (max_entries_ &&
+                entry_count_.load(std::memory_order_relaxed) >=
+                    max_entries_) {
+                over_cap = true;
+            } else {
+                entry = std::make_shared<Entry>();
+                shard.map.emplace(key, entry);
+                entry_count_.fetch_add(1, std::memory_order_relaxed);
+                owner = true;
+            }
+        } else {
+            entry = it->second;
+        }
+    }
+    if (over_cap) {
+        // Outside the shard lock: a multi-second proof here must not
+        // block every other query hashing to this shard.
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return compute().result;
+    }
+
+    if (owner) {
+        // Compute outside every lock; only the publication is locked.
+        Computed computed;
+        try {
+            computed = compute();
+        } catch (...) {
+            // Abandon the entry: erase it so future queries recompute,
+            // and wake any waiter into its uncached fallback. Without
+            // this, one bad_alloc would park every later query for
+            // this key on ready_cv forever.
+            {
+                std::lock_guard<std::mutex> lock(shard.mutex);
+                shard.map.erase(key);
+                entry_count_.fetch_sub(1, std::memory_order_relaxed);
+            }
+            {
+                std::lock_guard<std::mutex> lock(entry->mutex);
+                entry->failed = true;
+                entry->ready = true;
+            }
+            entry->ready_cv.notify_all();
+            throw;
+        }
+        {
+            std::lock_guard<std::mutex> lock(entry->mutex);
+            entry->value = std::move(computed.cached);
+            entry->ready = true;
+        }
+        entry->ready_cv.notify_all();
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return std::move(computed.result);
+    }
+
+    bool failed;
+    {
+        std::unique_lock<std::mutex> lock(entry->mutex);
+        entry->ready_cv.wait(lock, [&] { return entry->ready; });
+        failed = entry->failed;
+    }
+    if (failed) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return compute().result;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return rederive(entry->value);
+}
+
+size_t
+VerifyCache::size() const
+{
+    size_t total = 0;
+    for (unsigned i = 0; i < shard_count_; ++i) {
+        std::lock_guard<std::mutex> lock(shards_[i].mutex);
+        total += shards_[i].map.size();
+    }
+    return total;
+}
+
+void
+VerifyCache::clear()
+{
+    for (unsigned i = 0; i < shard_count_; ++i) {
+        std::lock_guard<std::mutex> lock(shards_[i].mutex);
+        shards_[i].map.clear();
+    }
+    entry_count_.store(0, std::memory_order_relaxed);
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+}
+
+} // namespace lpo::verify

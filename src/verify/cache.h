@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Cross-query verification result cache.
+ *
+ * The rewrite library and the extraction loop repeatedly produce
+ * structurally identical (src, tgt) pairs — the same candidate
+ * proposed for many sites, the same site re-verified across rounds —
+ * and re-proving each pair from scratch dominates the SAT path's
+ * cost. This cache memoizes checkRefinement verdicts keyed on the
+ * canonical alpha-renamed print of the pair plus every option that
+ * can affect the verdict (see refine.cc's cacheKey), so renamed
+ * copies of a proved pair hit.
+ *
+ * The map is sharded for concurrency (PipelineConfig::num_threads
+ * workers share one cache) and is compute-once per key: the first
+ * thread to ask for a key computes it while later askers block on the
+ * entry, which keeps hit/miss counts — and therefore the stats the
+ * pipeline reports — bit-identical at any thread count (exactly one
+ * miss per distinct key, ever).
+ *
+ * Counterexample *inputs* are deliberately not stored: they are bulky
+ * (sampled inputs carry whole memory objects) and fully re-derivable
+ * — the concrete backends re-decode the violating sweep index, the
+ * SAT backend re-builds the input from the recorded model words — so
+ * a hit re-renders the counterexample against the caller's own
+ * functions, which also keeps argument names correct when the hit
+ * comes from an alpha-renamed variant of the cached pair.
+ */
+#ifndef LPO_VERIFY_CACHE_H
+#define LPO_VERIFY_CACHE_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "verify/refine.h"
+
+namespace lpo::verify {
+
+/** A cached verdict: RefinementResult sans counterexample input. */
+struct CachedVerdict
+{
+    Verdict verdict = Verdict::Unsupported;
+    std::string backend;
+    /** Human-readable explanation (counterexample-free results). */
+    std::string detail;
+
+    /** How to re-derive the counterexample input on a hit. */
+    enum class Replay {
+        None,         ///< no counterexample (Correct/Timeout/...)
+        TestingIndex, ///< re-decode sweep index @ref index
+        SatArgs,      ///< rebuild args from @ref arg_lane_words
+    };
+    Replay replay = Replay::None;
+    uint64_t index = 0;                   ///< TestingIndex payload
+    std::vector<uint64_t> arg_lane_words; ///< SatArgs payload, lane-major
+};
+
+/** Sharded, compute-once map from query key to CachedVerdict. */
+class VerifyCache
+{
+  public:
+    /**
+     * @param shard_count lock striping for concurrent callers.
+     * @param max_entries soft bound on stored keys (0 = unbounded).
+     *        Once reached, new keys are computed WITHOUT being
+     *        inserted (existing keys keep hitting) — verdicts are
+     *        never affected, but which keys made it in before the cap
+     *        depends on arrival order, so a capped cache's hit/miss
+     *        split is only scheduling-independent below the cap.
+     */
+    explicit VerifyCache(unsigned shard_count = 16,
+                         size_t max_entries = 0);
+
+    VerifyCache(const VerifyCache &) = delete;
+    VerifyCache &operator=(const VerifyCache &) = delete;
+
+    struct Stats
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+
+        double hitRate() const
+        {
+            uint64_t total = hits + misses;
+            return total ? static_cast<double>(hits) / total : 0.0;
+        }
+    };
+
+    /** A computed result plus its cacheable form. */
+    struct Computed
+    {
+        RefinementResult result;
+        CachedVerdict cached;
+    };
+
+    /**
+     * Return the result for @p key, computing it at most once.
+     *
+     * On the first request for a key, @p compute runs (outside the
+     * shard lock) and its full result — counterexample included — is
+     * returned while the stripped CachedVerdict is published; later
+     * requests block until the value is ready and return
+     * @p rederive(cached). If the owner's compute throws, the entry
+     * is abandoned (marked failed, erased from the shard) and any
+     * blocked waiter falls back to computing uncached, so a failure
+     * can never deadlock later queries. @p compute must not re-enter
+     * the cache.
+     */
+    RefinementResult
+    lookupOrCompute(const std::string &key,
+                    const std::function<Computed()> &compute,
+                    const std::function<RefinementResult(
+                        const CachedVerdict &)> &rederive);
+
+    Stats stats() const
+    {
+        return Stats{hits_.load(std::memory_order_relaxed),
+                     misses_.load(std::memory_order_relaxed)};
+    }
+
+    /** Number of cached keys (counts in-flight computations too). */
+    size_t size() const;
+
+    /** Drop all entries and reset the counters. */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        std::mutex mutex;
+        std::condition_variable ready_cv;
+        bool ready = false;
+        bool failed = false; ///< owner's compute threw; do not reuse
+        CachedVerdict value;
+    };
+    struct Shard
+    {
+        std::mutex mutex;
+        std::unordered_map<std::string, std::shared_ptr<Entry>> map;
+    };
+
+    Shard &shardOf(const std::string &key);
+
+    unsigned shard_count_;
+    size_t max_entries_;
+    std::unique_ptr<Shard[]> shards_;
+    std::atomic<size_t> entry_count_{0};
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+};
+
+} // namespace lpo::verify
+
+#endif // LPO_VERIFY_CACHE_H

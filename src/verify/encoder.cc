@@ -584,4 +584,47 @@ encodeFunction(smt::CircuitBuilder &builder, const ir::Function &fn,
     return encoder.run(fn, shared_args);
 }
 
+bool
+encodeRefinementQuery(smt::CircuitBuilder &builder,
+                      const ir::Function &src, const ir::Function &tgt,
+                      std::vector<ValueEnc> *shared_args_out)
+{
+    // Shared, non-poison arguments so src and tgt range over
+    // identical inputs.
+    std::vector<ValueEnc> args;
+    for (unsigned i = 0; i < src.numArgs(); ++i) {
+        const Type *type = src.arg(i)->type();
+        ValueEnc enc;
+        unsigned lanes = laneCount(type);
+        unsigned width = type->scalarType()->intWidth();
+        for (unsigned lane = 0; lane < lanes; ++lane)
+            enc.push_back(LaneEnc{builder.freshBV(width),
+                                  CircuitBuilder::kFalse});
+        args.push_back(enc);
+    }
+
+    std::optional<EncodedFunction> src_enc =
+        encodeFunction(builder, src, &args);
+    std::optional<EncodedFunction> tgt_enc =
+        encodeFunction(builder, tgt, &args);
+    if (!src_enc || !tgt_enc)
+        return false;
+
+    std::vector<CLit> lane_violations;
+    for (size_t lane = 0; lane < src_enc->ret.size(); ++lane) {
+        const LaneEnc &s = src_enc->ret[lane];
+        const LaneEnc &t = tgt_enc->ret[lane];
+        CLit mismatch = builder.orGate(
+            t.poison, -builder.bvEq(s.bits, t.bits));
+        lane_violations.push_back(
+            builder.andGate(-s.poison, mismatch));
+    }
+    CLit violation = builder.orGate(tgt_enc->ub,
+                                    builder.orMany(lane_violations));
+    builder.require(builder.andGate(-src_enc->ub, violation));
+    if (shared_args_out)
+        *shared_args_out = std::move(args);
+    return true;
+}
+
 } // namespace lpo::verify

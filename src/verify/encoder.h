@@ -53,6 +53,27 @@ std::optional<EncodedFunction>
 encodeFunction(smt::CircuitBuilder &builder, const ir::Function &fn,
                const std::vector<ValueEnc> *shared_args = nullptr);
 
+/**
+ * Build the complete refinement-violation query for (src, tgt) into
+ * @p builder: fresh shared non-poison arguments, both encodings over
+ * them, and the asserted miter
+ *
+ *   !src.ub && (tgt.ub || exists lane:
+ *               !src.poison[l] && (tgt.poison[l] || bits differ))
+ *
+ * so Unsat means tgt refines src. This is the exact query the SAT
+ * backend solves; the throughput benchmark reuses it to measure query
+ * sizes.
+ *
+ * @param shared_args_out when non-null, receives the argument
+ *        encoding (for counterexample extraction from the model).
+ * @returns false if either function leaves the encodable fragment.
+ */
+bool encodeRefinementQuery(smt::CircuitBuilder &builder,
+                           const ir::Function &src,
+                           const ir::Function &tgt,
+                           std::vector<ValueEnc> *shared_args_out = nullptr);
+
 } // namespace lpo::verify
 
 #endif // LPO_VERIFY_ENCODER_H

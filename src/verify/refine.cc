@@ -11,6 +11,7 @@
 #include "ir/printer.h"
 #include "support/rng.h"
 #include "support/thread_pool.h"
+#include "verify/cache.h"
 #include "verify/encoder.h"
 
 namespace lpo::verify {
@@ -105,110 +106,93 @@ pointerArgCount(const ir::Function &fn)
     return count;
 }
 
+/**
+ * Re-run the single violating @p input through the interpreter and
+ * render the Alive2-style counterexample into @p result. Shared by
+ * both backends and by the cache's hit path, so a cached Incorrect
+ * verdict reproduces the uncached output byte for byte.
+ */
+void
+fillCounterexample(RefinementResult &result, const ir::Function &src,
+                   const ir::Function &tgt, ExecutionInput input)
+{
+    ExecutionResult src_run = interp::execute(src, input);
+    ExecutionResult tgt_run = interp::execute(tgt, input);
+    result.verdict = Verdict::Incorrect;
+    Counterexample cex;
+    cex.source_value = interp::describeResult(src_run);
+    cex.target_value = interp::describeResult(tgt_run);
+    std::string why;
+    if (!violatesRefinement(src_run, tgt_run, &why))
+        why = "value mismatch"; // defensive: model disagrees with interp
+    result.detail = why;
+    cex.input = std::move(input);
+    result.counterexample = std::move(cex);
+}
+
+/** Copy the cache-safe slice of @p result into @p cached. */
+void
+recordVerdict(CachedVerdict *cached, const RefinementResult &result)
+{
+    cached->verdict = result.verdict;
+    cached->backend = result.backend;
+    cached->detail = result.detail;
+}
+
 // ---------------------------------------------------------------------
 // SAT backend
 // ---------------------------------------------------------------------
 
 RefinementResult
 checkWithSat(const ir::Function &src, const ir::Function &tgt,
-             const RefineOptions &options)
+             const RefineOptions &options, CachedVerdict *cached)
 {
     RefinementResult result;
     result.backend = "sat";
 
     SatSolver solver;
-    CircuitBuilder builder(solver);
+    CircuitBuilder builder(solver, options.structural_hashing);
 
-    // Shared, non-poison arguments.
     std::vector<ValueEnc> args;
-    for (unsigned i = 0; i < src.numArgs(); ++i) {
-        const Type *type = src.arg(i)->type();
-        ValueEnc enc;
-        unsigned lanes = laneCount(type);
-        unsigned width = type->scalarType()->intWidth();
-        for (unsigned lane = 0; lane < lanes; ++lane)
-            enc.push_back(LaneEnc{builder.freshBV(width),
-                                  CircuitBuilder::kFalse});
-        args.push_back(enc);
-    }
-
-    std::optional<EncodedFunction> src_enc =
-        encodeFunction(builder, src, &args);
-    std::optional<EncodedFunction> tgt_enc =
-        encodeFunction(builder, tgt, &args);
-    assert(src_enc && tgt_enc && "caller checked canEncode");
-
-    // violation := !src.ub && (tgt.ub || exists lane:
-    //              !src.poison[l] && (tgt.poison[l] || bits differ))
-    std::vector<CLit> lane_violations;
-    for (size_t lane = 0; lane < src_enc->ret.size(); ++lane) {
-        const LaneEnc &s = src_enc->ret[lane];
-        const LaneEnc &t = tgt_enc->ret[lane];
-        CLit mismatch = builder.orGate(t.poison,
-                                       -builder.bvEq(s.bits, t.bits));
-        lane_violations.push_back(builder.andGate(-s.poison, mismatch));
-    }
-    CLit violation = builder.orGate(tgt_enc->ub,
-                                    builder.orMany(lane_violations));
-    builder.require(builder.andGate(-src_enc->ub, violation));
+    bool encoded = encodeRefinementQuery(builder, src, tgt, &args);
+    assert(encoded && "caller checked canEncode");
+    (void)encoded;
 
     SatResult sat = solver.solve(options.conflict_budget);
     if (sat == SatResult::Unknown) {
         result.verdict = Verdict::Timeout;
         result.detail = "SAT conflict budget exhausted";
+        recordVerdict(cached, result);
         return result;
     }
     if (sat == SatResult::Unsat) {
         result.verdict = Verdict::Correct;
         result.detail = "proved by bit-blasting";
+        recordVerdict(cached, result);
         return result;
     }
 
-    // Extract the violating input from the model.
+    // Extract the violating input from the model, recording the raw
+    // lane words so a cache hit can rebuild the identical input.
     ExecutionInput input;
+    cached->replay = CachedVerdict::Replay::SatArgs;
     for (unsigned i = 0; i < src.numArgs(); ++i) {
         RtValue value;
-        for (const LaneEnc &lane : args[i])
-            value.lanes.push_back(
-                LaneValue::ofInt(builder.modelBV(lane.bits)));
+        for (const LaneEnc &lane : args[i]) {
+            APInt word = builder.modelBV(lane.bits);
+            cached->arg_lane_words.push_back(word.zext());
+            value.lanes.push_back(LaneValue::ofInt(word));
+        }
         input.args.push_back(value);
     }
-    ExecutionResult src_run = interp::execute(src, input);
-    ExecutionResult tgt_run = interp::execute(tgt, input);
-
-    result.verdict = Verdict::Incorrect;
-    Counterexample cex;
-    cex.source_value = interp::describeResult(src_run);
-    cex.target_value = interp::describeResult(tgt_run);
-    cex.input = std::move(input);
-    std::string why;
-    if (!violatesRefinement(src_run, tgt_run, &why))
-        why = "value mismatch"; // defensive: model disagrees with interp
-    result.detail = why;
-    result.counterexample = std::move(cex);
+    fillCounterexample(result, src, tgt, std::move(input));
+    recordVerdict(cached, result);
     return result;
 }
 
 // ---------------------------------------------------------------------
 // Concrete-testing backend
 // ---------------------------------------------------------------------
-
-/** Interesting scalar patterns tried for every integer input. */
-std::vector<uint64_t>
-specialPatterns(unsigned width)
-{
-    std::vector<uint64_t> out = {0, 1, 2, 3};
-    uint64_t ones = APInt::allOnes(width).zext();
-    out.push_back(ones);           // -1
-    out.push_back(ones - 1);       // -2
-    out.push_back(uint64_t(1) << (width - 1));       // INT_MIN
-    out.push_back((uint64_t(1) << (width - 1)) - 1); // INT_MAX
-    if (width > 3) {
-        out.push_back(ones >> 1);
-        out.push_back(uint64_t(1) << (width / 2));
-    }
-    return out;
-}
 
 double
 specialDouble(unsigned index)
@@ -391,7 +375,7 @@ recordViolation(std::atomic<uint64_t> &lowest, uint64_t candidate)
 
 RefinementResult
 checkWithTesting(const ir::Function &src, const ir::Function &tgt,
-                 const RefineOptions &options)
+                 const RefineOptions &options, CachedVerdict *cached)
 {
     RefinementResult result;
 
@@ -451,27 +435,106 @@ checkWithTesting(const ir::Function &src, const ir::Function &tgt,
                 ? "exhaustive over " + std::to_string(total) + " inputs"
                 : "bounded testing over " + std::to_string(total) +
                       " samples";
+        recordVerdict(cached, result);
         return result;
     }
 
     // Re-run the single failing input to render the counterexample;
     // results are described exactly once, and the input is MOVED into
-    // the counterexample rather than copied.
+    // the counterexample rather than copied. The cache records only
+    // the violating index — the input is a pure function of it.
+    cached->replay = CachedVerdict::Replay::TestingIndex;
+    cached->index = bad;
     ExecutionInput input =
         exhaustive ? decodeExhaustive(src, bad)
                    : sampledInputAt(src, options, bad, special_cache);
-    ExecutionResult src_run = interp::execute(src, input);
-    ExecutionResult tgt_run = interp::execute(tgt, input);
-    std::string why;
-    if (!violatesRefinement(src_run, tgt_run, &why))
-        why = "value mismatch"; // defensive
-    result.verdict = Verdict::Incorrect;
-    result.detail = why;
-    Counterexample cex;
-    cex.source_value = interp::describeResult(src_run);
-    cex.target_value = interp::describeResult(tgt_run);
-    cex.input = std::move(input);
-    result.counterexample = std::move(cex);
+    fillCounterexample(result, src, tgt, std::move(input));
+    recordVerdict(cached, result);
+    return result;
+}
+
+// ---------------------------------------------------------------------
+// Backend dispatch, cache key, and cache-hit re-derivation
+// ---------------------------------------------------------------------
+
+/** The backend-selection logic shared by cached and uncached paths. */
+RefinementResult
+dispatchBackends(const ir::Function &src, const ir::Function &tgt,
+                 const RefineOptions &options, CachedVerdict *cached)
+{
+    if (usesSatBackend(src, tgt))
+        return checkWithSat(src, tgt, options, cached);
+    return checkWithTesting(src, tgt, options, cached);
+}
+
+/**
+ * The cache key: a version tag, the canonical alpha-renamed prints of
+ * the pair, and every option that can change the verdict or its
+ * rendering. num_threads is deliberately excluded — results are
+ * bit-identical at any thread count by the deterministic-parallelism
+ * contract.
+ */
+std::string
+cacheKey(const ir::Function &src, const ir::Function &tgt,
+         const RefineOptions &options)
+{
+    std::string key = "v1\x01";
+    key += ir::printFunctionCanonical(src);
+    key += '\x02';
+    key += ir::printFunctionCanonical(tgt);
+    key += '\x03';
+    key += std::to_string(options.conflict_budget);
+    key += ',';
+    key += std::to_string(options.exhaustive_bit_limit);
+    key += ',';
+    key += std::to_string(options.sample_count);
+    key += ',';
+    key += std::to_string(options.memory_object_bytes);
+    key += ',';
+    key += std::to_string(options.seed);
+    key += ',';
+    key += options.structural_hashing ? '1' : '0';
+    return key;
+}
+
+/** Rebuild a full RefinementResult from a cache hit. */
+RefinementResult
+rederiveFromCache(const ir::Function &src, const ir::Function &tgt,
+                  const RefineOptions &options, const CachedVerdict &cached)
+{
+    RefinementResult result;
+    result.verdict = cached.verdict;
+    result.backend = cached.backend;
+    result.detail = cached.detail;
+    if (cached.replay == CachedVerdict::Replay::None)
+        return result;
+
+    ExecutionInput input;
+    if (cached.replay == CachedVerdict::Replay::TestingIndex) {
+        unsigned bits = inputSpaceBits(src);
+        if (bits <= options.exhaustive_bit_limit) {
+            input = decodeExhaustive(src, cached.index);
+        } else {
+            SpecialPatternCache special_cache = buildSpecialPatterns(src);
+            input = sampledInputAt(src, options, cached.index,
+                                   special_cache);
+        }
+    } else { // SatArgs: lane-major words over the shared signature
+        size_t word = 0;
+        for (unsigned i = 0; i < src.numArgs(); ++i) {
+            const Type *type = src.arg(i)->type();
+            unsigned lanes = laneCount(type);
+            unsigned width = type->scalarType()->intWidth();
+            RtValue value;
+            for (unsigned lane = 0; lane < lanes; ++lane) {
+                assert(word < cached.arg_lane_words.size());
+                value.lanes.push_back(LaneValue::ofInt(
+                    APInt(width, cached.arg_lane_words[word++])));
+            }
+            input.args.push_back(value);
+        }
+    }
+    fillCounterexample(result, src, tgt, std::move(input));
     return result;
 }
 
@@ -503,6 +566,46 @@ RefinementResult::feedbackMessage(const ir::Function &src) const
     return out;
 }
 
+bool
+usesSatBackend(const ir::Function &src, const ir::Function &tgt)
+{
+    // Vector-heavy circuits can be large; fall back to testing when
+    // the total bit count is excessive.
+    return canEncode(src) && canEncode(tgt) && inputSpaceBits(src) <= 128;
+}
+
+std::vector<uint64_t>
+specialPatterns(unsigned width)
+{
+    uint64_t ones = APInt::allOnes(width).zext();
+    uint64_t int_min = uint64_t(1) << (width - 1);
+    std::vector<uint64_t> candidates = {
+        0, 1, 2, 3,
+        ones,         // -1
+        ones - 1,     // -2 (0 at width 1; masked and deduped below)
+        int_min,      // INT_MIN (1 at width 1)
+        int_min - 1,  // INT_MAX (0 at width 1)
+    };
+    if (width > 3) {
+        candidates.push_back(ones >> 1); // INT_MAX again; deduped
+        candidates.push_back(uint64_t(1) << (width / 2));
+    }
+    // Narrow widths degenerate several entries onto each other (at
+    // width 1 everything collapses into {0, 1}); mask each candidate
+    // into range and keep the first occurrence so the list is
+    // well-defined and duplicate-free at every width.
+    std::vector<uint64_t> out;
+    for (uint64_t value : candidates) {
+        value &= ones;
+        bool seen = false;
+        for (uint64_t prior : out)
+            seen = seen || prior == value;
+        if (!seen)
+            out.push_back(value);
+    }
+    return out;
+}
+
 RefinementResult
 checkRefinement(const ir::Function &src, const ir::Function &tgt,
                 const RefineOptions &options)
@@ -518,19 +621,33 @@ checkRefinement(const ir::Function &src, const ir::Function &tgt,
         result.detail = "void functions are not checked";
         return result;
     }
-    if (canEncode(src) && canEncode(tgt)) {
-        // Vector-heavy circuits can be large; fall back to testing when
-        // the total bit count is excessive.
-        unsigned bits = inputSpaceBits(src);
-        if (bits <= 128)
-            return checkWithSat(src, tgt, options);
-    }
+    // Encodable functions never take pointers, so this check is
+    // equivalent to the pre-dispatch position it used to occupy.
     if (pointerArgCount(src) != pointerArgCount(tgt)) {
         result.verdict = Verdict::BadSignature;
         result.detail = "pointer argument mismatch";
         return result;
     }
-    return checkWithTesting(src, tgt, options);
+
+    if (!options.cache) {
+        CachedVerdict scratch;
+        return dispatchBackends(src, tgt, options, &scratch);
+    }
+    // Cache path: key on the alpha-renamed pair + verdict-affecting
+    // options; compute at most once per key, re-derive the
+    // counterexample on hits (see verify/cache.h).
+    std::string key = cacheKey(src, tgt, options);
+    return options.cache->lookupOrCompute(
+        key,
+        [&] {
+            VerifyCache::Computed computed;
+            computed.result =
+                dispatchBackends(src, tgt, options, &computed.cached);
+            return computed;
+        },
+        [&](const CachedVerdict &cached) {
+            return rederiveFromCache(src, tgt, options, cached);
+        });
 }
 
 } // namespace lpo::verify

@@ -28,6 +28,8 @@
 
 namespace lpo::verify {
 
+class VerifyCache;
+
 /** The verifier's verdict for a candidate transformation. */
 enum class Verdict {
     Correct,      ///< target refines source (within backend bounds)
@@ -80,12 +82,40 @@ struct RefineOptions
      * "Deterministic parallelism").
      */
     unsigned num_threads = 0;
+    /**
+     * Structural hashing in the SAT circuit builder. A benchmark-only
+     * knob for measuring the pre-hashing encoding cost; production
+     * callers leave it on.
+     */
+    bool structural_hashing = true;
+    /**
+     * Optional cross-query result cache (not owned; may be shared by
+     * concurrent callers). Results are bit-identical with and without
+     * it — hits re-derive their counterexample instead of re-proving.
+     */
+    VerifyCache *cache = nullptr;
 };
 
 /** Check whether @p tgt refines @p src. */
 RefinementResult checkRefinement(const ir::Function &src,
                                  const ir::Function &tgt,
                                  const RefineOptions &options = {});
+
+/**
+ * True if checkRefinement would decide (src, tgt) with the SAT
+ * backend (both in the encodable fragment, input space small enough
+ * to bit-blast). Exposed so the throughput benchmark measures exactly
+ * the queries production dispatches to SAT.
+ */
+bool usesSatBackend(const ir::Function &src, const ir::Function &tgt);
+
+/**
+ * Interesting scalar input patterns tried for every integer argument
+ * of the sampled backend (exposed for testing): all values fit
+ * @p width and the list is duplicate-free, including the degenerate
+ * width-1 case.
+ */
+std::vector<uint64_t> specialPatterns(unsigned width);
 
 } // namespace lpo::verify
 

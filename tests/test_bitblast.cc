@@ -52,6 +52,84 @@ TEST(BitblastTest, GateIdentities)
     EXPECT_EQ(cb.xorGate(x, x), CircuitBuilder::kFalse);
     EXPECT_EQ(cb.xorGate(x, -x), CircuitBuilder::kTrue);
     EXPECT_EQ(cb.muxGate(CircuitBuilder::kTrue, x, -x), x);
+    // Constant folding allocates no variables at all.
+    EXPECT_EQ(sat.numVars(), 1);
+}
+
+TEST(BitblastTest, HashConsingReturnsIdenticalLiterals)
+{
+    SatSolver sat;
+    CircuitBuilder cb(sat);
+    CLit a = cb.freshLit();
+    CLit b = cb.freshLit();
+
+    // Commuted operands hash to the same node.
+    CLit ab = cb.andGate(a, b);
+    EXPECT_EQ(cb.andGate(b, a), ab);
+    EXPECT_EQ(cb.orGate(-a, -b), -ab); // De Morgan shares the AND node
+
+    // XOR negation normalization: the phase lives outside the node.
+    CLit x = cb.xorGate(a, b);
+    EXPECT_EQ(cb.xorGate(b, a), x);
+    EXPECT_EQ(cb.xorGate(-a, b), -x);
+    EXPECT_EQ(cb.xorGate(a, -b), -x);
+    EXPECT_EQ(cb.xorGate(-a, -b), x);
+    EXPECT_EQ(cb.iffGate(a, b), -x);
+
+    // MUX selector normalization: mux(-s, t, f) == mux(s, f, t).
+    CLit s = cb.freshLit();
+    CLit m = cb.muxGate(s, a, b);
+    EXPECT_EQ(cb.muxGate(s, a, b), m);
+    EXPECT_EQ(cb.muxGate(-s, b, a), m);
+
+    EXPECT_GT(cb.uniqueTableHits(), 0u);
+}
+
+TEST(BitblastTest, RepeatedSubcircuitAddsNoVarsOrClauses)
+{
+    // Encoding the same subcircuit twice must not grow the formula:
+    // the unique table answers every gate of the second encoding.
+    SatSolver sat;
+    CircuitBuilder cb(sat);
+    BitVec a = cb.freshBV(8);
+    BitVec b = cb.freshBV(8);
+
+    BitVec first = cb.bvMul(a, b);
+    int vars_after_first = sat.numVars();
+    uint64_t clauses_after_first = sat.clausesAdded();
+
+    BitVec second = cb.bvMul(a, b);
+    EXPECT_EQ(sat.numVars(), vars_after_first);
+    EXPECT_EQ(sat.clausesAdded(), clauses_after_first);
+    EXPECT_EQ(first, second); // literal-for-literal identical
+
+    // A third structure mixing shared pieces still reuses them.
+    BitVec sum = cb.bvAdd(a, b);
+    int vars_after_sum = sat.numVars();
+    cb.bvAdd(b, a); // xor/and cons through commuted operands
+    EXPECT_EQ(sat.numVars(), vars_after_sum);
+}
+
+TEST(BitblastTest, HashingDisabledStillCorrectButLarger)
+{
+    // The benchmark knob: same circuit, no unique table.
+    SatSolver sat_plain;
+    CircuitBuilder plain(sat_plain, /*structural_hashing=*/false);
+    BitVec a = plain.freshBV(8);
+    BitVec b = plain.freshBV(8);
+    plain.bvMul(a, b);
+    int plain_once = sat_plain.numVars();
+    plain.bvMul(a, b);
+    EXPECT_GT(sat_plain.numVars(), plain_once) << "no sharing expected";
+    EXPECT_EQ(plain.uniqueTableHits(), 0u);
+
+    SatSolver sat_hashed;
+    CircuitBuilder hashed(sat_hashed);
+    BitVec ha = hashed.freshBV(8);
+    BitVec hb = hashed.freshBV(8);
+    hashed.bvMul(ha, hb);
+    hashed.bvMul(ha, hb);
+    EXPECT_LT(sat_hashed.numVars(), sat_plain.numVars());
 }
 
 class BitblastOpProperty : public testing::TestWithParam<unsigned>

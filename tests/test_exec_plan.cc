@@ -475,7 +475,7 @@ struct PipelineRun
 };
 
 PipelineRun
-runPipelineWithThreads(unsigned num_threads)
+runPipelineWithThreads(unsigned num_threads, bool enable_cache = true)
 {
     ir::Context ctx;
     corpus::CorpusOptions opts;
@@ -491,6 +491,7 @@ runPipelineWithThreads(unsigned num_threads)
     llm::MockModel model(profile, 77);
     core::PipelineConfig config;
     config.num_threads = num_threads;
+    config.enable_verify_cache = enable_cache;
     core::Pipeline pipeline(model, config);
     extract::Extractor extractor;
 
@@ -498,6 +499,36 @@ runPipelineWithThreads(unsigned num_threads)
     run.outcomes = pipeline.processModule(*module, extractor, 3);
     run.stats = pipeline.stats();
     return run;
+}
+
+/** Everything observable must match; cache counters are compared
+ *  separately because on-vs-off runs legitimately differ there. */
+void
+expectSamePipelineRun(const PipelineRun &a, const PipelineRun &b)
+{
+    ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+    for (size_t i = 0; i < a.outcomes.size(); ++i) {
+        const core::CaseOutcome &x = a.outcomes[i];
+        const core::CaseOutcome &y = b.outcomes[i];
+        EXPECT_EQ(x.status, y.status) << "case " << i;
+        EXPECT_EQ(x.attempts, y.attempts) << "case " << i;
+        EXPECT_EQ(x.candidate_text, y.candidate_text) << "case " << i;
+        EXPECT_EQ(x.last_feedback, y.last_feedback) << "case " << i;
+        EXPECT_EQ(x.verifier_backend, y.verifier_backend) << "case " << i;
+        // Simulated time/cost must be BIT-identical, not just close.
+        EXPECT_EQ(x.llm_seconds, y.llm_seconds) << "case " << i;
+        EXPECT_EQ(x.total_seconds, y.total_seconds) << "case " << i;
+        EXPECT_EQ(x.cost_usd, y.cost_usd) << "case " << i;
+    }
+    EXPECT_EQ(a.stats.cases, b.stats.cases);
+    EXPECT_EQ(a.stats.found, b.stats.found);
+    EXPECT_EQ(a.stats.llm_calls, b.stats.llm_calls);
+    EXPECT_EQ(a.stats.verifier_calls, b.stats.verifier_calls);
+    EXPECT_EQ(a.stats.syntax_errors, b.stats.syntax_errors);
+    EXPECT_EQ(a.stats.incorrect_candidates, b.stats.incorrect_candidates);
+    EXPECT_EQ(a.stats.not_interesting, b.stats.not_interesting);
+    EXPECT_EQ(a.stats.total_seconds, b.stats.total_seconds);
+    EXPECT_EQ(a.stats.total_cost_usd, b.stats.total_cost_usd);
 }
 
 } // namespace
@@ -509,28 +540,38 @@ TEST(DeterministicParallelism, PipelineThreadInvariant)
 
     ASSERT_GT(serial.outcomes.size(), 1u)
         << "module produced too few sequences to exercise the fan-out";
-    ASSERT_EQ(serial.outcomes.size(), parallel.outcomes.size());
-    for (size_t i = 0; i < serial.outcomes.size(); ++i) {
-        const core::CaseOutcome &a = serial.outcomes[i];
-        const core::CaseOutcome &b = parallel.outcomes[i];
-        EXPECT_EQ(a.status, b.status) << "case " << i;
-        EXPECT_EQ(a.attempts, b.attempts) << "case " << i;
-        EXPECT_EQ(a.candidate_text, b.candidate_text) << "case " << i;
-        EXPECT_EQ(a.last_feedback, b.last_feedback) << "case " << i;
-        EXPECT_EQ(a.verifier_backend, b.verifier_backend) << "case " << i;
-        // Simulated time/cost must be BIT-identical, not just close.
-        EXPECT_EQ(a.llm_seconds, b.llm_seconds) << "case " << i;
-        EXPECT_EQ(a.total_seconds, b.total_seconds) << "case " << i;
-        EXPECT_EQ(a.cost_usd, b.cost_usd) << "case " << i;
-    }
-    EXPECT_EQ(serial.stats.cases, parallel.stats.cases);
-    EXPECT_EQ(serial.stats.found, parallel.stats.found);
-    EXPECT_EQ(serial.stats.llm_calls, parallel.stats.llm_calls);
-    EXPECT_EQ(serial.stats.verifier_calls, parallel.stats.verifier_calls);
-    EXPECT_EQ(serial.stats.syntax_errors, parallel.stats.syntax_errors);
-    EXPECT_EQ(serial.stats.incorrect_candidates,
-              parallel.stats.incorrect_candidates);
-    EXPECT_EQ(serial.stats.not_interesting, parallel.stats.not_interesting);
-    EXPECT_EQ(serial.stats.total_seconds, parallel.stats.total_seconds);
-    EXPECT_EQ(serial.stats.total_cost_usd, parallel.stats.total_cost_usd);
+    expectSamePipelineRun(serial, parallel);
+    // Compute-once semantics make the cache counters themselves
+    // thread-count-invariant (exactly one miss per distinct key).
+    EXPECT_EQ(serial.stats.verify_cache_hits,
+              parallel.stats.verify_cache_hits);
+    EXPECT_EQ(serial.stats.verify_cache_misses,
+              parallel.stats.verify_cache_misses);
+}
+
+TEST(DeterministicParallelism, PipelineCacheInvariant)
+{
+    // The verification cache must be a pure accelerator: outcomes,
+    // verdicts, counterexamples (via feedback strings), and every
+    // pre-existing stat are bit-identical with it on or off, serial
+    // or parallel.
+    PipelineRun cached_serial = runPipelineWithThreads(1, true);
+    PipelineRun uncached_serial = runPipelineWithThreads(1, false);
+    PipelineRun cached_parallel = runPipelineWithThreads(8, true);
+    PipelineRun uncached_parallel = runPipelineWithThreads(8, false);
+
+    ASSERT_GT(cached_serial.outcomes.size(), 1u);
+    expectSamePipelineRun(cached_serial, uncached_serial);
+    expectSamePipelineRun(cached_serial, cached_parallel);
+    expectSamePipelineRun(cached_serial, uncached_parallel);
+
+    // Off means off: no cache traffic at all.
+    EXPECT_EQ(uncached_serial.stats.verify_cache_hits, 0u);
+    EXPECT_EQ(uncached_serial.stats.verify_cache_misses, 0u);
+    // On means verifier traffic flows through the cache (early-out
+    // verdicts like BadSignature are not cached, hence <=).
+    EXPECT_GT(cached_serial.stats.verify_cache_misses, 0u);
+    EXPECT_LE(cached_serial.stats.verify_cache_hits +
+                  cached_serial.stats.verify_cache_misses,
+              cached_serial.stats.verifier_calls);
 }

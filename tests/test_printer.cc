@@ -112,3 +112,69 @@ TEST(PrinterTest, ModuleHeader)
     EXPECT_NE(text.find("define void @f()"), std::string::npos);
     EXPECT_NE(text.find("ret void"), std::string::npos);
 }
+
+TEST(PrinterTest, CanonicalAlphaRenaming)
+{
+    Context ctx;
+    // Structurally identical functions under different names print to
+    // byte-identical canonical text...
+    auto a = parseFunction(ctx,
+        "define i8 @first(i8 %x, i8 %y) {\n"
+        "  %sum = add nsw i8 %x, %y\n"
+        "  %r = xor i8 %sum, %x\n"
+        "  ret i8 %r\n}\n");
+    auto b = parseFunction(ctx,
+        "define i8 @second(i8 %p, i8 %q) {\n"
+        "  %a = add nsw i8 %p, %q\n"
+        "  %b = xor i8 %a, %p\n"
+        "  ret i8 %b\n}\n");
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(printFunctionCanonical(**a), printFunctionCanonical(**b));
+    EXPECT_NE(printFunction(**a), printFunction(**b));
+
+    // ...while any structural difference (flags included) shows up.
+    auto c = parseFunction(ctx,
+        "define i8 @third(i8 %p, i8 %q) {\n"
+        "  %a = add i8 %p, %q\n"
+        "  %b = xor i8 %a, %p\n"
+        "  ret i8 %b\n}\n");
+    ASSERT_TRUE(c.ok());
+    EXPECT_NE(printFunctionCanonical(**a), printFunctionCanonical(**c));
+
+    // Dataflow differences survive renaming: xor by the SECOND arg.
+    auto d = parseFunction(ctx,
+        "define i8 @fourth(i8 %p, i8 %q) {\n"
+        "  %a = add nsw i8 %p, %q\n"
+        "  %b = xor i8 %a, %q\n"
+        "  ret i8 %b\n}\n");
+    ASSERT_TRUE(d.ok());
+    EXPECT_NE(printFunctionCanonical(**a), printFunctionCanonical(**d));
+
+    // Labels rename too, so control flow canonicalizes.
+    auto e = parseFunction(ctx,
+        "define i8 @branchy(i8 %x) {\n"
+        "start:\n"
+        "  %c = icmp slt i8 %x, 0\n"
+        "  br i1 %c, label %low, label %high\n"
+        "low:\n"
+        "  br label %out\n"
+        "high:\n"
+        "  br label %out\n"
+        "out:\n"
+        "  %r = phi i8 [ 1, %low ], [ 2, %high ]\n"
+        "  ret i8 %r\n}\n");
+    auto f = parseFunction(ctx,
+        "define i8 @branchy2(i8 %v) {\n"
+        "begin:\n"
+        "  %cond = icmp slt i8 %v, 0\n"
+        "  br i1 %cond, label %a, label %b\n"
+        "a:\n"
+        "  br label %done\n"
+        "b:\n"
+        "  br label %done\n"
+        "done:\n"
+        "  %res = phi i8 [ 1, %a ], [ 2, %b ]\n"
+        "  ret i8 %res\n}\n");
+    ASSERT_TRUE(e.ok() && f.ok());
+    EXPECT_EQ(printFunctionCanonical(**e), printFunctionCanonical(**f));
+}

@@ -85,6 +85,62 @@ TEST(SatTest, DuplicateAndTautologyClauses)
     EXPECT_EQ(s.solve(), SatResult::Sat);
 }
 
+TEST(SatTest, LearntDatabaseReductionKeepsAnswersCorrect)
+{
+    // PHP(7,6) is unsat and conflict-heavy enough to restart several
+    // times; forcing a tiny reduce limit makes every restart shed
+    // learnt clauses, and the final answer must not change.
+    SatSolver s;
+    s.setReduceLimit(8);
+    const int pigeons = 7, holes = 6;
+    std::vector<std::vector<int>> var(pigeons, std::vector<int>(holes));
+    for (auto &row : var)
+        for (int &v : row)
+            v = s.newVar();
+    for (auto &row : var)
+        s.addClause(std::vector<Lit>(row.begin(), row.end()));
+    for (int hole = 0; hole < holes; ++hole)
+        for (int i = 0; i < pigeons; ++i)
+            for (int j = i + 1; j < pigeons; ++j)
+                s.addBinary(-var[i][hole], -var[j][hole]);
+    EXPECT_EQ(s.solve(), SatResult::Unsat);
+    EXPECT_GT(s.learntsRemoved(), 0u)
+        << "reduction never triggered; the test lost its purpose";
+}
+
+TEST(SatTest, ReductionOnSatisfiableInstanceKeepsModelValid)
+{
+    // Random-ish structured SAT instance solved under aggressive
+    // reduction: the model must still satisfy every original clause.
+    Rng rng(0xBEEF);
+    SatSolver s;
+    s.setReduceLimit(4);
+    const int nv = 60;
+    for (int v = 0; v < nv; ++v)
+        s.newVar();
+    std::vector<std::vector<Lit>> clauses;
+    for (int c = 0; c < 220; ++c) {
+        std::vector<Lit> clause;
+        for (int l = 0; l < 3; ++l) {
+            int v = 1 + static_cast<int>(rng.nextBelow(nv));
+            clause.push_back(rng.chance(0.5) ? v : -v);
+        }
+        // Make the instance satisfiable by construction: force each
+        // clause to contain at least one literal true under the
+        // all-true assignment.
+        clause[0] = std::abs(clause[0]);
+        clauses.push_back(clause);
+        s.addClause(clause);
+    }
+    ASSERT_EQ(s.solve(), SatResult::Sat);
+    for (const auto &clause : clauses) {
+        bool hit = false;
+        for (Lit lit : clause)
+            hit |= (lit > 0) == s.modelValue(std::abs(lit));
+        EXPECT_TRUE(hit) << "model violates an original clause";
+    }
+}
+
 class SatFuzzProperty : public testing::TestWithParam<int>
 {
 };

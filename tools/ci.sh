@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # CI entry point: build Release + Debug, run the test suite in both,
-# and run the interpreter throughput benchmark, leaving BENCH_interp.json
-# in the repo root so the perf trajectory is tracked per commit.
+# and run the throughput benchmarks, leaving BENCH_interp.json and
+# BENCH_verify.json in the repo root so the perf trajectory is tracked
+# per commit. The verify benchmark is gated against its committed
+# baseline: a >20% drop in geomean speedup fails the build.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,3 +26,26 @@ echo "=== Interpreter throughput benchmark (Release) ==="
 cp build-release/BENCH_interp.json .
 echo "BENCH_interp.json:"
 cat BENCH_interp.json
+
+echo "=== Verification throughput benchmark (Release) ==="
+# Exits nonzero itself if structural hashing fails to shrink a
+# repeated-subcircuit query or the cache never hits.
+(cd build-release && ./bench_verify_throughput)
+cp build-release/BENCH_verify.json .
+echo "BENCH_verify.json:"
+cat BENCH_verify.json
+
+# Regression gate: compare geomean speedup (a ratio, so portable
+# across runner hardware) against the committed baseline.
+baseline=$(grep -o '"geomean_speedup": [0-9.]*' \
+    bench/BENCH_verify.baseline.json | awk '{print $2}')
+current=$(grep -o '"geomean_speedup": [0-9.]*' \
+    BENCH_verify.json | awk '{print $2}')
+awk -v c="$current" -v b="$baseline" 'BEGIN {
+    if (c + 0 < 0.8 * b) {
+        printf "FAIL: verify geomean speedup %.2fx regressed more " \
+               "than 20%% against the committed baseline %.2fx\n", c, b
+        exit 1
+    }
+    printf "verify geomean speedup %.2fx vs baseline %.2fx: OK\n", c, b
+}'
