@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Proposer-backend comparison on the missed-optimization corpus
+ * (RQ1 + RQ2): found optimizations and verified-candidates/sec for
+ * --proposer=llm, egraph, and hybrid at equal RefineOptions, model,
+ * and seeds.
+ *
+ * Asserts the hybrid contract: hybrid's verified findings must be a
+ * strict superset of the LLM's (per case, not just in total) — the
+ * fallback only ever runs after the LLM leg has failed, and the
+ * e-graph covers families beyond every model's knowledge. Emits
+ * BENCH_proposer.json; tools/ci.sh gates hybrid's found count
+ * against the committed baseline (>20% drop fails).
+ */
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "corpus/benchmarks.h"
+#include "ir/parser.h"
+#include "llm/mock_model.h"
+
+using namespace lpo;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct ProposerResult
+{
+    const char *name = "";
+    std::vector<bool> found;
+    core::PipelineStats stats;
+    double elapsed_seconds = 0.0;
+
+    unsigned foundCount() const
+    {
+        unsigned n = 0;
+        for (bool f : found)
+            n += f;
+        return n;
+    }
+    double verifiedCandidatesPerSec() const
+    {
+        return elapsed_seconds > 0
+                   ? static_cast<double>(stats.verifier_calls) /
+                         elapsed_seconds
+                   : 0.0;
+    }
+};
+
+ProposerResult
+runCorpus(core::ProposerKind kind,
+          const std::vector<corpus::MissedOptBenchmark> &catalog)
+{
+    ProposerResult result;
+    result.name = core::proposerKindName(kind);
+
+    ir::Context ctx;
+    llm::MockModel model(llm::modelByName("Gemini2.0T"), 1);
+    core::PipelineConfig config;
+    config.proposer = kind;
+    core::Pipeline pipeline(model, config);
+
+    auto start = Clock::now();
+    uint64_t round = 0;
+    for (const auto &bench : catalog) {
+        auto src = ir::parseFunction(ctx, bench.src_text);
+        if (!src.ok()) {
+            std::fprintf(stderr, "parse failed for %s\n",
+                         bench.issue_id.c_str());
+            std::exit(1);
+        }
+        auto outcome = pipeline.optimizeSequence(**src, round++);
+        result.found.push_back(outcome.found());
+    }
+    result.elapsed_seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    result.stats = pipeline.stats();
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::vector<corpus::MissedOptBenchmark> catalog =
+        corpus::rq1Benchmarks();
+    for (const auto &bench : corpus::rq2Benchmarks())
+        catalog.push_back(bench);
+
+    std::vector<ProposerResult> results;
+    for (core::ProposerKind kind :
+         {core::ProposerKind::Llm, core::ProposerKind::EGraph,
+          core::ProposerKind::Hybrid})
+        results.push_back(runCorpus(kind, catalog));
+    const ProposerResult &llm = results[0];
+    const ProposerResult &egraph = results[1];
+    const ProposerResult &hybrid = results[2];
+
+    // The acceptance contract, checked per case.
+    bool superset = true;
+    for (size_t i = 0; i < catalog.size(); ++i) {
+        if (llm.found[i] && !hybrid.found[i]) {
+            superset = false;
+            std::fprintf(stderr,
+                         "FAIL: hybrid lost %s, which llm found\n",
+                         catalog[i].issue_id.c_str());
+        }
+    }
+    bool strictly_more = hybrid.foundCount() > llm.foundCount();
+
+    core::TextTable table({"Proposer", "Found", "Cases",
+                           "Verifier Calls", "Verified Cand/s",
+                           "LLM Calls", "E-graph Consults"});
+    for (const ProposerResult &r : results) {
+        char rate[32];
+        std::snprintf(rate, sizeof rate, "%.1f",
+                      r.verifiedCandidatesPerSec());
+        table.addRow({r.name, std::to_string(r.foundCount()),
+                      std::to_string(r.found.size()),
+                      std::to_string(r.stats.verifier_calls), rate,
+                      std::to_string(r.stats.llm_calls),
+                      std::to_string(r.stats.egraph_consults)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nhybrid superset of llm: %s, strictly more: %s "
+                "(hybrid %u vs llm %u, egraph alone %u)\n",
+                superset ? "yes" : "NO",
+                strictly_more ? "yes" : "NO", hybrid.foundCount(),
+                llm.foundCount(), egraph.foundCount());
+
+    std::string json = "{\n  \"proposers\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const ProposerResult &r = results[i];
+        char buf[512];
+        std::snprintf(
+            buf, sizeof buf,
+            "    {\"name\": \"%s\", \"found\": %u, \"cases\": %zu, "
+            "\"verifier_calls\": %llu, "
+            "\"verified_cands_per_sec\": %.1f, \"llm_calls\": %llu, "
+            "\"egraph_consults\": %llu, \"hybrid_fallbacks\": %llu}%s\n",
+            r.name, r.foundCount(), r.found.size(),
+            static_cast<unsigned long long>(r.stats.verifier_calls),
+            r.verifiedCandidatesPerSec(),
+            static_cast<unsigned long long>(r.stats.llm_calls),
+            static_cast<unsigned long long>(r.stats.egraph_consults),
+            static_cast<unsigned long long>(r.stats.hybrid_fallbacks),
+            i + 1 < results.size() ? "," : "");
+        json += buf;
+    }
+    char tail[256];
+    std::snprintf(tail, sizeof tail,
+                  "  ],\n"
+                  "  \"llm_found\": %u,\n"
+                  "  \"egraph_found\": %u,\n"
+                  "  \"hybrid_found\": %u,\n"
+                  "  \"hybrid_superset_of_llm\": %s,\n"
+                  "  \"hybrid_strictly_more\": %s\n}\n",
+                  llm.foundCount(), egraph.foundCount(),
+                  hybrid.foundCount(), superset ? "true" : "false",
+                  strictly_more ? "true" : "false");
+    json += tail;
+
+    std::ofstream out("BENCH_proposer.json");
+    out << json;
+    std::printf("wrote BENCH_proposer.json\n");
+
+    if (!superset) {
+        std::fprintf(stderr,
+                     "FAIL: hybrid is not a superset of llm\n");
+        return 1;
+    }
+    if (!strictly_more) {
+        std::fprintf(stderr,
+                     "FAIL: hybrid found no more than llm alone\n");
+        return 1;
+    }
+    return 0;
+}

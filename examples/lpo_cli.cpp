@@ -6,17 +6,20 @@
  *   lpo opt <file.ll>              run the InstCombine pipeline
  *   lpo verify <src.ll> <tgt.ll>   refinement-check a function pair
  *   lpo extract <file.ll>          print extracted unique sequences
- *   lpo run <file.ll> [model]      run the LPO loop on every sequence
+ *   lpo run <file.ll> [model] [options]
+ *                                  run the LPO loop on every sequence
  *   lpo models                     list the Table 1 model registry
  *
  * Files may contain one function (verify) or a whole module.
  */
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "core/pipeline.h"
+#include "core/report.h"
 #include "extract/extractor.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
@@ -105,8 +108,58 @@ cmdExtract(const char *path)
     return 0;
 }
 
+/** `lpo run` knobs parsed from the trailing argument list. */
+struct RunOptions
+{
+    std::string model = "Gemini2.0T";
+    core::PipelineConfig config;
+};
+
+bool
+parseRunOptions(int argc, char **argv, int first, RunOptions *out)
+{
+    bool model_set = false;
+    for (int i = first; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strncmp(arg, "--proposer=", 11)) {
+            if (!core::parseProposerKind(arg + 11,
+                                         &out->config.proposer)) {
+                std::fprintf(stderr,
+                             "lpo: unknown proposer '%s' (expected "
+                             "llm, egraph, or hybrid)\n",
+                             arg + 11);
+                return false;
+            }
+        } else if (!std::strncmp(arg, "--threads=", 10)) {
+            char *end = nullptr;
+            long threads = std::strtol(arg + 10, &end, 10);
+            if (end == arg + 10 || *end || threads < 0 ||
+                threads > 4096) {
+                std::fprintf(stderr,
+                             "lpo: bad --threads value '%s' "
+                             "(expected 0..4096)\n",
+                             arg + 10);
+                return false;
+            }
+            out->config.num_threads = static_cast<unsigned>(threads);
+        } else if (!std::strcmp(arg, "--no-verify-cache")) {
+            out->config.enable_verify_cache = false;
+        } else if (arg[0] == '-') {
+            std::fprintf(stderr, "lpo: unknown option '%s'\n", arg);
+            return false;
+        } else if (!model_set) {
+            out->model = arg;
+            model_set = true;
+        } else {
+            std::fprintf(stderr, "lpo: unexpected argument '%s'\n", arg);
+            return false;
+        }
+    }
+    return true;
+}
+
 int
-cmdRun(const char *path, const char *model_name)
+cmdRun(const char *path, const RunOptions &options)
 {
     ir::Context ctx;
     auto module = ir::parseModule(ctx, readFile(path));
@@ -115,28 +168,23 @@ cmdRun(const char *path, const char *model_name)
                      module.error().toString().c_str());
         return 1;
     }
-    llm::MockModel model(llm::modelByName(model_name), 1);
-    core::Pipeline pipeline(model);
+    llm::MockModel model(llm::modelByName(options.model), 1);
+    core::Pipeline pipeline(model, options.config);
     extract::Extractor extractor;
-    unsigned found = 0;
-    for (const auto &outcome :
-         pipeline.processModule(**module, extractor, 1)) {
+    auto outcomes = pipeline.processModule(**module, extractor, 1);
+    for (const auto &outcome : outcomes) {
         if (!outcome.found())
             continue;
-        ++found;
         std::printf("; verified missed optimization "
-                    "(%u attempt(s), %s backend)\n%s\n",
-                    outcome.attempts, outcome.verifier_backend.c_str(),
+                    "(%s proposer, %u attempt(s), %s backend)\n%s\n",
+                    outcome.proposer.c_str(), outcome.attempts,
+                    outcome.verifier_backend.c_str(),
                     outcome.candidate_text.c_str());
     }
-    const auto &stats = pipeline.stats();
-    std::fprintf(stderr,
-                 "; cases=%llu found=%u llm-calls=%llu "
-                 "syntax-errors=%llu incorrect=%llu\n",
-                 (unsigned long long)stats.cases, found,
-                 (unsigned long long)stats.llm_calls,
-                 (unsigned long long)stats.syntax_errors,
-                 (unsigned long long)stats.incorrect_candidates);
+    std::fprintf(stderr, "%s",
+                 core::moduleSummary(
+                     pipeline.stats(), outcomes,
+                     options.config.enable_verify_cache).c_str());
     return 0;
 }
 
@@ -160,9 +208,26 @@ usage()
         "  opt <file.ll>              optimize with the pipeline\n"
         "  verify <src.ll> <tgt.ll>   check refinement (Alive2-style)\n"
         "  extract <file.ll>          extract unique sequences\n"
-        "  run <file.ll> [model]      run the LPO loop (default "
+        "  run <file.ll> [model] [options]\n"
+        "                             run the LPO loop (default "
         "Gemini2.0T)\n"
-        "  models                     list the model registry\n");
+        "  models                     list the model registry\n"
+        "  help                       show this message\n"
+        "\n"
+        "run options:\n"
+        "  --proposer=llm|egraph|hybrid\n"
+        "                             candidate backend: the LLM loop,\n"
+        "                             e-graph equality saturation, or\n"
+        "                             LLM with e-graph fallback\n"
+        "                             (default llm)\n"
+        "  --threads=N                worker threads for the sequence\n"
+        "                             fan-out; 0 = all hardware\n"
+        "                             threads, 1 = serial (default 0;\n"
+        "                             results are identical for every\n"
+        "                             thread count)\n"
+        "  --no-verify-cache          disable the shared verification\n"
+        "                             result cache (results are\n"
+        "                             identical; only speed changes)\n");
 }
 
 } // namespace
@@ -175,14 +240,23 @@ main(int argc, char **argv)
         return 1;
     }
     const char *cmd = argv[1];
+    if (!std::strcmp(cmd, "help") || !std::strcmp(cmd, "--help") ||
+        !std::strcmp(cmd, "-h")) {
+        usage();
+        return 0;
+    }
     if (!std::strcmp(cmd, "opt") && argc == 3)
         return cmdOpt(argv[2]);
     if (!std::strcmp(cmd, "verify") && argc == 4)
         return cmdVerify(argv[2], argv[3]);
     if (!std::strcmp(cmd, "extract") && argc == 3)
         return cmdExtract(argv[2]);
-    if (!std::strcmp(cmd, "run") && (argc == 3 || argc == 4))
-        return cmdRun(argv[2], argc == 4 ? argv[3] : "Gemini2.0T");
+    if (!std::strcmp(cmd, "run") && argc >= 3) {
+        RunOptions options;
+        if (!parseRunOptions(argc, argv, 3, &options))
+            return 1;
+        return cmdRun(argv[2], options);
+    }
     if (!std::strcmp(cmd, "models"))
         return cmdModels();
     usage();

@@ -39,40 +39,43 @@ Pipeline::refreshCacheStats()
 }
 
 CaseOutcome
-Pipeline::runCase(const ir::Function &seq, uint64_t round_seed,
-                  PipelineStats &stats,
-                  const verify::RefineOptions &refine)
+Pipeline::runAttemptLoop(Proposer &proposer, const ir::Function &seq,
+                         uint64_t round_seed, PipelineStats &stats,
+                         const verify::RefineOptions &refine)
 {
+    const bool is_llm = proposer.backend() == Proposer::Backend::Llm;
     CaseOutcome outcome;
-    ++stats.cases;
+    outcome.proposer = proposer.name();
     outcome.total_seconds = config_.overhead_seconds;
-
-    // All workers share the pipeline-lifetime cache; the RefineOptions
-    // copy just points at it.
-    verify::RefineOptions refine_opts = refine;
-    refine_opts.cache =
-        config_.enable_verify_cache ? &verify_cache_ : nullptr;
 
     std::string seq_text = ir::printFunction(seq);
     std::string feedback;
     unsigned counter = 0;
 
     while (counter < config_.attempt_limit) {
-        llm::LlmRequest request;
-        request.system_prompt = "(see llm/prompt.h)";
-        request.function_text = seq_text;
-        request.feedback = feedback;
-        request.seed = round_seed * 7919 + counter;
-        llm::LlmResponse response = client_.complete(request);
-        ++stats.llm_calls;
+        if (!is_llm)
+            ++stats.egraph_consults;
+        std::optional<Proposal> proposal = proposer.propose(
+            seq, seq_text, feedback, round_seed * 7919 + counter);
+        if (!proposal) {
+            // Backend has nothing (more) to offer; stop without
+            // burning the remaining attempts.
+            if (outcome.attempts == 0)
+                outcome.status = CaseStatus::NoCandidate;
+            break;
+        }
+        if (is_llm)
+            ++stats.llm_calls;
+        else
+            ++stats.egraph_proposals;
         ++outcome.attempts;
-        outcome.llm_seconds += response.latency_seconds;
-        outcome.total_seconds += response.latency_seconds;
-        outcome.cost_usd += response.cost_usd;
+        outcome.llm_seconds += proposal->latency_seconds;
+        outcome.total_seconds += proposal->latency_seconds;
+        outcome.cost_usd += proposal->cost_usd;
 
         // Step 3: opt — syntax check + canonicalize/optimize further.
         ir::Context &context = seq.context();
-        opt::OptResult opted = opt::runOpt(context, response.text);
+        opt::OptResult opted = opt::runOpt(context, proposal->text);
         if (opted.failed) {
             ++stats.syntax_errors;
             ++counter;
@@ -95,7 +98,7 @@ Pipeline::runCase(const ir::Function &seq, uint64_t round_seed,
 
         // Step 5: correctness via the translation validator.
         verify::RefinementResult verdict =
-            verify::checkRefinement(seq, *opted.function, refine_opts);
+            verify::checkRefinement(seq, *opted.function, refine);
         ++stats.verifier_calls;
         outcome.total_seconds += config_.verify_seconds;
         outcome.verifier_backend = verdict.backend;
@@ -120,6 +123,10 @@ Pipeline::runCase(const ir::Function &seq, uint64_t round_seed,
         outcome.status = CaseStatus::Found;
         outcome.candidate_text = ir::printFunction(*opted.function);
         ++stats.found;
+        if (is_llm)
+            ++stats.found_by_llm;
+        else
+            ++stats.found_by_egraph;
         break;
     }
 
@@ -129,6 +136,65 @@ Pipeline::runCase(const ir::Function &seq, uint64_t round_seed,
         outcome.attempts == 1 && outcome.last_feedback ==
             "identical or not cheaper") {
         outcome.status = CaseStatus::NoCandidate;
+    }
+
+    return outcome;
+}
+
+CaseOutcome
+Pipeline::runCase(const ir::Function &seq, uint64_t round_seed,
+                  PipelineStats &stats,
+                  const verify::RefineOptions &refine)
+{
+    ++stats.cases;
+
+    // All workers share the pipeline-lifetime cache; the RefineOptions
+    // copy just points at it.
+    verify::RefineOptions refine_opts = refine;
+    refine_opts.cache =
+        config_.enable_verify_cache ? &verify_cache_ : nullptr;
+
+    CaseOutcome outcome;
+    switch (config_.proposer) {
+      case ProposerKind::Llm:
+        outcome = runAttemptLoop(llm_proposer_, seq, round_seed, stats,
+                                 refine_opts);
+        break;
+      case ProposerKind::EGraph:
+        outcome = runAttemptLoop(egraph_proposer_, seq, round_seed,
+                                 stats, refine_opts);
+        break;
+      case ProposerKind::Hybrid: {
+        outcome = runAttemptLoop(llm_proposer_, seq, round_seed, stats,
+                                 refine_opts);
+        // Fall back whenever the LLM leg failed for a reason the
+        // e-graph could overcome: nothing proposed, refuted, never
+        // parsed, or not an improvement. Unsupported is excluded —
+        // the verifier cannot handle the function regardless of who
+        // proposes.
+        if (outcome.status == CaseStatus::NoCandidate ||
+            outcome.status == CaseStatus::Incorrect ||
+            outcome.status == CaseStatus::SyntaxError ||
+            outcome.status == CaseStatus::NotInteresting) {
+            ++stats.hybrid_fallbacks;
+            CaseOutcome fallback = runAttemptLoop(
+                egraph_proposer_, seq, round_seed, stats, refine_opts);
+            if (fallback.found()) {
+                // The combined record keeps the e-graph's result but
+                // accounts for the failed LLM attempts too.
+                fallback.attempts += outcome.attempts;
+                fallback.llm_seconds += outcome.llm_seconds;
+                fallback.total_seconds += outcome.total_seconds;
+                fallback.cost_usd += outcome.cost_usd;
+                outcome = std::move(fallback);
+            } else {
+                // Keep the LLM outcome (richer feedback) but charge
+                // the extra e-graph pass.
+                outcome.total_seconds += fallback.total_seconds;
+            }
+        }
+        break;
+      }
     }
 
     stats.total_seconds += outcome.total_seconds;
@@ -203,6 +269,11 @@ Pipeline::processModule(const ir::Module &module,
         stats_.syntax_errors += delta.syntax_errors;
         stats_.incorrect_candidates += delta.incorrect_candidates;
         stats_.not_interesting += delta.not_interesting;
+        stats_.egraph_consults += delta.egraph_consults;
+        stats_.egraph_proposals += delta.egraph_proposals;
+        stats_.found_by_llm += delta.found_by_llm;
+        stats_.found_by_egraph += delta.found_by_egraph;
+        stats_.hybrid_fallbacks += delta.hybrid_fallbacks;
         stats_.total_seconds += delta.total_seconds;
         stats_.total_cost_usd += delta.total_cost_usd;
     }

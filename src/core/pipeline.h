@@ -2,11 +2,13 @@
  * @file
  * The LPO closed loop (paper Fig. 2 / Algorithm 1).
  *
- * For each instruction sequence: prompt the LLM; syntax-check and
+ * For each instruction sequence: ask the configured proposer backend
+ * for a candidate (the LLM, the e-graph equality-saturation engine,
+ * or the hybrid of both — see core/proposer.h); syntax-check and
  * canonicalize the candidate with the opt driver; gate on
  * interestingness; verify refinement with the translation validator;
  * on failure, feed the error message or counterexample back to the
- * model and retry up to ATTEMPT_LIMIT times. The LPO- ablation
+ * proposer and retry up to ATTEMPT_LIMIT times. The LPO- ablation
  * disables the feedback loop.
  */
 #ifndef LPO_CORE_PIPELINE_H
@@ -16,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/proposer.h"
 #include "extract/extractor.h"
 #include "ir/module.h"
 #include "llm/client.h"
@@ -52,6 +55,16 @@ struct PipelineConfig
      * the cache on or off; only the cache hit/miss counters differ.
      */
     bool enable_verify_cache = true;
+    /**
+     * Candidate-generation backend (see core/proposer.h). Hybrid runs
+     * the LLM loop first and falls back to the e-graph when it ends
+     * in any failure the e-graph could overcome (NoCandidate,
+     * Incorrect, SyntaxError, NotInteresting), so hybrid's verified
+     * findings are always a superset of the LLM's at equal settings.
+     */
+    ProposerKind proposer = ProposerKind::Llm;
+    /** E-graph saturation budgets (egraph / hybrid modes). */
+    egraph::SaturationLimits egraph_limits;
 };
 
 /** Why a case ended. */
@@ -77,6 +90,8 @@ struct CaseOutcome
     double total_seconds = 0.0;    ///< simulated end-to-end latency
     double cost_usd = 0.0;
     std::string verifier_backend;  ///< "sat"/"exhaustive"/"sampled"
+    std::string proposer;          ///< backend of the final attempt
+                                   ///< ("llm" or "egraph")
 
     bool found() const { return status == CaseStatus::Found; }
 };
@@ -99,6 +114,16 @@ struct PipelineStats
      */
     uint64_t verify_cache_hits = 0;
     uint64_t verify_cache_misses = 0;
+    // Per-proposer accounting (surfaced by core::moduleSummary).
+    uint64_t egraph_consults = 0;   ///< propose() calls on the e-graph
+                                    ///< backend (a consult may decline
+                                    ///< — unsupported function, retry —
+                                    ///< without running a saturation)
+    uint64_t egraph_proposals = 0;  ///< candidates the e-graph offered
+    uint64_t found_by_llm = 0;      ///< findings from LLM attempts
+    uint64_t found_by_egraph = 0;   ///< findings from e-graph attempts
+    uint64_t hybrid_fallbacks = 0;  ///< hybrid cases that consulted
+                                    ///< the e-graph after the LLM
     double total_seconds = 0.0;
     double total_cost_usd = 0.0;
 };
@@ -131,10 +156,20 @@ class Pipeline
      * verifying with @p refine (processModule workers pass a serial
      * copy so per-case sweeps don't nest thread pools; by the
      * deterministic-parallelism contract this cannot change results).
+     * Dispatches to the configured proposer; in Hybrid mode runs the
+     * LLM attempt loop and falls back to the e-graph on
+     * NoCandidate/Incorrect.
      */
     CaseOutcome runCase(const ir::Function &seq, uint64_t round_seed,
                         PipelineStats &stats,
                         const verify::RefineOptions &refine);
+
+    /** The propose -> opt -> gate -> verify attempt loop over one
+     *  backend (Algorithm 1's body, proposer-agnostic). */
+    CaseOutcome runAttemptLoop(Proposer &proposer,
+                               const ir::Function &seq,
+                               uint64_t round_seed, PipelineStats &stats,
+                               const verify::RefineOptions &refine);
 
     /** Copy the shared cache's counters into stats_. */
     void refreshCacheStats();
@@ -142,6 +177,11 @@ class Pipeline
     llm::LlmClient &client_;
     PipelineConfig config_;
     PipelineStats stats_;
+    /** Proposer backends (shared by all workers; see the Proposer
+     *  thread-safety contract). Declared after config_: the e-graph
+     *  proposer copies its budgets from it. */
+    LlmProposer llm_proposer_{client_};
+    EGraphProposer egraph_proposer_{config_.egraph_limits};
     /** Shared across every case and worker thread for the lifetime
      *  of the pipeline, so repeat candidates across modules hit. The
      *  soft entry cap bounds memory on long-running deployments; it

@@ -1,0 +1,97 @@
+#include "core/proposer.h"
+
+#include "egraph/extract.h"
+#include "ir/ir_verifier.h"
+#include "ir/printer.h"
+#include "mca/cost_model.h"
+
+namespace lpo::core {
+
+const char *
+proposerKindName(ProposerKind kind)
+{
+    switch (kind) {
+      case ProposerKind::Llm: return "llm";
+      case ProposerKind::EGraph: return "egraph";
+      case ProposerKind::Hybrid: return "hybrid";
+    }
+    return "?";
+}
+
+bool
+parseProposerKind(const std::string &name, ProposerKind *out)
+{
+    if (name == "llm")
+        *out = ProposerKind::Llm;
+    else if (name == "egraph")
+        *out = ProposerKind::EGraph;
+    else if (name == "hybrid")
+        *out = ProposerKind::Hybrid;
+    else
+        return false;
+    return true;
+}
+
+const char *
+Proposer::name() const
+{
+    return backend() == Backend::Llm ? "llm" : "egraph";
+}
+
+std::optional<Proposal>
+LlmProposer::propose(const ir::Function &, const std::string &seq_text,
+                     const std::string &feedback, uint64_t attempt_seed)
+{
+    llm::LlmRequest request;
+    request.system_prompt = "(see llm/prompt.h)";
+    request.function_text = seq_text;
+    request.feedback = feedback;
+    request.seed = attempt_seed;
+    llm::LlmResponse response = client_.complete(request);
+    Proposal proposal;
+    proposal.text = std::move(response.text);
+    proposal.latency_seconds = response.latency_seconds;
+    proposal.cost_usd = response.cost_usd;
+    return proposal;
+}
+
+std::optional<Proposal>
+EGraphProposer::propose(const ir::Function &seq, const std::string &,
+                        const std::string &feedback, uint64_t)
+{
+    // Saturation is deterministic: after a failed attempt there is
+    // nothing different to say, so don't repeat the proposal.
+    if (!feedback.empty())
+        return std::nullopt;
+    if (!egraph::EGraph::supports(seq))
+        return std::nullopt;
+
+    egraph::EGraph graph(seq.context());
+    std::optional<egraph::ClassId> root = graph.addFunction(seq);
+    if (!root)
+        return std::nullopt;
+    egraph::saturate(graph, *root, seq, limits_);
+    std::unique_ptr<ir::Function> best =
+        egraph::extractFunction(graph, *root, seq);
+    if (!best || !ir::isValid(*best))
+        return std::nullopt;
+
+    // Only propose strict improvements under the interestingness
+    // ordering (instruction count first, then cycles): equal-cost
+    // re-spellings would pass the gate as "syntactically different"
+    // and pollute the found set with cosmetic rewrites.
+    mca::CostSummary before = mca::analyzeFunction(seq);
+    mca::CostSummary after = mca::analyzeFunction(*best);
+    bool better =
+        after.instruction_count < before.instruction_count ||
+        (after.instruction_count == before.instruction_count &&
+         after.total_cycles < before.total_cycles);
+    if (!better)
+        return std::nullopt;
+
+    Proposal proposal;
+    proposal.text = ir::printFunction(*best);
+    return proposal;
+}
+
+} // namespace lpo::core

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "core/pipeline.h"
+
 namespace lpo::core {
 
 void
@@ -68,6 +70,74 @@ cacheSummary(uint64_t hits, uint64_t misses)
                   static_cast<unsigned long long>(hits),
                   static_cast<unsigned long long>(misses), rate);
     return buffer;
+}
+
+std::string
+moduleSummary(const PipelineStats &stats,
+              const std::vector<CaseOutcome> &outcomes,
+              bool verify_cache_enabled)
+{
+    static constexpr CaseStatus kStatuses[] = {
+        CaseStatus::Found,         CaseStatus::NotInteresting,
+        CaseStatus::Incorrect,     CaseStatus::SyntaxError,
+        CaseStatus::Unsupported,   CaseStatus::NoCandidate,
+    };
+    static constexpr size_t kNumStatuses =
+        sizeof(kStatuses) / sizeof(kStatuses[0]);
+
+    // Per-proposer outcome breakdown. Rows appear in the fixed order
+    // llm, egraph so reports diff cleanly between runs.
+    std::vector<std::string> headers{"proposer"};
+    for (CaseStatus status : kStatuses)
+        headers.push_back(caseStatusName(status));
+    TextTable table(std::move(headers));
+    bool any_rows = false;
+    for (const char *backend : {"llm", "egraph"}) {
+        uint64_t counts[kNumStatuses] = {};
+        uint64_t total = 0;
+        for (const CaseOutcome &outcome : outcomes) {
+            if (outcome.proposer != backend)
+                continue;
+            ++total;
+            for (size_t s = 0; s < kNumStatuses; ++s)
+                if (outcome.status == kStatuses[s])
+                    ++counts[s];
+        }
+        if (total == 0)
+            continue;
+        std::vector<std::string> row{backend};
+        for (size_t s = 0; s < kNumStatuses; ++s)
+            row.push_back(std::to_string(counts[s]));
+        table.addRow(std::move(row));
+        any_rows = true;
+    }
+
+    // A headerless run (e.g. the extractor found no sequences) would
+    // render as an orphaned header + underline; skip the table.
+    std::string out = any_rows ? table.render() : std::string();
+    char line[256];
+    std::snprintf(
+        line, sizeof(line),
+        "cases=%llu found=%llu (llm %llu, egraph %llu) llm-calls=%llu "
+        "egraph-consults=%llu hybrid-fallbacks=%llu verifier-calls=%llu\n",
+        static_cast<unsigned long long>(stats.cases),
+        static_cast<unsigned long long>(stats.found),
+        static_cast<unsigned long long>(stats.found_by_llm),
+        static_cast<unsigned long long>(stats.found_by_egraph),
+        static_cast<unsigned long long>(stats.llm_calls),
+        static_cast<unsigned long long>(stats.egraph_consults),
+        static_cast<unsigned long long>(stats.hybrid_fallbacks),
+        static_cast<unsigned long long>(stats.verifier_calls));
+    out += line;
+    // The cache line would read "0 hits / 0 misses" on disabled runs
+    // and suggest a malfunction; emit it only when the cache ran.
+    if (verify_cache_enabled) {
+        out += "verify cache: ";
+        out += cacheSummary(stats.verify_cache_hits,
+                            stats.verify_cache_misses);
+        out += "\n";
+    }
+    return out;
 }
 
 } // namespace lpo::core

@@ -40,6 +40,20 @@ double geomean(const std::vector<double> &values);
  */
 std::string cacheSummary(uint64_t hits, uint64_t misses);
 
+struct PipelineStats;
+struct CaseOutcome;
+
+/**
+ * The standard module-run summary: a per-proposer outcome breakdown
+ * table (one row per backend that produced attempts, one column per
+ * CaseStatus), the aggregate counters, and — only when the cache was
+ * actually enabled — the verify-cache summary line. Used by the lpo
+ * CLI's `run` command and the proposer-comparison benchmark.
+ */
+std::string moduleSummary(const PipelineStats &stats,
+                          const std::vector<CaseOutcome> &outcomes,
+                          bool verify_cache_enabled);
+
 } // namespace lpo::core
 
 #endif // LPO_CORE_REPORT_H

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * E-graph: hash-consed e-nodes over equivalence classes of terms.
+ *
+ * The equality-saturation proposer's data structure. An e-class is a
+ * set of e-nodes proven equal; an e-node is one operator application
+ * whose children are e-classes. Construction is hash-consed through a
+ * unique table (the same canonicalization conventions as the
+ * smt/bitblast circuit builder: commutative operand ordering, plus
+ * icmp gt/ge mirrored to lt/le), merges go through a union-find, and
+ * `rebuild` restores congruence closure after a batch of merges. See
+ * DESIGN.md, "The e-graph" for the invariants.
+ */
+#ifndef LPO_EGRAPH_EGRAPH_H
+#define LPO_EGRAPH_EGRAPH_H
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace lpo::egraph {
+
+/** Identifier of an e-class (stable; resolve via EGraph::find). */
+using ClassId = uint32_t;
+
+/**
+ * One operator application over e-class children.
+ *
+ * Leaves (arguments and constants) carry their own tags so a node is
+ * self-contained; instruction nodes carry the full opcode payload an
+ * ir::Instruction would (flags, predicates, intrinsic, access type),
+ * because all of it is semantically significant.
+ */
+struct ENode
+{
+    enum class Tag : uint8_t { Arg, Const, Inst };
+
+    Tag tag = Tag::Inst;
+    /** Result type (interned; identity comparison is safe in-run). */
+    const ir::Type *type = nullptr;
+
+    // Tag::Inst payload.
+    ir::Opcode op = ir::Opcode::Add;
+    ir::InstFlags flags;
+    ir::ICmpPred icmp_pred = ir::ICmpPred::EQ;
+    ir::FCmpPred fcmp_pred = ir::FCmpPred::OEQ;
+    ir::Intrinsic intrinsic = ir::Intrinsic::None;
+    const ir::Type *access_type = nullptr;
+    unsigned align = 0;
+    std::vector<ClassId> children;
+
+    // Tag::Arg payload.
+    unsigned arg_index = 0;
+
+    // Tag::Const payload: the interned constant (per ir::Context, so
+    // pointer identity holds for hash-consing within one graph).
+    const ir::Value *constant = nullptr;
+
+    bool operator==(const ENode &other) const;
+};
+
+/** An equivalence class of e-nodes. */
+struct EClass
+{
+    /** Member nodes in deterministic insertion order. Children may be
+     *  stale (non-canonical) between rebuilds; readers canonicalize. */
+    std::vector<ENode> nodes;
+    /** (parent node as inserted, parent class) pairs for rebuild. */
+    std::vector<std::pair<ENode, ClassId>> parents;
+    /** Constant analysis: the interned constant this class is known
+     *  to equal, or nullptr. */
+    const ir::Value *constant = nullptr;
+    /** The class's value type (all members agree). */
+    const ir::Type *type = nullptr;
+};
+
+/**
+ * The e-graph.
+ *
+ * Determinism contract: class ids are assigned in insertion order,
+ * merges pick the smaller root, and no operation's result depends on
+ * unordered-container iteration order — so identical add/merge
+ * sequences produce identical graphs across runs and processes.
+ */
+class EGraph
+{
+  public:
+    explicit EGraph(ir::Context &context) : context_(context) {}
+
+    ir::Context &context() const { return context_; }
+
+    /**
+     * True if @p fn is representable: a single block ending in a
+     * one-operand ret, with no stores (loads are pure here because
+     * nothing can clobber them) and no phi/br.
+     */
+    static bool supports(const ir::Function &fn);
+
+    /**
+     * Insert @p fn's body, returning the class of its returned value.
+     * Arguments are keyed by index, so inserting a second function
+     * with the same signature shares the argument leaves (this is how
+     * directed-rewrite results are unioned in). Returns nullopt when
+     * the function is unsupported.
+     */
+    std::optional<ClassId> addFunction(const ir::Function &fn);
+
+    /**
+     * Canonicalize and hash-cons @p node. Constant-foldable nodes
+     * collapse to their constant's class without creating an
+     * operator node. Every call creates at most one node.
+     */
+    ClassId add(ENode node);
+
+    /** The class of argument leaf @p index of type @p type. */
+    ClassId addArg(unsigned index, const ir::Type *type);
+    /** The class of constant leaf @p constant. */
+    ClassId addConstant(const ir::Value *constant);
+
+    /** Union two classes; returns the surviving root. Congruence is
+     *  restored lazily by the next rebuild(). */
+    ClassId merge(ClassId a, ClassId b);
+
+    /** Restore congruence closure and re-canonicalize the unique
+     *  table after a batch of merges. */
+    void rebuild();
+
+    /** Canonical representative of @p id. */
+    ClassId find(ClassId id) const;
+
+    /** Canonical class ids in ascending order (deterministic). */
+    std::vector<ClassId> canonicalClasses() const;
+
+    const EClass &cls(ClassId id) const { return classes_[find(id)]; }
+    /** Constant the class is known to equal, or nullptr. */
+    const ir::Value *constantOf(ClassId id) const;
+    const ir::Type *typeOf(ClassId id) const;
+
+    /** Total e-nodes ever created (monotone; the budget metric). */
+    size_t numNodes() const { return nodes_created_; }
+    /** Number of canonical classes. */
+    size_t numClasses() const;
+    /** Monotone merge counter (fixpoint detection for saturation). */
+    uint64_t mergeCount() const { return merge_count_; }
+    /** Unique-table hits (node constructions answered from the table). */
+    uint64_t uniqueTableHits() const { return unique_hits_; }
+
+    /**
+     * Upper bound on the nodes addFunction(@p fn) can create — used
+     * by the saturation loop to skip insertions that would blow the
+     * node budget (see DESIGN.md, "Budget semantics").
+     */
+    static size_t insertionUpperBound(const ir::Function &fn);
+
+  private:
+    struct ENodeHash
+    {
+        size_t operator()(const ENode &node) const;
+    };
+
+    /** Resolve children through the union-find and apply the
+     *  commutative / icmp-mirror normalizations. */
+    void canonicalize(ENode &node) const;
+    /** Try to fold @p node (canonical) to an interned constant. */
+    const ir::Value *foldNode(const ENode &node) const;
+    ClassId freshClass(const ENode &node);
+
+    ir::Context &context_;
+    std::vector<EClass> classes_;
+    std::vector<ClassId> parent_;          // union-find
+    std::unordered_map<ENode, ClassId, ENodeHash> unique_;
+    std::vector<ClassId> rebuild_worklist_;
+    size_t nodes_created_ = 0;
+    uint64_t merge_count_ = 0;
+    uint64_t unique_hits_ = 0;
+};
+
+} // namespace lpo::egraph
+
+#endif // LPO_EGRAPH_EGRAPH_H

@@ -1,0 +1,213 @@
+#include "egraph/extract.h"
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "ir/builder.h"
+#include "ir/printer.h"
+
+namespace lpo::egraph {
+
+namespace {
+
+/** One class's current cheapest representative. */
+struct Best
+{
+    bool valid = false;
+    mca::IncrementalCost cost;
+    double total_cycles = 0.0;
+    ENode node;
+    /** Cached nodeOrderKey(node); tie-breaks are common in a
+     *  saturated graph, so don't re-render it per comparison. */
+    std::string order_key;
+};
+
+/**
+ * Address-free deterministic total order over candidate nodes — the
+ * final extraction tie-break, so equal-cost classes pick the same
+ * representative in every run and process.
+ */
+std::string
+nodeOrderKey(const ENode &node)
+{
+    std::string key;
+    key += std::to_string(static_cast<int>(node.tag));
+    key += '|';
+    key += ir::opcodeName(node.op);
+    key += '|';
+    key += std::to_string(static_cast<int>(node.intrinsic));
+    key += '|';
+    key += std::to_string(static_cast<int>(node.icmp_pred));
+    key += '|';
+    key += std::to_string(static_cast<int>(node.fcmp_pred));
+    const ir::InstFlags &f = node.flags;
+    key += '|';
+    key += std::to_string((int(f.nuw) << 0) | (int(f.nsw) << 1) |
+                          (int(f.exact) << 2) | (int(f.disjoint) << 3) |
+                          (int(f.nneg) << 4) | (int(f.inbounds) << 5));
+    key += '|';
+    key += std::to_string(node.align);
+    key += '|';
+    key += std::to_string(node.arg_index);
+    key += '|';
+    key += node.type ? node.type->toString() : "";
+    key += '|';
+    key += node.access_type ? node.access_type->toString() : "";
+    key += '|';
+    if (node.constant)
+        key += ir::printValueRef(node.constant);
+    for (ClassId child : node.children) {
+        key += ',';
+        key += std::to_string(child);
+    }
+    return key;
+}
+
+} // namespace
+
+std::unique_ptr<ir::Function>
+extractFunction(const EGraph &graph, ClassId root,
+                const ir::Function &signature, const mca::CpuModel &cpu)
+{
+    root = graph.find(root);
+    std::vector<ClassId> class_ids = graph.canonicalClasses();
+    std::map<ClassId, Best> best;
+
+    // Bellman-style relaxation to a fixpoint. Candidate costs are
+    // recomputed from the children's current bests each pass, so
+    // improvements propagate upward; cycles through a class can never
+    // win (a term through itself always costs strictly more).
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (ClassId id : class_ids) {
+            for (const ENode &raw : graph.cls(id).nodes) {
+                ENode node = raw;
+                for (ClassId &child : node.children)
+                    child = graph.find(child);
+
+                mca::IncrementalCost cost;
+                bool ready = true;
+                for (ClassId child : node.children) {
+                    auto it = best.find(child);
+                    if (it == best.end() || !it->second.valid) {
+                        ready = false;
+                        break;
+                    }
+                    cost.addOperand(it->second.cost);
+                }
+                if (!ready)
+                    continue;
+                if (node.tag == ENode::Tag::Inst) {
+                    const ir::Type *operand_type =
+                        node.children.empty()
+                            ? nullptr
+                            : graph.typeOf(node.children.front());
+                    cost.addOperation(mca::operationLatency(
+                        node.op, node.intrinsic, node.type, operand_type,
+                        cpu));
+                }
+                double total = cost.totalCycles(cpu);
+
+                Best &cur = best[id];
+                bool better;
+                std::string key; // computed only on a cost tie
+                if (!cur.valid) {
+                    better = true;
+                } else if (total != cur.total_cycles) {
+                    better = total < cur.total_cycles;
+                } else if (cost.instruction_count !=
+                           cur.cost.instruction_count) {
+                    better = cost.instruction_count <
+                             cur.cost.instruction_count;
+                } else {
+                    key = nodeOrderKey(node);
+                    better = key < cur.order_key;
+                }
+                if (better) {
+                    cur.valid = true;
+                    cur.cost = cost;
+                    cur.total_cycles = total;
+                    cur.order_key =
+                        key.empty() ? nodeOrderKey(node) : std::move(key);
+                    cur.node = std::move(node);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    auto root_it = best.find(root);
+    if (root_it == best.end() || !root_it->second.valid)
+        return nullptr;
+
+    auto out = std::make_unique<ir::Function>(
+        graph.context(), signature.name(), signature.returnType());
+    for (const auto &arg : signature.args())
+        out->addArg(arg->type(), arg->name());
+    ir::BasicBlock *block = out->addBlock("entry");
+
+    // Materialize best choices; shared classes are emitted once.
+    std::map<ClassId, ir::Value *> emitted;
+    unsigned next_name = 0;
+    bool failed = false;
+    std::function<ir::Value *(ClassId)> emit =
+        [&](ClassId id) -> ir::Value * {
+        id = graph.find(id);
+        auto hit = emitted.find(id);
+        if (hit != emitted.end())
+            return hit->second;
+        const Best &b = best.at(id);
+        ir::Value *value = nullptr;
+        switch (b.node.tag) {
+          case ENode::Tag::Arg:
+            if (b.node.arg_index >= out->numArgs()) {
+                failed = true;
+                return nullptr;
+            }
+            value = out->arg(b.node.arg_index);
+            break;
+          case ENode::Tag::Const:
+            // Constants are interned and immutable; operand lists
+            // just carry them non-const.
+            value = const_cast<ir::Value *>(b.node.constant);
+            break;
+          case ENode::Tag::Inst: {
+            std::vector<ir::Value *> operands;
+            operands.reserve(b.node.children.size());
+            for (ClassId child : b.node.children) {
+                ir::Value *operand = emit(child);
+                if (!operand) {
+                    failed = true;
+                    return nullptr;
+                }
+                operands.push_back(operand);
+            }
+            auto inst = std::make_unique<ir::Instruction>(
+                b.node.op, b.node.type, std::move(operands));
+            inst->flags() = b.node.flags;
+            inst->setICmpPred(b.node.icmp_pred);
+            inst->setFCmpPred(b.node.fcmp_pred);
+            inst->setIntrinsic(b.node.intrinsic);
+            inst->setAccessType(b.node.access_type);
+            inst->setAlign(b.node.align);
+            inst->setName("e" + std::to_string(next_name++));
+            value = block->append(std::move(inst));
+            break;
+          }
+        }
+        emitted[id] = value;
+        return value;
+    };
+
+    ir::Value *result = emit(root);
+    if (failed || !result || result->type() != signature.returnType())
+        return nullptr;
+    ir::Builder builder(*out, block);
+    builder.ret(result);
+    out->numberValues();
+    return out;
+}
+
+} // namespace lpo::egraph

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Deterministic cost-based extraction from an e-graph.
+ *
+ * Selects, for every e-class reachable from the root, the cheapest
+ * representative term under the mca cost model — minimizing
+ * CostSummary::total_cycles, tie-breaking on instruction count and
+ * then on a canonical node ordering so the result is bit-identical
+ * across runs — and materializes the choice as an ir::Function with
+ * the signature of the original sequence. Shared subterms are emitted
+ * once (materialization memoizes per class).
+ */
+#ifndef LPO_EGRAPH_EXTRACT_H
+#define LPO_EGRAPH_EXTRACT_H
+
+#include <memory>
+
+#include "egraph/egraph.h"
+#include "mca/cost_model.h"
+
+namespace lpo::egraph {
+
+/**
+ * Extract the cheapest function computing @p root.
+ *
+ * @p signature supplies the name, return type, and argument list of
+ * the output (the original extracted sequence). Returns nullptr when
+ * @p root has no finite-cost term (cannot happen for a class built
+ * from a real function) or when its best term's type does not match
+ * the signature's return type.
+ */
+std::unique_ptr<ir::Function>
+extractFunction(const EGraph &graph, ClassId root,
+                const ir::Function &signature,
+                const mca::CpuModel &cpu = mca::btver2());
+
+} // namespace lpo::egraph
+
+#endif // LPO_EGRAPH_EXTRACT_H

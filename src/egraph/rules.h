@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Rule-driven equality saturation.
+ *
+ * Two rule sources feed the e-graph:
+ *  - native rewrites, matched directly on e-nodes (associativity,
+ *    identities, absorption, icmp/select/min-max folds; commutativity
+ *    is free via the unique table's canonical operand order);
+ *  - directed function-level rewrites, replayed by applying them to
+ *    the original sequence and to the current best extraction and
+ *    inserting the rewritten function unioned with the root: the new
+ *    algebraic rule set (algebraicRules, written against the
+ *    ir/pattern.h matchers) and the full llm::rewriteLibrary().
+ *
+ * The loop runs under explicit budgets; see DESIGN.md, "Budget
+ * semantics": no rewrite is applied unless the node count stays
+ * within the budget, so `EGraph::numNodes() <= max_nodes` holds
+ * throughout saturation whenever the initial function fit.
+ */
+#ifndef LPO_EGRAPH_RULES_H
+#define LPO_EGRAPH_RULES_H
+
+#include "egraph/egraph.h"
+#include "llm/rewrite_library.h"
+
+namespace lpo::egraph {
+
+/** Saturation budgets. */
+struct SaturationLimits
+{
+    /** Max passes of (native rules + directed replay). */
+    unsigned max_iterations = 8;
+    /**
+     * Ceiling on EGraph::numNodes(). Rewrites that could push the
+     * graph past it are skipped (the budget must exceed the seed
+     * function's own node count to allow any rewriting at all).
+     */
+    size_t max_nodes = 2048;
+};
+
+/** What the saturation loop did. */
+struct SaturationStats
+{
+    unsigned iterations = 0;
+    uint64_t native_applications = 0;   ///< native rewrites applied
+    uint64_t replay_applications = 0;   ///< directed rewrites unioned
+    bool node_budget_hit = false;       ///< a rewrite was skipped
+    bool saturated = false;             ///< fixpoint before budgets
+};
+
+/**
+ * The new algebraic rule set (directed, function-level, written
+ * against the ir/pattern.h matchers). Sound refinements usable by any
+ * directed-rewrite client; the e-graph replays them during
+ * saturation.
+ */
+const std::vector<llm::RewriteRule> &algebraicRules();
+
+/**
+ * Saturate @p graph around @p root (the class of @p seq's returned
+ * value) under @p limits. @p seq is the original sequence: directed
+ * rules are replayed against it verbatim on the first pass, then
+ * against the best extraction on later passes.
+ */
+SaturationStats saturate(EGraph &graph, ClassId root,
+                         const ir::Function &seq,
+                         const SaturationLimits &limits = {});
+
+} // namespace lpo::egraph
+
+#endif // LPO_EGRAPH_RULES_H

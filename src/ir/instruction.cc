@@ -119,9 +119,9 @@ isIntDivRem(Opcode op)
 }
 
 bool
-Instruction::isCommutative() const
+isCommutativeOpcode(Opcode op, Intrinsic intr)
 {
-    switch (op_) {
+    switch (op) {
       case Opcode::Add:
       case Opcode::Mul:
       case Opcode::And:
@@ -131,7 +131,7 @@ Instruction::isCommutative() const
       case Opcode::FMul:
         return true;
       case Opcode::Call:
-        switch (intrinsic_) {
+        switch (intr) {
           case Intrinsic::UMin:
           case Intrinsic::UMax:
           case Intrinsic::SMin:
@@ -145,6 +145,12 @@ Instruction::isCommutative() const
       default:
         return false;
     }
+}
+
+bool
+Instruction::isCommutative() const
+{
+    return isCommutativeOpcode(op_, intrinsic_);
 }
 
 } // namespace lpo::ir

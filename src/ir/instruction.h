@@ -80,6 +80,11 @@ const char *intrinsicName(Intrinsic intr);
 bool isTerminator(Opcode op);
 /** True for integer division/remainder (immediate UB on bad divisor). */
 bool isIntDivRem(Opcode op);
+/**
+ * Operand-order insensitivity at the opcode level (the e-graph's
+ * canonicalization predicate; Instruction::isCommutative wraps it).
+ */
+bool isCommutativeOpcode(Opcode op, Intrinsic intr);
 
 /**
  * An SSA instruction.

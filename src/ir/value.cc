@@ -122,4 +122,13 @@ asConstIntOrSplat(const Value *v)
     return nullptr;
 }
 
+Value *
+typedConst(Context &ctx, const Type *type, const APInt &value)
+{
+    ConstantInt *scalar = ctx.getInt(type->scalarType(), value);
+    if (type->isVector())
+        return ctx.getSplat(type, scalar);
+    return scalar;
+}
+
 } // namespace lpo::ir

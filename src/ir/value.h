@@ -168,6 +168,10 @@ class Context
 bool isConstIntValue(const Value *v, uint64_t value);
 /** If @p v is a scalar int constant or an int splat, return it. */
 const ConstantInt *asConstIntOrSplat(const Value *v);
+/** The constant @p value as @p type: scalar iN, or a splat for
+ *  vector types. The one shared materialization helper (rewrite
+ *  library, e-graph folds and rules). */
+Value *typedConst(Context &ctx, const Type *type, const APInt &value);
 
 } // namespace lpo::ir
 

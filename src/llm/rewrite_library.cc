@@ -31,102 +31,65 @@ returnedValue(const ir::Function &fn)
     return nullptr;
 }
 
+Rewriter::Rewriter(const ir::Function &src)
+    : src_(src),
+      out_(std::make_unique<ir::Function>(src.context(), src.name(),
+                                          src.returnType()))
+{
+    for (const auto &arg : src.args())
+        out_->addArg(arg->type(), arg->name());
+    block_ = out_->addBlock("entry");
+    builder_ = std::make_unique<Builder>(*out_, block_);
+}
+
+Value *
+Rewriter::map(Value *v)
+{
+    if (v->kind() == Value::Kind::Argument)
+        return out_->arg(static_cast<Argument *>(v)->index());
+    return v; // constants are shared via the Context
+}
+
+Value *
+Rewriter::take(Value *v)
+{
+    if (v->kind() == Value::Kind::Argument)
+        return map(v);
+    if (v->isConstant())
+        return v;
+    auto it = cloned_.find(v);
+    if (it != cloned_.end())
+        return it->second;
+    auto *inst = static_cast<Instruction *>(v);
+    std::vector<Value *> operands;
+    operands.reserve(inst->numOperands());
+    for (Value *operand : inst->operands())
+        operands.push_back(take(operand));
+    auto copy = std::make_unique<Instruction>(
+        inst->op(), inst->type(), std::move(operands));
+    copy->flags() = inst->flags();
+    copy->setICmpPred(inst->icmpPred());
+    copy->setFCmpPred(inst->fcmpPred());
+    copy->setIntrinsic(inst->intrinsic());
+    copy->setAccessType(inst->accessType());
+    copy->setAlign(inst->align());
+    copy->setName("p" + std::to_string(cloned_.size()));
+    Instruction *placed = block_->append(std::move(copy));
+    cloned_[v] = placed;
+    return placed;
+}
+
+std::string
+Rewriter::finish(Value *result)
+{
+    builder_->ret(result);
+    out_->numberValues();
+    return ir::printFunction(*out_);
+}
+
 namespace {
 
-/** Builds the rewritten function with the source's signature. */
-class Rewriter
-{
-  public:
-    explicit Rewriter(const ir::Function &src)
-        : src_(src),
-          out_(std::make_unique<ir::Function>(src.context(), src.name(),
-                                              src.returnType()))
-    {
-        for (const auto &arg : src.args())
-            out_->addArg(arg->type(), arg->name());
-        block_ = out_->addBlock("entry");
-        builder_ = std::make_unique<Builder>(*out_, block_);
-    }
-
-    Builder &b() { return *builder_; }
-    Context &ctx() { return src_.context(); }
-
-    /** Map a source argument / constant into the new function. */
-    Value *
-    map(Value *v)
-    {
-        if (v->kind() == Value::Kind::Argument)
-            return out_->arg(static_cast<Argument *>(v)->index());
-        return v; // constants are shared via the Context
-    }
-
-    /**
-     * Materialize @p v in the new function, recursively cloning its
-     * defining instruction chain. This lets a rule fire when the
-     * pattern's leaves are loads/geps or other computations rather
-     * than bare arguments (e.g. the Fig. 1d vector body, where the
-     * clamped value is a wide load).
-     */
-    Value *
-    take(Value *v)
-    {
-        if (v->kind() == Value::Kind::Argument)
-            return map(v);
-        if (v->isConstant())
-            return v;
-        auto it = cloned_.find(v);
-        if (it != cloned_.end())
-            return it->second;
-        auto *inst = static_cast<Instruction *>(v);
-        std::vector<Value *> operands;
-        operands.reserve(inst->numOperands());
-        for (Value *operand : inst->operands())
-            operands.push_back(take(operand));
-        auto copy = std::make_unique<Instruction>(
-            inst->op(), inst->type(), std::move(operands));
-        copy->flags() = inst->flags();
-        copy->setICmpPred(inst->icmpPred());
-        copy->setFCmpPred(inst->fcmpPred());
-        copy->setIntrinsic(inst->intrinsic());
-        copy->setAccessType(inst->accessType());
-        copy->setAlign(inst->align());
-        copy->setName("p" + std::to_string(cloned_.size()));
-        Instruction *placed = block_->append(std::move(copy));
-        cloned_[v] = placed;
-        return placed;
-    }
-
-    std::string
-    finish(Value *result)
-    {
-        builder_->ret(result);
-        out_->numberValues();
-        return ir::printFunction(*out_);
-    }
-
-  private:
-    const ir::Function &src_;
-    std::unique_ptr<ir::Function> out_;
-    ir::BasicBlock *block_ = nullptr;
-    std::unique_ptr<Builder> builder_;
-    std::map<Value *, Value *> cloned_;
-};
-
-bool
-isArg(const Value *v)
-{
-    return v->kind() == Value::Kind::Argument;
-}
-
-/** Typed constant matching @p type (scalar or splat). */
-Value *
-typedConst(Context &ctx, const Type *type, const APInt &value)
-{
-    ir::ConstantInt *scalar = ctx.getInt(type->scalarType(), value);
-    if (type->isVector())
-        return ctx.getSplat(type, scalar);
-    return scalar;
-}
+using ir::typedConst;
 
 // ---------------- individual rules ----------------
 

@@ -19,10 +19,13 @@
 #define LPO_LLM_REWRITE_LIBRARY_H
 
 #include <functional>
+#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "ir/builder.h"
 #include "ir/function.h"
 
 namespace lpo::llm {
@@ -45,6 +48,41 @@ const std::vector<RewriteRule> &rewriteLibrary();
 
 /** The value returned by a single-exit function (nullptr for void). */
 ir::Value *returnedValue(const ir::Function &fn);
+
+/**
+ * Builds a rewritten function with the source's signature. Shared by
+ * the library rules and the e-graph's algebraic rule set
+ * (egraph/rules.cc).
+ */
+class Rewriter
+{
+  public:
+    explicit Rewriter(const ir::Function &src);
+
+    ir::Builder &b() { return *builder_; }
+    ir::Context &ctx() { return src_.context(); }
+
+    /** Map a source argument / constant into the new function. */
+    ir::Value *map(ir::Value *v);
+
+    /**
+     * Materialize @p v in the new function, recursively cloning its
+     * defining instruction chain. This lets a rule fire when the
+     * pattern's leaves are loads/geps or other computations rather
+     * than bare arguments (e.g. the Fig. 1d vector body, where the
+     * clamped value is a wide load).
+     */
+    ir::Value *take(ir::Value *v);
+
+    std::string finish(ir::Value *result);
+
+  private:
+    const ir::Function &src_;
+    std::unique_ptr<ir::Function> out_;
+    ir::BasicBlock *block_ = nullptr;
+    std::unique_ptr<ir::Builder> builder_;
+    std::map<ir::Value *, ir::Value *> cloned_;
+};
 
 } // namespace lpo::llm
 

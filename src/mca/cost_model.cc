@@ -16,10 +16,11 @@ btver2()
 }
 
 double
-instructionLatency(const Instruction &inst, const CpuModel &cpu)
+operationLatency(Opcode op, Intrinsic intr, const ir::Type *result_type,
+                 const ir::Type *operand_type, const CpuModel &cpu)
 {
     double base;
-    switch (inst.op()) {
+    switch (op) {
       case Opcode::Add: case Opcode::Sub:
       case Opcode::And: case Opcode::Or: case Opcode::Xor:
         base = 1.0;
@@ -62,7 +63,7 @@ instructionLatency(const Instruction &inst, const CpuModel &cpu)
         base = 0.0;
         break;
       case Opcode::Call:
-        switch (inst.intrinsic()) {
+        switch (intr) {
           case Intrinsic::UMin: case Intrinsic::UMax:
           case Intrinsic::SMin: case Intrinsic::SMax:
             base = 1.0; // cmp+cmov or pmin/pmax
@@ -102,10 +103,39 @@ instructionLatency(const Instruction &inst, const CpuModel &cpu)
     }
     // SIMD ops on this narrow core pay a modest penalty but are far
     // cheaper than lane-by-lane scalar execution.
-    if (inst.type()->isVector() ||
-        (inst.numOperands() > 0 && inst.operand(0)->type()->isVector()))
+    if (result_type->isVector() ||
+        (operand_type && operand_type->isVector()))
         base *= cpu.vector_penalty;
     return base;
+}
+
+double
+instructionLatency(const Instruction &inst, const CpuModel &cpu)
+{
+    const ir::Type *operand_type =
+        inst.numOperands() > 0 ? inst.operand(0)->type() : nullptr;
+    return operationLatency(inst.op(), inst.intrinsic(), inst.type(),
+                            operand_type, cpu);
+}
+
+void
+IncrementalCost::addOperand(const IncrementalCost &operand)
+{
+    critical_path = std::max(critical_path, operand.critical_path);
+    instruction_count += operand.instruction_count;
+}
+
+void
+IncrementalCost::addOperation(double latency)
+{
+    critical_path += latency;
+    ++instruction_count;
+}
+
+double
+IncrementalCost::totalCycles(const CpuModel &cpu) const
+{
+    return std::max(critical_path, instruction_count / cpu.issue_width);
 }
 
 CostSummary

@@ -32,6 +32,39 @@ CpuModel btver2();
 /** Per-instruction latency in cycles on @p cpu. */
 double instructionLatency(const ir::Instruction &inst, const CpuModel &cpu);
 
+/**
+ * Latency of an operation described structurally, without an
+ * ir::Instruction — the incremental cost hook the e-graph extractor
+ * uses to price e-nodes before any IR is materialized.
+ * instructionLatency is a thin wrapper over this. @p operand_type is
+ * the first operand's type (the vector penalty applies when either it
+ * or @p result_type is a vector); pass nullptr for operand-less ops.
+ */
+double operationLatency(ir::Opcode op, ir::Intrinsic intr,
+                        const ir::Type *result_type,
+                        const ir::Type *operand_type,
+                        const CpuModel &cpu);
+
+/**
+ * Incrementally-composable function cost, combined exactly the way
+ * analyzeFunction combines per-instruction latencies: the critical
+ * path is max-plus over operands, the issue bound comes from the
+ * instruction count, and total cycles is the max of the two. Lets the
+ * e-graph extractor score a candidate term one operation at a time.
+ */
+struct IncrementalCost
+{
+    double critical_path = 0.0;
+    unsigned instruction_count = 0;
+
+    /** Fold one operand's subtree cost into this node's inputs. */
+    void addOperand(const IncrementalCost &operand);
+    /** Account this node itself (call after all addOperand calls). */
+    void addOperation(double latency);
+    /** CostSummary::total_cycles for the accumulated subtree. */
+    double totalCycles(const CpuModel &cpu) const;
+};
+
 /** Cost summary for a function. */
 struct CostSummary
 {

@@ -104,6 +104,114 @@ TEST(PatternTest, HashSensitivity)
     EXPECT_FALSE(structurallyEqual(*base, *flagged));
 }
 
+TEST(PatternTest, MatchersOnVectorSplats)
+{
+    // Vector instructions and splat constants must bind exactly like
+    // their scalar counterparts.
+    Context ctx;
+    auto fn = parse(ctx,
+        "define <4 x i8> @f(<4 x i8> %x, <4 x i8> %y, <4 x i1> %c) {\n"
+        "  %a = add <4 x i8> %x, splat (i8 7)\n"
+        "  %p = icmp ult <4 x i8> %a, splat (i8 10)\n"
+        "  %m = call <4 x i8> @llvm.umin.v4i8(<4 x i8> %x, "
+        "<4 x i8> %y)\n"
+        "  %s = select <4 x i1> %c, <4 x i8> %a, <4 x i8> %m\n"
+        "  %t = zext <4 x i8> %s to <4 x i16>\n"
+        "  %u = trunc <4 x i16> %t to <4 x i8>\n"
+        "  ret <4 x i8> %u\n}\n");
+    BasicBlock *bb = fn->entry();
+
+    Value *l, *r;
+    ASSERT_TRUE(matchBinary(bb->at(0), Opcode::Add, &l, &r));
+    APInt splat;
+    ASSERT_TRUE(matchConstInt(r, &splat)); // splat binds per-lane
+    EXPECT_EQ(splat.zext(), 7u);
+    EXPECT_EQ(splat.width(), 8u);
+
+    ICmpPred pred;
+    ASSERT_TRUE(matchICmp(bb->at(1), &pred, &l, &r));
+    EXPECT_EQ(pred, ICmpPred::ULT);
+    ASSERT_TRUE(matchConstInt(r, &splat));
+    EXPECT_EQ(splat.zext(), 10u);
+
+    EXPECT_TRUE(matchIntrinsic2(bb->at(2), Intrinsic::UMin, &l, &r));
+    Value *cond, *t, *f;
+    EXPECT_TRUE(matchSelect(bb->at(3), &cond, &t, &f));
+    Value *src;
+    EXPECT_TRUE(matchCast(bb->at(4), Opcode::ZExt, &src));
+    EXPECT_TRUE(matchCast(bb->at(5), Opcode::Trunc, &src));
+
+    // Non-splat vector constants must NOT bind as a single lane.
+    auto mixed = parse(ctx,
+        "define <2 x i8> @g(<2 x i8> %x) {\n"
+        "  %a = add <2 x i8> %x, <i8 1, i8 2>\n"
+        "  ret <2 x i8> %a\n}\n");
+    ASSERT_TRUE(matchBinary(mixed->entry()->at(0), Opcode::Add, &l, &r));
+    EXPECT_FALSE(matchConstInt(r, &splat));
+}
+
+TEST(PatternTest, MatchersOnWidthOne)
+{
+    // i1 is the degenerate width where 1 == -1 == true: both the
+    // zero and all-ones helpers and the splat path must agree
+    // (mirrors the width-1 specialPatterns fix).
+    Context ctx;
+    EXPECT_TRUE(isZeroInt(ctx.getBool(false)));
+    EXPECT_FALSE(isZeroInt(ctx.getBool(true)));
+    EXPECT_TRUE(isAllOnesInt(ctx.getBool(true)));
+    EXPECT_FALSE(isAllOnesInt(ctx.getBool(false)));
+
+    const Type *vec_bool = ctx.types().vectorTy(ctx.types().boolTy(), 4);
+    EXPECT_TRUE(isZeroInt(ctx.getNullValue(vec_bool)));
+    EXPECT_TRUE(
+        isAllOnesInt(ctx.getSplat(vec_bool, ctx.getBool(true))));
+
+    auto fn = parse(ctx,
+        "define i1 @f(i1 %a, i1 %b) {\n"
+        "  %x = xor i1 %a, true\n"
+        "  %p = icmp eq i1 %x, false\n"
+        "  ret i1 %p\n}\n");
+    Value *l, *r;
+    ASSERT_TRUE(matchBinary(fn->entry()->at(0), Opcode::Xor, &l, &r));
+    APInt c;
+    ASSERT_TRUE(matchConstInt(r, &c));
+    EXPECT_EQ(c.width(), 1u);
+    EXPECT_TRUE(c.isAllOnes());
+    EXPECT_TRUE(c.isOne()); // 1 and -1 coincide at width 1
+
+    ICmpPred pred;
+    ASSERT_TRUE(matchICmp(fn->entry()->at(1), &pred, &l, &r));
+    ASSERT_TRUE(matchConstInt(r, &c));
+    EXPECT_TRUE(c.isZero());
+}
+
+TEST(PatternTest, StructuralHashVectorAndWidthOneSensitivity)
+{
+    // A splat operand, a scalar operand of the lane value, and a
+    // width-1 variant must all hash apart.
+    Context ctx;
+    auto scalar = parse(ctx,
+        "define i8 @f(i8 %x) {\n  %r = and i8 %x, 1\n  ret i8 %r\n}\n");
+    auto vector = parse(ctx,
+        "define <4 x i8> @f(<4 x i8> %x) {\n"
+        "  %r = and <4 x i8> %x, splat (i8 1)\n"
+        "  ret <4 x i8> %r\n}\n");
+    auto width1 = parse(ctx,
+        "define i1 @f(i1 %x) {\n  %r = and i1 %x, true\n"
+        "  ret i1 %r\n}\n");
+    EXPECT_NE(structuralHash(*scalar), structuralHash(*vector));
+    EXPECT_NE(structuralHash(*scalar), structuralHash(*width1));
+    EXPECT_NE(structuralHash(*vector), structuralHash(*width1));
+    EXPECT_FALSE(structurallyEqual(*scalar, *vector));
+
+    // Splats of different lane counts are distinct too.
+    auto wide = parse(ctx,
+        "define <8 x i8> @f(<8 x i8> %x) {\n"
+        "  %r = and <8 x i8> %x, splat (i8 1)\n"
+        "  ret <8 x i8> %r\n}\n");
+    EXPECT_NE(structuralHash(*vector), structuralHash(*wide));
+}
+
 TEST(PatternTest, EqualityDistinguishesOperandOrder)
 {
     Context ctx;

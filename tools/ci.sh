@@ -49,3 +49,27 @@ awk -v c="$current" -v b="$baseline" 'BEGIN {
     }
     printf "verify geomean speedup %.2fx vs baseline %.2fx: OK\n", c, b
 }'
+
+echo "=== Proposer comparison benchmark (Release) ==="
+# Exits nonzero itself if hybrid's findings are not a strict superset
+# of the LLM backend's.
+(cd build-release && ./bench_proposer_compare)
+cp build-release/BENCH_proposer.json .
+echo "BENCH_proposer.json:"
+cat BENCH_proposer.json
+
+# Regression gate: found-optimization counts are deterministic
+# (seeded mock model, deterministic saturation), so any drop is a
+# real regression; fail at >20%.
+baseline=$(grep -o '"hybrid_found": [0-9]*' \
+    bench/BENCH_proposer.baseline.json | awk '{print $2}')
+current=$(grep -o '"hybrid_found": [0-9]*' \
+    BENCH_proposer.json | awk '{print $2}')
+awk -v c="$current" -v b="$baseline" 'BEGIN {
+    if (c + 0 < 0.8 * b) {
+        printf "FAIL: hybrid found %d optimizations, more than 20%% " \
+               "below the committed baseline %d\n", c, b
+        exit 1
+    }
+    printf "hybrid found %d vs baseline %d: OK\n", c, b
+}'
