@@ -3,7 +3,8 @@
  * Verification throughput: the pre-PR proving path (no structural
  * hashing, no result cache) vs the accelerated one, measured as
  * verified candidates/sec over the full missed-optimization corpus
- * (RQ1 + RQ2 pairs).
+ * (RQ1 + RQ2 pairs), plus the incremental-session mode over a
+ * multi-candidate stream per case.
  *
  * The workload verifies every (src, tgt) pair kRounds times — the
  * shape the rewrite library actually produces, where structurally
@@ -29,6 +30,7 @@
 #include "corpus/benchmarks.h"
 #include "core/report.h"
 #include "ir/parser.h"
+#include "opt/opt_driver.h"
 #include "smt/bitblast.h"
 #include "smt/sat.h"
 #include "verify/cache.h"
@@ -81,6 +83,26 @@ struct CaseResult
     double optimized_seconds = 0;
     QuerySize size_before;
     QuerySize size_after;
+};
+
+/**
+ * The incremental-session comparison: each SAT-fragment case presents
+ * a stream of distinct candidate targets — the expected target, the
+ * identity, and the opt pipeline's rewrites of both, the shape LLM
+ * feedback retries and hybrid fallback produce. The PR 2 path proves
+ * each candidate in a fresh hash-consed solver; the session path
+ * bit-blasts the source once and solves every candidate under an
+ * activation-literal assumption in one persistent solver. No cache in
+ * either mode: every candidate is distinct, so this measures raw
+ * proving throughput.
+ */
+struct StreamResult
+{
+    std::string name;
+    size_t catalog_index = 0;
+    size_t candidates = 0;
+    double fresh_seconds = 0;
+    double session_seconds = 0;
 };
 
 } // namespace
@@ -176,6 +198,84 @@ main()
         optimized_total += results[i].optimized_seconds;
     }
 
+    // ----------------------------------------------------------------
+    // Incremental-session mode over the multi-candidate stream.
+    // ----------------------------------------------------------------
+    std::vector<StreamResult> streams;
+    std::vector<std::vector<std::unique_ptr<ir::Function>>> stream_cands;
+    for (size_t i = 0; i < catalog.size(); ++i) {
+        if (!verify::usesSatBackend(*srcs[i], *tgts[i]))
+            continue;
+        StreamResult stream;
+        stream.name = results[i].name;
+        stream.catalog_index = i;
+        std::vector<std::unique_ptr<ir::Function>> cands;
+        cands.push_back(ir::parseFunction(
+            *contexts[i], catalog[i].tgt_text).take());
+        cands.push_back(ir::parseFunction(
+            *contexts[i], catalog[i].src_text).take());
+        cands.push_back(opt::optimizeFunction(*srcs[i]));
+        cands.push_back(opt::optimizeFunction(*tgts[i]));
+        stream.candidates = cands.size();
+        streams.push_back(std::move(stream));
+        stream_cands.push_back(std::move(cands));
+    }
+    verify::RefineOptions stream_options;
+    stream_options.num_threads = 1;
+    for (unsigned rep = 0; rep < kReps; ++rep) {
+        for (size_t s = 0; s < streams.size(); ++s) {
+            size_t i = streams[s].catalog_index;
+
+            verify::RefineOptions fresh_options = stream_options;
+            fresh_options.incremental_sat = false;
+            auto start = Clock::now();
+            for (const auto &cand : stream_cands[s])
+                verify::checkRefinement(*srcs[i], *cand, fresh_options);
+            double fresh_seconds = secondsSince(start);
+
+            verify::RefineOptions session_options = stream_options;
+            session_options.incremental_sat = true;
+            start = Clock::now();
+            verify::RefinementSession session(*srcs[i], session_options);
+            for (const auto &cand : stream_cands[s])
+                session.check(*cand);
+            double session_seconds = secondsSince(start);
+
+            if (rep == 0 || fresh_seconds < streams[s].fresh_seconds)
+                streams[s].fresh_seconds = fresh_seconds;
+            if (rep == 0 || session_seconds < streams[s].session_seconds)
+                streams[s].session_seconds = session_seconds;
+        }
+    }
+
+    double stream_fresh_total = 0, stream_session_total = 0;
+    uint64_t stream_candidates = 0;
+    std::vector<double> session_speedups;
+    std::printf("\n%-14s %5s %14s %16s %9s\n", "stream", "cands",
+                "fresh cand/s", "session cand/s", "speedup");
+    for (const StreamResult &stream : streams) {
+        double speedup = stream.fresh_seconds / stream.session_seconds;
+        session_speedups.push_back(speedup);
+        stream_fresh_total += stream.fresh_seconds;
+        stream_session_total += stream.session_seconds;
+        stream_candidates += stream.candidates;
+        std::printf("%-14s %5zu %14.0f %16.0f %8.1fx\n",
+                    stream.name.c_str(), stream.candidates,
+                    stream.candidates / stream.fresh_seconds,
+                    stream.candidates / stream.session_seconds, speedup);
+    }
+    double session_geomean = core::geomean(session_speedups);
+    double stream_fresh_cps = stream_candidates / stream_fresh_total;
+    double stream_session_cps = stream_candidates / stream_session_total;
+    std::printf("stream: %llu candidates over %zu cases\n",
+                static_cast<unsigned long long>(stream_candidates),
+                streams.size());
+    std::printf("fresh per-candidate: %10.1f verified candidates/sec\n",
+                stream_fresh_cps);
+    std::printf("incremental session: %10.1f verified candidates/sec\n",
+                stream_session_cps);
+    std::printf("session geomean speedup: %.2fx\n", session_geomean);
+
     const uint64_t candidates = catalog.size() * kRounds;
     double baseline_cps = candidates / baseline_total;
     double optimized_cps = candidates / optimized_total;
@@ -231,7 +331,7 @@ main()
                 "%s\n",
                 all_sat_queries_shrank ? "yes" : "NO");
 
-    char tail[512];
+    char tail[1024];
     std::snprintf(tail, sizeof tail,
                   "  ],\n"
                   "  \"rounds\": %u,\n"
@@ -241,12 +341,20 @@ main()
                   "  \"cache_misses\": %llu,\n"
                   "  \"cache_hit_rate\": %.4f,\n"
                   "  \"sat_vars_reduced_on_all_queries\": %s,\n"
+                  "  \"stream_cases\": %zu,\n"
+                  "  \"stream_candidates\": %llu,\n"
+                  "  \"stream_fresh_cands_per_sec\": %.1f,\n"
+                  "  \"stream_session_cands_per_sec\": %.1f,\n"
+                  "  \"session_geomean_speedup\": %.2f,\n"
                   "  \"geomean_speedup\": %.2f\n}\n",
                   kRounds, baseline_cps, optimized_cps,
                   static_cast<unsigned long long>(cache_stats.hits),
                   static_cast<unsigned long long>(cache_stats.misses),
                   hit_rate, all_sat_queries_shrank ? "true" : "false",
-                  geomean_speedup);
+                  streams.size(),
+                  static_cast<unsigned long long>(stream_candidates),
+                  stream_fresh_cps, stream_session_cps,
+                  session_geomean, geomean_speedup);
     json += tail;
 
     std::ofstream out("BENCH_verify.json");
@@ -261,6 +369,13 @@ main()
     }
     if (cache_stats.hits == 0) {
         std::fprintf(stderr, "FAIL: cache hit rate is zero\n");
+        return 1;
+    }
+    if (session_geomean < 1.5) {
+        std::fprintf(stderr,
+                     "FAIL: incremental sessions delivered only %.2fx "
+                     "geomean over the per-candidate path (need 1.5x)\n",
+                     session_geomean);
         return 1;
     }
     return 0;

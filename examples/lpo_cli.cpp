@@ -113,6 +113,7 @@ struct RunOptions
 {
     std::string model = "Gemini2.0T";
     core::PipelineConfig config;
+    bool sat_stats = false;
 };
 
 bool
@@ -144,6 +145,10 @@ parseRunOptions(int argc, char **argv, int first, RunOptions *out)
             out->config.num_threads = static_cast<unsigned>(threads);
         } else if (!std::strcmp(arg, "--no-verify-cache")) {
             out->config.enable_verify_cache = false;
+        } else if (!std::strcmp(arg, "--no-incremental-sat")) {
+            out->config.refine.incremental_sat = false;
+        } else if (!std::strcmp(arg, "--sat-stats")) {
+            out->sat_stats = true;
         } else if (arg[0] == '-') {
             std::fprintf(stderr, "lpo: unknown option '%s'\n", arg);
             return false;
@@ -184,7 +189,11 @@ cmdRun(const char *path, const RunOptions &options)
     std::fprintf(stderr, "%s",
                  core::moduleSummary(
                      pipeline.stats(), outcomes,
-                     options.config.enable_verify_cache).c_str());
+                     options.config.enable_verify_cache,
+                     options.config.refine.incremental_sat).c_str());
+    if (options.sat_stats)
+        std::fprintf(stderr, "%s",
+                     core::satStatsLine(pipeline.stats()).c_str());
     return 0;
 }
 
@@ -227,7 +236,18 @@ usage()
         "                             thread count)\n"
         "  --no-verify-cache          disable the shared verification\n"
         "                             result cache (results are\n"
-        "                             identical; only speed changes)\n");
+        "                             identical; only speed changes)\n"
+        "  --no-incremental-sat       verify every candidate with a\n"
+        "                             fresh SAT solver instead of the\n"
+        "                             per-case incremental session\n"
+        "                             (results are identical except\n"
+        "                             that a warm session may prove\n"
+        "                             queries the fresh path would\n"
+        "                             abandon at the conflict budget)\n"
+        "  --sat-stats                print the per-run solver stat\n"
+        "                             line (decisions / conflicts /\n"
+        "                             propagations / restarts /\n"
+        "                             learnts carried)\n");
 }
 
 } // namespace

@@ -41,7 +41,7 @@ Pipeline::refreshCacheStats()
 CaseOutcome
 Pipeline::runAttemptLoop(Proposer &proposer, const ir::Function &seq,
                          uint64_t round_seed, PipelineStats &stats,
-                         const verify::RefineOptions &refine)
+                         verify::RefinementSession &session)
 {
     const bool is_llm = proposer.backend() == Proposer::Backend::Llm;
     CaseOutcome outcome;
@@ -96,9 +96,11 @@ Pipeline::runAttemptLoop(Proposer &proposer, const ir::Function &seq,
             break; // abandon this sequence (Algorithm 1 line 16)
         }
 
-        // Step 5: correctness via the translation validator.
-        verify::RefinementResult verdict =
-            verify::checkRefinement(seq, *opted.function, refine);
+        // Step 5: correctness via the translation validator. The
+        // case-lifetime session amortizes the source encoding and the
+        // solver's learnt clauses over every candidate this loop (and
+        // the hybrid fallback's) produces.
+        verify::RefinementResult verdict = session.check(*opted.function);
         ++stats.verifier_calls;
         outcome.total_seconds += config_.verify_seconds;
         outcome.verifier_backend = verdict.backend;
@@ -149,24 +151,32 @@ Pipeline::runCase(const ir::Function &seq, uint64_t round_seed,
     ++stats.cases;
 
     // All workers share the pipeline-lifetime cache; the RefineOptions
-    // copy just points at it.
+    // copy just points at it. The SAT telemetry is per-case and folded
+    // into the worker's stats delta below.
+    verify::SatTelemetry telemetry;
     verify::RefineOptions refine_opts = refine;
     refine_opts.cache =
         config_.enable_verify_cache ? &verify_cache_ : nullptr;
+    refine_opts.sat_telemetry = &telemetry;
+
+    // One incremental session per case: every candidate the proposers
+    // emit for this sequence — feedback retries and the hybrid
+    // fallback leg included — shares one persistent solver.
+    verify::RefinementSession session(seq, refine_opts);
 
     CaseOutcome outcome;
     switch (config_.proposer) {
       case ProposerKind::Llm:
         outcome = runAttemptLoop(llm_proposer_, seq, round_seed, stats,
-                                 refine_opts);
+                                 session);
         break;
       case ProposerKind::EGraph:
         outcome = runAttemptLoop(egraph_proposer_, seq, round_seed,
-                                 stats, refine_opts);
+                                 stats, session);
         break;
       case ProposerKind::Hybrid: {
         outcome = runAttemptLoop(llm_proposer_, seq, round_seed, stats,
-                                 refine_opts);
+                                 session);
         // Fall back whenever the LLM leg failed for a reason the
         // e-graph could overcome: nothing proposed, refuted, never
         // parsed, or not an improvement. Unsupported is excluded —
@@ -178,7 +188,7 @@ Pipeline::runCase(const ir::Function &seq, uint64_t round_seed,
             outcome.status == CaseStatus::NotInteresting) {
             ++stats.hybrid_fallbacks;
             CaseOutcome fallback = runAttemptLoop(
-                egraph_proposer_, seq, round_seed, stats, refine_opts);
+                egraph_proposer_, seq, round_seed, stats, session);
             if (fallback.found()) {
                 // The combined record keeps the e-graph's result but
                 // accounts for the failed LLM attempts too.
@@ -196,6 +206,18 @@ Pipeline::runCase(const ir::Function &seq, uint64_t round_seed,
         break;
       }
     }
+
+    stats.sat_solves += telemetry.solves;
+    stats.sat_decisions += telemetry.decisions;
+    stats.sat_conflicts += telemetry.conflicts;
+    stats.sat_propagations += telemetry.propagations;
+    stats.sat_restarts += telemetry.restarts;
+    stats.sat_sessions += telemetry.sessions;
+    stats.session_reuses += telemetry.session_reuses;
+    stats.learnts_carried += telemetry.learnts_carried;
+    stats.session_vars_saved += telemetry.session_vars_saved;
+    stats.session_clauses_saved += telemetry.session_clauses_saved;
+    stats.session_fallbacks += telemetry.session_fallbacks;
 
     stats.total_seconds += outcome.total_seconds;
     stats.total_cost_usd += outcome.cost_usd;
@@ -274,6 +296,17 @@ Pipeline::processModule(const ir::Module &module,
         stats_.found_by_llm += delta.found_by_llm;
         stats_.found_by_egraph += delta.found_by_egraph;
         stats_.hybrid_fallbacks += delta.hybrid_fallbacks;
+        stats_.sat_solves += delta.sat_solves;
+        stats_.sat_decisions += delta.sat_decisions;
+        stats_.sat_conflicts += delta.sat_conflicts;
+        stats_.sat_propagations += delta.sat_propagations;
+        stats_.sat_restarts += delta.sat_restarts;
+        stats_.sat_sessions += delta.sat_sessions;
+        stats_.session_reuses += delta.session_reuses;
+        stats_.learnts_carried += delta.learnts_carried;
+        stats_.session_vars_saved += delta.session_vars_saved;
+        stats_.session_clauses_saved += delta.session_clauses_saved;
+        stats_.session_fallbacks += delta.session_fallbacks;
         stats_.total_seconds += delta.total_seconds;
         stats_.total_cost_usd += delta.total_cost_usd;
     }

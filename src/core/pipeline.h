@@ -114,6 +114,25 @@ struct PipelineStats
      */
     uint64_t verify_cache_hits = 0;
     uint64_t verify_cache_misses = 0;
+    /**
+     * SAT work counters (verify::SatTelemetry folded per case in
+     * sequence order). They count solving actually performed, so with
+     * the shared cache on in a parallel run the per-case attribution
+     * of a shared query can move between workers; verdicts and
+     * outcomes stay byte-identical regardless.
+     */
+    uint64_t sat_solves = 0;
+    uint64_t sat_decisions = 0;
+    uint64_t sat_conflicts = 0;
+    uint64_t sat_propagations = 0;
+    uint64_t sat_restarts = 0;
+    /** Incremental-session accounting (see verify::RefinementSession). */
+    uint64_t sat_sessions = 0;
+    uint64_t session_reuses = 0;
+    uint64_t learnts_carried = 0;
+    uint64_t session_vars_saved = 0;
+    uint64_t session_clauses_saved = 0;
+    uint64_t session_fallbacks = 0;
     // Per-proposer accounting (surfaced by core::moduleSummary).
     uint64_t egraph_consults = 0;   ///< propose() calls on the e-graph
                                     ///< backend (a consult may decline
@@ -158,18 +177,21 @@ class Pipeline
      * deterministic-parallelism contract this cannot change results).
      * Dispatches to the configured proposer; in Hybrid mode runs the
      * LLM attempt loop and falls back to the e-graph on
-     * NoCandidate/Incorrect.
+     * NoCandidate/Incorrect. Owns the case's incremental verification
+     * session: one verify::RefinementSession spans every candidate the
+     * case produces, across both hybrid legs.
      */
     CaseOutcome runCase(const ir::Function &seq, uint64_t round_seed,
                         PipelineStats &stats,
                         const verify::RefineOptions &refine);
 
     /** The propose -> opt -> gate -> verify attempt loop over one
-     *  backend (Algorithm 1's body, proposer-agnostic). */
+     *  backend (Algorithm 1's body, proposer-agnostic), verifying
+     *  every candidate through the case's @p session. */
     CaseOutcome runAttemptLoop(Proposer &proposer,
                                const ir::Function &seq,
                                uint64_t round_seed, PipelineStats &stats,
-                               const verify::RefineOptions &refine);
+                               verify::RefinementSession &session);
 
     /** Copy the shared cache's counters into stats_. */
     void refreshCacheStats();

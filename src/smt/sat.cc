@@ -6,8 +6,33 @@
 
 namespace lpo::smt {
 
+namespace {
+
+/**
+ * The Luby sequence 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,... (0-indexed),
+ * the optimal universal restart schedule. Ported from MiniSat's
+ * luby() with base 2, returning the power directly.
+ */
+uint64_t
+lubyTerm(uint64_t x)
+{
+    uint64_t size = 1, seq = 0;
+    while (size < x + 1) {
+        size = 2 * size + 1;
+        ++seq;
+    }
+    while (size - 1 != x) {
+        size = (size - 1) / 2;
+        --seq;
+        x = x % size;
+    }
+    return uint64_t(1) << seq;
+}
+
+} // namespace
+
 int
-SatSolver::newVar()
+SatSolver::newVarImpl(bool decision)
 {
     ++num_vars_;
     assigns_.push_back(Assign::Unassigned);
@@ -15,10 +40,23 @@ SatSolver::newVar()
     reasons_.push_back(-1);
     activities_.push_back(0.0);
     polarity_.push_back(false);
+    decision_.push_back(decision);
     heap_pos_.push_back(-1);
     watches_.resize((num_vars_ + 1) * 2);
     heapInsert(num_vars_);
     return num_vars_;
+}
+
+int
+SatSolver::newVar()
+{
+    return newVarImpl(true);
+}
+
+int
+SatSolver::newActivationVar()
+{
+    return newVarImpl(false);
 }
 
 // ---------------------------------------------------------------------
@@ -68,6 +106,10 @@ SatSolver::heapDown(size_t i)
 void
 SatSolver::heapInsert(int var)
 {
+    // Activation vars never join the decision order; their values come
+    // from assumptions or release units only.
+    if (!decision_[var])
+        return;
     if (heap_pos_[var] != -1)
         return;
     heap_pos_[var] = static_cast<int>(order_heap_.size());
@@ -90,6 +132,8 @@ SatSolver::addClause(std::vector<Lit> lits)
     if (unsat_)
         return false;
     assert(!lits.empty());
+    assert(trail_limits_.empty() &&
+           "clauses may only be added at decision level 0");
     // Encode, dedup, and drop tautologies.
     std::vector<int> enc;
     enc.reserve(lits.size());
@@ -129,7 +173,7 @@ SatSolver::addClause(std::vector<Lit> lits)
         return true;
     }
     ++clauses_added_;
-    clauses_.push_back(Clause{std::move(pruned), false, 0.0});
+    clauses_.push_back(Clause{std::move(pruned), false, 0, 0.0});
     attachClause(static_cast<int>(clauses_.size()) - 1);
     return true;
 }
@@ -230,13 +274,55 @@ SatSolver::decayActivities()
     cla_inc_ /= 0.999;
 }
 
+bool
+SatSolver::litRedundant(int enc, uint32_t abstract_levels,
+                        std::vector<uint8_t> &seen,
+                        std::vector<int> &to_clear)
+{
+    // Recursive (MiniSat "deep") minimization: @p enc is redundant if
+    // every literal in its reason chain is already in the learnt
+    // clause (seen), at level 0, or itself redundant. Decisions and
+    // literals whose level is outside the clause's abstract level set
+    // end the chain as failures. Marks made during a failed probe are
+    // rolled back; marks from successful probes persist as memoized
+    // "reachable from the clause" facts for later probes.
+    std::vector<int> stack{enc};
+    size_t rollback = to_clear.size();
+    while (!stack.empty()) {
+        int p = stack.back();
+        stack.pop_back();
+        assert(reasons_[litVar(p)] != -1);
+        const Clause &reason = clauses_[reasons_[litVar(p)]];
+        // reason.lits[0] is the literal the clause propagated; the
+        // watch discipline keeps it there while the clause is a
+        // reason.
+        for (size_t i = 1; i < reason.lits.size(); ++i) {
+            int q = reason.lits[i];
+            int var = litVar(q);
+            if (seen[var] || levels_[var] == 0)
+                continue;
+            if (reasons_[var] == -1 ||
+                !(abstractLevel(var) & abstract_levels)) {
+                for (size_t j = rollback; j < to_clear.size(); ++j)
+                    seen[to_clear[j]] = 0;
+                to_clear.resize(rollback);
+                return false;
+            }
+            seen[var] = 1;
+            to_clear.push_back(var);
+            stack.push_back(q);
+        }
+    }
+    return true;
+}
+
 int
-SatSolver::analyze(int conflict, std::vector<int> &learnt)
+SatSolver::analyze(int conflict, std::vector<int> &learnt, uint32_t *lbd)
 {
     // First-UIP conflict analysis.
     learnt.clear();
     learnt.push_back(0); // placeholder for the asserting literal
-    std::vector<bool> seen(num_vars_ + 1, false);
+    std::vector<uint8_t> seen(num_vars_ + 1, 0);
     int counter = 0;
     int enc = -1;
     size_t trail_index = trail_.size();
@@ -251,13 +337,10 @@ SatSolver::analyze(int conflict, std::vector<int> &learnt)
         size_t start = (enc == -1) ? 0 : 1;
         for (size_t i = start; i < clause.lits.size(); ++i) {
             int q = clause.lits[i];
-            if (enc != -1 && clause.lits[0] != litNeg(enc) && i == 0) {
-                // shouldn't happen; reason clause has asserting lit first
-            }
             int var = litVar(q);
             if (seen[var] || levels_[var] == 0)
                 continue;
-            seen[var] = true;
+            seen[var] = 1;
             bumpVar(var);
             if (levels_[var] >= current_level) {
                 ++counter;
@@ -270,11 +353,45 @@ SatSolver::analyze(int conflict, std::vector<int> &learnt)
             assert(trail_index > 0);
             enc = trail_[--trail_index];
         } while (!seen[litVar(enc)]);
-        seen[litVar(enc)] = false;
+        seen[litVar(enc)] = 0;
         reason_clause = reasons_[litVar(enc)];
         --counter;
     } while (counter > 0);
     learnt[0] = litNeg(enc);
+
+    // Recursive clause minimization: drop literals implied by the
+    // rest of the clause through their reason chains. `seen` still
+    // marks exactly the vars of learnt[1..]; litRedundant extends it.
+    if (learnt.size() > 1) {
+        uint32_t abstract_levels = 0;
+        for (size_t i = 1; i < learnt.size(); ++i)
+            abstract_levels |= abstractLevel(litVar(learnt[i]));
+        std::vector<int> to_clear;
+        size_t kept = 1;
+        for (size_t i = 1; i < learnt.size(); ++i) {
+            int var = litVar(learnt[i]);
+            if (reasons_[var] == -1 ||
+                !litRedundant(learnt[i], abstract_levels, seen, to_clear))
+                learnt[kept++] = learnt[i];
+        }
+        learnt.resize(kept);
+    }
+
+    // LBD: number of distinct decision levels in the final clause.
+    // Low-LBD ("glue") clauses connect few levels and are the learnt
+    // clauses worth keeping forever.
+    if (lbd) {
+        std::vector<int> seen_levels;
+        for (int q : learnt) {
+            int level = levels_[litVar(q)];
+            bool found = false;
+            for (int s : seen_levels)
+                found = found || s == level;
+            if (!found)
+                seen_levels.push_back(level);
+        }
+        *lbd = static_cast<uint32_t>(seen_levels.size());
+    }
 
     // Compute the backtrack level (second-highest level in clause).
     int bt_level = 0;
@@ -288,6 +405,39 @@ SatSolver::analyze(int conflict, std::vector<int> &learnt)
         bt_level = levels_[litVar(learnt[1])];
     }
     return bt_level;
+}
+
+void
+SatSolver::analyzeFinal(int failed_enc)
+{
+    // Final-conflict analysis (MiniSat analyzeFinal): compute which
+    // assumptions imply the negation of the failed assumption
+    // @p failed_enc. During the assumption phase every decision on the
+    // trail IS an assumption, so reason-less marked vars above level 0
+    // are exactly the core members.
+    conflict_core_.clear();
+    conflict_core_.push_back(decode(failed_enc));
+    if (trail_limits_.empty())
+        return;
+    std::vector<uint8_t> seen(num_vars_ + 1, 0);
+    seen[litVar(failed_enc)] = 1;
+    size_t bottom = static_cast<size_t>(trail_limits_[0]);
+    for (size_t i = trail_.size(); i > bottom; --i) {
+        int enc = trail_[i - 1];
+        int var = litVar(enc);
+        if (!seen[var])
+            continue;
+        if (reasons_[var] == -1) {
+            assert(levels_[var] > 0);
+            conflict_core_.push_back(decode(enc));
+        } else {
+            const Clause &reason = clauses_[reasons_[var]];
+            for (size_t j = 1; j < reason.lits.size(); ++j)
+                if (levels_[litVar(reason.lits[j])] > 0)
+                    seen[litVar(reason.lits[j])] = 1;
+        }
+        seen[var] = 0;
+    }
 }
 
 void
@@ -326,6 +476,15 @@ SatSolver::pickBranchVar()
 }
 
 void
+SatSolver::rebuildWatches()
+{
+    for (std::vector<int> &watch_list : watches_)
+        watch_list.clear();
+    for (size_t i = 0; i < clauses_.size(); ++i)
+        attachClause(static_cast<int>(i));
+}
+
+void
 SatSolver::reduceLearnts()
 {
     // Called at decision level 0. Level-0 assignments may still carry
@@ -335,13 +494,16 @@ SatSolver::reduceLearnts()
     for (int enc : trail_)
         reasons_[litVar(enc)] = -1;
 
-    // Rank non-binary learnt clauses by activity, ties to the older
+    // Rank reducible learnt clauses by activity, ties to the older
     // (lower-index) clause so the reduction is deterministic; drop the
     // less active half. Binary learnt clauses are cheap to keep and
-    // high-value, so they are never dropped.
+    // high-value, and glue clauses (LBD <= 2) bridge almost-adjacent
+    // decision levels and keep proving useful across incremental
+    // calls, so neither is ever dropped.
     std::vector<int> candidates;
     for (size_t i = 0; i < clauses_.size(); ++i)
-        if (clauses_[i].learnt && clauses_[i].lits.size() > 2)
+        if (clauses_[i].learnt && clauses_[i].lits.size() > 2 &&
+            clauses_[i].lbd > 2)
             candidates.push_back(static_cast<int>(i));
     if (candidates.size() < 2)
         return;
@@ -367,22 +529,117 @@ SatSolver::reduceLearnts()
     num_learnts_ -= removed;
 
     // Clause indices changed wholesale; rebuild every watch list.
-    for (std::vector<int> &watch_list : watches_)
-        watch_list.clear();
-    for (size_t i = 0; i < clauses_.size(); ++i)
-        attachClause(static_cast<int>(i));
+    rebuildWatches();
+}
+
+void
+SatSolver::simplifyAtRoot()
+{
+    assert(trail_limits_.empty());
+    if (unsat_)
+        return;
+    if (propagate() != -1) {
+        unsat_ = true;
+        return;
+    }
+    for (int enc : trail_)
+        reasons_[litVar(enc)] = -1;
+
+    // Root assignments are permanent, so clauses they satisfy are
+    // dead weight (this is how released activation groups and the
+    // learnt clauses they tainted get reclaimed) and false literals
+    // can be stripped in place. After a clean root propagation no
+    // surviving clause can have fewer than two free literals.
+    std::vector<Clause> kept;
+    kept.reserve(clauses_.size());
+    uint64_t removed_learnts = 0;
+    uint64_t removed_total = 0;
+    for (Clause &clause : clauses_) {
+        bool satisfied = false;
+        std::vector<int> lits;
+        lits.reserve(clause.lits.size());
+        for (int e : clause.lits) {
+            Assign value = valueOf(e);
+            if (value == Assign::True) {
+                satisfied = true;
+                break;
+            }
+            if (value == Assign::False)
+                continue;
+            lits.push_back(e);
+        }
+        if (satisfied) {
+            ++removed_total;
+            if (clause.learnt)
+                ++removed_learnts;
+            continue;
+        }
+        assert(lits.size() >= 2 &&
+               "unit/empty clause survived root propagation");
+        clause.lits = std::move(lits);
+        kept.push_back(std::move(clause));
+    }
+    clauses_ = std::move(kept);
+    num_learnts_ -= removed_learnts;
+    clauses_reclaimed_ += removed_total;
+    rebuildWatches();
+}
+
+void
+SatSolver::releaseVar(int var)
+{
+    assert(var >= 1 && var <= num_vars_);
+    assert(trail_limits_.empty() &&
+           "releaseVar must be called between solve calls");
+    if (unsat_)
+        return;
+    // The release unit retires the selector; the root sweep then
+    // reclaims its guarded group and every learnt clause that picked
+    // the selector up (all satisfied by -var now). Selector-free
+    // learnt clauses — the ones derived purely from the shared
+    // encoding — survive and keep their watches.
+    if (!addUnit(-var))
+        return;
+    simplifyAtRoot();
+}
+
+void
+SatSolver::snapshotModel()
+{
+    model_ = assigns_;
 }
 
 SatResult
 SatSolver::solve(uint64_t conflict_budget)
 {
+    return solveAssuming({}, conflict_budget);
+}
+
+SatResult
+SatSolver::solveAssuming(const std::vector<Lit> &assumptions,
+                         uint64_t conflict_budget)
+{
+    // Encode before clearing the core: callers may legitimately pass
+    // unsatCore() itself back in (core-guided retries).
+    std::vector<int> assumption_encs;
+    assumption_encs.reserve(assumptions.size());
+    for (Lit lit : assumptions) {
+        assert(lit != 0 && std::abs(lit) <= num_vars_);
+        assumption_encs.push_back(encode(lit));
+    }
+    conflict_core_.clear();
     if (unsat_)
         return SatResult::Unsat;
+    assert(trail_limits_.empty() &&
+           "solve calls must start at decision level 0");
     if (propagate() != -1) {
         unsat_ = true;
         return SatResult::Unsat;
     }
-    uint64_t restart_limit = 100;
+
+    const uint64_t conflicts_at_entry = conflicts_;
+    uint64_t restart_index = 0;
+    uint64_t restart_limit = restart_unit_ * lubyTerm(restart_index);
     uint64_t conflicts_since_restart = 0;
 
     for (;;) {
@@ -394,10 +651,14 @@ SatSolver::solve(uint64_t conflict_budget)
                 unsat_ = true;
                 return SatResult::Unsat;
             }
-            if (conflict_budget && conflicts_ >= conflict_budget)
+            if (conflict_budget &&
+                conflicts_ - conflicts_at_entry >= conflict_budget) {
+                backtrack(0);
                 return SatResult::Unknown;
+            }
             std::vector<int> learnt;
-            int bt_level = analyze(conflict, learnt);
+            uint32_t lbd = 0;
+            int bt_level = analyze(conflict, learnt, &lbd);
             backtrack(bt_level);
             if (learnt.size() == 1) {
                 if (!enqueue(learnt[0], -1)) {
@@ -405,7 +666,7 @@ SatSolver::solve(uint64_t conflict_budget)
                     return SatResult::Unsat;
                 }
             } else {
-                clauses_.push_back(Clause{learnt, true, cla_inc_});
+                clauses_.push_back(Clause{learnt, true, lbd, cla_inc_});
                 ++num_learnts_;
                 int ci = static_cast<int>(clauses_.size()) - 1;
                 attachClause(ci);
@@ -417,7 +678,9 @@ SatSolver::solve(uint64_t conflict_budget)
         } else {
             if (conflicts_since_restart >= restart_limit) {
                 conflicts_since_restart = 0;
-                restart_limit = restart_limit * 3 / 2;
+                ++restarts_;
+                ++restart_index;
+                restart_limit = restart_unit_ * lubyTerm(restart_index);
                 backtrack(0);
                 // Restart is the safe point to shed inactive learnt
                 // clauses: nothing above level 0 holds a reason.
@@ -427,9 +690,42 @@ SatSolver::solve(uint64_t conflict_budget)
                 }
                 continue;
             }
+            // Assumption phase: every level up to assumptions.size()
+            // is pinned to an assumption (re-established after each
+            // restart or deep backjump before any free decision).
+            int next_assumption = -1;
+            while (trail_limits_.size() < assumption_encs.size()) {
+                int a = assumption_encs[trail_limits_.size()];
+                Assign value = valueOf(a);
+                if (value == Assign::True) {
+                    // Already implied: open an empty pseudo-level so
+                    // assumption index i always lives at level i+1.
+                    trail_limits_.push_back(
+                        static_cast<int>(trail_.size()));
+                    continue;
+                }
+                if (value == Assign::False) {
+                    // The formula refutes this assumption given the
+                    // earlier ones: extract the final conflict. The
+                    // solver itself stays consistent.
+                    analyzeFinal(a);
+                    backtrack(0);
+                    return SatResult::Unsat;
+                }
+                next_assumption = a;
+                break;
+            }
+            if (next_assumption != -1) {
+                trail_limits_.push_back(static_cast<int>(trail_.size()));
+                enqueue(next_assumption, -1);
+                continue;
+            }
             int var = pickBranchVar();
-            if (var == -1)
+            if (var == -1) {
+                snapshotModel();
+                backtrack(0);
                 return SatResult::Sat;
+            }
             ++decisions_;
             trail_limits_.push_back(static_cast<int>(trail_.size()));
             enqueue(var * 2 + (polarity_[var] ? 0 : 1), -1);
@@ -441,7 +737,9 @@ bool
 SatSolver::modelValue(int var) const
 {
     assert(var >= 1 && var <= num_vars_);
-    return assigns_[var] == Assign::True;
+    assert(static_cast<size_t>(var) < model_.size() &&
+           "modelValue requires a preceding Sat answer");
+    return model_[var] == Assign::True;
 }
 
 } // namespace lpo::smt

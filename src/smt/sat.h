@@ -5,11 +5,21 @@
  * This is the decision engine under the translation validator (the
  * system's Z3 substitute). It implements the standard conflict-driven
  * clause-learning loop: two-watched-literal propagation, 1UIP conflict
- * analysis with clause learning, activity-based (VSIDS-style) decision
- * ordering over a binary heap, phase saving, geometric restarts with
- * activity-based learnt-clause database reduction, and a conflict
- * budget so callers can bound verification time (Alive2-style
- * timeouts).
+ * analysis with recursive clause minimization, activity-based
+ * (VSIDS-style) decision ordering over a binary heap, phase saving,
+ * Luby restarts with LBD-aware learnt-clause database reduction, and a
+ * per-call conflict budget so callers can bound verification time
+ * (Alive2-style timeouts).
+ *
+ * The solver is *incremental* in the MiniSat sense: clauses may be
+ * added between solve calls, @ref solveAssuming solves under a set of
+ * assumption literals (with @ref unsatCore final-conflict extraction),
+ * and @ref newActivationVar / @ref releaseVar implement the standard
+ * selector-literal protocol for retractable clause groups — release
+ * permanently falsifies the selector and reclaims every clause the
+ * selector guarded, learnt or original, while all selector-free learnt
+ * clauses survive into the next call. See DESIGN.md, "Incremental SAT
+ * sessions".
  */
 #ifndef LPO_SMT_SAT_H
 #define LPO_SMT_SAT_H
@@ -43,12 +53,33 @@ class SatSolver
         reasons_.push_back(-1);
         activities_.push_back(0.0);
         polarity_.push_back(false);
+        decision_.push_back(false);
         heap_pos_.push_back(-1);
     }
 
     /** Allocate and return a fresh variable (1-based). */
     int newVar();
     int numVars() const { return num_vars_; }
+
+    /**
+     * Allocate a fresh *activation* (selector) variable. It never
+     * enters the decision heap — its value comes only from assumptions
+     * or from @ref releaseVar — so stale selectors cannot distract the
+     * search. Guard a clause group as (-act OR C...) and pass +act to
+     * solveAssuming to activate the group for one call.
+     */
+    int newActivationVar();
+
+    /**
+     * Permanently retire the selector @p var: asserts -var at the root
+     * and sweeps the clause database, deleting every clause the
+     * selector satisfied (the guarded group plus all learnt clauses
+     * that picked up -var during its solves) and reclaiming their
+     * watches. Learnt clauses free of the selector are untouched and
+     * keep accelerating later calls. Must be called at decision level
+     * 0 (i.e. between solve calls).
+     */
+    void releaseVar(int var);
 
     /**
      * Add a clause (non-empty literals over existing vars).
@@ -61,28 +92,64 @@ class SatSolver
 
     /**
      * Solve the current formula.
-     * @param conflict_budget maximum conflicts before Unknown
-     *        (0 = unlimited).
+     * @param conflict_budget maximum conflicts for THIS call before
+     *        Unknown (0 = unlimited).
      */
     SatResult solve(uint64_t conflict_budget = 0);
 
-    /** After Sat: the value assigned to @p var. */
+    /**
+     * Solve under @p assumptions (each forced true for this call
+     * only). Unsat answers distinguish two cases: if the formula is
+     * unsatisfiable on its own the solver latches permanently unsat;
+     * if only the assumptions are refuted, @ref unsatCore holds the
+     * failing subset and the solver remains usable — clauses and
+     * assumptions may differ on the next call, and every learnt clause
+     * (which never depends on assumptions, only on the clause
+     * database) carries over.
+     */
+    SatResult solveAssuming(const std::vector<Lit> &assumptions,
+                            uint64_t conflict_budget = 0);
+
+    /**
+     * After solveAssuming returns Unsat because of the assumptions:
+     * the subset of the assumptions (in as-passed polarity) whose
+     * conjunction the formula refutes. Empty when the formula itself
+     * is unsat.
+     */
+    const std::vector<Lit> &unsatCore() const { return conflict_core_; }
+
+    /** After Sat: the value assigned to @p var in the model. */
     bool modelValue(int var) const;
+
+    /** True once the formula is unsatisfiable without assumptions. */
+    bool inconsistent() const { return unsat_; }
 
     /** Statistics for the throughput benchmarks. */
     uint64_t conflicts() const { return conflicts_; }
     uint64_t decisions() const { return decisions_; }
     uint64_t propagations() const { return propagations_; }
+    /** Completed restarts (Luby schedule). */
+    uint64_t restarts() const { return restarts_; }
+    /** Learnt clauses currently alive (units excluded). */
+    uint64_t learnts() const { return num_learnts_; }
     /** Problem clauses accepted (stored or enqueued as units). */
     uint64_t clausesAdded() const { return clauses_added_; }
     /** Learnt clauses dropped by database reduction. */
     uint64_t learntsRemoved() const { return learnts_removed_; }
+    /** Clauses (problem + learnt) reclaimed by releaseVar sweeps. */
+    uint64_t clausesReclaimed() const { return clauses_reclaimed_; }
     /**
      * Learnt-clause count that triggers database reduction at the
      * next restart (grows geometrically afterwards). Exposed so tests
      * can force reductions on small instances.
      */
     void setReduceLimit(uint64_t limit) { reduce_limit_ = limit; }
+    /**
+     * Base conflict count of the Luby restart schedule (restart i
+     * fires after unit * luby(i) conflicts). Exposed for tests; the
+     * default matches MiniSat's 100.
+     */
+    void setRestartUnit(uint64_t unit) { restart_unit_ = unit ? unit : 1; }
 
   private:
     // Internal literal encoding: v*2 (positive) / v*2+1 (negative).
@@ -91,6 +158,10 @@ class SatSolver
         int v = lit > 0 ? lit : -lit;
         return v * 2 + (lit < 0 ? 1 : 0);
     }
+    static Lit decode(int enc)
+    {
+        return (enc & 1) ? -(enc / 2) : enc / 2;
+    }
     static int litVar(int enc) { return enc / 2; }
     static int litNeg(int enc) { return enc ^ 1; }
 
@@ -98,6 +169,7 @@ class SatSolver
     {
         std::vector<int> lits; // encoded
         bool learnt = false;
+        uint32_t lbd = 0; ///< literal-block distance at learning time
         double activity = 0.0;
     };
 
@@ -112,9 +184,14 @@ class SatSolver
         return val ? Assign::True : Assign::False;
     }
 
+    int newVarImpl(bool decision);
     bool enqueue(int enc, int reason);
     int propagate(); // returns conflicting clause index or -1
-    int analyze(int conflict, std::vector<int> &learnt);
+    int analyze(int conflict, std::vector<int> &learnt, uint32_t *lbd);
+    bool litRedundant(int enc, uint32_t abstract_levels,
+                      std::vector<uint8_t> &seen,
+                      std::vector<int> &to_clear);
+    void analyzeFinal(int failed_enc);
     void backtrack(int level);
     void bumpVar(int var);
     void bumpClause(Clause &clause);
@@ -122,6 +199,16 @@ class SatSolver
     int pickBranchVar();
     void attachClause(int index);
     void reduceLearnts();
+    /** Root-level clause sweep: drop satisfied clauses, strip false
+     *  literals, rebuild watches. Requires decision level 0. */
+    void simplifyAtRoot();
+    void rebuildWatches();
+    void snapshotModel();
+
+    uint32_t abstractLevel(int var) const
+    {
+        return uint32_t(1) << (levels_[var] & 31);
+    }
 
     // Decision-order heap (max-heap on activity, ties to the lower
     // variable index so the order is fully deterministic).
@@ -139,26 +226,32 @@ class SatSolver
     std::vector<Clause> clauses_;
     std::vector<std::vector<int>> watches_; // enc-lit -> clause indices
     std::vector<Assign> assigns_;           // per var
+    std::vector<Assign> model_;             // snapshot of the last Sat
     std::vector<int> levels_;               // per var
     std::vector<int> reasons_;              // per var, clause index or -1
     std::vector<double> activities_;        // per var
     std::vector<bool> polarity_;            // per var, phase saving
+    std::vector<bool> decision_;            // per var, heap-eligible
     std::vector<int> order_heap_;           // vars, heap-ordered
     std::vector<int> heap_pos_;             // var -> index or -1
     std::vector<int> trail_;                // encoded lits
     std::vector<int> trail_limits_;
+    std::vector<Lit> conflict_core_;        // last failing assumptions
     size_t propagate_head_ = 0;
     double var_inc_ = 1.0;
     double cla_inc_ = 1.0;
     uint64_t num_learnts_ = 0;
     uint64_t reduce_limit_ = 2000;
+    uint64_t restart_unit_ = 100;
     bool unsat_ = false;
 
     uint64_t conflicts_ = 0;
     uint64_t decisions_ = 0;
     uint64_t propagations_ = 0;
+    uint64_t restarts_ = 0;
     uint64_t clauses_added_ = 0;
     uint64_t learnts_removed_ = 0;
+    uint64_t clauses_reclaimed_ = 0;
 };
 
 } // namespace lpo::smt

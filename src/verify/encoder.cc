@@ -584,16 +584,14 @@ encodeFunction(smt::CircuitBuilder &builder, const ir::Function &fn,
     return encoder.run(fn, shared_args);
 }
 
-bool
-encodeRefinementQuery(smt::CircuitBuilder &builder,
-                      const ir::Function &src, const ir::Function &tgt,
-                      std::vector<ValueEnc> *shared_args_out)
+std::vector<ValueEnc>
+encodeSharedArgs(smt::CircuitBuilder &builder, const ir::Function &fn)
 {
     // Shared, non-poison arguments so src and tgt range over
     // identical inputs.
     std::vector<ValueEnc> args;
-    for (unsigned i = 0; i < src.numArgs(); ++i) {
-        const Type *type = src.arg(i)->type();
+    for (unsigned i = 0; i < fn.numArgs(); ++i) {
+        const Type *type = fn.arg(i)->type();
         ValueEnc enc;
         unsigned lanes = laneCount(type);
         unsigned width = type->scalarType()->intWidth();
@@ -602,6 +600,34 @@ encodeRefinementQuery(smt::CircuitBuilder &builder,
                                   CircuitBuilder::kFalse});
         args.push_back(enc);
     }
+    return args;
+}
+
+CLit
+refinementViolation(smt::CircuitBuilder &builder,
+                    const EncodedFunction &src_enc,
+                    const EncodedFunction &tgt_enc)
+{
+    std::vector<CLit> lane_violations;
+    for (size_t lane = 0; lane < src_enc.ret.size(); ++lane) {
+        const LaneEnc &s = src_enc.ret[lane];
+        const LaneEnc &t = tgt_enc.ret[lane];
+        CLit mismatch = builder.orGate(
+            t.poison, -builder.bvEq(s.bits, t.bits));
+        lane_violations.push_back(
+            builder.andGate(-s.poison, mismatch));
+    }
+    CLit violation = builder.orGate(tgt_enc.ub,
+                                    builder.orMany(lane_violations));
+    return builder.andGate(-src_enc.ub, violation);
+}
+
+bool
+encodeRefinementQuery(smt::CircuitBuilder &builder,
+                      const ir::Function &src, const ir::Function &tgt,
+                      std::vector<ValueEnc> *shared_args_out)
+{
+    std::vector<ValueEnc> args = encodeSharedArgs(builder, src);
 
     std::optional<EncodedFunction> src_enc =
         encodeFunction(builder, src, &args);
@@ -610,18 +636,7 @@ encodeRefinementQuery(smt::CircuitBuilder &builder,
     if (!src_enc || !tgt_enc)
         return false;
 
-    std::vector<CLit> lane_violations;
-    for (size_t lane = 0; lane < src_enc->ret.size(); ++lane) {
-        const LaneEnc &s = src_enc->ret[lane];
-        const LaneEnc &t = tgt_enc->ret[lane];
-        CLit mismatch = builder.orGate(
-            t.poison, -builder.bvEq(s.bits, t.bits));
-        lane_violations.push_back(
-            builder.andGate(-s.poison, mismatch));
-    }
-    CLit violation = builder.orGate(tgt_enc->ub,
-                                    builder.orMany(lane_violations));
-    builder.require(builder.andGate(-src_enc->ub, violation));
+    builder.require(refinementViolation(builder, *src_enc, *tgt_enc));
     if (shared_args_out)
         *shared_args_out = std::move(args);
     return true;

@@ -46,12 +46,13 @@ TEST(RefineTest, RefutesWrongConstant)
     EXPECT_NE(r.counterexample->source_value,
               r.counterexample->target_value);
     // And the feedback message carries the Alive2-style report.
-    std::string feedback = r.feedbackMessage(
-        *ir::parseFunction(
-             *(new ir::Context()),
-             "define i8 @src(i8 %x) {\n  %r = add i8 %x, 1\n"
-             "  ret i8 %r\n}\n")
-             .take());
+    ir::Context feedback_ctx;
+    auto feedback_src = ir::parseFunction(
+        feedback_ctx,
+        "define i8 @src(i8 %x) {\n  %r = add i8 %x, 1\n"
+        "  ret i8 %r\n}\n");
+    ASSERT_TRUE(feedback_src.ok());
+    std::string feedback = r.feedbackMessage(**feedback_src);
     EXPECT_NE(feedback.find("ERROR"), std::string::npos);
     EXPECT_NE(feedback.find("Example"), std::string::npos);
 }

@@ -141,6 +141,39 @@ TEST(SatTest, ReductionOnSatisfiableInstanceKeepsModelValid)
     }
 }
 
+TEST(SatTest, LubyRestartsAreCountedAndDeterministic)
+{
+    // PHP(7,6) generates far more than restart_unit conflicts, so a
+    // tiny unit forces many Luby restarts; the answer must not change
+    // and two identical solvers must take the identical path.
+    auto build = [](SatSolver &s) {
+        const int pigeons = 7, holes = 6;
+        std::vector<std::vector<int>> var(pigeons,
+                                          std::vector<int>(holes));
+        for (auto &row : var)
+            for (int &v : row)
+                v = s.newVar();
+        for (auto &row : var)
+            s.addClause(std::vector<Lit>(row.begin(), row.end()));
+        for (int hole = 0; hole < holes; ++hole)
+            for (int i = 0; i < pigeons; ++i)
+                for (int j = i + 1; j < pigeons; ++j)
+                    s.addBinary(-var[i][hole], -var[j][hole]);
+    };
+    SatSolver a, b;
+    a.setRestartUnit(4);
+    b.setRestartUnit(4);
+    build(a);
+    build(b);
+    EXPECT_EQ(a.solve(), SatResult::Unsat);
+    EXPECT_GT(a.restarts(), 2u) << "Luby schedule never fired";
+    EXPECT_EQ(b.solve(), SatResult::Unsat);
+    EXPECT_EQ(a.restarts(), b.restarts());
+    EXPECT_EQ(a.conflicts(), b.conflicts());
+    EXPECT_EQ(a.decisions(), b.decisions());
+    EXPECT_EQ(a.propagations(), b.propagations());
+}
+
 class SatFuzzProperty : public testing::TestWithParam<int>
 {
 };

@@ -50,6 +50,22 @@ awk -v c="$current" -v b="$baseline" 'BEGIN {
     printf "verify geomean speedup %.2fx vs baseline %.2fx: OK\n", c, b
 }'
 
+# Same gate for the incremental-session speedup on the multi-candidate
+# stream (the benchmark itself already fails below the 1.5x floor).
+baseline=$(grep -o '"session_geomean_speedup": [0-9.]*' \
+    bench/BENCH_verify.baseline.json | awk '{print $2}')
+current=$(grep -o '"session_geomean_speedup": [0-9.]*' \
+    BENCH_verify.json | awk '{print $2}')
+awk -v c="$current" -v b="$baseline" 'BEGIN {
+    if (c + 0 < 0.8 * b) {
+        printf "FAIL: incremental-session geomean speedup %.2fx " \
+               "regressed more than 20%% against the committed " \
+               "baseline %.2fx\n", c, b
+        exit 1
+    }
+    printf "session geomean speedup %.2fx vs baseline %.2fx: OK\n", c, b
+}'
+
 echo "=== Proposer comparison benchmark (Release) ==="
 # Exits nonzero itself if hybrid's findings are not a strict superset
 # of the LLM backend's.
