@@ -56,8 +56,13 @@ main()
         return 1;
     }
 
-    // Step 1: extract dependent instruction sequences.
-    extract::Extractor extractor;
+    // Step 1: extract dependent instruction sequences. The Fig. 3a
+    // wrapped function includes the gep + load feeding the clamp, so
+    // opt into memory-touching sequences (the production default
+    // keeps extraction inside the SAT-verifiable fragment).
+    extract::ExtractorOptions ex_options;
+    ex_options.allow_memory = true;
+    extract::Extractor extractor(ex_options);
     auto sequences = extractor.extractFromModule(**module);
     std::printf("Extracted %zu unique dependent sequences from "
                 "vector.body.\n\n", sequences.size());

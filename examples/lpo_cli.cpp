@@ -16,8 +16,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 
+#include "core/module_opt.h"
 #include "core/pipeline.h"
 #include "core/report.h"
 #include "extract/extractor.h"
@@ -198,6 +200,77 @@ cmdRun(const char *path, const RunOptions &options)
 }
 
 int
+cmdOptimizeModule(const char *path, const RunOptions &options)
+{
+    ir::Context ctx;
+    auto module = ir::parseModule(ctx, readFile(path));
+    if (!module) {
+        std::fprintf(stderr, "error: %s\n",
+                     module.error().toString().c_str());
+        return 1;
+    }
+    llm::MockModel model(llm::modelByName(options.model), 1);
+    core::ModuleOptOptions mod_options;
+    // Adopt the shared run options but keep the module-scale conflict
+    // budget (the whole-config assignment would restore the one-shot
+    // default, letting a single adversarial sequence stall the run).
+    uint64_t module_budget = mod_options.pipeline.refine.conflict_budget;
+    mod_options.pipeline = options.config;
+    mod_options.pipeline.refine.conflict_budget = module_budget;
+    core::ModuleOptimizer optimizer(model, mod_options);
+    core::ModuleOptResult result = optimizer.optimize(**module, 1);
+
+    std::printf("%s\n", core::savingsTable(result).c_str());
+    std::printf("extraction: considered=%llu unique=%llu "
+                "duplicates=%llu length-filtered=%llu "
+                "still-optimizable=%llu collisions=%llu\n",
+                (unsigned long long)result.extraction.sequences_considered,
+                (unsigned long long)result.unique_sequences,
+                (unsigned long long)result.extraction.duplicates_skipped,
+                (unsigned long long)result.extraction.length_filtered,
+                (unsigned long long)
+                    result.extraction.still_optimizable_skipped,
+                (unsigned long long)result.extraction.hash_collisions);
+    std::printf("patched %llu rewrite site(s) (%llu failed, %llu "
+                "function(s) rolled back), swept %u dead "
+                "instruction(s); mca cycles %.1f -> %.1f\n",
+                (unsigned long long)result.patched_rewrites,
+                (unsigned long long)result.patch_failures,
+                (unsigned long long)result.functions_rolled_back,
+                result.dce_removed, result.cycles_before,
+                result.cycles_after);
+    // Blocks generated by corpus::largeModule are labelled
+    // "s<j>.<family>"; fold patch sites per family when present.
+    std::map<std::string, unsigned> families;
+    for (const core::PatchRecord &patch : result.patches) {
+        size_t dot = patch.block.find('.');
+        if (dot != std::string::npos)
+            ++families[patch.block.substr(dot + 1)];
+    }
+    if (!families.empty()) {
+        std::printf("patched families (%zu):", families.size());
+        for (const auto &[family, count] : families)
+            std::printf(" %s x%u", family.c_str(), count);
+        std::printf("\n");
+    }
+    if (result.invalid_functions) {
+        std::fprintf(stderr,
+                     "lpo: %llu patched function(s) failed ir::isValid\n",
+                     (unsigned long long)result.invalid_functions);
+        return 1;
+    }
+    std::fprintf(stderr, "%s",
+                 core::moduleSummary(
+                     result.pipeline, result.outcomes,
+                     options.config.enable_verify_cache,
+                     options.config.refine.incremental_sat).c_str());
+    if (options.sat_stats)
+        std::fprintf(stderr, "%s",
+                     core::satStatsLine(result.pipeline).c_str());
+    return 0;
+}
+
+int
 cmdModels()
 {
     for (const auto &profile : llm::modelRegistry()) {
@@ -220,6 +293,12 @@ usage()
         "  run <file.ll> [model] [options]\n"
         "                             run the LPO loop (default "
         "Gemini2.0T)\n"
+        "  optimize-module <file.ll> [model] [options]\n"
+        "                             extract, optimize, and patch\n"
+        "                             verified rewrites back into the\n"
+        "                             module; prints the per-function\n"
+        "                             savings table (accepts the same\n"
+        "                             options as run)\n"
         "  models                     list the model registry\n"
         "  help                       show this message\n"
         "\n"
@@ -276,6 +355,12 @@ main(int argc, char **argv)
         if (!parseRunOptions(argc, argv, 3, &options))
             return 1;
         return cmdRun(argv[2], options);
+    }
+    if (!std::strcmp(cmd, "optimize-module") && argc >= 3) {
+        RunOptions options;
+        if (!parseRunOptions(argc, argv, 3, &options))
+            return 1;
+        return cmdOptimizeModule(argv[2], options);
     }
     if (!std::strcmp(cmd, "models"))
         return cmdModels();

@@ -1,0 +1,284 @@
+#include "core/module_opt.h"
+
+#include <cassert>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "core/report.h"
+#include "ir/ir_verifier.h"
+#include "ir/parser.h"
+#include "mca/cost_model.h"
+#include "opt/dce.h"
+
+namespace lpo::core {
+
+using ir::Instruction;
+using ir::Value;
+
+namespace {
+
+std::string
+fmt1(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f", v);
+    return buf;
+}
+
+} // namespace
+
+ModuleOptimizer::ModuleOptimizer(llm::LlmClient &client,
+                                 ModuleOptOptions options)
+    : options_(std::move(options)), pipeline_(client, options_.pipeline)
+{
+}
+
+bool
+ModuleOptimizer::applyRewrite(const extract::SequenceSite &site,
+                              const ir::Function &tgt,
+                              NameAllocator *names)
+{
+    // Defensive pre-checks: extraction and verification already
+    // guarantee all of this, so any failure here means the site
+    // drifted under us (an earlier patch collapsed two of its outside
+    // operands, say) — skip the site rather than splice a rewrite
+    // whose argument mapping no longer matches what was verified.
+    if (tgt.blocks().size() != 1)
+        return false;
+    const Instruction *tail = site.insts.back();
+    std::vector<Value *> outside =
+        extract::Extractor::outsideOperands(site.insts);
+    if (outside.size() != tgt.numArgs())
+        return false;
+    for (unsigned i = 0; i < tgt.numArgs(); ++i)
+        if (outside[i]->type() != tgt.arg(i)->type())
+            return false;
+    if (tgt.returnType() != tail->type())
+        return false;
+    const Instruction *ret = tgt.entry()->terminator();
+    if (!ret || ret->op() != ir::Opcode::Ret || ret->numOperands() != 1)
+        return false;
+
+    // The extractor recorded const views into a module the caller
+    // handed us as mutable; recover the mutable handles.
+    auto *fn = const_cast<ir::Function *>(site.fn);
+    auto *block = const_cast<ir::BasicBlock *>(site.block);
+    size_t anchor = block->size();
+    for (size_t i = 0; i < block->size(); ++i)
+        if (block->at(i) == tail) {
+            anchor = i;
+            break;
+        }
+    if (anchor == block->size())
+        return false;
+
+    // Fresh, deterministic names for the spliced instructions: the
+    // per-function counter advances monotonically, skipping anything
+    // the input module already uses (seeded once, on the function's
+    // first patch), so 1-thread and N-thread runs — and repeated
+    // patches into one function — print identically.
+    if (!names->seeded) {
+        names->seeded = true;
+        for (const auto &arg : fn->args())
+            names->taken.insert(arg->name());
+        for (const auto &bb : fn->blocks())
+            for (const auto &inst : bb->instructions())
+                names->taken.insert(inst->name());
+    }
+    auto fresh = [&]() {
+        std::string name;
+        do
+            name = "lpo.p" + std::to_string(names->counter++);
+        while (names->taken.count(name));
+        names->taken.insert(name);
+        return name;
+    };
+
+    // Clone the rewrite body at the anchor, remapping its arguments
+    // back to the original outside-sequence operands.
+    std::map<const Value *, Value *> remap;
+    for (unsigned i = 0; i < tgt.numArgs(); ++i)
+        remap[tgt.arg(i)] = outside[i];
+    for (const auto &inst : tgt.entry()->instructions()) {
+        if (inst->isTerminator())
+            continue;
+        auto copy = ir::cloneInstruction(*inst, remap);
+        copy->setName(fresh());
+        remap[inst.get()] = block->insert(anchor++, std::move(copy));
+    }
+
+    // Redirect every user of the sequence tail to the new result; the
+    // dead originals stay behind for the DCE sweep.
+    Value *ret_operand = ret->operand(0);
+    auto it = remap.find(ret_operand);
+    Value *new_result = it == remap.end() ? ret_operand : it->second;
+    fn->replaceAllUses(tail, new_result);
+    return true;
+}
+
+ModuleOptResult
+ModuleOptimizer::optimize(ir::Module &module, uint64_t round_seed)
+{
+    ModuleOptResult result;
+
+    std::vector<FunctionSavings> savings;
+    for (const auto &fn : module.functions()) {
+        FunctionSavings s;
+        s.function = fn->name();
+        s.insts_before = fn->instructionCount();
+        s.cycles_before = mca::analyzeFunction(*fn).total_cycles;
+        result.cycles_before += s.cycles_before;
+        savings.push_back(std::move(s));
+    }
+
+    // Extract with sites (fresh dedup per module — see the class
+    // comment), then shard the unique wrapped sequences through the
+    // pipeline (shared verify cache, per-worker SAT sessions,
+    // sequence-order stat folding — see Pipeline).
+    extract::Extractor extractor(options_.extractor);
+    std::vector<extract::ExtractedSequence> sequences =
+        extractor.extractDetailed(module);
+    std::vector<const ir::Function *> wrapped;
+    wrapped.reserve(sequences.size());
+    for (const auto &seq : sequences)
+        wrapped.push_back(seq.wrapped.get());
+    result.outcomes = pipeline_.processSequences(wrapped, round_seed);
+    result.unique_sequences = sequences.size();
+
+    // Patch every verified improvement back, in extraction order
+    // (sites in block-scan order) so the rewritten module is
+    // deterministic for any thread count. Each function's pre-patch
+    // body is snapshotted before its first splice so a net-negative
+    // outcome can be rolled back below.
+    std::map<const ir::Function *, NameAllocator> name_allocators;
+    std::map<const ir::Function *, size_t> fn_index;
+    for (size_t i = 0; i < module.functions().size(); ++i)
+        fn_index[module.functions()[i].get()] = i;
+    std::map<const ir::Function *, std::unique_ptr<ir::Function>>
+        snapshots;
+    for (size_t i = 0; i < sequences.size(); ++i) {
+        const CaseOutcome &outcome = result.outcomes[i];
+        if (!outcome.found())
+            continue;
+        auto tgt =
+            ir::parseFunction(module.context(), outcome.candidate_text);
+        if (!tgt.ok()) {
+            result.patch_failures += sequences[i].sites.size();
+            continue;
+        }
+        for (const extract::SequenceSite &site : sequences[i].sites) {
+            if (!snapshots.count(site.fn))
+                snapshots[site.fn] = site.fn->clone(site.fn->name());
+            if (!applyRewrite(site, **tgt, &name_allocators[site.fn])) {
+                ++result.patch_failures;
+                continue;
+            }
+            ++result.patched_rewrites;
+            size_t index = fn_index.at(site.fn);
+            ++savings[index].patched;
+            result.patches.push_back(PatchRecord{
+                site.fn->name(), index, site.block->label(),
+                static_cast<unsigned>(site.insts.size()), i});
+        }
+    }
+
+    // Sweep the dead originals, re-validate, and re-measure; module
+    // order keeps the pass deterministic. A patched function that
+    // fails validation (a bug) or costs more mca cycles than before
+    // (a size-first rewrite stretching the critical path) is restored
+    // from its snapshot and its sites are un-counted.
+    std::set<size_t> rolled_back;
+    for (size_t i = 0; i < module.functions().size(); ++i) {
+        FunctionSavings &fs = savings[i];
+        if (fs.patched == 0) {
+            // Untouched function: nothing ran on it, reuse the
+            // measurement from the top of the pass.
+            fs.insts_after = fs.insts_before;
+            fs.cycles_after = fs.cycles_before;
+            result.cycles_after += fs.cycles_after;
+            continue;
+        }
+        ir::Function &fn = *module.functions()[i];
+        unsigned removed = 0;
+        unsigned insts_after;
+        double cycles_after;
+        if (options_.run_dce) {
+            removed = opt::removeDeadInstructions(fn);
+            insts_after = fn.instructionCount();
+            cycles_after = mca::analyzeFunction(fn).total_cycles;
+        } else {
+            // No in-place sweep requested; the profit decision AND
+            // the reported savings still price the function as-if
+            // swept (the dead originals' issue-bound cost would
+            // otherwise roll back every patch / report regressions
+            // for verified-profitable rewrites).
+            auto probe = fn.clone(fn.name());
+            opt::removeDeadInstructions(*probe);
+            insts_after = probe->instructionCount();
+            cycles_after = mca::analyzeFunction(*probe).total_cycles;
+        }
+        bool valid = ir::isValid(fn);
+        if (!valid) {
+            ++result.invalid_functions;
+            assert(false && "patch-back produced invalid IR");
+        }
+        if (!valid || cycles_after > fs.cycles_before) {
+            module.replaceFunction(
+                i, std::move(snapshots.at(module.functions()[i].get())));
+            ++result.functions_rolled_back;
+            result.patched_rewrites -= fs.patched;
+            rolled_back.insert(i);
+            fs.patched = 0;
+            fs.insts_after = fs.insts_before;
+            fs.cycles_after = fs.cycles_before;
+            result.cycles_after += fs.cycles_after;
+            continue;
+        }
+        result.dce_removed += removed;
+        fs.insts_after = insts_after;
+        fs.cycles_after = cycles_after;
+        result.cycles_after += fs.cycles_after;
+    }
+    if (!rolled_back.empty()) {
+        std::vector<PatchRecord> kept;
+        for (PatchRecord &patch : result.patches)
+            if (!rolled_back.count(patch.function_index))
+                kept.push_back(std::move(patch));
+        result.patches = std::move(kept);
+    }
+    result.functions = std::move(savings);
+    result.extraction = extractor.stats();
+    result.pipeline = pipeline_.stats();
+    return result;
+}
+
+std::string
+savingsTable(const ModuleOptResult &result)
+{
+    TextTable table({"function", "insts", "insts'", "cycles", "cycles'",
+                     "saved", "patched"});
+    double saved_total = 0.0;
+    unsigned insts_before = 0, insts_after = 0;
+    for (const FunctionSavings &fs : result.functions) {
+        insts_before += fs.insts_before;
+        insts_after += fs.insts_after;
+        saved_total += fs.cycles_before - fs.cycles_after;
+        if (fs.patched == 0)
+            continue;
+        table.addRow({fs.function, std::to_string(fs.insts_before),
+                      std::to_string(fs.insts_after),
+                      fmt1(fs.cycles_before), fmt1(fs.cycles_after),
+                      fmt1(fs.cycles_before - fs.cycles_after),
+                      std::to_string(fs.patched)});
+    }
+    table.addRow({"TOTAL (" + std::to_string(result.functions.size()) +
+                      " functions)",
+                  std::to_string(insts_before),
+                  std::to_string(insts_after), fmt1(result.cycles_before),
+                  fmt1(result.cycles_after), fmt1(saved_total),
+                  std::to_string(result.patched_rewrites)});
+    return table.render();
+}
+
+} // namespace lpo::core

@@ -229,6 +229,18 @@ Pipeline::processModule(const ir::Module &module,
                         extract::Extractor &extractor, uint64_t round_seed)
 {
     auto sequences = extractor.extractFromModule(module);
+    std::vector<const ir::Function *> ptrs;
+    ptrs.reserve(sequences.size());
+    for (const auto &seq : sequences)
+        ptrs.push_back(seq.get());
+    return processSequences(ptrs, round_seed);
+}
+
+std::vector<CaseOutcome>
+Pipeline::processSequences(
+    const std::vector<const ir::Function *> &sequences,
+    uint64_t round_seed)
+{
     unsigned threads = config_.num_threads
                            ? config_.num_threads
                            : ThreadPool::hardwareThreads();

@@ -167,6 +167,20 @@ class Pipeline
                                            extract::Extractor &extractor,
                                            uint64_t round_seed = 0);
 
+    /**
+     * Run the loop on an already-extracted batch of sequences —
+     * processModule minus the extraction, and the entry point
+     * core::ModuleOptimizer shards its unique wrapped sequences
+     * through. Outcomes are returned in input order and, like
+     * processModule, are bit-identical for every thread count and
+     * with the verify cache on or off (per-case stat deltas fold in
+     * sequence order; each parallel worker re-parses its sequence
+     * into a private Context).
+     */
+    std::vector<CaseOutcome>
+    processSequences(const std::vector<const ir::Function *> &sequences,
+                     uint64_t round_seed = 0);
+
     const PipelineStats &stats() const { return stats_; }
 
   private:

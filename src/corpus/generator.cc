@@ -174,6 +174,184 @@ CorpusGenerator::generateFile(const ProjectProfile &project,
     return module;
 }
 
+const std::vector<const MissedOptBenchmark *> &
+stitchableBenchmarks()
+{
+    static const std::vector<const MissedOptBenchmark *> pool = [] {
+        auto eligible = [](const ir::Function &fn) {
+            if (fn.blocks().size() != 1 || !fn.returnType()->isInt() ||
+                fn.instructionCount() < 2)
+                return false;
+            for (const auto &arg : fn.args())
+                if (!arg->type()->isInt())
+                    return false;
+            for (const auto &inst : fn.entry()->instructions()) {
+                switch (inst->op()) {
+                  case Opcode::Load:
+                  case Opcode::Store:
+                  case Opcode::Gep:
+                  case Opcode::Phi:
+                  case Opcode::FAdd:
+                  case Opcode::FSub:
+                  case Opcode::FMul:
+                  case Opcode::FDiv:
+                  case Opcode::FCmp:
+                    return false;
+                  default:
+                    break;
+                }
+                if (!inst->isTerminator() && !inst->type()->isInt())
+                    return false;
+                for (const Value *operand : inst->operands())
+                    if (!operand->type()->isInt())
+                        return false;
+            }
+            return true;
+        };
+        std::vector<const MissedOptBenchmark *> v;
+        for (const auto *catalog : {&rq1Benchmarks(), &rq2Benchmarks()}) {
+            for (const MissedOptBenchmark &bench : *catalog) {
+                ir::Context probe;
+                auto parsed = ir::parseFunction(probe, bench.src_text);
+                if (parsed.ok() && eligible(**parsed))
+                    v.push_back(&bench);
+            }
+        }
+        return v;
+    }();
+    return pool;
+}
+
+std::unique_ptr<ir::Module>
+CorpusGenerator::largeModule(uint64_t seed, unsigned num_functions,
+                             unsigned blocks_per_fn)
+{
+    const auto &pool = stitchableBenchmarks();
+    assert(!pool.empty() && blocks_per_fn > 0);
+
+    // Parse each pool entry once, into the module's own context so
+    // the stitched clones share its interned constants.
+    std::vector<std::unique_ptr<ir::Function>> prototypes;
+    prototypes.reserve(pool.size());
+    for (const MissedOptBenchmark *bench : pool)
+        prototypes.push_back(
+            ir::parseFunction(context_, bench->src_text).take());
+
+    auto module = std::make_unique<ir::Module>(
+        context_, "large/seed" + std::to_string(seed) + ".ll");
+    const Type *i64 = context_.types().intTy(64);
+
+    for (unsigned i = 0; i < num_functions; ++i) {
+        Rng rng = Rng(seed).fork("large").fork("fn" + std::to_string(i));
+        ir::Function *fn =
+            module->createFunction("f" + std::to_string(i), i64);
+
+        // Block labels carry the embedded family so patch records can
+        // be folded per family downstream.
+        std::vector<size_t> picks(blocks_per_fn);
+        std::vector<std::string> labels(blocks_per_fn);
+        for (unsigned j = 0; j < blocks_per_fn; ++j) {
+            picks[j] = (size_t(i) * blocks_per_fn + j) % pool.size();
+            labels[j] =
+                "s" + std::to_string(j) + "." + pool[picks[j]]->family;
+        }
+
+        // Results waiting to be folded into the accumulator; folding
+        // happens one block downstream of the producer so per-block
+        // sequence extraction sees each pattern body on its own.
+        std::vector<Value *> pending;
+        Value *acc = nullptr;
+        auto fold_pending = [&](Builder &b) {
+            for (Value *v : pending) {
+                Value *wide = v->type() == i64 ? v : b.zext(v, i64);
+                acc = acc ? b.xorOp(acc, wide) : wide;
+            }
+            pending.clear();
+        };
+
+        for (unsigned j = 0; j < blocks_per_fn; ++j) {
+            ir::BasicBlock *block = fn->addBlock(labels[j]);
+            Builder b(*fn, block);
+            fold_pending(b);
+
+            // Stitch the pattern body: fresh function arguments stand
+            // in for the prototype's, instructions are cloned.
+            const ir::Function &proto = *prototypes[picks[j]];
+            std::map<const ir::Value *, Value *> remap;
+            for (const auto &arg : proto.args())
+                remap[arg.get()] = fn->addArg(
+                    arg->type(), "a" + std::to_string(fn->numArgs()));
+            Value *tail = nullptr;
+            for (const auto &inst : proto.entry()->instructions()) {
+                if (inst->isTerminator()) {
+                    Value *r = inst->operand(0);
+                    auto it = remap.find(r);
+                    tail = it == remap.end() ? r : it->second;
+                    continue;
+                }
+                remap[inst.get()] =
+                    block->append(ir::cloneInstruction(*inst, remap));
+            }
+            pending.push_back(tail);
+
+            // Occasional noise chain over its own fresh arguments
+            // (isolated from the pattern, so it forms independent
+            // sequences in the same block — realistic clutter).
+            if (rng.chance(0.35)) {
+                static const unsigned widths[] = {8, 16, 32, 64};
+                const Type *nt =
+                    context_.types().intTy(widths[rng.nextBelow(4)]);
+                Value *x = fn->addArg(
+                    nt, "a" + std::to_string(fn->numArgs()));
+                Value *y = fn->addArg(
+                    nt, "a" + std::to_string(fn->numArgs()));
+                Value *cur = x;
+                bool was_mul = false;
+                unsigned chain = 3 + rng.nextBelow(4);
+                for (unsigned k = 0; k < chain; ++k) {
+                    unsigned op = rng.nextBelow(5);
+                    // Never stack constant multiplies at wide widths:
+                    // the e-graph folds them, and proving the fold is
+                    // a worst-case SAT query (64-bit carry chains) —
+                    // not the workload this module models.
+                    if (op == 4 && (was_mul || nt->intWidth() > 16))
+                        op = 2;
+                    was_mul = op == 4;
+                    switch (op) {
+                      case 0: cur = b.add(cur, y); break;
+                      case 1: cur = b.sub(cur, y); break;
+                      case 2: cur = b.xorOp(cur, y); break;
+                      case 3: cur = b.umin(cur, y); break;
+                      default:
+                        cur = b.mul(cur,
+                                    context_.getInt(
+                                        nt, APInt(nt->intWidth(),
+                                                  2 * rng.nextBelow(40) +
+                                                      3)));
+                        break;
+                    }
+                }
+                pending.push_back(cur);
+            }
+
+            b.br(j + 1 < blocks_per_fn ? labels[j + 1] : "fin");
+        }
+
+        ir::BasicBlock *fin = fn->addBlock("fin");
+        Builder bf(*fn, fin);
+        fold_pending(bf);
+        bf.ret(acc);
+
+        // Builder temp names restart per block; renumber the whole
+        // function so every value name is unique and round-trips.
+        for (const auto &bb : fn->blocks())
+            for (const auto &inst : bb->instructions())
+                inst->setName("");
+        fn->numberValues();
+    }
+    return module;
+}
+
 std::vector<std::unique_ptr<ir::Module>>
 CorpusGenerator::generateAll()
 {

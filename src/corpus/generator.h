@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "corpus/benchmarks.h"
 #include "ir/module.h"
 #include "support/rng.h"
 
@@ -70,6 +71,24 @@ class CorpusGenerator
     void addNoiseFunction(ir::Module &module, Rng &rng,
                           const std::string &name);
 
+    /**
+     * A module-pipeline workload: @p num_functions functions of
+     * @p blocks_per_fn pattern blocks each (plus one epilogue block),
+     * stitched from the stitchable benchmark families. Block j of
+     * function i embeds pool entry (i * blocks_per_fn + j) mod
+     * pool-size — deliberate cross-function duplication, so extractor
+     * dedup and verification-cache hits are measurable — and is
+     * labelled "s<j>.<family>" so patch-back reports can be folded
+     * per family. Every pattern result flows into the returned i64
+     * accumulator through next-block zext/xor adapters (adapters live
+     * one block downstream, so per-block sequence extraction sees the
+     * pattern bodies exactly as the standalone catalog functions);
+     * nothing in the module is dead. Fully deterministic in @p seed.
+     */
+    std::unique_ptr<ir::Module> largeModule(uint64_t seed,
+                                            unsigned num_functions,
+                                            unsigned blocks_per_fn);
+
     /** Embedding log for prevalence accounting (Table 5). */
     const std::vector<EmbeddedPattern> &embeddings() const
     {
@@ -81,6 +100,16 @@ class CorpusGenerator
     CorpusOptions options_;
     std::vector<EmbeddedPattern> embeddings_;
 };
+
+/**
+ * The catalog entries largeModule can stitch: single-block sources
+ * with a scalar-integer result, at least two instructions, and no
+ * memory / floating-point / vector operations (so extracted wrapped
+ * copies stay inside the SAT backend's fragment and fold into the
+ * accumulator with a plain zext). These are the "supported benchmark
+ * families" of the module pipeline's acceptance bar.
+ */
+const std::vector<const MissedOptBenchmark *> &stitchableBenchmarks();
 
 } // namespace lpo::corpus
 

@@ -1,8 +1,9 @@
 #include "extract/extractor.h"
 
-#include <map>
+#include <set>
 
 #include "ir/pattern.h"
+#include "ir/printer.h"
 #include "opt/opt_driver.h"
 
 namespace lpo::extract {
@@ -16,7 +17,7 @@ namespace {
 
 /** Instructions that can participate in an extracted sequence. */
 bool
-extractable(const Instruction *inst)
+extractable(const Instruction *inst, const ExtractorOptions &options)
 {
     if (inst->isTerminator())
         return false;
@@ -25,6 +26,12 @@ extractable(const Instruction *inst)
     // no result and cannot end a returnable sequence, so they are
     // excluded entirely.
     if (inst->op() == Opcode::Phi || inst->op() == Opcode::Store)
+        return false;
+    // Loads and geps are excluded unless the caller opted in: the SAT
+    // encoder cannot handle them, so sequences containing them would
+    // silently verify through the weaker concrete backends.
+    if (!options.allow_memory &&
+        (inst->op() == Opcode::Load || inst->op() == Opcode::Gep))
         return false;
     return true;
 }
@@ -43,12 +50,13 @@ dependsOn(const std::vector<const Instruction *> &seq,
 } // namespace
 
 std::vector<std::vector<const Instruction *>>
-Extractor::extractSeqsFromBB(const BasicBlock &bb)
+Extractor::extractSeqsFromBB(const BasicBlock &bb,
+                             const ExtractorOptions &options)
 {
     std::vector<std::vector<const Instruction *>> seq_set;
     for (size_t i = bb.size(); i > 0; --i) {
         const Instruction *inst = bb.at(i - 1);
-        if (!extractable(inst))
+        if (!extractable(inst, options))
             continue;
         bool added = false;
         std::vector<std::vector<const Instruction *>> new_set;
@@ -70,6 +78,26 @@ Extractor::extractSeqsFromBB(const BasicBlock &bb)
     return seq_set;
 }
 
+std::vector<Value *>
+Extractor::outsideOperands(const std::vector<const Instruction *> &seq)
+{
+    std::vector<Value *> outside;
+    std::set<const Value *> seen;
+    std::set<const Instruction *> members(seq.begin(), seq.end());
+    for (const Instruction *inst : seq) {
+        for (Value *operand : inst->operands()) {
+            if (operand->isConstant() || seen.count(operand))
+                continue;
+            if (operand->kind() == Value::Kind::Instruction &&
+                members.count(static_cast<const Instruction *>(operand)))
+                continue;
+            seen.insert(operand);
+            outside.push_back(operand);
+        }
+    }
+    return outside;
+}
+
 std::unique_ptr<ir::Function>
 Extractor::wrapAsFunction(ir::Context &context,
                           const std::vector<const Instruction *> &seq,
@@ -84,41 +112,17 @@ Extractor::wrapAsFunction(ir::Context &context,
     auto fn = std::make_unique<ir::Function>(context, name, last->type());
     ir::BasicBlock *block = fn->addBlock("entry");
 
+    // Arguments for every undefined operand, in use order.
     std::map<const Value *, Value *> remap;
-    std::set<const Instruction *> members(seq.begin(), seq.end());
-
-    // First pass: arguments for every undefined operand, in use order.
-    for (const Instruction *inst : seq) {
-        for (const Value *operand : inst->operands()) {
-            if (operand->isConstant() || remap.count(operand))
-                continue;
-            if (operand->kind() == Value::Kind::Instruction &&
-                members.count(static_cast<const Instruction *>(operand)))
-                continue;
-            ir::Argument *arg = fn->addArg(
-                operand->type(), "a" + std::to_string(fn->numArgs()));
-            remap[operand] = arg;
-        }
+    for (Value *operand : outsideOperands(seq)) {
+        ir::Argument *arg = fn->addArg(
+            operand->type(), "a" + std::to_string(fn->numArgs()));
+        remap[operand] = arg;
     }
 
-    // Second pass: clone the instructions.
-    for (const Instruction *inst : seq) {
-        std::vector<Value *> operands;
-        for (Value *operand :
-             const_cast<Instruction *>(inst)->operands()) {
-            auto it = remap.find(operand);
-            operands.push_back(it == remap.end() ? operand : it->second);
-        }
-        auto copy = std::make_unique<Instruction>(
-            inst->op(), inst->type(), std::move(operands));
-        copy->flags() = inst->flags();
-        copy->setICmpPred(inst->icmpPred());
-        copy->setFCmpPred(inst->fcmpPred());
-        copy->setIntrinsic(inst->intrinsic());
-        copy->setAccessType(inst->accessType());
-        copy->setAlign(inst->align());
-        remap[inst] = block->append(std::move(copy));
-    }
+    // Clone the instructions through the shared primitive.
+    for (const Instruction *inst : seq)
+        remap[inst] = block->append(ir::cloneInstruction(*inst, remap));
 
     auto ret = std::make_unique<Instruction>(
         Opcode::Ret, context.types().voidTy(),
@@ -128,42 +132,88 @@ Extractor::wrapAsFunction(ir::Context &context,
     return fn;
 }
 
-std::vector<std::unique_ptr<ir::Function>>
-Extractor::extractFromModule(const ir::Module &module)
+std::vector<ExtractedSequence>
+Extractor::extractDetailed(const ir::Module &module)
 {
-    std::vector<std::unique_ptr<ir::Function>> result;
+    std::vector<ExtractedSequence> result;
+    // Canonical text -> index into `result`, for grouping this call's
+    // duplicate occurrences under their unique sequence.
+    std::map<std::string, size_t> local_index;
     ir::Context &context = module.context();
     for (const auto &fn : module.functions()) {
         for (const auto &bb : fn->blocks()) {
-            auto seq_set = extractSeqsFromBB(*bb);
+            auto seq_set = extractSeqsFromBB(*bb, options_);
             for (const auto &seq : seq_set) {
                 ++stats_.sequences_considered;
                 if (seq.size() < options_.min_length ||
-                    seq.size() > options_.max_length)
+                    seq.size() > options_.max_length) {
+                    ++stats_.length_filtered;
                     continue;
+                }
                 auto wrapped = wrapAsFunction(
                     context, seq, "seq" + std::to_string(next_id_));
-                if (!wrapped)
+                if (!wrapped) {
+                    ++stats_.unwrappable_skipped;
                     continue;
+                }
+
+                // Dedup: bucket by (masked) structural hash, confirm
+                // by canonical text — a colliding hash alone must not
+                // drop a distinct sequence.
+                uint64_t digest =
+                    ir::structuralHash(*wrapped) & options_.hash_mask;
+                std::string canonical =
+                    ir::printFunctionCanonical(*wrapped);
+                std::vector<std::string> &bucket = dedup_[digest];
+                bool duplicate = false;
+                for (const std::string &entry : bucket)
+                    if (entry == canonical) {
+                        duplicate = true;
+                        break;
+                    }
+                if (duplicate) {
+                    ++stats_.duplicates_skipped;
+                    auto it = local_index.find(canonical);
+                    if (it != local_index.end())
+                        result[it->second].sites.push_back(
+                            SequenceSite{fn.get(), bb.get(), seq});
+                    continue;
+                }
+                if (!bucket.empty())
+                    ++stats_.hash_collisions;
+
+                // A true new sequence. Duplicates are filtered before
+                // the optimizer probe, so high-duplication module
+                // traffic pays the opt pipeline once per unique
+                // sequence (rejected sequences are remembered too, so
+                // their repeats skip the probe as well).
                 if (options_.reject_optimizable) {
                     auto optimized = opt::optimizeFunction(*wrapped);
                     if (!ir::structurallyEqual(*wrapped, *optimized)) {
                         ++stats_.still_optimizable_skipped;
+                        bucket.push_back(std::move(canonical));
                         continue;
                     }
                 }
-                uint64_t digest = ir::structuralHash(*wrapped);
-                if (dedup_.count(digest)) {
-                    ++stats_.duplicates_skipped;
-                    continue;
-                }
-                dedup_.insert(digest);
                 ++next_id_;
                 ++stats_.extracted;
-                result.push_back(std::move(wrapped));
+                local_index[canonical] = result.size();
+                bucket.push_back(std::move(canonical));
+                result.push_back(ExtractedSequence{
+                    std::move(wrapped),
+                    {SequenceSite{fn.get(), bb.get(), seq}}});
             }
         }
     }
+    return result;
+}
+
+std::vector<std::unique_ptr<ir::Function>>
+Extractor::extractFromModule(const ir::Module &module)
+{
+    std::vector<std::unique_ptr<ir::Function>> result;
+    for (ExtractedSequence &seq : extractDetailed(module))
+        result.push_back(std::move(seq.wrapped));
     return result;
 }
 

@@ -122,6 +122,29 @@ Function::replaceAllUses(const Value *from, Value *to)
                     inst->setOperand(i, to);
 }
 
+std::unique_ptr<Instruction>
+cloneInstruction(const Instruction &inst,
+                 const std::map<const Value *, Value *> &remap)
+{
+    std::vector<Value *> operands;
+    operands.reserve(inst.numOperands());
+    for (Value *operand : inst.operands()) {
+        auto it = remap.find(operand);
+        operands.push_back(it == remap.end() ? operand : it->second);
+    }
+    auto copy = std::make_unique<Instruction>(inst.op(), inst.type(),
+                                              std::move(operands));
+    copy->flags() = inst.flags();
+    copy->setICmpPred(inst.icmpPred());
+    copy->setFCmpPred(inst.fcmpPred());
+    copy->setIntrinsic(inst.intrinsic());
+    copy->setAccessType(inst.accessType());
+    copy->setAlign(inst.align());
+    copy->setPhiLabels(inst.phiLabels());
+    copy->setBrLabels(inst.brLabels());
+    return copy;
+}
+
 std::unique_ptr<Function>
 Function::clone(const std::string &new_name) const
 {
@@ -136,18 +159,8 @@ Function::clone(const std::string &new_name) const
     for (const auto &bb : blocks_) {
         BasicBlock *new_bb = copy->addBlock(bb->label());
         for (const auto &inst : bb->instructions()) {
-            auto new_inst = std::make_unique<Instruction>(
-                inst->op(), inst->type(),
-                std::vector<Value *>(inst->operands()));
+            auto new_inst = cloneInstruction(*inst, {});
             new_inst->setName(inst->name());
-            new_inst->flags() = inst->flags();
-            new_inst->setICmpPred(inst->icmpPred());
-            new_inst->setFCmpPred(inst->fcmpPred());
-            new_inst->setIntrinsic(inst->intrinsic());
-            new_inst->setAccessType(inst->accessType());
-            new_inst->setAlign(inst->align());
-            new_inst->setPhiLabels(inst->phiLabels());
-            new_inst->setBrLabels(inst->brLabels());
             remap[inst.get()] = new_bb->append(std::move(new_inst));
         }
     }

@@ -106,6 +106,19 @@ class Function
     std::vector<std::unique_ptr<BasicBlock>> blocks_;
 };
 
+/**
+ * Copy @p inst — opcode, type, flags, predicates, intrinsic, access
+ * type, alignment, phi/br labels — rewriting each operand through
+ * @p remap (operands absent from the map are kept as-is, which is
+ * what constants and values that stay in scope want). The one clone
+ * primitive shared by Function::clone, the extractor's sequence
+ * wrapping, the corpus stitcher, and the module optimizer's
+ * patch-back; the copy is unnamed and not yet attached to a block.
+ */
+std::unique_ptr<Instruction>
+cloneInstruction(const Instruction &inst,
+                 const std::map<const Value *, Value *> &remap);
+
 } // namespace lpo::ir
 
 #endif // LPO_IR_FUNCTION_H

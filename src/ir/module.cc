@@ -16,6 +16,14 @@ Module::createFunction(std::string fn_name, const Type *return_type)
         context_, std::move(fn_name), return_type));
 }
 
+std::unique_ptr<Function>
+Module::replaceFunction(size_t index, std::unique_ptr<Function> fn)
+{
+    std::unique_ptr<Function> old = std::move(functions_[index]);
+    functions_[index] = std::move(fn);
+    return old;
+}
+
 Function *
 Module::findFunction(const std::string &fn_name) const
 {

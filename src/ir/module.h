@@ -26,6 +26,10 @@ class Module
 
     Function *addFunction(std::unique_ptr<Function> fn);
     Function *createFunction(std::string fn_name, const Type *return_type);
+    /** Swap the function at @p index for @p fn (same Context); the
+     *  module optimizer's rollback path. Returns the old function. */
+    std::unique_ptr<Function> replaceFunction(size_t index,
+                                              std::unique_ptr<Function> fn);
 
     const std::vector<std::unique_ptr<Function>> &functions() const
     {

@@ -172,6 +172,12 @@ structuralHash(const Function &fn)
     }
     uint64_t h = fnv1a64(fn.returnType()->toString());
     h = hashCombine(h, fn.numArgs());
+    // Argument types must be part of the digest: operandDigest maps
+    // an argument to its position only, so without this two chains
+    // differing solely in argument width (zext i8 vs zext i32 of %0)
+    // would collide systematically.
+    for (const auto &arg : fn.args())
+        h = hashCombine(h, fnv1a64(arg->type()->toString()));
     for (const auto &bb : fn.blocks()) {
         for (const auto &inst : bb->instructions()) {
             h = hashCombine(h, instructionDigest(inst.get(), numbering));

@@ -66,6 +66,47 @@ awk -v c="$current" -v b="$baseline" 'BEGIN {
     printf "session geomean speedup %.2fx vs baseline %.2fx: OK\n", c, b
 }'
 
+echo "=== Module pipeline benchmark (Release) ==="
+# Exits nonzero itself if nothing is patched, mca cycles fail to
+# decrease, patched IR is invalid, or duplicate modules never hit the
+# verification cache.
+(cd build-release && ./bench_module_pipeline)
+cp build-release/BENCH_module.json .
+echo "BENCH_module.json:"
+cat BENCH_module.json
+
+# Regression gate: end-to-end sequences/sec against the committed
+# baseline (>20% drop fails).
+baseline=$(grep -o '"sequences_per_sec": [0-9.]*' \
+    bench/BENCH_module.baseline.json | awk '{print $2}')
+current=$(grep -o '"sequences_per_sec": [0-9.]*' \
+    BENCH_module.json | awk '{print $2}')
+awk -v c="$current" -v b="$baseline" 'BEGIN {
+    if (c + 0 < 0.8 * b) {
+        printf "FAIL: module pipeline %.0f sequences/sec regressed " \
+               "more than 20%% against the committed baseline %.0f\n", \
+               c, b
+        exit 1
+    }
+    printf "module pipeline %.0f sequences/sec vs baseline %.0f: OK\n", \
+           c, b
+}'
+
+# Patched-rewrite count is deterministic (seeded mock model,
+# deterministic saturation), so any sizable drop is a real regression.
+baseline=$(grep -o '"patched_rewrites": [0-9]*' \
+    bench/BENCH_module.baseline.json | awk '{print $2}')
+current=$(grep -o '"patched_rewrites": [0-9]*' \
+    BENCH_module.json | awk '{print $2}')
+awk -v c="$current" -v b="$baseline" 'BEGIN {
+    if (c + 0 < 0.8 * b) {
+        printf "FAIL: module pipeline patched %d rewrites, more than " \
+               "20%% below the committed baseline %d\n", c, b
+        exit 1
+    }
+    printf "module pipeline patched %d vs baseline %d: OK\n", c, b
+}'
+
 echo "=== Proposer comparison benchmark (Release) ==="
 # Exits nonzero itself if hybrid's findings are not a strict superset
 # of the LLM backend's.
