@@ -27,6 +27,7 @@
 #include "ir/printer.h"
 #include "llm/mock_model.h"
 #include "opt/opt_driver.h"
+#include "support/failpoint.h"
 #include "verify/refine.h"
 
 using namespace lpo;
@@ -116,6 +117,7 @@ struct RunOptions
     std::string model = "Gemini2.0T";
     core::PipelineConfig config;
     bool sat_stats = false;
+    bool degradation_stats = false;
 };
 
 bool
@@ -151,6 +153,8 @@ parseRunOptions(int argc, char **argv, int first, RunOptions *out)
             out->config.refine.incremental_sat = false;
         } else if (!std::strcmp(arg, "--sat-stats")) {
             out->sat_stats = true;
+        } else if (!std::strcmp(arg, "--degradation-stats")) {
+            out->degradation_stats = true;
         } else if (arg[0] == '-') {
             std::fprintf(stderr, "lpo: unknown option '%s'\n", arg);
             return false;
@@ -163,6 +167,16 @@ parseRunOptions(int argc, char **argv, int first, RunOptions *out)
         }
     }
     return true;
+}
+
+/** moduleSummary already prints the degradation line when any counter
+ * is nonzero; --degradation-stats only needs to cover the all-zero
+ * case, so the line appears exactly once either way. */
+bool
+anyDegradation(const core::PipelineStats &stats)
+{
+    return stats.sat_escalations || stats.concrete_fallbacks ||
+           stats.degraded_verdicts || stats.contained_exceptions;
 }
 
 int
@@ -196,6 +210,9 @@ cmdRun(const char *path, const RunOptions &options)
     if (options.sat_stats)
         std::fprintf(stderr, "%s",
                      core::satStatsLine(pipeline.stats()).c_str());
+    if (options.degradation_stats && !anyDegradation(pipeline.stats()))
+        std::fprintf(stderr, "%s",
+                     core::degradationStatsLine(pipeline.stats()).c_str());
     return 0;
 }
 
@@ -211,12 +228,17 @@ cmdOptimizeModule(const char *path, const RunOptions &options)
     }
     llm::MockModel model(llm::modelByName(options.model), 1);
     core::ModuleOptOptions mod_options;
-    // Adopt the shared run options but keep the module-scale conflict
-    // budget (the whole-config assignment would restore the one-shot
-    // default, letting a single adversarial sequence stall the run).
+    // Adopt the shared run options but keep the module-scale
+    // verification budgets — both the conflict budget and the
+    // escalation ladder (the whole-config assignment would restore the
+    // one-shot defaults, letting a single adversarial sequence stall
+    // the run or Timeout instead of degrading).
     uint64_t module_budget = mod_options.pipeline.refine.conflict_budget;
+    std::vector<uint64_t> module_tiers =
+        mod_options.pipeline.refine.budget_tiers;
     mod_options.pipeline = options.config;
     mod_options.pipeline.refine.conflict_budget = module_budget;
+    mod_options.pipeline.refine.budget_tiers = std::move(module_tiers);
     core::ModuleOptimizer optimizer(model, mod_options);
     core::ModuleOptResult result = optimizer.optimize(**module, 1);
 
@@ -267,6 +289,17 @@ cmdOptimizeModule(const char *path, const RunOptions &options)
     if (options.sat_stats)
         std::fprintf(stderr, "%s",
                      core::satStatsLine(result.pipeline).c_str());
+    if (options.degradation_stats && !anyDegradation(result.pipeline))
+        std::fprintf(stderr, "%s",
+                     core::degradationStatsLine(result.pipeline).c_str());
+    return 0;
+}
+
+int
+cmdFailpoints()
+{
+    for (const std::string &site : FailPoints::instance().siteNames())
+        std::printf("%s\n", site.c_str());
     return 0;
 }
 
@@ -300,6 +333,10 @@ usage()
         "                             savings table (accepts the same\n"
         "                             options as run)\n"
         "  models                     list the model registry\n"
+        "  failpoints                 list the registered fault-\n"
+        "                             injection sites (armed via the\n"
+        "                             LPO_FAILPOINTS environment\n"
+        "                             variable; see DESIGN.md)\n"
         "  help                       show this message\n"
         "\n"
         "run options:\n"
@@ -326,18 +363,19 @@ usage()
         "  --sat-stats                print the per-run solver stat\n"
         "                             line (decisions / conflicts /\n"
         "                             propagations / restarts /\n"
-        "                             learnts carried)\n");
+        "                             learnts carried)\n"
+        "  --degradation-stats        print the degradation telemetry\n"
+        "                             line (budget-ladder escalations,\n"
+        "                             concrete fallbacks, degraded\n"
+        "                             verdicts, contained exceptions)\n"
+        "                             even when all counters are zero\n");
 }
 
 } // namespace
 
 int
-main(int argc, char **argv)
+dispatch(int argc, char **argv)
 {
-    if (argc < 2) {
-        usage();
-        return 1;
-    }
     const char *cmd = argv[1];
     if (!std::strcmp(cmd, "help") || !std::strcmp(cmd, "--help") ||
         !std::strcmp(cmd, "-h")) {
@@ -364,6 +402,26 @@ main(int argc, char **argv)
     }
     if (!std::strcmp(cmd, "models"))
         return cmdModels();
+    if (!std::strcmp(cmd, "failpoints"))
+        return cmdFailpoints();
     usage();
     return 1;
+}
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    // Last-resort containment: anything the per-case isolation in the
+    // pipeline could not absorb still exits with a diagnostic instead
+    // of an unhandled-exception abort.
+    try {
+        return dispatch(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "lpo: fatal: %s\n", e.what());
+        return 1;
+    }
 }

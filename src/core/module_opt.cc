@@ -10,6 +10,7 @@
 #include "ir/parser.h"
 #include "mca/cost_model.h"
 #include "opt/dce.h"
+#include "support/failpoint.h"
 
 namespace lpo::core {
 
@@ -39,6 +40,10 @@ ModuleOptimizer::applyRewrite(const extract::SequenceSite &site,
                               const ir::Function &tgt,
                               NameAllocator *names)
 {
+    // Chaos-test injection: a patch-back refusal must surface as a
+    // counted patch failure, leaving the function untouched and valid.
+    if (LPO_FAILPOINT("patchback.fail"))
+        return false;
     // Defensive pre-checks: extraction and verification already
     // guarantee all of this, so any failure here means the site
     // drifted under us (an earlier patch collapsed two of its outside
@@ -143,7 +148,44 @@ ModuleOptimizer::optimize(ir::Module &module, uint64_t round_seed)
     wrapped.reserve(sequences.size());
     for (const auto &seq : sequences)
         wrapped.push_back(seq.wrapped.get());
-    result.outcomes = pipeline_.processSequences(wrapped, round_seed);
+    if (options_.step_budget == 0) {
+        // No deadline: one batch, exactly the pre-deadline behavior.
+        result.outcomes = pipeline_.processSequences(wrapped, round_seed);
+        for (const CaseOutcome &outcome : result.outcomes)
+            result.steps_used += outcome.step_cost;
+    } else {
+        // Deterministic deadline: process fixed-size waves (the wave
+        // size never depends on the thread count) and compare the
+        // cumulative step cost against the budget at each boundary.
+        // The wave in flight always completes — everything verified
+        // so far is patched below — and the remainder is reported
+        // Skipped, which patch-back naturally ignores.
+        const uint64_t wave =
+            options_.deadline_wave ? options_.deadline_wave : 64;
+        result.outcomes.resize(wrapped.size());
+        size_t done = 0;
+        while (done < wrapped.size()) {
+            if (result.steps_used >= options_.step_budget) {
+                result.deadline_skipped = wrapped.size() - done;
+                for (size_t i = done; i < wrapped.size(); ++i) {
+                    result.outcomes[i].status = CaseStatus::Skipped;
+                    result.outcomes[i].last_feedback =
+                        "step-budget deadline reached";
+                }
+                break;
+            }
+            size_t count = std::min<size_t>(wave, wrapped.size() - done);
+            std::vector<const ir::Function *> batch(
+                wrapped.begin() + done, wrapped.begin() + done + count);
+            std::vector<CaseOutcome> outcomes =
+                pipeline_.processSequences(batch, round_seed);
+            for (size_t i = 0; i < outcomes.size(); ++i) {
+                result.steps_used += outcomes[i].step_cost;
+                result.outcomes[done + i] = std::move(outcomes[i]);
+            }
+            done += count;
+        }
+    }
     result.unique_sequences = sequences.size();
 
     // Patch every verified improvement back, in extraction order
@@ -157,6 +199,9 @@ ModuleOptimizer::optimize(ir::Module &module, uint64_t round_seed)
         fn_index[module.functions()[i].get()] = i;
     std::map<const ir::Function *, std::unique_ptr<ir::Function>>
         snapshots;
+    /** Functions a contained splice exception may have left
+     *  half-mutated; force-validated (and restored) in the sweep. */
+    std::set<size_t> poisoned;
     for (size_t i = 0; i < sequences.size(); ++i) {
         const CaseOutcome &outcome = result.outcomes[i];
         if (!outcome.found())
@@ -168,10 +213,27 @@ ModuleOptimizer::optimize(ir::Module &module, uint64_t round_seed)
             continue;
         }
         for (const extract::SequenceSite &site : sequences[i].sites) {
-            if (!snapshots.count(site.fn))
-                snapshots[site.fn] = site.fn->clone(site.fn->name());
-            if (!applyRewrite(site, **tgt, &name_allocators[site.fn])) {
+            // Contained: a throw out of a single splice (snapshot
+            // clone, remap, insert) costs that site, never the run.
+            // applyRewrite touches nothing until its pre-checks pass,
+            // and the function snapshot is taken first, so the
+            // rollback sweep below still has a clean body to restore.
+            try {
+                if (!snapshots.count(site.fn))
+                    snapshots[site.fn] = site.fn->clone(site.fn->name());
+                if (!applyRewrite(site, **tgt, &name_allocators[site.fn])) {
+                    ++result.patch_failures;
+                    continue;
+                }
+            } catch (const std::exception &) {
                 ++result.patch_failures;
+                // The splice may have died mid-mutation; force the
+                // function through the validation sweep even if no
+                // other site patched it, so a half-spliced body is
+                // caught and restored. (If the snapshot clone itself
+                // threw, the function was never touched — skip.)
+                if (snapshots.count(site.fn))
+                    poisoned.insert(fn_index.at(site.fn));
                 continue;
             }
             ++result.patched_rewrites;
@@ -191,7 +253,7 @@ ModuleOptimizer::optimize(ir::Module &module, uint64_t round_seed)
     std::set<size_t> rolled_back;
     for (size_t i = 0; i < module.functions().size(); ++i) {
         FunctionSavings &fs = savings[i];
-        if (fs.patched == 0) {
+        if (fs.patched == 0 && !poisoned.count(i)) {
             // Untouched function: nothing ran on it, reuse the
             // measurement from the top of the pass.
             fs.insts_after = fs.insts_before;

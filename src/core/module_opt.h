@@ -45,15 +45,36 @@ struct ModuleOptOptions
      *  each patched function as-if swept (via a throwaway clone), so
      *  the monotone-savings invariant holds in both modes. */
     bool run_dce = true;
+    /**
+     * Deterministic deadline for the whole run, measured in case step
+     * costs (SAT conflicts performed + candidate attempts — never
+     * wall-clock, so the cut point reproduces across machines). 0
+     * disables the deadline (the default: one batch, no extra cost).
+     * When positive, sequences are processed in fixed-size waves; once
+     * the cumulative step cost crosses the budget at a wave boundary,
+     * every remaining sequence is reported CaseStatus::Skipped and the
+     * run proceeds straight to patch-back with what it has — a valid
+     * partial result. The in-flight wave always completes, so the
+     * overshoot is bounded by one wave's ladder budgets.
+     */
+    uint64_t step_budget = 0;
+    /**
+     * Wave size for deadline enforcement. Thread-count independent by
+     * construction; with the verify cache off the cut point is
+     * byte-identical at any thread count (see DESIGN.md, "Fault
+     * containment and degradation ladder" for the cache-on caveat).
+     */
+    uint64_t deadline_wave = 64;
 
     ModuleOptOptions()
     {
-        // Module-scale traffic favors throughput: a single adversarial
-        // sequence (wide multiplier equivalences and the like) must
-        // not stall the whole run, so proofs that exceed this budget
-        // report Timeout and the case moves on. Callers can restore
-        // the one-shot default if they want max proof power.
+        // Module-scale traffic favors throughput, but a flat budget
+        // wastes the easy proofs' headroom: the escalation ladder
+        // starts every query cheap, escalates the few that need it
+        // (keeping learnt clauses), and degrades the pathological
+        // tail to bounded testing instead of stalling the run.
         pipeline.refine.conflict_budget = 200'000;
+        pipeline.refine.budget_tiers = {50'000, 200'000, 2'000'000};
     }
 };
 
@@ -111,6 +132,12 @@ struct ModuleOptResult
      * from patched_rewrites and `patches`.
      */
     uint64_t functions_rolled_back = 0;
+    /** Sequences never processed because the step-budget deadline hit
+     *  first (their outcomes read CaseStatus::Skipped). */
+    uint64_t deadline_skipped = 0;
+    /** Step cost consumed by the processed sequences (the deadline's
+     *  currency; see ModuleOptOptions::step_budget). */
+    uint64_t steps_used = 0;
     double cycles_before = 0.0;
     double cycles_after = 0.0;
     unsigned dce_removed = 0;

@@ -18,6 +18,9 @@ caseStatusName(CaseStatus status)
       case CaseStatus::SyntaxError: return "syntax-error";
       case CaseStatus::Unsupported: return "unsupported";
       case CaseStatus::NoCandidate: return "no-candidate";
+      case CaseStatus::Degraded: return "degraded";
+      case CaseStatus::Error: return "error";
+      case CaseStatus::Skipped: return "skipped";
     }
     return "?";
 }
@@ -110,6 +113,16 @@ Pipeline::runAttemptLoop(Proposer &proposer, const ir::Function &seq,
             outcome.last_feedback = verdict.detail;
             break;
         }
+        if (verdict.verdict == verify::Verdict::Degraded) {
+            // The whole budget ladder plus the concrete fallback ran
+            // and still could not decide this candidate. Another
+            // candidate for the same sequence would re-burn the full
+            // ladder with the same prospects, so the case stops here;
+            // a Degraded candidate is never recorded as Found.
+            outcome.status = CaseStatus::Degraded;
+            outcome.last_feedback = verdict.detail;
+            break;
+        }
         if (!verdict.correct()) {
             ++stats.incorrect_candidates;
             ++counter;
@@ -143,6 +156,33 @@ Pipeline::runAttemptLoop(Proposer &proposer, const ir::Function &seq,
     return outcome;
 }
 
+/**
+ * Run one proposer leg with crash isolation: an exception escaping the
+ * proposer, the encoder, or the verifier is contained into a
+ * CaseStatus::Error outcome instead of unwinding through the module
+ * run. The partial outcome the leg built before throwing is lost, but
+ * its stats side effects (calls, attempts) stand — work-done
+ * semantics, like the SAT counters.
+ */
+CaseOutcome
+Pipeline::runLegContained(Proposer &proposer, const ir::Function &seq,
+                          uint64_t round_seed, PipelineStats &stats,
+                          verify::RefinementSession &session)
+{
+    try {
+        return runAttemptLoop(proposer, seq, round_seed, stats, session);
+    } catch (const std::exception &e) {
+        ++stats.contained_exceptions;
+        CaseOutcome outcome;
+        outcome.proposer = proposer.name();
+        outcome.status = CaseStatus::Error;
+        outcome.last_feedback =
+            std::string("contained exception: ") + e.what();
+        outcome.total_seconds = config_.overhead_seconds;
+        return outcome;
+    }
+}
+
 CaseOutcome
 Pipeline::runCase(const ir::Function &seq, uint64_t round_seed,
                   PipelineStats &stats,
@@ -151,13 +191,16 @@ Pipeline::runCase(const ir::Function &seq, uint64_t round_seed,
     ++stats.cases;
 
     // All workers share the pipeline-lifetime cache; the RefineOptions
-    // copy just points at it. The SAT telemetry is per-case and folded
-    // into the worker's stats delta below.
+    // copy just points at it. The SAT telemetry and degradation
+    // counters are per-case and folded into the worker's stats delta
+    // below.
     verify::SatTelemetry telemetry;
+    verify::DegradationStats degradation;
     verify::RefineOptions refine_opts = refine;
     refine_opts.cache =
         config_.enable_verify_cache ? &verify_cache_ : nullptr;
     refine_opts.sat_telemetry = &telemetry;
+    refine_opts.degradation = &degradation;
 
     // One incremental session per case: every candidate the proposers
     // emit for this sequence — feedback retries and the hybrid
@@ -167,27 +210,30 @@ Pipeline::runCase(const ir::Function &seq, uint64_t round_seed,
     CaseOutcome outcome;
     switch (config_.proposer) {
       case ProposerKind::Llm:
-        outcome = runAttemptLoop(llm_proposer_, seq, round_seed, stats,
-                                 session);
+        outcome = runLegContained(llm_proposer_, seq, round_seed, stats,
+                                  session);
         break;
       case ProposerKind::EGraph:
-        outcome = runAttemptLoop(egraph_proposer_, seq, round_seed,
-                                 stats, session);
+        outcome = runLegContained(egraph_proposer_, seq, round_seed,
+                                  stats, session);
         break;
       case ProposerKind::Hybrid: {
-        outcome = runAttemptLoop(llm_proposer_, seq, round_seed, stats,
-                                 session);
+        outcome = runLegContained(llm_proposer_, seq, round_seed, stats,
+                                  session);
         // Fall back whenever the LLM leg failed for a reason the
         // e-graph could overcome: nothing proposed, refuted, never
-        // parsed, or not an improvement. Unsupported is excluded —
-        // the verifier cannot handle the function regardless of who
-        // proposes.
+        // parsed, not an improvement, undecidable within the budget
+        // ladder, or lost to a contained fault. Unsupported is
+        // excluded — the verifier cannot handle the function
+        // regardless of who proposes.
         if (outcome.status == CaseStatus::NoCandidate ||
             outcome.status == CaseStatus::Incorrect ||
             outcome.status == CaseStatus::SyntaxError ||
-            outcome.status == CaseStatus::NotInteresting) {
+            outcome.status == CaseStatus::NotInteresting ||
+            outcome.status == CaseStatus::Degraded ||
+            outcome.status == CaseStatus::Error) {
             ++stats.hybrid_fallbacks;
-            CaseOutcome fallback = runAttemptLoop(
+            CaseOutcome fallback = runLegContained(
                 egraph_proposer_, seq, round_seed, stats, session);
             if (fallback.found()) {
                 // The combined record keeps the e-graph's result but
@@ -206,6 +252,14 @@ Pipeline::runCase(const ir::Function &seq, uint64_t round_seed,
         break;
       }
     }
+
+    // The deadline currency: deterministic work units, not seconds.
+    outcome.step_cost = telemetry.conflicts + outcome.attempts;
+
+    stats.sat_escalations += degradation.escalations;
+    stats.concrete_fallbacks += degradation.concrete_fallbacks;
+    stats.exhaustive_rescues += degradation.exhaustive_rescues;
+    stats.degraded_verdicts += degradation.degraded;
 
     stats.sat_solves += telemetry.solves;
     stats.sat_decisions += telemetry.decisions;
@@ -319,6 +373,11 @@ Pipeline::processSequences(
         stats_.session_vars_saved += delta.session_vars_saved;
         stats_.session_clauses_saved += delta.session_clauses_saved;
         stats_.session_fallbacks += delta.session_fallbacks;
+        stats_.sat_escalations += delta.sat_escalations;
+        stats_.concrete_fallbacks += delta.concrete_fallbacks;
+        stats_.exhaustive_rescues += delta.exhaustive_rescues;
+        stats_.degraded_verdicts += delta.degraded_verdicts;
+        stats_.contained_exceptions += delta.contained_exceptions;
         stats_.total_seconds += delta.total_seconds;
         stats_.total_cost_usd += delta.total_cost_usd;
     }

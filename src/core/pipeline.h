@@ -75,6 +75,13 @@ enum class CaseStatus {
     SyntaxError,      ///< candidate never parsed
     Unsupported,      ///< verifier cannot handle the function
     NoCandidate,      ///< model echoed the input (nothing proposed)
+    Degraded,         ///< verification budget ladder exhausted; the
+                      ///< candidate only survived bounded testing
+                      ///< (never patched)
+    Error,            ///< an exception escaped the case and was
+                      ///< contained (the run continued)
+    Skipped,          ///< module step-budget deadline hit before this
+                      ///< case ran
 };
 
 const char *caseStatusName(CaseStatus status);
@@ -92,6 +99,13 @@ struct CaseOutcome
     std::string verifier_backend;  ///< "sat"/"exhaustive"/"sampled"
     std::string proposer;          ///< backend of the final attempt
                                    ///< ("llm" or "egraph")
+    /**
+     * Deterministic work units this case consumed (SAT conflicts
+     * performed + candidate attempts) — the currency of the module
+     * step-budget deadline. Wall-clock never enters, so deadline cuts
+     * reproduce across machines (see core/module_opt.h).
+     */
+    uint64_t step_cost = 0;
 
     bool found() const { return status == CaseStatus::Found; }
 };
@@ -143,6 +157,20 @@ struct PipelineStats
     uint64_t found_by_egraph = 0;   ///< findings from e-graph attempts
     uint64_t hybrid_fallbacks = 0;  ///< hybrid cases that consulted
                                     ///< the e-graph after the LLM
+    /**
+     * Degradation-ladder accounting (verify::DegradationStats folded
+     * per case in sequence order; work-done semantics like the SAT
+     * counters above). See DESIGN.md, "Fault containment and
+     * degradation ladder".
+     */
+    uint64_t sat_escalations = 0;      ///< budget-tier bumps
+    uint64_t concrete_fallbacks = 0;   ///< SAT queries degraded to the
+                                       ///< concrete backend
+    uint64_t exhaustive_rescues = 0;   ///< fallbacks still concluded
+                                       ///< soundly (full enumeration)
+    uint64_t degraded_verdicts = 0;    ///< queries ending Degraded
+    uint64_t contained_exceptions = 0; ///< per-case exceptions caught
+                                       ///< (CaseStatus::Error)
     double total_seconds = 0.0;
     double total_cost_usd = 0.0;
 };
@@ -206,6 +234,13 @@ class Pipeline
                                const ir::Function &seq,
                                uint64_t round_seed, PipelineStats &stats,
                                verify::RefinementSession &session);
+
+    /** runAttemptLoop behind crash isolation: an escaping exception
+     *  becomes a CaseStatus::Error outcome, never a lost run. */
+    CaseOutcome runLegContained(Proposer &proposer,
+                                const ir::Function &seq,
+                                uint64_t round_seed, PipelineStats &stats,
+                                verify::RefinementSession &session);
 
     /** Copy the shared cache's counters into stats_. */
     void refreshCacheStats();

@@ -1,6 +1,7 @@
 #include "core/proposer.h"
 
 #include "egraph/extract.h"
+#include "support/failpoint.h"
 #include "ir/ir_verifier.h"
 #include "ir/printer.h"
 #include "mca/cost_model.h"
@@ -42,6 +43,13 @@ std::optional<Proposal>
 LlmProposer::propose(const ir::Function &, const std::string &seq_text,
                      const std::string &feedback, uint64_t attempt_seed)
 {
+    // Chaos-test injection: a provider outage (throw) or a model that
+    // has nothing to offer (none).
+    if (LPO_FAILPOINT("proposer.llm.throw"))
+        throw FailPointError("injected LLM backend failure "
+                             "(failpoint proposer.llm.throw)");
+    if (LPO_FAILPOINT("proposer.llm.none"))
+        return std::nullopt;
     llm::LlmRequest request;
     request.system_prompt = "(see llm/prompt.h)";
     request.function_text = seq_text;
@@ -59,6 +67,12 @@ std::optional<Proposal>
 EGraphProposer::propose(const ir::Function &seq, const std::string &,
                         const std::string &feedback, uint64_t)
 {
+    // Chaos-test injection, mirroring the LLM leg's two fault shapes.
+    if (LPO_FAILPOINT("proposer.egraph.throw"))
+        throw FailPointError("injected e-graph backend failure "
+                             "(failpoint proposer.egraph.throw)");
+    if (LPO_FAILPOINT("proposer.egraph.none"))
+        return std::nullopt;
     // Saturation is deterministic: after a failed attempt there is
     // nothing different to say, so don't repeat the proposal.
     if (!feedback.empty())

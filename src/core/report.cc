@@ -90,6 +90,23 @@ satStatsLine(const PipelineStats &stats)
 }
 
 std::string
+degradationStatsLine(const PipelineStats &stats)
+{
+    char line[256];
+    std::snprintf(
+        line, sizeof(line),
+        "degradation: %llu escalations, %llu concrete fallbacks "
+        "(%llu exhaustive rescues), %llu degraded verdicts, "
+        "%llu contained exceptions\n",
+        static_cast<unsigned long long>(stats.sat_escalations),
+        static_cast<unsigned long long>(stats.concrete_fallbacks),
+        static_cast<unsigned long long>(stats.exhaustive_rescues),
+        static_cast<unsigned long long>(stats.degraded_verdicts),
+        static_cast<unsigned long long>(stats.contained_exceptions));
+    return line;
+}
+
+std::string
 moduleSummary(const PipelineStats &stats,
               const std::vector<CaseOutcome> &outcomes,
               bool verify_cache_enabled, bool incremental_sat_enabled)
@@ -98,6 +115,8 @@ moduleSummary(const PipelineStats &stats,
         CaseStatus::Found,         CaseStatus::NotInteresting,
         CaseStatus::Incorrect,     CaseStatus::SyntaxError,
         CaseStatus::Unsupported,   CaseStatus::NoCandidate,
+        CaseStatus::Degraded,      CaseStatus::Error,
+        CaseStatus::Skipped,
     };
     static constexpr size_t kNumStatuses =
         sizeof(kStatuses) / sizeof(kStatuses[0]);
@@ -168,6 +187,12 @@ moduleSummary(const PipelineStats &stats,
             static_cast<unsigned long long>(stats.session_clauses_saved));
         out += line;
     }
+    // Degradation telemetry only matters when something degraded;
+    // fault-free runs keep the summary unchanged (and byte-compatible
+    // with pre-ladder reports).
+    if (stats.sat_escalations || stats.concrete_fallbacks ||
+        stats.degraded_verdicts || stats.contained_exceptions)
+        out += degradationStatsLine(stats);
     return out;
 }
 

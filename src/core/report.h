@@ -64,6 +64,16 @@ std::string moduleSummary(const PipelineStats &stats,
  */
 std::string satStatsLine(const PipelineStats &stats);
 
+/**
+ * The one-line degradation summary backing `lpo run
+ * --degradation-stats` and the CI chaos artifact: budget-ladder
+ * escalations, concrete fallbacks (with the soundly-concluded
+ * exhaustive rescues called out), Degraded verdicts, and contained
+ * per-case exceptions. moduleSummary appends it automatically whenever
+ * any of those counters is nonzero.
+ */
+std::string degradationStatsLine(const PipelineStats &stats);
+
 } // namespace lpo::core
 
 #endif // LPO_CORE_REPORT_H

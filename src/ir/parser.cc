@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "support/failpoint.h"
 #include "support/string_utils.h"
 
 namespace lpo::ir {
@@ -1025,6 +1026,11 @@ preprocess(std::string_view text)
 Result<std::unique_ptr<Module>>
 parseModule(Context &context, std::string_view text, std::string module_name)
 {
+    // Chaos-test injection: well-formed input rejected at the front
+    // door, the same shape as a truncated or corrupt .ll file.
+    if (LPO_FAILPOINT("parser.fail"))
+        return Error{"injected parse failure (failpoint parser.fail)",
+                     0, 0};
     auto module = std::make_unique<Module>(context, std::move(module_name));
     auto lines = preprocess(text);
     size_t index = 0;
@@ -1048,6 +1054,9 @@ parseModule(Context &context, std::string_view text, std::string module_name)
 Result<std::unique_ptr<Function>>
 parseFunction(Context &context, std::string_view text)
 {
+    if (LPO_FAILPOINT("parser.fail"))
+        return Error{"injected parse failure (failpoint parser.fail)",
+                     0, 0};
     auto lines = preprocess(text);
     for (size_t index = 0; index < lines.size(); ++index) {
         if (startsWith(trim(lines[index].second), "define")) {

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "support/failpoint.h"
+
 namespace lpo::smt {
 
 namespace {
@@ -619,6 +621,10 @@ SatResult
 SatSolver::solveAssuming(const std::vector<Lit> &assumptions,
                          uint64_t conflict_budget)
 {
+    // Chaos-test injection: pretend the conflict budget was exhausted
+    // immediately, exactly the answer an adversarial instance forces.
+    if (LPO_FAILPOINT("sat.exhaust"))
+        return SatResult::Unknown;
     // Encode before clearing the core: callers may legitimately pass
     // unsatCore() itself back in (core-guided retries).
     std::vector<int> assumption_encs;

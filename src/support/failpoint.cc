@@ -1,0 +1,281 @@
+#include "support/failpoint.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "support/rng.h"
+
+namespace lpo {
+
+namespace {
+
+enum class Mode : int { Off, Always, Once, Nth, Prob };
+
+} // namespace
+
+/**
+ * One registered site. Hit counting is lock-free; only configuration
+ * and the prob-mode RNG draw take the registry mutex.
+ */
+struct FailPoints::Site
+{
+    const char *name;
+    std::atomic<int> mode{static_cast<int>(Mode::Off)};
+    uint64_t nth = 0;     ///< 1-based target hit for Mode::Nth
+    double prob = 0.0;    ///< fire probability for Mode::Prob
+    uint64_t seed = 0;    ///< prob-mode RNG seed
+    Rng rng{0};           ///< prob-mode stream (guarded by the mutex)
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> fires{0};
+};
+
+namespace {
+
+/**
+ * The static site registry. Every name used with LPO_FAILPOINT must
+ * appear here; `lpo_cli failpoints` prints this list and the CI chaos
+ * sweep iterates it. Naming convention: `component.event`.
+ */
+FailPoints::Site g_sites[] = {
+    {"sat.exhaust"},          // SatSolver reports Unknown at solve entry
+    {"bitblast.throw"},       // function encoder throws FailPointError
+    {"verify.cache.lookup"},  // cache lookup bypassed (treated as miss)
+    {"verify.cache.store"},   // computed verdict not published
+    {"proposer.llm.throw"},   // LLM leg throws FailPointError
+    {"proposer.llm.none"},    // LLM leg returns no candidate
+    {"proposer.egraph.throw"},// e-graph leg throws FailPointError
+    {"proposer.egraph.none"}, // e-graph leg returns no candidate
+    {"parser.fail"},          // parseModule/parseFunction reject input
+    {"patchback.fail"},       // applyRewrite declines the splice
+};
+constexpr size_t kNumSites = sizeof(g_sites) / sizeof(g_sites[0]);
+
+std::mutex g_mutex;
+
+/** Parsed form of one `site=mode` clause, staged before applying. */
+struct Parsed
+{
+    FailPoints::Site *site = nullptr;
+    Mode mode = Mode::Off;
+    uint64_t nth = 0;
+    double prob = 0.0;
+    uint64_t seed = 0;
+};
+
+bool
+parseMode(const std::string &text, Parsed *out, std::string *error)
+{
+    auto fail = [&](const std::string &why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+    if (text == "off") {
+        out->mode = Mode::Off;
+        return true;
+    }
+    if (text == "always") {
+        out->mode = Mode::Always;
+        return true;
+    }
+    if (text == "once") {
+        out->mode = Mode::Once;
+        return true;
+    }
+    if (text.rfind("nth:", 0) == 0) {
+        char *end = nullptr;
+        unsigned long long n = std::strtoull(text.c_str() + 4, &end, 10);
+        if (end == text.c_str() + 4 || *end || n == 0)
+            return fail("bad nth count in '" + text + "'");
+        out->mode = Mode::Nth;
+        out->nth = n;
+        return true;
+    }
+    if (text.rfind("prob:", 0) == 0) {
+        char *end = nullptr;
+        double p = std::strtod(text.c_str() + 5, &end);
+        if (end == text.c_str() + 5 || p < 0.0 || p > 1.0)
+            return fail("bad probability in '" + text + "'");
+        uint64_t seed = 0;
+        if (*end == ':') {
+            char *seed_end = nullptr;
+            seed = std::strtoull(end + 1, &seed_end, 10);
+            if (seed_end == end + 1 || *seed_end)
+                return fail("bad seed in '" + text + "'");
+        } else if (*end) {
+            return fail("bad probability in '" + text + "'");
+        }
+        out->mode = Mode::Prob;
+        out->prob = p;
+        out->seed = seed;
+        return true;
+    }
+    return fail("unknown failpoint mode '" + text +
+                "' (expected off|always|once|nth:N|prob:P[:SEED])");
+}
+
+} // namespace
+
+std::atomic<bool> FailPoints::armed_{true};
+
+FailPoints::FailPoints()
+{
+    // The environment is applied exactly once, on first touch of the
+    // registry. A malformed spec is reported loudly and ignored; the
+    // chaos CI additionally asserts that its armed site actually
+    // fired, so a typo cannot silently turn the sweep into a no-op.
+    const char *env = std::getenv("LPO_FAILPOINTS");
+    std::string error;
+    if (env && *env && !configure(env, &error))
+        std::fprintf(stderr, "lpo: ignoring LPO_FAILPOINTS: %s\n",
+                     error.c_str());
+    else if (!env || !*env)
+        recomputeArmed();
+}
+
+FailPoints &
+FailPoints::instance()
+{
+    static FailPoints registry;
+    return registry;
+}
+
+FailPoints::Site *
+FailPoints::find(const char *name) const
+{
+    for (Site &site : g_sites)
+        if (!std::strcmp(site.name, name))
+            return &site;
+    return nullptr;
+}
+
+void
+FailPoints::recomputeArmed()
+{
+    bool any = false;
+    for (const Site &site : g_sites)
+        any = any ||
+              site.mode.load(std::memory_order_relaxed) !=
+                  static_cast<int>(Mode::Off);
+    armed_.store(any, std::memory_order_relaxed);
+}
+
+bool
+FailPoints::configure(const std::string &spec, std::string *error)
+{
+    // Parse the whole spec into a staging list first so a bad clause
+    // leaves the current configuration untouched.
+    std::vector<Parsed> staged;
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t sep = spec.find_first_of(";,", pos);
+        std::string clause = spec.substr(
+            pos, sep == std::string::npos ? std::string::npos : sep - pos);
+        pos = sep == std::string::npos ? spec.size() : sep + 1;
+        if (clause.empty())
+            continue;
+        size_t eq = clause.find('=');
+        if (eq == std::string::npos) {
+            if (error)
+                *error = "expected site=mode, got '" + clause + "'";
+            return false;
+        }
+        Parsed parsed;
+        parsed.site = find(clause.substr(0, eq).c_str());
+        if (!parsed.site) {
+            if (error)
+                *error =
+                    "unknown failpoint site '" + clause.substr(0, eq) + "'";
+            return false;
+        }
+        if (!parseMode(clause.substr(eq + 1), &parsed, error))
+            return false;
+        staged.push_back(parsed);
+    }
+
+    std::lock_guard<std::mutex> lock(g_mutex);
+    for (Site &site : g_sites) {
+        site.mode.store(static_cast<int>(Mode::Off),
+                        std::memory_order_relaxed);
+        site.hits.store(0, std::memory_order_relaxed);
+        site.fires.store(0, std::memory_order_relaxed);
+    }
+    for (const Parsed &parsed : staged) {
+        parsed.site->nth = parsed.nth;
+        parsed.site->prob = parsed.prob;
+        parsed.site->seed = parsed.seed;
+        parsed.site->rng = Rng(parsed.seed ? parsed.seed : 0xFA11);
+        parsed.site->mode.store(static_cast<int>(parsed.mode),
+                                std::memory_order_relaxed);
+    }
+    recomputeArmed();
+    return true;
+}
+
+void
+FailPoints::clear()
+{
+    configure("");
+}
+
+std::vector<std::string>
+FailPoints::siteNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(kNumSites);
+    for (const Site &site : g_sites)
+        names.push_back(site.name);
+    return names;
+}
+
+uint64_t
+FailPoints::hits(const std::string &site) const
+{
+    const Site *s = find(site.c_str());
+    return s ? s->hits.load(std::memory_order_relaxed) : 0;
+}
+
+uint64_t
+FailPoints::fires(const std::string &site) const
+{
+    const Site *s = find(site.c_str());
+    return s ? s->fires.load(std::memory_order_relaxed) : 0;
+}
+
+bool
+FailPoints::shouldFail(const char *site_name)
+{
+    Site *site = find(site_name);
+    assert(site && "LPO_FAILPOINT used with an unregistered site");
+    if (!site)
+        return false;
+    uint64_t hit =
+        site->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    bool fire = false;
+    switch (static_cast<Mode>(site->mode.load(std::memory_order_relaxed))) {
+      case Mode::Off:
+        break;
+      case Mode::Always:
+        fire = true;
+        break;
+      case Mode::Once:
+        fire = hit == 1;
+        break;
+      case Mode::Nth:
+        fire = hit == site->nth;
+        break;
+      case Mode::Prob: {
+        std::lock_guard<std::mutex> lock(g_mutex);
+        fire = site->rng.chance(site->prob);
+        break;
+      }
+    }
+    if (fire)
+        site->fires.fetch_add(1, std::memory_order_relaxed);
+    return fire;
+}
+
+} // namespace lpo

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Deterministic fault injection (failpoints) for chaos testing.
+ *
+ * A failpoint is a named site compiled into production code where a
+ * fault can be requested at runtime: the SAT solver pretending its
+ * conflict budget ran out, a proposer throwing, the parser rejecting
+ * well-formed input. Sites are registered statically (the full list
+ * lives in failpoint.cc and is printed by `lpo_cli failpoints`), so a
+ * typo in a configuration string is an error instead of a silent
+ * no-op.
+ *
+ * Activation:
+ *  - programmatic: FailPoints::instance().configure("site=mode;...")
+ *  - environment:  LPO_FAILPOINTS with the same grammar, applied once
+ *    when the registry is first touched.
+ *
+ * Modes: `off`, `always`, `once` (first hit only), `nth:N` (exactly
+ * the Nth hit, 1-based), `prob:P[:SEED]` (seeded Bernoulli draw per
+ * hit). `always` and `off` are deterministic at any thread count;
+ * `once`, `nth` and `prob` are deterministic only in serial runs,
+ * where hit order is fixed — the chaos suite uses `always` for its
+ * cross-thread byte-identity assertions.
+ *
+ * Cost when idle: the LPO_FAILPOINT macro is a single relaxed atomic
+ * load while no site is armed, so leaving the sites compiled into hot
+ * paths (one check per SAT solve / parse / proposal, never inside
+ * inner loops) does not perturb benchmarks.
+ */
+#ifndef LPO_SUPPORT_FAILPOINT_H
+#define LPO_SUPPORT_FAILPOINT_H
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lpo {
+
+/** Thrown by throw-flavored sites when they fire. */
+class FailPointError : public std::runtime_error
+{
+  public:
+    explicit FailPointError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+class FailPoints
+{
+  public:
+    /** The process-wide registry. First use applies LPO_FAILPOINTS. */
+    static FailPoints &instance();
+
+    /**
+     * Fast guard for call sites: false once the registry is known to
+     * have no armed site. Starts true ("unknown") so the first hit
+     * constructs the registry and applies the environment.
+     */
+    static bool anyArmed()
+    {
+        return armed_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Replace the whole configuration with @p spec
+     * (`site=mode[;site=mode...]`, `,` also accepted as a separator;
+     * empty spec disarms everything). Unknown sites and malformed
+     * modes are rejected atomically: on failure nothing changes,
+     * false is returned and @p error (if given) explains why.
+     *
+     * Not safe to call while other threads are inside shouldFail;
+     * configure between runs, as the tests and the CLI do.
+     */
+    bool configure(const std::string &spec, std::string *error = nullptr);
+
+    /** Disarm every site and zero its counters. */
+    void clear();
+
+    /** All registered site names, in registration order. */
+    std::vector<std::string> siteNames() const;
+
+    /** Times the site was reached / times it actually fired. */
+    uint64_t hits(const std::string &site) const;
+    uint64_t fires(const std::string &site) const;
+
+    /**
+     * Count a hit on @p site and decide whether the fault fires.
+     * @p site must be a registered name (asserted). Call through the
+     * LPO_FAILPOINT macro so disarmed builds pay one atomic load.
+     */
+    bool shouldFail(const char *site);
+
+    /** Opaque registry entry; defined (with the site table) in
+     *  failpoint.cc. Public only so the table can live at namespace
+     *  scope there. */
+    struct Site;
+
+  private:
+    FailPoints();
+    Site *find(const char *name) const;
+    void recomputeArmed();
+
+    static std::atomic<bool> armed_;
+};
+
+} // namespace lpo
+
+/** True iff the named failpoint fires at this hit. */
+#define LPO_FAILPOINT(site)                                             \
+    (::lpo::FailPoints::anyArmed() &&                                   \
+     ::lpo::FailPoints::instance().shouldFail(site))
+
+#endif // LPO_SUPPORT_FAILPOINT_H

@@ -52,12 +52,27 @@ ThreadPool::workerLoop()
             uint64_t lo = cursor_.fetch_add(chunk);
             if (lo >= end)
                 break;
-            (*body)(lo, std::min(lo + chunk, end));
+            try {
+                (*body)(lo, std::min(lo + chunk, end));
+            } catch (...) {
+                recordError(std::current_exception());
+            }
         }
         lock.lock();
         if (--pending_ == 0)
             job_done_.notify_all();
     }
+}
+
+void
+ThreadPool::recordError(std::exception_ptr error)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!first_error_)
+        first_error_ = std::move(error);
+    // Drain the range so every thread stops claiming chunks; the
+    // in-flight ones finish, then parallelFor rethrows.
+    cursor_.store(end_);
 }
 
 void
@@ -82,6 +97,7 @@ ThreadPool::parallelFor(uint64_t begin, uint64_t end, uint64_t chunk,
         chunk_ = chunk;
         pending_ = static_cast<unsigned>(workers_.size());
         ++generation_;
+        first_error_ = nullptr;
     }
     job_ready_.notify_all();
     // The caller claims chunks alongside the workers.
@@ -89,11 +105,20 @@ ThreadPool::parallelFor(uint64_t begin, uint64_t end, uint64_t chunk,
         uint64_t lo = cursor_.fetch_add(chunk);
         if (lo >= end)
             break;
-        body(lo, std::min(lo + chunk, end));
+        try {
+            body(lo, std::min(lo + chunk, end));
+        } catch (...) {
+            recordError(std::current_exception());
+        }
     }
     std::unique_lock<std::mutex> lock(mutex_);
     job_done_.wait(lock, [&] { return pending_ == 0; });
     body_ = nullptr;
+    if (first_error_) {
+        std::exception_ptr error = std::move(first_error_);
+        first_error_ = nullptr;
+        std::rethrow_exception(error);
+    }
 }
 
 } // namespace lpo

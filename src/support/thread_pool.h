@@ -13,8 +13,12 @@
  * The pool makes no ordering promises between chunks; components that
  * need deterministic answers (first counterexample, merged statistics)
  * must reduce their per-chunk results by index, as refine.cc and
- * pipeline.cc do. Bodies must not throw, and at most one parallelFor
- * may be in flight per pool at a time.
+ * pipeline.cc do. A body that throws does not bring the process down:
+ * the first exception (by completion order) is captured, the remaining
+ * range is drained so all threads stop claiming chunks, and
+ * parallelFor rethrows it on the calling thread once every in-flight
+ * chunk has finished; the pool stays usable afterwards. At most one
+ * parallelFor may be in flight per pool at a time.
  */
 #ifndef LPO_SUPPORT_THREAD_POOL_H
 #define LPO_SUPPORT_THREAD_POOL_H
@@ -22,6 +26,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -49,13 +54,20 @@ class ThreadPool
      * Invoke @p body(lo, hi) over @p chunk-sized sub-ranges of
      * [begin, end) from every pool thread plus the caller; returns
      * once the whole range has been processed. Chunks are claimed in
-     * increasing order but may complete in any order.
+     * increasing order but may complete in any order. If any body
+     * invocation throws, the first captured exception is rethrown
+     * here after all threads quiesce (later chunks are skipped); which
+     * exception is "first" is scheduling-dependent, so callers that
+     * need determinism must not let bodies throw data-dependent
+     * errors.
      */
     void parallelFor(uint64_t begin, uint64_t end, uint64_t chunk,
                      const std::function<void(uint64_t, uint64_t)> &body);
 
   private:
     void workerLoop();
+    /** Latch @p error (first wins) and drain the remaining range. */
+    void recordError(std::exception_ptr error);
 
     unsigned num_threads_;
     std::vector<std::thread> workers_;
@@ -70,6 +82,8 @@ class ThreadPool
     uint64_t generation_ = 0;
     unsigned pending_ = 0;
     bool stop_ = false;
+    /** First body exception of the in-flight job (guarded by mutex_). */
+    std::exception_ptr first_error_;
 };
 
 } // namespace lpo

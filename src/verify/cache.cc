@@ -1,5 +1,6 @@
 #include "verify/cache.h"
 
+#include "support/failpoint.h"
 #include "support/string_utils.h"
 
 namespace lpo::verify {
@@ -22,6 +23,14 @@ VerifyCache::lookupOrCompute(
     const std::string &key, const std::function<Computed()> &compute,
     const std::function<RefinementResult(const CachedVerdict &)> &rederive)
 {
+    // Chaos-test injection: a lookup failure degrades to computing
+    // uncached — results must be byte-identical, only the hit/miss
+    // accounting may differ.
+    if (LPO_FAILPOINT("verify.cache.lookup")) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return compute().result;
+    }
+
     Shard &shard = shardOf(key);
     std::shared_ptr<Entry> entry;
     bool owner = false;
@@ -75,6 +84,25 @@ VerifyCache::lookupOrCompute(
             }
             entry->ready_cv.notify_all();
             throw;
+        }
+        // Chaos-test injection: publication fails after a successful
+        // compute. Reuse the owner-threw teardown — the entry is
+        // erased and waiters recompute uncached — but hand the caller
+        // its (perfectly good) result.
+        if (LPO_FAILPOINT("verify.cache.store")) {
+            {
+                std::lock_guard<std::mutex> lock(shard.mutex);
+                shard.map.erase(key);
+                entry_count_.fetch_sub(1, std::memory_order_relaxed);
+            }
+            {
+                std::lock_guard<std::mutex> lock(entry->mutex);
+                entry->failed = true;
+                entry->ready = true;
+            }
+            entry->ready_cv.notify_all();
+            misses_.fetch_add(1, std::memory_order_relaxed);
+            return std::move(computed.result);
         }
         {
             std::lock_guard<std::mutex> lock(entry->mutex);

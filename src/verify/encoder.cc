@@ -3,6 +3,8 @@
 #include <cassert>
 #include <map>
 
+#include "support/failpoint.h"
+
 namespace lpo::verify {
 
 using ir::Instruction;
@@ -580,6 +582,13 @@ std::optional<EncodedFunction>
 encodeFunction(smt::CircuitBuilder &builder, const ir::Function &fn,
                const std::vector<ValueEnc> *shared_args)
 {
+    // Chaos-test injection: the bit-blaster blowing up mid-encoding
+    // (resource exhaustion in real deployments). The per-case
+    // containment in core/pipeline.cc must convert this into a
+    // case-level failure, never a lost module run.
+    if (LPO_FAILPOINT("bitblast.throw"))
+        throw FailPointError("injected bit-blaster failure "
+                             "(failpoint bitblast.throw)");
     Encoder encoder(builder);
     return encoder.run(fn, shared_args);
 }

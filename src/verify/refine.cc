@@ -158,6 +158,59 @@ recordSolverWork(const RefineOptions &options, const SatSolver &solver)
     telemetry->restarts += solver.restarts();
 }
 
+/**
+ * The per-query budget schedule: the escalation ladder when
+ * configured, otherwise the legacy single-shot budget. Each entry is
+ * the ADDITIONAL conflicts the next solve call may spend; re-solving
+ * the same solver keeps its learnt clauses and phase saving, so an
+ * escalated attempt resumes the proof instead of restarting it.
+ */
+std::vector<uint64_t>
+budgetLadder(const RefineOptions &options)
+{
+    if (!options.budget_tiers.empty())
+        return options.budget_tiers;
+    return {options.conflict_budget};
+}
+
+RefinementResult checkWithTesting(const ir::Function &src,
+                                  const ir::Function &tgt,
+                                  const RefineOptions &options,
+                                  CachedVerdict *cached);
+
+/**
+ * Final rung of the ladder: a SAT query whose last tier was exhausted
+ * degrades to the bounded concrete backend. A counterexample is sound
+ * (concrete inputs don't lie), and an exhaustive sweep covering the
+ * whole input space is a proof — both keep their verdicts. A sampled
+ * sweep that merely found nothing is NOT a proof: it becomes
+ * Verdict::Degraded, which the pipeline never patches.
+ */
+RefinementResult
+degradeToTesting(const ir::Function &src, const ir::Function &tgt,
+                 const RefineOptions &options, CachedVerdict *cached)
+{
+    DegradationStats *degradation = options.degradation;
+    if (degradation)
+        ++degradation->concrete_fallbacks;
+    RefinementResult result = checkWithTesting(src, tgt, options, cached);
+    if (result.verdict != Verdict::Correct)
+        return result; // counterexample: sound, stands as-is
+    if (result.backend == "exhaustive") {
+        if (degradation)
+            ++degradation->exhaustive_rescues;
+        result.detail += " (after SAT budget ladder exhausted)";
+    } else {
+        result.verdict = Verdict::Degraded;
+        result.detail = "SAT budget ladder exhausted; survived " +
+                        result.detail + " (not a proof)";
+        if (degradation)
+            ++degradation->degraded;
+    }
+    recordVerdict(cached, result);
+    return result;
+}
+
 RefinementResult
 checkWithSat(const ir::Function &src, const ir::Function &tgt,
              const RefineOptions &options, CachedVerdict *cached)
@@ -173,9 +226,25 @@ checkWithSat(const ir::Function &src, const ir::Function &tgt,
     assert(encoded && "caller checked canEncode");
     (void)encoded;
 
-    SatResult sat = solver.solve(options.conflict_budget);
+    const std::vector<uint64_t> tiers = budgetLadder(options);
+    SatResult sat = SatResult::Unknown;
+    size_t solves_run = 0;
+    for (uint64_t tier_budget : tiers) {
+        if (solves_run > 0 && options.degradation)
+            ++options.degradation->escalations;
+        sat = solver.solve(tier_budget);
+        ++solves_run;
+        if (sat != SatResult::Unknown)
+            break;
+    }
+    // The solver's lifetime counters already span every tier; only the
+    // solve count needs the extra calls added.
     recordSolverWork(options, solver);
+    if (options.sat_telemetry && solves_run > 1)
+        options.sat_telemetry->solves += solves_run - 1;
     if (sat == SatResult::Unknown) {
+        if (!options.budget_tiers.empty())
+            return degradeToTesting(src, tgt, options, cached);
         result.verdict = Verdict::Timeout;
         result.detail = "SAT conflict budget exhausted";
         recordVerdict(cached, result);
@@ -510,6 +579,14 @@ cacheKey(const ir::Function &src, const ir::Function &tgt,
     key += std::to_string(options.seed);
     key += ',';
     key += options.structural_hashing ? '1' : '0';
+    // The escalation ladder changes which verdict a query can reach
+    // (Timeout vs Correct-at-a-higher-tier vs Degraded), so the tier
+    // list is part of the key. An empty ladder leaves the key in the
+    // pre-ladder format.
+    for (uint64_t tier : options.budget_tiers) {
+        key += ",t";
+        key += std::to_string(tier);
+    }
     return key;
 }
 
@@ -620,6 +697,8 @@ RefinementResult::feedbackMessage(const ir::Function &src) const
         return "ERROR: unsupported instructions for verification";
       case Verdict::Timeout:
         return "ERROR: verification timed out";
+      case Verdict::Degraded:
+        return "ERROR: verification degraded: " + detail;
       case Verdict::Incorrect:
         break;
     }
@@ -739,8 +818,18 @@ RefinementSession::Impl::dispatch(const ir::Function &tgt,
 {
     if (!sat_possible || dead || !usesSatBackend(src, tgt))
         return dispatchBackends(src, tgt, options, cached);
-    if (!initialized)
-        initialize();
+    if (!initialized) {
+        // A throw mid-initialize (the injected bitblast.throw site, or
+        // a genuine encoder bug) leaves src_enc unset while
+        // `initialized` is already latched; poison the session so no
+        // later check dereferences the half-built encoding.
+        try {
+            initialize();
+        } catch (...) {
+            dead = true;
+            throw;
+        }
+    }
     if (solver.inconsistent()) {
         dead = true;
         return dispatchBackends(src, tgt, options, cached);
@@ -771,18 +860,31 @@ RefinementSession::Impl::dispatch(const ir::Function &tgt,
     int act = solver.newActivationVar();
     builder->requireImplies(act, violation);
 
-    uint64_t decisions_before = solver.decisions();
-    uint64_t conflicts_before = solver.conflicts();
-    uint64_t propagations_before = solver.propagations();
-    uint64_t restarts_before = solver.restarts();
-    SatResult sat = solver.solveAssuming({act}, options.conflict_budget);
-    if (telemetry) {
-        ++telemetry->solves;
-        telemetry->decisions += solver.decisions() - decisions_before;
-        telemetry->conflicts += solver.conflicts() - conflicts_before;
-        telemetry->propagations +=
-            solver.propagations() - propagations_before;
-        telemetry->restarts += solver.restarts() - restarts_before;
+    // The same escalation ladder as the fresh path, except the warm
+    // session's carried learnts make each tier strictly stronger than
+    // its cold counterpart (the documented budget-edge asymmetry).
+    const std::vector<uint64_t> tiers = budgetLadder(options);
+    SatResult sat = SatResult::Unknown;
+    size_t solves_run = 0;
+    for (uint64_t tier_budget : tiers) {
+        if (solves_run > 0 && options.degradation)
+            ++options.degradation->escalations;
+        uint64_t decisions_before = solver.decisions();
+        uint64_t conflicts_before = solver.conflicts();
+        uint64_t propagations_before = solver.propagations();
+        uint64_t restarts_before = solver.restarts();
+        sat = solver.solveAssuming({act}, tier_budget);
+        ++solves_run;
+        if (telemetry) {
+            ++telemetry->solves;
+            telemetry->decisions += solver.decisions() - decisions_before;
+            telemetry->conflicts += solver.conflicts() - conflicts_before;
+            telemetry->propagations +=
+                solver.propagations() - propagations_before;
+            telemetry->restarts += solver.restarts() - restarts_before;
+        }
+        if (sat != SatResult::Unknown)
+            break;
     }
     solver.releaseVar(act);
     if (solver.inconsistent())
@@ -796,6 +898,14 @@ RefinementSession::Impl::dispatch(const ir::Function &tgt,
         recordVerdict(cached, result);
         return result;
     }
+
+    // Ladder exhausted inside the session: degrade exactly as the
+    // fresh path would. The concrete backend is a pure function of
+    // (pair, options) — no solver state involved — so going there
+    // directly is byte-identical to the fresh path's degradation and
+    // skips re-burning the whole ladder.
+    if (sat == SatResult::Unknown && !options.budget_tiers.empty())
+        return degradeToTesting(src, tgt, options, cached);
 
     // Sat or budget exhaustion: the *verdict* is already known, but a
     // counterexample model depends on solver state (phase saving,

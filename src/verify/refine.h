@@ -23,6 +23,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "interp/interp.h"
 #include "ir/function.h"
@@ -66,7 +67,32 @@ enum class Verdict {
     Incorrect,    ///< counterexample found
     Unsupported,  ///< function outside every backend's fragment
     BadSignature, ///< src/tgt signatures differ (fixable LLM mistake)
-    Timeout,      ///< solver budget exhausted
+    Timeout,      ///< solver budget exhausted (no escalation ladder)
+    Degraded,     ///< every SAT tier exhausted; the candidate merely
+                  ///< survived bounded concrete testing — explicitly
+                  ///< NOT a proof, so it can never patch
+};
+
+/**
+ * Counters for the budget-escalation ladder and its fallbacks (see
+ * DESIGN.md, "Fault containment and degradation ladder"). Like
+ * SatTelemetry these describe work actually performed — hang one off
+ * RefineOptions per worker and fold in sequence order. The
+ * contained_exceptions field is filled by the core layer's per-case
+ * containment, not by refine.cc.
+ */
+struct DegradationStats
+{
+    uint64_t escalations = 0;        ///< tier bumps after an exhausted
+                                     ///< solve (learnt clauses kept)
+    uint64_t concrete_fallbacks = 0; ///< SAT queries degraded to the
+                                     ///< bounded concrete backend
+    uint64_t exhaustive_rescues = 0; ///< fallbacks that still concluded
+                                     ///< soundly (full input-space
+                                     ///< enumeration)
+    uint64_t degraded = 0;           ///< queries ending in Degraded
+    uint64_t contained_exceptions = 0; ///< case-level exceptions caught
+                                       ///< and converted to failures
 };
 
 /** A concrete input violating refinement. */
@@ -94,8 +120,23 @@ struct RefinementResult
 /** Tunables for the checker. */
 struct RefineOptions
 {
-    /** SAT conflict budget before reporting Timeout (0 = unlimited). */
+    /** SAT conflict budget before reporting Timeout (0 = unlimited).
+     *  Ignored when budget_tiers is non-empty. */
     uint64_t conflict_budget = 2'000'000;
+    /**
+     * Budget-escalation ladder. Empty (the default) preserves the
+     * single-shot behavior: one solve under conflict_budget, Timeout
+     * on exhaustion. Non-empty, each SAT query solves under
+     * budget_tiers[0] additional conflicts, then — on exhaustion —
+     * re-solves the same solver under the next tier (learnt clauses
+     * and phase saving carry over, so escalation resumes rather than
+     * restarts the proof). A query that exhausts the final tier never
+     * reports Timeout: it degrades to the bounded concrete backend,
+     * whose outcome is either sound (counterexample, or exhaustive
+     * enumeration) or Verdict::Degraded. Every step is counted in
+     * DegradationStats.
+     */
+    std::vector<uint64_t> budget_tiers;
     /** Max total input bits for exhaustive concrete testing. */
     unsigned exhaustive_bit_limit = 16;
     /** Number of random inputs for the sampled backend. */
@@ -134,6 +175,9 @@ struct RefineOptions
     /** Optional SAT work counters (not owned, not thread-safe: give
      *  each worker its own and fold). */
     SatTelemetry *sat_telemetry = nullptr;
+    /** Optional escalation/degradation counters (same ownership and
+     *  threading contract as sat_telemetry). */
+    DegradationStats *degradation = nullptr;
 };
 
 /** Check whether @p tgt refines @p src. */

@@ -1,0 +1,352 @@
+// Chaos suite: the module pipeline under injected faults (see
+// DESIGN.md, "Fault containment and degradation ladder").
+//
+// For every registered failpoint the invariants are the same:
+//  - optimize() returns (no crash, no hang, no terminate);
+//  - the module stays valid function-by-function and no invalid IR is
+//    ever patched in;
+//  - the faulted run's patched sites are a subset of the fault-free
+//    run's (faults may only remove work, never invent findings);
+//  - the patched module text is byte-identical at 1 and 8 threads
+//    (the `always` mode is thread-count deterministic by design).
+//
+// Statuses are NOT compared across thread counts: the serial path
+// runs sequences in the shared context while parallel workers re-parse
+// them, so parser.fail lands on different call sites — the module
+// text, which is what ships, is the contract.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/module_opt.h"
+#include "core/report.h"
+#include "corpus/generator.h"
+#include "ir/ir_verifier.h"
+#include "ir/printer.h"
+#include "llm/mock_model.h"
+#include "support/failpoint.h"
+
+using namespace lpo;
+
+namespace {
+
+/** High-skill clean-emission profile (as the module tests use): with
+ *  error rates at zero, every divergence between runs is attributable
+ *  to the injected fault, not to mock-model emission variance. */
+llm::ModelProfile
+strongProfile()
+{
+    llm::ModelProfile profile = llm::modelByName("Gemini2.0T");
+    profile.skill = 2.5;
+    profile.syntax_error_rate = 0;
+    profile.semantic_error_rate = 0;
+    return profile;
+}
+
+constexpr uint64_t kModuleSeed = 13;
+constexpr unsigned kModuleFns = 10;
+
+struct ChaosRun
+{
+    std::string module_text;
+    core::ModuleOptResult result;
+    /** Per-site hit/fire counters snapshotted before the registry is
+     *  cleared (clear() zeroes them). */
+    std::map<std::string, uint64_t> hits, fires;
+};
+
+/** One full module-optimization run with @p spec armed. */
+ChaosRun
+runChaos(const std::string &spec, unsigned threads,
+         uint64_t step_budget = 0)
+{
+    // Build the module first: the corpus generator parses benchmark
+    // text internally, so arming parser.fail before generation would
+    // fault the test harness, not the system under test.
+    ir::Context ctx;
+    corpus::CorpusGenerator generator(ctx);
+    auto module = generator.largeModule(kModuleSeed, kModuleFns, 2);
+
+    auto &fp = FailPoints::instance();
+    std::string error;
+    EXPECT_TRUE(fp.configure(spec, &error)) << error;
+
+    llm::MockModel model(strongProfile(), 1);
+    core::ModuleOptOptions options;
+    options.pipeline.proposer = core::ProposerKind::Hybrid;
+    options.pipeline.num_threads = threads;
+    if (step_budget) {
+        options.step_budget = step_budget;
+        options.deadline_wave = 8;
+        // The deadline's exact cut point is thread-count-deterministic
+        // only without cross-worker step-cost attribution (DESIGN.md).
+        options.pipeline.enable_verify_cache = false;
+    }
+
+    ChaosRun run;
+    core::ModuleOptimizer optimizer(model, options);
+    run.result = optimizer.optimize(*module, 1);
+    run.module_text = ir::printModule(*module);
+
+    for (const std::string &site : fp.siteNames()) {
+        run.hits[site] = fp.hits(site);
+        run.fires[site] = fp.fires(site);
+    }
+    // Disarm before validating so assertions don't re-trigger faults.
+    fp.clear();
+    for (const auto &fn : module->functions())
+        EXPECT_TRUE(ir::isValid(*fn)) << spec << ": " << fn->name();
+    EXPECT_EQ(run.result.invalid_functions, 0u) << spec;
+    return run;
+}
+
+/** Stable identity of a patched site across runs of the same module:
+ *  extraction is fault-independent, so sequence indices line up. */
+using SiteKey = std::tuple<size_t, std::string, size_t>;
+
+std::set<SiteKey>
+patchedSites(const core::ModuleOptResult &result)
+{
+    std::set<SiteKey> sites;
+    for (const core::PatchRecord &patch : result.patches)
+        sites.insert({patch.function_index, patch.block,
+                      patch.sequence_index});
+    return sites;
+}
+
+class ChaosTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { FailPoints::instance().clear(); }
+    void TearDown() override { FailPoints::instance().clear(); }
+
+    /** The fault-free baseline, computed once per process. */
+    static const ChaosRun &baseline()
+    {
+        static ChaosRun run = [] {
+            ChaosRun r = runChaos("", 1);
+            EXPECT_GT(r.result.patched_rewrites, 0u);
+            // The subset assertions below need the baseline's patch
+            // list to be exactly its found-site list; rollback would
+            // hide sites a faulted run may legitimately keep. The
+            // strong profile never triggers it on this module.
+            EXPECT_EQ(r.result.functions_rolled_back, 0u);
+            return r;
+        }();
+        return run;
+    }
+
+    void checkSite(const std::string &spec, const std::string &probe)
+    {
+        const ChaosRun &clean = baseline();
+        ChaosRun serial = runChaos(spec, 1);
+        EXPECT_GT(serial.hits.at(probe), 0u)
+            << spec << ": site never reached";
+        ChaosRun parallel = runChaos(spec, 8);
+
+        // Faults only remove findings.
+        std::set<SiteKey> clean_sites = patchedSites(clean.result);
+        for (const SiteKey &site : patchedSites(serial.result))
+            EXPECT_TRUE(clean_sites.count(site))
+                << spec << ": faulted run patched a site the "
+                << "fault-free run did not";
+
+        // Thread-count determinism of the shipped artifact.
+        EXPECT_EQ(serial.module_text, parallel.module_text)
+            << spec << ": module text diverged between 1 and 8 threads";
+    }
+};
+
+} // namespace
+
+TEST_F(ChaosTest, FaultFreeBaselinePatches)
+{
+    const ChaosRun &clean = baseline();
+    EXPECT_GT(clean.result.patched_rewrites, 0u);
+    EXPECT_EQ(clean.result.pipeline.contained_exceptions, 0u);
+    EXPECT_EQ(clean.result.pipeline.degraded_verdicts, 0u);
+    EXPECT_EQ(clean.result.deadline_skipped, 0u);
+}
+
+TEST_F(ChaosTest, SatExhaustDegradesButNeverPatchesUnproven)
+{
+    ChaosRun run = runChaos("sat.exhaust=always", 1);
+    EXPECT_GT(run.fires.at("sat.exhaust"), 0u);
+    // Every SAT query walked the whole ladder, then degraded; only
+    // exhaustive rescues (sound proofs) may still patch.
+    const core::PipelineStats &stats = run.result.pipeline;
+    EXPECT_GT(stats.sat_escalations, 0u);
+    EXPECT_GT(stats.concrete_fallbacks, 0u);
+    // Nothing with a Degraded (sampled-survivor) verdict is patched:
+    // Degraded != Found, and only found() outcomes reach patch-back.
+    for (const core::PatchRecord &patch : run.result.patches)
+        EXPECT_EQ(run.result.outcomes[patch.sequence_index].status,
+                  core::CaseStatus::Found);
+    checkSite("sat.exhaust=always", "sat.exhaust");
+}
+
+TEST_F(ChaosTest, BitblastThrowIsContained)
+{
+    ChaosRun run = runChaos("bitblast.throw=always", 1);
+    EXPECT_GT(run.fires.at("bitblast.throw"), 0u);
+    EXPECT_GT(run.result.pipeline.contained_exceptions, 0u);
+    checkSite("bitblast.throw=always", "bitblast.throw");
+}
+
+TEST_F(ChaosTest, CacheFaultsPreserveResultsExactly)
+{
+    // A bypassed lookup or a dropped store only costs recomputation;
+    // the cache-on/off equivalence contract makes the output
+    // byte-identical to the fault-free run.
+    for (const char *spec :
+         {"verify.cache.lookup=always", "verify.cache.store=always"}) {
+        ChaosRun run = runChaos(spec, 1);
+        EXPECT_EQ(run.module_text, baseline().module_text) << spec;
+    }
+    checkSite("verify.cache.lookup=always", "verify.cache.lookup");
+    checkSite("verify.cache.store=always", "verify.cache.store");
+}
+
+TEST_F(ChaosTest, ProposerFaultsAreContained)
+{
+    // A throwing LLM leg is contained and the e-graph fallback still
+    // finds what it can.
+    ChaosRun llm_throw = runChaos("proposer.llm.throw=always", 1);
+    EXPECT_GT(llm_throw.result.pipeline.contained_exceptions, 0u);
+    checkSite("proposer.llm.throw=always", "proposer.llm.throw");
+    checkSite("proposer.llm.none=always", "proposer.llm.none");
+
+    // Forcing the LLM silent guarantees every case consults the
+    // e-graph, so the e-graph sites are provably exercised.
+    checkSite("proposer.llm.none=always;proposer.egraph.throw=always",
+              "proposer.egraph.throw");
+    ChaosRun both = runChaos(
+        "proposer.llm.none=always;proposer.egraph.none=always", 1);
+    EXPECT_GT(both.fires.at("proposer.egraph.none"), 0u);
+    EXPECT_EQ(both.result.patched_rewrites, 0u);
+    checkSite("proposer.llm.none=always;proposer.egraph.none=always",
+              "proposer.egraph.none");
+}
+
+TEST_F(ChaosTest, ParserAndPatchbackFaultsLeaveModuleUntouched)
+{
+    for (const char *spec :
+         {"parser.fail=always", "patchback.fail=always"}) {
+        ChaosRun run = runChaos(spec, 1);
+        EXPECT_EQ(run.result.patched_rewrites, 0u) << spec;
+        // Nothing patched => nothing swept, rolled back, or renamed:
+        // the module comes through byte-identical to its input.
+        ir::Context ctx;
+        corpus::CorpusGenerator generator(ctx);
+        auto pristine =
+            generator.largeModule(kModuleSeed, kModuleFns, 2);
+        EXPECT_EQ(run.module_text, ir::printModule(*pristine)) << spec;
+    }
+    ChaosRun patchback = runChaos("patchback.fail=always", 1);
+    EXPECT_GT(patchback.result.patch_failures, 0u);
+    checkSite("parser.fail=always", "parser.fail");
+    checkSite("patchback.fail=always", "patchback.fail");
+}
+
+TEST_F(ChaosTest, AllSitesAtOnce)
+{
+    // The pile-up run: every site armed simultaneously. The pipeline
+    // must still return a valid (here: untouched — the parser fault
+    // blocks all patching) module at any thread count.
+    std::string spec;
+    for (const std::string &site : FailPoints::instance().siteNames())
+        spec += (spec.empty() ? "" : ";") + site + "=always";
+    // Probe the proposer site: with every fault armed the legs die
+    // before any SAT query runs, so sat.exhaust is never reached.
+    checkSite(spec, "proposer.llm.throw");
+}
+
+// ---------------------------------------------------------------------
+// Step-budget deadline: graceful partial results.
+// ---------------------------------------------------------------------
+
+TEST_F(ChaosTest, DeadlineYieldsValidPartialResults)
+{
+    ChaosRun serial = runChaos("", 1, /*step_budget=*/20);
+    const core::ModuleOptResult &result = serial.result;
+    EXPECT_GT(result.deadline_skipped, 0u)
+        << "budget of 20 steps must cut this module";
+    EXPECT_GT(result.patched_rewrites, 0u)
+        << "the completed waves' findings must still be patched";
+    EXPECT_GE(result.steps_used, 20u);
+    uint64_t skipped = 0;
+    for (const core::CaseOutcome &outcome : result.outcomes)
+        if (outcome.status == core::CaseStatus::Skipped)
+            ++skipped;
+    EXPECT_EQ(skipped, result.deadline_skipped);
+    // Skipped sequences are a tail: the cut happens at one wave
+    // boundary, everything before it completed.
+    for (size_t i = result.outcomes.size() - skipped;
+         i < result.outcomes.size(); ++i)
+        EXPECT_EQ(result.outcomes[i].status, core::CaseStatus::Skipped);
+
+    // The cut point — and therefore the partial module — reproduces
+    // exactly at any thread count (cache off inside runChaos).
+    ChaosRun parallel = runChaos("", 8, /*step_budget=*/20);
+    EXPECT_EQ(serial.module_text, parallel.module_text);
+    EXPECT_EQ(serial.result.deadline_skipped,
+              parallel.result.deadline_skipped);
+    EXPECT_EQ(serial.result.steps_used, parallel.result.steps_used);
+
+    // Partial results are a prefix of the full run's findings.
+    std::set<SiteKey> clean_sites = patchedSites(baseline().result);
+    for (const SiteKey &site : patchedSites(result))
+        EXPECT_TRUE(clean_sites.count(site));
+}
+
+TEST_F(ChaosTest, ZeroBudgetMeansNoDeadline)
+{
+    const ChaosRun &clean = baseline();
+    EXPECT_EQ(clean.result.deadline_skipped, 0u);
+    EXPECT_GT(clean.result.steps_used, 0u);
+    for (const core::CaseOutcome &outcome : clean.result.outcomes)
+        EXPECT_NE(outcome.status, core::CaseStatus::Skipped);
+}
+
+// ---------------------------------------------------------------------
+// Environment-driven sweep entry point (used by tools/ci.sh): run the
+// full 8-thread pipeline under whatever LPO_FAILPOINTS the harness
+// armed and report the degradation counters.
+// ---------------------------------------------------------------------
+
+TEST(ChaosEnvTest, RunsUnderEnvFailpoints)
+{
+    const char *env = std::getenv("LPO_FAILPOINTS");
+    if (!env || !*env)
+        GTEST_SKIP() << "LPO_FAILPOINTS not set";
+    // Generate the module with the registry disarmed (the generator
+    // parses benchmark text itself), then apply the environment spec —
+    // the fixture tests may have reconfigured the registry, and in a
+    // fresh process the env only auto-applies on first site hit.
+    FailPoints::instance().clear();
+    ir::Context ctx;
+    corpus::CorpusGenerator generator(ctx);
+    auto module = generator.largeModule(kModuleSeed, kModuleFns, 2);
+    std::string error;
+    ASSERT_TRUE(FailPoints::instance().configure(env, &error)) << error;
+
+    llm::MockModel model(strongProfile(), 1);
+    core::ModuleOptOptions options;
+    options.pipeline.proposer = core::ProposerKind::Hybrid;
+    options.pipeline.num_threads = 8;
+    core::ModuleOptimizer optimizer(model, options);
+    core::ModuleOptResult result = optimizer.optimize(*module, 1);
+
+    FailPoints::instance().clear();
+    for (const auto &fn : module->functions())
+        EXPECT_TRUE(ir::isValid(*fn)) << fn->name();
+    EXPECT_EQ(result.invalid_functions, 0u);
+    std::printf("LPO_FAILPOINTS=%s\n%s", env,
+                core::degradationStatsLine(result.pipeline).c_str());
+}

@@ -1,0 +1,135 @@
+// End-to-end tests of the real lpo_cli binary (path injected by CMake
+// as LPO_CLI_PATH): malformed input must produce a diagnostic and a
+// non-zero exit, never a crash; the failpoint surface must be wired.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace {
+
+struct CommandResult
+{
+    int exit_code = -1;
+    std::string output; ///< stdout + stderr, interleaved
+};
+
+CommandResult
+run(const std::string &args, const std::string &env_prefix = "")
+{
+    std::string cmd =
+        env_prefix + std::string(LPO_CLI_PATH) + " " + args + " 2>&1";
+    CommandResult result;
+    FILE *pipe = popen(cmd.c_str(), "r");
+    if (!pipe) {
+        ADD_FAILURE() << "popen failed for: " << cmd;
+        return result;
+    }
+    char buffer[512];
+    while (size_t n = std::fread(buffer, 1, sizeof buffer, pipe))
+        result.output.append(buffer, n);
+    int status = pclose(pipe);
+    result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return result;
+}
+
+/** Write @p text to a fresh file under the test's temp dir. */
+std::string
+fixture(const char *name, const std::string &text)
+{
+    std::string path =
+        ::testing::TempDir() + "lpo_cli_fixture_" + name + ".ll";
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+    return path;
+}
+
+const char *kValidModule =
+    "define i8 @f(i8 %x) {\n"
+    "  %a = mul i8 %x, 8\n"
+    "  %b = udiv i8 %a, 4\n"
+    "  ret i8 %b\n"
+    "}\n";
+
+} // namespace
+
+TEST(CliTest, MalformedModuleFailsWithDiagnostic)
+{
+    std::string path = fixture(
+        "malformed", "define i8 @f(i8 %x) {\n  %a = frobnicate i8 %x\n");
+    for (const char *cmd : {"optimize-module", "run", "opt", "extract"}) {
+        CommandResult result = run(std::string(cmd) + " " + path);
+        EXPECT_NE(result.exit_code, 0) << cmd;
+        EXPECT_NE(result.output.find("error"), std::string::npos)
+            << cmd << " printed no diagnostic:\n" << result.output;
+    }
+}
+
+TEST(CliTest, TruncatedAndEmptyModules)
+{
+    std::string truncated =
+        fixture("truncated", "define i8 @f(i8 %x) {\n  %a = add i8 ");
+    CommandResult result = run("optimize-module " + truncated);
+    EXPECT_NE(result.exit_code, 0);
+    EXPECT_NE(result.output.find("error"), std::string::npos);
+
+    // The parser requires at least one definition, so an empty file is
+    // a diagnosed error too — never a crash.
+    std::string empty = fixture("empty", "");
+    CommandResult empty_result = run("optimize-module " + empty);
+    EXPECT_NE(empty_result.exit_code, 0);
+    EXPECT_NE(empty_result.output.find("error"), std::string::npos)
+        << empty_result.output;
+
+    CommandResult missing = run("optimize-module /no/such/file.ll");
+    EXPECT_NE(missing.exit_code, 0);
+    EXPECT_NE(missing.output.find("cannot open"), std::string::npos);
+}
+
+TEST(CliTest, ValidModuleOptimizesCleanly)
+{
+    std::string path = fixture("valid", kValidModule);
+    CommandResult result = run("optimize-module " + path);
+    EXPECT_EQ(result.exit_code, 0) << result.output;
+    EXPECT_NE(result.output.find("patched"), std::string::npos);
+
+    CommandResult with_stats =
+        run("optimize-module " + path + " --degradation-stats");
+    EXPECT_EQ(with_stats.exit_code, 0) << with_stats.output;
+    EXPECT_NE(with_stats.output.find("degradation:"), std::string::npos)
+        << with_stats.output;
+}
+
+TEST(CliTest, FailpointsSubcommandListsSites)
+{
+    CommandResult result = run("failpoints");
+    EXPECT_EQ(result.exit_code, 0);
+    for (const char *site : {"sat.exhaust", "bitblast.throw",
+                             "parser.fail", "patchback.fail"})
+        EXPECT_NE(result.output.find(site), std::string::npos)
+            << "missing site " << site << " in:\n" << result.output;
+}
+
+TEST(CliTest, EnvFailpointsDegradeGracefully)
+{
+    // The environment pathway end-to-end: with patch-back refused the
+    // run still exits 0 and reports its failures instead of crashing.
+    std::string path = fixture("envfp", kValidModule);
+    CommandResult result =
+        run("optimize-module " + path + " --degradation-stats",
+            "LPO_FAILPOINTS=patchback.fail=always ");
+    EXPECT_EQ(result.exit_code, 0) << result.output;
+    EXPECT_NE(result.output.find("patched 0 rewrite"), std::string::npos)
+        << result.output;
+
+    // A bad spec is reported and ignored, never fatal.
+    CommandResult bad =
+        run("failpoints", "LPO_FAILPOINTS=definitely.not.a.site=always ");
+    EXPECT_EQ(bad.exit_code, 0);
+    EXPECT_NE(bad.output.find("ignoring LPO_FAILPOINTS"),
+              std::string::npos)
+        << bad.output;
+}

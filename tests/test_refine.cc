@@ -197,3 +197,145 @@ TEST(RefineTest, VectorRefinement)
         "  ret <4 x i8> %t\n}\n");
     EXPECT_EQ(r.verdict, Verdict::Correct);
 }
+
+// ---------------------------------------------------------------------
+// Budget-escalation ladder (see DESIGN.md, "Fault containment and
+// degradation ladder"). The pair below — mul commutativity — is the
+// canonical SAT-hard-but-decidable query: structural hashing cannot
+// merge the two multiplier circuits, so a one-conflict budget always
+// exhausts, while an unlimited tier finishes the proof.
+// ---------------------------------------------------------------------
+
+namespace {
+
+const char *kMulCommSrc8 =
+    "define i8 @src(i8 %x, i8 %y) {\n  %r = mul i8 %x, %y\n"
+    "  ret i8 %r\n}\n";
+const char *kMulCommTgt8 =
+    "define i8 @tgt(i8 %x, i8 %y) {\n  %r = mul i8 %y, %x\n"
+    "  ret i8 %r\n}\n";
+const char *kMulCommSrc32 =
+    "define i32 @src(i32 %x, i32 %y) {\n  %r = mul i32 %x, %y\n"
+    "  ret i32 %r\n}\n";
+const char *kMulCommTgt32 =
+    "define i32 @tgt(i32 %x, i32 %y) {\n  %r = mul i32 %y, %x\n"
+    "  ret i32 %r\n}\n";
+
+RefinementResult
+checkWithOptions(const char *src, const char *tgt,
+                 const RefineOptions &options)
+{
+    static ir::Context ctx;
+    auto s = ir::parseFunction(ctx, src);
+    auto t = ir::parseFunction(ctx, tgt);
+    EXPECT_TRUE(s.ok() && t.ok());
+    return checkRefinement(**s, **t, options);
+}
+
+} // namespace
+
+TEST(RefineLadderTest, SingleShotBudgetStillTimesOut)
+{
+    // The pre-ladder contract: no tiers, tiny budget -> Timeout.
+    RefineOptions options;
+    options.conflict_budget = 1;
+    auto r = checkWithOptions(kMulCommSrc8, kMulCommTgt8, options);
+    EXPECT_EQ(r.verdict, Verdict::Timeout);
+    EXPECT_EQ(r.backend, "sat");
+}
+
+TEST(RefineLadderTest, EscalationProvesWhatTierOneAbandons)
+{
+    // The budget-edge asymmetry made explicit: tier 1 exhausts (the
+    // single-shot path above reported Timeout), tier 2 resumes the
+    // same solver — learnt clauses intact — and completes the proof.
+    RefineOptions options;
+    options.budget_tiers = {1, 0}; // 0 = unlimited final tier
+    DegradationStats degradation;
+    SatTelemetry telemetry;
+    options.degradation = &degradation;
+    options.sat_telemetry = &telemetry;
+    auto r = checkWithOptions(kMulCommSrc8, kMulCommTgt8, options);
+    EXPECT_EQ(r.verdict, Verdict::Correct);
+    EXPECT_EQ(r.backend, "sat");
+    EXPECT_EQ(degradation.escalations, 1u);
+    EXPECT_EQ(degradation.concrete_fallbacks, 0u);
+    EXPECT_EQ(degradation.degraded, 0u);
+    EXPECT_EQ(telemetry.solves, 2u);
+}
+
+TEST(RefineLadderTest, ExhaustedLadderRescuedByExhaustiveTesting)
+{
+    // 16 total input bits: the concrete fallback can enumerate the
+    // whole space, so the degraded query still concludes soundly.
+    RefineOptions options;
+    options.budget_tiers = {1};
+    DegradationStats degradation;
+    options.degradation = &degradation;
+    auto r = checkWithOptions(kMulCommSrc8, kMulCommTgt8, options);
+    EXPECT_EQ(r.verdict, Verdict::Correct);
+    EXPECT_EQ(r.backend, "exhaustive");
+    EXPECT_NE(r.detail.find("after SAT budget ladder exhausted"),
+              std::string::npos);
+    EXPECT_EQ(degradation.escalations, 0u);
+    EXPECT_EQ(degradation.concrete_fallbacks, 1u);
+    EXPECT_EQ(degradation.exhaustive_rescues, 1u);
+    EXPECT_EQ(degradation.degraded, 0u);
+}
+
+TEST(RefineLadderTest, ExhaustedLadderOverWideInputsIsDegraded)
+{
+    // 64 input bits: sampling cannot prove anything, so the verdict is
+    // Degraded — never Correct, never Timeout — and says why.
+    RefineOptions options;
+    options.budget_tiers = {1};
+    DegradationStats degradation;
+    options.degradation = &degradation;
+    auto r = checkWithOptions(kMulCommSrc32, kMulCommTgt32, options);
+    EXPECT_EQ(r.verdict, Verdict::Degraded);
+    EXPECT_EQ(r.backend, "sampled");
+    EXPECT_NE(r.detail.find("not a proof"), std::string::npos);
+    EXPECT_EQ(degradation.concrete_fallbacks, 1u);
+    EXPECT_EQ(degradation.exhaustive_rescues, 0u);
+    EXPECT_EQ(degradation.degraded, 1u);
+    // The feedback path must not pretend this was a counterexample.
+    static ir::Context ctx;
+    auto src = ir::parseFunction(ctx, kMulCommSrc32);
+    ASSERT_TRUE(src.ok());
+    std::string feedback = r.feedbackMessage(**src);
+    EXPECT_NE(feedback.find("degraded"), std::string::npos);
+}
+
+TEST(RefineLadderTest, SessionLadderMatchesOneShot)
+{
+    static ir::Context ctx;
+    auto src8 = ir::parseFunction(ctx, kMulCommSrc8);
+    auto tgt8 = ir::parseFunction(ctx, kMulCommTgt8);
+    auto src32 = ir::parseFunction(ctx, kMulCommSrc32);
+    auto tgt32 = ir::parseFunction(ctx, kMulCommTgt32);
+    ASSERT_TRUE(src8.ok() && tgt8.ok() && src32.ok() && tgt32.ok());
+
+    // Escalated proof through a session.
+    RefineOptions options;
+    options.budget_tiers = {1, 0};
+    DegradationStats degradation;
+    options.degradation = &degradation;
+    RefinementSession session8(**src8, options);
+    auto r8 = session8.check(**tgt8);
+    EXPECT_EQ(r8.verdict, Verdict::Correct);
+    EXPECT_EQ(r8.backend, "sat");
+    EXPECT_GE(degradation.escalations, 1u);
+
+    // Degraded verdicts are byte-identical to the one-shot path
+    // (the concrete backend has no solver state to diverge on).
+    RefineOptions short_ladder;
+    short_ladder.budget_tiers = {1};
+    RefinementSession session32(**src32, short_ladder);
+    auto session_result = session32.check(**tgt32);
+    auto fresh_result =
+        checkRefinement(**src32, **tgt32, short_ladder);
+    EXPECT_EQ(session_result.verdict, Verdict::Degraded);
+    EXPECT_EQ(session_result.verdict, fresh_result.verdict);
+    EXPECT_EQ(session_result.backend, fresh_result.backend);
+    EXPECT_EQ(session_result.detail, fresh_result.detail);
+}

@@ -120,3 +120,109 @@ TEST(ResultTest, ValueAndError)
     Result<int> no_loc(Error{"plain"});
     EXPECT_EQ(no_loc.error().toString(), "plain");
 }
+
+// ---------------------------------------------------------------------
+// Failpoint registry (support/failpoint.h). These tests configure the
+// process-wide registry, so each one clears it on the way out.
+// ---------------------------------------------------------------------
+
+#include <algorithm>
+
+#include "support/failpoint.h"
+
+namespace {
+
+struct FailPointGuard
+{
+    ~FailPointGuard() { lpo::FailPoints::instance().clear(); }
+};
+
+} // namespace
+
+TEST(FailPointTest, OffByDefaultAndListsSites)
+{
+    FailPointGuard guard;
+    auto &fp = lpo::FailPoints::instance();
+    fp.clear();
+    EXPECT_FALSE(lpo::FailPoints::anyArmed());
+    auto names = fp.siteNames();
+    ASSERT_FALSE(names.empty());
+    // The chaos CI sweeps this list; the core sites must be present.
+    auto has = [&](const char *name) {
+        return std::find(names.begin(), names.end(), name) != names.end();
+    };
+    EXPECT_TRUE(has("sat.exhaust"));
+    EXPECT_TRUE(has("bitblast.throw"));
+    EXPECT_TRUE(has("parser.fail"));
+    EXPECT_TRUE(has("patchback.fail"));
+    EXPECT_FALSE(LPO_FAILPOINT("sat.exhaust"));
+}
+
+TEST(FailPointTest, AlwaysOnceNthModes)
+{
+    FailPointGuard guard;
+    auto &fp = lpo::FailPoints::instance();
+    ASSERT_TRUE(fp.configure("sat.exhaust=always"));
+    EXPECT_TRUE(lpo::FailPoints::anyArmed());
+    EXPECT_TRUE(LPO_FAILPOINT("sat.exhaust"));
+    EXPECT_TRUE(LPO_FAILPOINT("sat.exhaust"));
+    EXPECT_EQ(fp.hits("sat.exhaust"), 2u);
+    EXPECT_EQ(fp.fires("sat.exhaust"), 2u);
+
+    ASSERT_TRUE(fp.configure("sat.exhaust=once"));
+    EXPECT_EQ(fp.hits("sat.exhaust"), 0u); // configure resets counters
+    EXPECT_TRUE(LPO_FAILPOINT("sat.exhaust"));
+    EXPECT_FALSE(LPO_FAILPOINT("sat.exhaust"));
+    EXPECT_EQ(fp.fires("sat.exhaust"), 1u);
+
+    ASSERT_TRUE(fp.configure("sat.exhaust=nth:3"));
+    EXPECT_FALSE(LPO_FAILPOINT("sat.exhaust"));
+    EXPECT_FALSE(LPO_FAILPOINT("sat.exhaust"));
+    EXPECT_TRUE(LPO_FAILPOINT("sat.exhaust"));
+    EXPECT_FALSE(LPO_FAILPOINT("sat.exhaust"));
+}
+
+TEST(FailPointTest, ProbModeIsSeededAndBounded)
+{
+    FailPointGuard guard;
+    auto &fp = lpo::FailPoints::instance();
+    ASSERT_TRUE(fp.configure("parser.fail=prob:0.5:7"));
+    int fires_a = 0;
+    for (int i = 0; i < 200; ++i)
+        fires_a += LPO_FAILPOINT("parser.fail") ? 1 : 0;
+    // Re-configuring with the same seed replays the same stream.
+    ASSERT_TRUE(fp.configure("parser.fail=prob:0.5:7"));
+    int fires_b = 0;
+    for (int i = 0; i < 200; ++i)
+        fires_b += LPO_FAILPOINT("parser.fail") ? 1 : 0;
+    EXPECT_EQ(fires_a, fires_b);
+    EXPECT_GT(fires_a, 0);
+    EXPECT_LT(fires_a, 200);
+}
+
+TEST(FailPointTest, RejectsBadSpecsAtomically)
+{
+    FailPointGuard guard;
+    auto &fp = lpo::FailPoints::instance();
+    ASSERT_TRUE(fp.configure("sat.exhaust=always"));
+    std::string error;
+    // Unknown site: rejected, existing configuration untouched.
+    EXPECT_FALSE(fp.configure("no.such.site=always", &error));
+    EXPECT_NE(error.find("no.such.site"), std::string::npos);
+    EXPECT_TRUE(LPO_FAILPOINT("sat.exhaust"));
+    // Malformed mode, malformed clause: same.
+    EXPECT_FALSE(fp.configure("sat.exhaust=sometimes", &error));
+    EXPECT_FALSE(fp.configure("sat.exhaust", &error));
+    EXPECT_FALSE(fp.configure("sat.exhaust=nth:0", &error));
+    EXPECT_FALSE(fp.configure("sat.exhaust=prob:1.5", &error));
+    EXPECT_TRUE(LPO_FAILPOINT("sat.exhaust"));
+    // Multi-clause specs use ';' or ','.
+    ASSERT_TRUE(fp.configure("sat.exhaust=always;parser.fail=once"));
+    EXPECT_TRUE(LPO_FAILPOINT("sat.exhaust"));
+    EXPECT_TRUE(LPO_FAILPOINT("parser.fail"));
+    EXPECT_FALSE(LPO_FAILPOINT("parser.fail"));
+    // clear() disarms everything.
+    fp.clear();
+    EXPECT_FALSE(lpo::FailPoints::anyArmed());
+    EXPECT_FALSE(LPO_FAILPOINT("sat.exhaust"));
+}

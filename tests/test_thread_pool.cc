@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <vector>
 
 #include "support/thread_pool.h"
@@ -65,6 +66,45 @@ TEST(ThreadPoolTest, ChunkBoundariesClampToEnd)
         covered.fetch_add(hi - lo);
     });
     EXPECT_EQ(covered.load(), 100u);
+}
+
+TEST(ThreadPoolTest, BodyExceptionPropagatesToCaller)
+{
+    for (unsigned threads : {1u, 2u, 8u}) {
+        ThreadPool pool(threads);
+        EXPECT_THROW(
+            pool.parallelFor(0, 1'000, 8,
+                             [&](uint64_t lo, uint64_t) {
+                                 if (lo >= 100)
+                                     throw std::runtime_error("boom");
+                             }),
+            std::runtime_error)
+            << "threads " << threads;
+        // The pool must stay fully usable after a throwing job.
+        std::atomic<uint64_t> covered{0};
+        pool.parallelFor(0, 500, 16, [&](uint64_t lo, uint64_t hi) {
+            covered.fetch_add(hi - lo);
+        });
+        EXPECT_EQ(covered.load(), 500u) << "threads " << threads;
+    }
+}
+
+TEST(ThreadPoolTest, ExceptionSkipsRemainingChunks)
+{
+    ThreadPool pool(4);
+    std::atomic<uint64_t> chunks_run{0};
+    try {
+        pool.parallelFor(0, 1'000'000, 1, [&](uint64_t, uint64_t) {
+            chunks_run.fetch_add(1);
+            throw std::runtime_error("first chunk dies");
+        });
+        FAIL() << "parallelFor swallowed the body exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "first chunk dies");
+    }
+    // Every thread stops claiming once the error latches; far fewer
+    // than the million chunks actually ran.
+    EXPECT_LT(chunks_run.load(), 1'000u);
 }
 
 TEST(ThreadPoolTest, HardwareThreadsNonZero)

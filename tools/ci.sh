@@ -20,6 +20,26 @@ for config in Release Debug; do
     ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
 done
 
+echo "=== Chaos sweep: every failpoint site, one at a time (Release) ==="
+# Each site is forced to fire on every hit while the end-to-end module
+# run (ChaosEnvTest) must still complete without crashing or patching
+# invalid IR. The per-site degradation telemetry is collected into
+# chaos_degradation.txt so the fault-handling trajectory is tracked
+# per commit alongside the perf numbers.
+: > chaos_degradation.txt
+for site in $(./build-release/lpo_cli failpoints); do
+    echo "--- chaos site: ${site} ---"
+    LPO_FAILPOINTS="${site}=always" \
+        ./build-release/test_chaos --gtest_filter='ChaosEnvTest.*' \
+        | tee /tmp/chaos_site.log
+    {
+        echo "site: ${site}"
+        grep '^degradation:' /tmp/chaos_site.log || echo "degradation: none"
+    } >> chaos_degradation.txt
+done
+echo "chaos_degradation.txt:"
+cat chaos_degradation.txt
+
 echo "=== Interpreter throughput benchmark (Release) ==="
 # The benchmark writes BENCH_interp.json into its working directory.
 (cd build-release && ./bench_interp_throughput)
