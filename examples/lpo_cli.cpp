@@ -9,6 +9,9 @@
  *   lpo run <file.ll> [model] [options]
  *                                  run the LPO loop on every sequence
  *   lpo models                     list the Table 1 model registry
+ *   lpo store info|verify|compact <dir>
+ *                                  inspect / integrity-check / compact
+ *                                  a persistent verify store
  *
  * Files may contain one function (verify) or a whole module.
  */
@@ -19,6 +22,8 @@
 #include <map>
 #include <sstream>
 
+#include <sys/stat.h>
+
 #include "core/module_opt.h"
 #include "core/pipeline.h"
 #include "core/report.h"
@@ -28,6 +33,8 @@
 #include "llm/mock_model.h"
 #include "opt/opt_driver.h"
 #include "support/failpoint.h"
+#include "support/kvstore.h"
+#include "verify/persist.h"
 #include "verify/refine.h"
 
 using namespace lpo;
@@ -118,6 +125,8 @@ struct RunOptions
     core::PipelineConfig config;
     bool sat_stats = false;
     bool degradation_stats = false;
+    /** optimize-module only: write the patched module here. */
+    std::string emit_path;
 };
 
 bool
@@ -155,6 +164,19 @@ parseRunOptions(int argc, char **argv, int first, RunOptions *out)
             out->sat_stats = true;
         } else if (!std::strcmp(arg, "--degradation-stats")) {
             out->degradation_stats = true;
+        } else if (!std::strncmp(arg, "--store=", 8)) {
+            if (!arg[8]) {
+                std::fprintf(stderr,
+                             "lpo: --store needs a directory path\n");
+                return false;
+            }
+            out->config.store_path = arg + 8;
+        } else if (!std::strncmp(arg, "--emit=", 7)) {
+            if (!arg[7]) {
+                std::fprintf(stderr, "lpo: --emit needs a file path\n");
+                return false;
+            }
+            out->emit_path = arg + 7;
         } else if (arg[0] == '-') {
             std::fprintf(stderr, "lpo: unknown option '%s'\n", arg);
             return false;
@@ -292,7 +314,112 @@ cmdOptimizeModule(const char *path, const RunOptions &options)
     if (options.degradation_stats && !anyDegradation(result.pipeline))
         std::fprintf(stderr, "%s",
                      core::degradationStatsLine(result.pipeline).c_str());
+    if (!options.emit_path.empty()) {
+        std::ofstream out(options.emit_path);
+        if (!out) {
+            std::fprintf(stderr, "lpo: cannot write '%s'\n",
+                         options.emit_path.c_str());
+            return 1;
+        }
+        out << ir::printModule(**module);
+        out.close();
+        if (!out) {
+            std::fprintf(stderr, "lpo: write to '%s' failed\n",
+                         options.emit_path.c_str());
+            return 1;
+        }
+    }
     return 0;
+}
+
+/** `lpo store info|verify|compact <dir>` — offline store maintenance.
+ *  info prints each file's status read-only; verify additionally exits
+ *  2 when anything is corrupt, torn, or rejected (nothing is repaired
+ *  — a clean exit certifies the store as-is); compact runs the normal
+ *  recovery open and rewrites both files as deduplicated snapshots. */
+int
+cmdStore(const char *action, const char *dir)
+{
+    const struct
+    {
+        const char *name;
+        KvOpenOptions options;
+    } files[] = {
+        {verify::kVerifyStoreFile, verify::verifyStoreFileOptions(true)},
+        {verify::kCatalogStoreFile,
+         verify::catalogStoreFileOptions(true)},
+    };
+
+    if (!std::strcmp(action, "info") || !std::strcmp(action, "verify")) {
+        const bool checking = !std::strcmp(action, "verify");
+        int rc = 0;
+        for (const auto &file : files) {
+            std::string path = std::string(dir) + "/" + file.name;
+            struct stat st;
+            if (::stat(path.c_str(), &st) != 0) {
+                std::printf("%s: absent\n", file.name);
+                continue;
+            }
+            KvLoadStats stats;
+            std::string error;
+            KvOpen status = KvStore::inspect(path, file.options, nullptr,
+                                             &stats, &error);
+            std::printf("%s: %s, %llu record(s), %llu corrupt, "
+                        "%llu torn byte(s)\n",
+                        file.name, kvOpenName(status),
+                        (unsigned long long)stats.records,
+                        (unsigned long long)stats.quarantined,
+                        (unsigned long long)stats.torn_bytes);
+            if (!kvOpenUsable(status)) {
+                if (!error.empty())
+                    std::printf("  %s\n", error.c_str());
+                if (checking)
+                    rc = 2;
+            } else if (stats.recovered) {
+                if (checking)
+                    rc = 2;
+                else
+                    std::printf("  recovery pending (reopen for write "
+                                "or run `lpo store compact`)\n");
+            }
+        }
+        if (checking)
+            std::printf("store: %s\n", rc ? "FAILED" : "OK");
+        return rc;
+    }
+
+    if (!std::strcmp(action, "compact")) {
+        verify::VerifyCache cache;
+        std::string warning;
+        auto store = verify::PersistentStore::open(dir, &cache, &warning);
+        if (!warning.empty())
+            std::fprintf(stderr, "lpo: warning: %s\n", warning.c_str());
+        if (!store)
+            return 1;
+        std::string error;
+        if (!store->compact(&error)) {
+            std::fprintf(stderr, "lpo: compact failed: %s\n",
+                         error.c_str());
+            return 1;
+        }
+        verify::StoreStats stats = store->stats();
+        std::printf("compacted: %llu verdict(s) + %llu rewrite(s) kept, "
+                    "%llu recover%s, %llu quarantined, %llu undecodable "
+                    "dropped\n",
+                    (unsigned long long)stats.cache_loaded,
+                    (unsigned long long)stats.catalog_loaded,
+                    (unsigned long long)stats.recoveries,
+                    stats.recoveries == 1 ? "y" : "ies",
+                    (unsigned long long)stats.quarantined,
+                    (unsigned long long)stats.decode_skipped);
+        return 0;
+    }
+
+    std::fprintf(stderr,
+                 "lpo: unknown store action '%s' "
+                 "(expected info, verify, or compact)\n",
+                 action);
+    return 1;
 }
 
 int
@@ -332,6 +459,12 @@ usage()
         "                             module; prints the per-function\n"
         "                             savings table (accepts the same\n"
         "                             options as run)\n"
+        "  store info <dir>           print each store file's status\n"
+        "  store verify <dir>         integrity-check a store; exit 2\n"
+        "                             on corruption, torn tails, or\n"
+        "                             version/option skew\n"
+        "  store compact <dir>        recover and rewrite both files\n"
+        "                             as deduplicated snapshots\n"
         "  models                     list the model registry\n"
         "  failpoints                 list the registered fault-\n"
         "                             injection sites (armed via the\n"
@@ -368,7 +501,14 @@ usage()
         "                             line (budget-ladder escalations,\n"
         "                             concrete fallbacks, degraded\n"
         "                             verdicts, contained exceptions)\n"
-        "                             even when all counters are zero\n");
+        "                             even when all counters are zero\n"
+        "  --store=DIR                persist verified verdicts and\n"
+        "                             learned rewrites in DIR (created\n"
+        "                             if missing); warm runs replay\n"
+        "                             them for free. An unusable path\n"
+        "                             warns once and runs memory-only\n"
+        "  --emit=FILE                optimize-module only: write the\n"
+        "                             patched module text to FILE\n");
 }
 
 } // namespace
@@ -400,6 +540,8 @@ dispatch(int argc, char **argv)
             return 1;
         return cmdOptimizeModule(argv[2], options);
     }
+    if (!std::strcmp(cmd, "store") && argc == 4)
+        return cmdStore(argv[2], argv[3]);
     if (!std::strcmp(cmd, "models"))
         return cmdModels();
     if (!std::strcmp(cmd, "failpoints"))

@@ -311,6 +311,10 @@ ModuleOptimizer::optimize(ir::Module &module, uint64_t round_seed)
     }
     result.functions = std::move(savings);
     result.extraction = extractor.stats();
+    // Make this run's verdicts and learned rewrites durable before the
+    // stats snapshot: a kill -9 between modules then loses nothing,
+    // and the reported store counters include this run's flush.
+    pipeline_.flushStore();
     result.pipeline = pipeline_.stats();
     return result;
 }

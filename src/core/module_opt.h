@@ -165,6 +165,10 @@ class ModuleOptimizer
 
     const PipelineStats &pipelineStats() const { return pipeline_.stats(); }
 
+    /** Journal pending store state now (optimize() already flushes at
+     *  the end of every call); see Pipeline::flushStore. */
+    bool flushStore() { return pipeline_.flushStore(); }
+
   private:
     /** Per-function fresh-name state for spliced instructions: one
      *  monotone counter plus the set of names already in use (seeded

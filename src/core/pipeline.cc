@@ -1,5 +1,7 @@
 #include "core/pipeline.h"
 
+#include <cstdio>
+
 #include "core/interestingness.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
@@ -7,6 +9,41 @@
 #include "support/thread_pool.h"
 
 namespace lpo::core {
+
+Pipeline::Pipeline(llm::LlmClient &client, PipelineConfig config)
+    : client_(client), config_(std::move(config))
+{
+    if (config_.store_path.empty())
+        return;
+    std::string warning;
+    store_ = verify::PersistentStore::open(config_.store_path,
+                                           &verify_cache_, &warning);
+    if (!warning.empty())
+        // Once, at construction: persistence problems degrade to
+        // in-memory operation, they never abort or fail the run.
+        std::fprintf(stderr, "lpo: warning: %s\n", warning.c_str());
+    if (store_)
+        catalog_proposer_ = CatalogProposer(&store_->catalog());
+    refreshCacheStats();
+}
+
+Pipeline::~Pipeline()
+{
+    // Detach the publish hook (it captures this pipeline's store)
+    // before members destruct; the store's own destructor flushes.
+    if (store_)
+        flushStore();
+}
+
+bool
+Pipeline::flushStore()
+{
+    if (!store_)
+        return true;
+    bool ok = store_->flush();
+    refreshCacheStats();
+    return ok;
+}
 
 const char *
 caseStatusName(CaseStatus status)
@@ -39,6 +76,19 @@ Pipeline::refreshCacheStats()
     verify::VerifyCache::Stats cache_stats = verify_cache_.stats();
     stats_.verify_cache_hits = cache_stats.hits;
     stats_.verify_cache_misses = cache_stats.misses;
+    stats_.verify_cache_evictions = cache_stats.evictions;
+    if (!store_)
+        return;
+    verify::StoreStats store_stats = store_->stats();
+    stats_.store_cache_loaded = store_stats.cache_loaded;
+    stats_.store_catalog_loaded = store_stats.catalog_loaded;
+    stats_.store_cache_flushed = store_stats.cache_flushed;
+    stats_.store_catalog_flushed = store_stats.catalog_flushed;
+    stats_.store_flush_failures = store_stats.flush_failures;
+    stats_.store_recoveries = store_stats.recoveries;
+    stats_.store_quarantined = store_stats.quarantined;
+    stats_.store_rejected_files = store_stats.rejected_files;
+    stats_.store_decode_skipped = store_stats.decode_skipped;
 }
 
 CaseOutcome
@@ -46,7 +96,7 @@ Pipeline::runAttemptLoop(Proposer &proposer, const ir::Function &seq,
                          uint64_t round_seed, PipelineStats &stats,
                          verify::RefinementSession &session)
 {
-    const bool is_llm = proposer.backend() == Proposer::Backend::Llm;
+    const Proposer::Backend backend = proposer.backend();
     CaseOutcome outcome;
     outcome.proposer = proposer.name();
     outcome.total_seconds = config_.overhead_seconds;
@@ -56,8 +106,10 @@ Pipeline::runAttemptLoop(Proposer &proposer, const ir::Function &seq,
     unsigned counter = 0;
 
     while (counter < config_.attempt_limit) {
-        if (!is_llm)
+        if (backend == Proposer::Backend::EGraph)
             ++stats.egraph_consults;
+        else if (backend == Proposer::Backend::Catalog)
+            ++stats.catalog_consults;
         std::optional<Proposal> proposal = proposer.propose(
             seq, seq_text, feedback, round_seed * 7919 + counter);
         if (!proposal) {
@@ -67,10 +119,13 @@ Pipeline::runAttemptLoop(Proposer &proposer, const ir::Function &seq,
                 outcome.status = CaseStatus::NoCandidate;
             break;
         }
-        if (is_llm)
-            ++stats.llm_calls;
-        else
-            ++stats.egraph_proposals;
+        switch (backend) {
+          case Proposer::Backend::Llm: ++stats.llm_calls; break;
+          case Proposer::Backend::EGraph: ++stats.egraph_proposals; break;
+          case Proposer::Backend::Catalog:
+            ++stats.catalog_proposals;
+            break;
+        }
         ++outcome.attempts;
         outcome.llm_seconds += proposal->latency_seconds;
         outcome.total_seconds += proposal->latency_seconds;
@@ -138,10 +193,13 @@ Pipeline::runAttemptLoop(Proposer &proposer, const ir::Function &seq,
         outcome.status = CaseStatus::Found;
         outcome.candidate_text = ir::printFunction(*opted.function);
         ++stats.found;
-        if (is_llm)
-            ++stats.found_by_llm;
-        else
-            ++stats.found_by_egraph;
+        switch (backend) {
+          case Proposer::Backend::Llm: ++stats.found_by_llm; break;
+          case Proposer::Backend::EGraph: ++stats.found_by_egraph; break;
+          case Proposer::Backend::Catalog:
+            ++stats.found_by_catalog;
+            break;
+        }
         break;
     }
 
@@ -218,6 +276,20 @@ Pipeline::runCase(const ir::Function &seq, uint64_t round_seed,
                                   stats, session);
         break;
       case ProposerKind::Hybrid: {
+        // Zero-SAT-cost first leg: replay a catalog rewrite learned in
+        // a previous run (verify/persist.h). A hit verifies against
+        // the seeded cache and skips the LLM entirely; any failure —
+        // miss, stale candidate refuted, gate rejection — falls
+        // through to the ordinary LLM leg as if the catalog were
+        // absent (its lookup is free, so no time is charged).
+        if (catalog_proposer_.enabled()) {
+            CaseOutcome replayed = runLegContained(
+                catalog_proposer_, seq, round_seed, stats, session);
+            if (replayed.found()) {
+                outcome = std::move(replayed);
+                break;
+            }
+        }
         outcome = runLegContained(llm_proposer_, seq, round_seed, stats,
                                   session);
         // Fall back whenever the LLM leg failed for a reason the
@@ -252,6 +324,14 @@ Pipeline::runCase(const ir::Function &seq, uint64_t round_seed,
         break;
       }
     }
+
+    // Learn every verified rewrite (any mode, any backend except the
+    // catalog itself — re-recording a replay would be a no-op). The
+    // record is a pending entry flushed with the store; it never
+    // becomes visible to lookups within this run (determinism).
+    if (store_ && outcome.found() && outcome.proposer != "catalog")
+        store_->catalog().record(ir::printFunctionCanonical(seq),
+                                 outcome.candidate_text);
 
     // The deadline currency: deterministic work units, not seconds.
     outcome.step_cost = telemetry.conflicts + outcome.attempts;
@@ -362,6 +442,9 @@ Pipeline::processSequences(
         stats_.found_by_llm += delta.found_by_llm;
         stats_.found_by_egraph += delta.found_by_egraph;
         stats_.hybrid_fallbacks += delta.hybrid_fallbacks;
+        stats_.catalog_consults += delta.catalog_consults;
+        stats_.catalog_proposals += delta.catalog_proposals;
+        stats_.found_by_catalog += delta.found_by_catalog;
         stats_.sat_solves += delta.sat_solves;
         stats_.sat_decisions += delta.sat_decisions;
         stats_.sat_conflicts += delta.sat_conflicts;

@@ -65,6 +65,17 @@ struct PipelineConfig
     ProposerKind proposer = ProposerKind::Llm;
     /** E-graph saturation budgets (egraph / hybrid modes). */
     egraph::SaturationLimits egraph_limits;
+    /**
+     * Directory of the crash-safe persistent verify store (empty =
+     * no persistence; see verify/persist.h). On construction the
+     * pipeline seeds its verify cache from `verify.lpo` and loads the
+     * learned rewrite catalog from `catalog.lpo`; fresh verdicts and
+     * rewrites are journaled back on flushStore()/destruction. In
+     * hybrid mode the catalog runs as a zero-SAT-cost first proposer
+     * leg. An unusable path degrades to in-memory operation with one
+     * stderr warning — persistence never fails a run.
+     */
+    std::string store_path;
 };
 
 /** Why a case ended. */
@@ -128,6 +139,7 @@ struct PipelineStats
      */
     uint64_t verify_cache_hits = 0;
     uint64_t verify_cache_misses = 0;
+    uint64_t verify_cache_evictions = 0;
     /**
      * SAT work counters (verify::SatTelemetry folded per case in
      * sequence order). They count solving actually performed, so with
@@ -157,6 +169,25 @@ struct PipelineStats
     uint64_t found_by_egraph = 0;   ///< findings from e-graph attempts
     uint64_t hybrid_fallbacks = 0;  ///< hybrid cases that consulted
                                     ///< the e-graph after the LLM
+    // Learned-catalog accounting (hybrid first leg; see
+    // verify/persist.h and core::CatalogProposer).
+    uint64_t catalog_consults = 0;  ///< propose() calls on the catalog
+    uint64_t catalog_proposals = 0; ///< candidates the catalog offered
+    uint64_t found_by_catalog = 0;  ///< findings replayed from it
+    /**
+     * Persistent-store accounting (absolute snapshots of the store's
+     * StoreStats, like the cache counters above; all zero when no
+     * store is configured). See verify/persist.h.
+     */
+    uint64_t store_cache_loaded = 0;
+    uint64_t store_catalog_loaded = 0;
+    uint64_t store_cache_flushed = 0;
+    uint64_t store_catalog_flushed = 0;
+    uint64_t store_flush_failures = 0;
+    uint64_t store_recoveries = 0;
+    uint64_t store_quarantined = 0;
+    uint64_t store_rejected_files = 0;
+    uint64_t store_decode_skipped = 0;
     /**
      * Degradation-ladder accounting (verify::DegradationStats folded
      * per case in sequence order; work-done semantics like the SAT
@@ -179,9 +210,14 @@ struct PipelineStats
 class Pipeline
 {
   public:
-    Pipeline(llm::LlmClient &client, PipelineConfig config = {})
-        : client_(client), config_(config)
-    {}
+    /**
+     * Opens the persistent store when config.store_path is set:
+     * seeds the verify cache, loads the catalog, and prints one
+     * stderr warning (then continues in-memory) if the path is
+     * unusable. The destructor flushes pending store state.
+     */
+    Pipeline(llm::LlmClient &client, PipelineConfig config = {});
+    ~Pipeline();
 
     /** Run the loop on one wrapped instruction sequence. */
     CaseOutcome optimizeSequence(const ir::Function &seq,
@@ -210,6 +246,18 @@ class Pipeline
                      uint64_t round_seed = 0);
 
     const PipelineStats &stats() const { return stats_; }
+
+    /**
+     * Journal pending verdicts and learned rewrites to the store and
+     * fsync (no-op without a store). Called by the destructor too;
+     * exposed so module runs can persist before reporting. Returns
+     * false if any record failed to append (counted in stats).
+     */
+    bool flushStore();
+
+    /** The open persistent store, or nullptr (no store_path / path
+     *  unusable). */
+    const verify::PersistentStore *store() const { return store_.get(); }
 
   private:
     /**
@@ -242,7 +290,7 @@ class Pipeline
                                 uint64_t round_seed, PipelineStats &stats,
                                 verify::RefinementSession &session);
 
-    /** Copy the shared cache's counters into stats_. */
+    /** Copy the shared cache's and store's counters into stats_. */
     void refreshCacheStats();
 
     llm::LlmClient &client_;
@@ -255,10 +303,16 @@ class Pipeline
     EGraphProposer egraph_proposer_{config_.egraph_limits};
     /** Shared across every case and worker thread for the lifetime
      *  of the pipeline, so repeat candidates across modules hit. The
-     *  soft entry cap bounds memory on long-running deployments; it
-     *  is far above any single run's distinct-query count, so stats
-     *  stay thread-count-invariant in practice (see verify/cache.h). */
+     *  entry cap bounds memory on long-running deployments (oldest
+     *  entries evicted per shard); it is far above any single run's
+     *  distinct-query count, so stats stay thread-count-invariant in
+     *  practice (see verify/cache.h). */
     verify::VerifyCache verify_cache_{16, size_t(1) << 20};
+    /** Open store for config_.store_path, or null. Declared after
+     *  verify_cache_ (it seeds the cache and hooks its publishes) and
+     *  before catalog_proposer_ (which reads its catalog). */
+    std::unique_ptr<verify::PersistentStore> store_;
+    CatalogProposer catalog_proposer_{nullptr};
 };
 
 } // namespace lpo::core

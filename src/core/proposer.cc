@@ -36,7 +36,12 @@ parseProposerKind(const std::string &name, ProposerKind *out)
 const char *
 Proposer::name() const
 {
-    return backend() == Backend::Llm ? "llm" : "egraph";
+    switch (backend()) {
+      case Backend::Llm: return "llm";
+      case Backend::EGraph: return "egraph";
+      case Backend::Catalog: return "catalog";
+    }
+    return "?";
 }
 
 std::optional<Proposal>
@@ -105,6 +110,26 @@ EGraphProposer::propose(const ir::Function &seq, const std::string &,
 
     Proposal proposal;
     proposal.text = ir::printFunction(*best);
+    return proposal;
+}
+
+std::optional<Proposal>
+CatalogProposer::propose(const ir::Function &seq, const std::string &,
+                         const std::string &feedback, uint64_t)
+{
+    if (!catalog_)
+        return std::nullopt;
+    // One candidate per sequence: non-empty feedback means that
+    // candidate already failed this case, so there is nothing new to
+    // offer (same contract as the e-graph backend).
+    if (!feedback.empty())
+        return std::nullopt;
+    const std::string *text =
+        catalog_->lookup(ir::printFunctionCanonical(seq));
+    if (!text)
+        return std::nullopt;
+    Proposal proposal;
+    proposal.text = *text;
     return proposal;
 }
 

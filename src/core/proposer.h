@@ -19,6 +19,7 @@
 #include "egraph/rules.h"
 #include "ir/function.h"
 #include "llm/client.h"
+#include "verify/persist.h"
 
 namespace lpo::core {
 
@@ -52,12 +53,12 @@ struct Proposal
 class Proposer
 {
   public:
-    enum class Backend { Llm, EGraph };
+    enum class Backend { Llm, EGraph, Catalog };
 
     virtual ~Proposer() = default;
 
     virtual Backend backend() const = 0;
-    /** Stats/report key: "llm" or "egraph". */
+    /** Stats/report key: "llm", "egraph", or "catalog". */
     const char *name() const;
 
     virtual std::optional<Proposal>
@@ -106,6 +107,38 @@ class EGraphProposer : public Proposer
 
   private:
     egraph::SaturationLimits limits_;
+};
+
+/**
+ * The learned-rewrite backend: replay a candidate the persistent
+ * store (see verify/persist.h) remembers as once verified against a
+ * structurally identical sequence. Runs as the first hybrid leg — a
+ * hit skips the LLM entirely, and because the matching verdict was
+ * persisted alongside it, verification is a cache hit: zero SAT cost.
+ * The proposal is still plain text that re-runs opt, the
+ * interestingness gate, and full verification, so a stale or corrupt
+ * catalog entry degrades to an ordinary failed attempt, never an
+ * unproved patch. Deterministic: lookups see only open-time catalog
+ * state. Feedback-free like the e-graph — its one candidate already
+ * failed if feedback is non-empty.
+ */
+class CatalogProposer : public Proposer
+{
+  public:
+    /** @p catalog may be null (no store configured): never proposes. */
+    explicit CatalogProposer(const verify::RewriteCatalog *catalog)
+        : catalog_(catalog)
+    {}
+
+    Backend backend() const override { return Backend::Catalog; }
+    std::optional<Proposal>
+    propose(const ir::Function &seq, const std::string &seq_text,
+            const std::string &feedback, uint64_t attempt_seed) override;
+
+    bool enabled() const { return catalog_ != nullptr; }
+
+  private:
+    const verify::RewriteCatalog *catalog_;
 };
 
 } // namespace lpo::core

@@ -107,6 +107,27 @@ degradationStatsLine(const PipelineStats &stats)
 }
 
 std::string
+storeStatsLine(const PipelineStats &stats)
+{
+    char line[320];
+    std::snprintf(
+        line, sizeof(line),
+        "store: %llu verdicts + %llu rewrites loaded, %llu + %llu "
+        "flushed, %llu recoveries, %llu quarantined, %llu undecodable, "
+        "%llu rejected files, %llu dropped writes\n",
+        static_cast<unsigned long long>(stats.store_cache_loaded),
+        static_cast<unsigned long long>(stats.store_catalog_loaded),
+        static_cast<unsigned long long>(stats.store_cache_flushed),
+        static_cast<unsigned long long>(stats.store_catalog_flushed),
+        static_cast<unsigned long long>(stats.store_recoveries),
+        static_cast<unsigned long long>(stats.store_quarantined),
+        static_cast<unsigned long long>(stats.store_decode_skipped),
+        static_cast<unsigned long long>(stats.store_rejected_files),
+        static_cast<unsigned long long>(stats.store_flush_failures));
+    return line;
+}
+
+std::string
 moduleSummary(const PipelineStats &stats,
               const std::vector<CaseOutcome> &outcomes,
               bool verify_cache_enabled, bool incremental_sat_enabled)
@@ -128,7 +149,7 @@ moduleSummary(const PipelineStats &stats,
         headers.push_back(caseStatusName(status));
     TextTable table(std::move(headers));
     bool any_rows = false;
-    for (const char *backend : {"llm", "egraph"}) {
+    for (const char *backend : {"catalog", "llm", "egraph"}) {
         uint64_t counts[kNumStatuses] = {};
         uint64_t total = 0;
         for (const CaseOutcome &outcome : outcomes) {
@@ -151,19 +172,39 @@ moduleSummary(const PipelineStats &stats,
     // A headerless run (e.g. the extractor found no sequences) would
     // render as an orphaned header + underline; skip the table.
     std::string out = any_rows ? table.render() : std::string();
-    char line[256];
-    std::snprintf(
-        line, sizeof(line),
-        "cases=%llu found=%llu (llm %llu, egraph %llu) llm-calls=%llu "
-        "egraph-consults=%llu hybrid-fallbacks=%llu verifier-calls=%llu\n",
-        static_cast<unsigned long long>(stats.cases),
-        static_cast<unsigned long long>(stats.found),
-        static_cast<unsigned long long>(stats.found_by_llm),
-        static_cast<unsigned long long>(stats.found_by_egraph),
-        static_cast<unsigned long long>(stats.llm_calls),
-        static_cast<unsigned long long>(stats.egraph_consults),
-        static_cast<unsigned long long>(stats.hybrid_fallbacks),
-        static_cast<unsigned long long>(stats.verifier_calls));
+    char line[320];
+    if (stats.catalog_consults || stats.found_by_catalog) {
+        std::snprintf(
+            line, sizeof(line),
+            "cases=%llu found=%llu (catalog %llu, llm %llu, egraph "
+            "%llu) llm-calls=%llu egraph-consults=%llu "
+            "catalog-consults=%llu hybrid-fallbacks=%llu "
+            "verifier-calls=%llu\n",
+            static_cast<unsigned long long>(stats.cases),
+            static_cast<unsigned long long>(stats.found),
+            static_cast<unsigned long long>(stats.found_by_catalog),
+            static_cast<unsigned long long>(stats.found_by_llm),
+            static_cast<unsigned long long>(stats.found_by_egraph),
+            static_cast<unsigned long long>(stats.llm_calls),
+            static_cast<unsigned long long>(stats.egraph_consults),
+            static_cast<unsigned long long>(stats.catalog_consults),
+            static_cast<unsigned long long>(stats.hybrid_fallbacks),
+            static_cast<unsigned long long>(stats.verifier_calls));
+    } else {
+        // Catalog-free runs keep the historical line byte-identical.
+        std::snprintf(
+            line, sizeof(line),
+            "cases=%llu found=%llu (llm %llu, egraph %llu) llm-calls=%llu "
+            "egraph-consults=%llu hybrid-fallbacks=%llu verifier-calls=%llu\n",
+            static_cast<unsigned long long>(stats.cases),
+            static_cast<unsigned long long>(stats.found),
+            static_cast<unsigned long long>(stats.found_by_llm),
+            static_cast<unsigned long long>(stats.found_by_egraph),
+            static_cast<unsigned long long>(stats.llm_calls),
+            static_cast<unsigned long long>(stats.egraph_consults),
+            static_cast<unsigned long long>(stats.hybrid_fallbacks),
+            static_cast<unsigned long long>(stats.verifier_calls));
+    }
     out += line;
     // The cache line would read "0 hits / 0 misses" on disabled runs
     // and suggest a malfunction; emit it only when the cache ran.
@@ -193,6 +234,14 @@ moduleSummary(const PipelineStats &stats,
     if (stats.sat_escalations || stats.concrete_fallbacks ||
         stats.degraded_verdicts || stats.contained_exceptions)
         out += degradationStatsLine(stats);
+    // Store telemetry only when persistence actually did something —
+    // store-less runs keep the summary byte-identical to before.
+    if (stats.store_cache_loaded || stats.store_catalog_loaded ||
+        stats.store_cache_flushed || stats.store_catalog_flushed ||
+        stats.store_recoveries || stats.store_quarantined ||
+        stats.store_rejected_files || stats.store_flush_failures ||
+        stats.store_decode_skipped)
+        out += storeStatsLine(stats);
     return out;
 }
 

@@ -74,6 +74,16 @@ std::string satStatsLine(const PipelineStats &stats);
  */
 std::string degradationStatsLine(const PipelineStats &stats);
 
+/**
+ * The one-line persistent-store summary backing `lpo run --store` and
+ * the CI durability sweep: verdicts/rewrites loaded and flushed, plus
+ * the recovery counters (files repaired, records quarantined, records
+ * whose payload failed to decode, files rejected for version/option
+ * skew, records dropped by failed writes). moduleSummary appends it
+ * automatically whenever a store was configured (any counter nonzero).
+ */
+std::string storeStatsLine(const PipelineStats &stats);
+
 } // namespace lpo::core
 
 #endif // LPO_CORE_REPORT_H

@@ -50,6 +50,9 @@ FailPoints::Site g_sites[] = {
     {"proposer.egraph.none"}, // e-graph leg returns no candidate
     {"parser.fail"},          // parseModule/parseFunction reject input
     {"patchback.fail"},       // applyRewrite declines the splice
+    {"store.write.fail"},     // KvStore append drops its record
+    {"store.fsync.fail"},     // KvStore sync reports failure
+    {"store.load.corrupt"},   // loaded record treated as corrupt
 };
 constexpr size_t kNumSites = sizeof(g_sites) / sizeof(g_sites[0]);
 

@@ -8,6 +8,9 @@ namespace lpo::verify {
 VerifyCache::VerifyCache(unsigned shard_count, size_t max_entries)
     : shard_count_(shard_count ? shard_count : 1),
       max_entries_(max_entries),
+      shard_cap_(max_entries
+                     ? (max_entries + shard_count_ - 1) / shard_count_
+                     : 0),
       shards_(std::make_unique<Shard[]>(shard_count ? shard_count : 1))
 {
 }
@@ -16,6 +19,54 @@ VerifyCache::Shard &
 VerifyCache::shardOf(const std::string &key)
 {
     return shards_[fnv1a64(key) % shard_count_];
+}
+
+/**
+ * Enforce the per-shard entry bound (shard lock held by the caller).
+ * Evicts the oldest ready entries first; an entry still being computed
+ * is never evicted — its owner holds a shared_ptr and waiters are
+ * parked on it — so the bound is soft while computations are in
+ * flight. Stale order-queue keys (abandoned computes) are dropped
+ * without counting as evictions.
+ */
+void
+VerifyCache::evictOverCap(Shard &shard)
+{
+    if (!shard_cap_)
+        return;
+    while (shard.map.size() > shard_cap_ && !shard.order.empty()) {
+        const std::string &victim = shard.order.front();
+        auto it = shard.map.find(victim);
+        if (it == shard.map.end()) {
+            shard.order.pop_front();
+            continue;
+        }
+        if (!it->second->ready.load(std::memory_order_acquire))
+            break;
+        shard.map.erase(it);
+        shard.order.pop_front();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+VerifyCache::publish(const std::string &key, const CachedVerdict &value)
+{
+    std::function<void(const std::string &, const CachedVerdict &)> hook;
+    {
+        std::lock_guard<std::mutex> lock(hook_mutex_);
+        hook = publish_hook_;
+    }
+    if (hook)
+        hook(key, value);
+}
+
+void
+VerifyCache::setPublishHook(
+    std::function<void(const std::string &, const CachedVerdict &)> hook)
+{
+    std::lock_guard<std::mutex> lock(hook_mutex_);
+    publish_hook_ = std::move(hook);
 }
 
 RefinementResult
@@ -34,32 +85,18 @@ VerifyCache::lookupOrCompute(
     Shard &shard = shardOf(key);
     std::shared_ptr<Entry> entry;
     bool owner = false;
-    bool over_cap = false;
     {
         std::lock_guard<std::mutex> lock(shard.mutex);
         auto it = shard.map.find(key);
         if (it == shard.map.end()) {
-            // Soft bound: over the cap, compute without inserting so
-            // memory stays bounded while existing keys keep hitting.
-            if (max_entries_ &&
-                entry_count_.load(std::memory_order_relaxed) >=
-                    max_entries_) {
-                over_cap = true;
-            } else {
-                entry = std::make_shared<Entry>();
-                shard.map.emplace(key, entry);
-                entry_count_.fetch_add(1, std::memory_order_relaxed);
-                owner = true;
-            }
+            entry = std::make_shared<Entry>();
+            shard.map.emplace(key, entry);
+            shard.order.push_back(key);
+            owner = true;
+            evictOverCap(shard);
         } else {
             entry = it->second;
         }
-    }
-    if (over_cap) {
-        // Outside the shard lock: a multi-second proof here must not
-        // block every other query hashing to this shard.
-        misses_.fetch_add(1, std::memory_order_relaxed);
-        return compute().result;
     }
 
     if (owner) {
@@ -75,12 +112,11 @@ VerifyCache::lookupOrCompute(
             {
                 std::lock_guard<std::mutex> lock(shard.mutex);
                 shard.map.erase(key);
-                entry_count_.fetch_sub(1, std::memory_order_relaxed);
             }
             {
                 std::lock_guard<std::mutex> lock(entry->mutex);
                 entry->failed = true;
-                entry->ready = true;
+                entry->ready.store(true, std::memory_order_release);
             }
             entry->ready_cv.notify_all();
             throw;
@@ -93,12 +129,11 @@ VerifyCache::lookupOrCompute(
             {
                 std::lock_guard<std::mutex> lock(shard.mutex);
                 shard.map.erase(key);
-                entry_count_.fetch_sub(1, std::memory_order_relaxed);
             }
             {
                 std::lock_guard<std::mutex> lock(entry->mutex);
                 entry->failed = true;
-                entry->ready = true;
+                entry->ready.store(true, std::memory_order_release);
             }
             entry->ready_cv.notify_all();
             misses_.fetch_add(1, std::memory_order_relaxed);
@@ -106,18 +141,27 @@ VerifyCache::lookupOrCompute(
         }
         {
             std::lock_guard<std::mutex> lock(entry->mutex);
-            entry->value = std::move(computed.cached);
-            entry->ready = true;
+            entry->value = computed.cached;
+            entry->ready.store(true, std::memory_order_release);
         }
         entry->ready_cv.notify_all();
         misses_.fetch_add(1, std::memory_order_relaxed);
+        // Now that the entry is ready it is eviction-eligible; apply
+        // the bound again in case in-flight entries blocked it above.
+        if (shard_cap_) {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            evictOverCap(shard);
+        }
+        publish(key, computed.cached);
         return std::move(computed.result);
     }
 
     bool failed;
     {
         std::unique_lock<std::mutex> lock(entry->mutex);
-        entry->ready_cv.wait(lock, [&] { return entry->ready; });
+        entry->ready_cv.wait(lock, [&] {
+            return entry->ready.load(std::memory_order_acquire);
+        });
         failed = entry->failed;
     }
     if (failed) {
@@ -126,6 +170,39 @@ VerifyCache::lookupOrCompute(
     }
     hits_.fetch_add(1, std::memory_order_relaxed);
     return rederive(entry->value);
+}
+
+bool
+VerifyCache::seed(const std::string &key, CachedVerdict verdict)
+{
+    Shard &shard = shardOf(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end())
+        return false;
+    auto entry = std::make_shared<Entry>();
+    entry->value = std::move(verdict);
+    entry->ready.store(true, std::memory_order_release);
+    shard.map.emplace(key, std::move(entry));
+    shard.order.push_back(key);
+    evictOverCap(shard);
+    return true;
+}
+
+void
+VerifyCache::forEach(
+    const std::function<void(const std::string &, const CachedVerdict &)>
+        &visit) const
+{
+    for (unsigned i = 0; i < shard_count_; ++i) {
+        std::lock_guard<std::mutex> lock(shards_[i].mutex);
+        for (const auto &[key, entry] : shards_[i].map) {
+            if (!entry->ready.load(std::memory_order_acquire) ||
+                entry->failed)
+                continue;
+            visit(key, entry->value);
+        }
+    }
 }
 
 size_t
@@ -145,10 +222,11 @@ VerifyCache::clear()
     for (unsigned i = 0; i < shard_count_; ++i) {
         std::lock_guard<std::mutex> lock(shards_[i].mutex);
         shards_[i].map.clear();
+        shards_[i].order.clear();
     }
-    entry_count_.store(0, std::memory_order_relaxed);
     hits_.store(0, std::memory_order_relaxed);
     misses_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
 }
 
 } // namespace lpo::verify

@@ -25,6 +25,12 @@
  * a hit re-renders the counterexample against the caller's own
  * functions, which also keeps argument names correct when the hit
  * comes from an alpha-renamed variant of the cached pair.
+ *
+ * Persistence hooks (see verify/persist.h): seed() pre-populates
+ * entries loaded from a store file before any worker runs, forEach()
+ * walks the ready entries for flush/compaction, and a publish hook
+ * observes every freshly computed verdict so the persistent layer can
+ * journal it. The cache itself stays oblivious to the on-disk format.
  */
 #ifndef LPO_VERIFY_CACHE_H
 #define LPO_VERIFY_CACHE_H
@@ -32,6 +38,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -68,12 +75,14 @@ class VerifyCache
   public:
     /**
      * @param shard_count lock striping for concurrent callers.
-     * @param max_entries soft bound on stored keys (0 = unbounded).
-     *        Once reached, new keys are computed WITHOUT being
-     *        inserted (existing keys keep hitting) — verdicts are
-     *        never affected, but which keys made it in before the cap
-     *        depends on arrival order, so a capped cache's hit/miss
-     *        split is only scheduling-independent below the cap.
+     * @param max_entries bound on stored keys (0 = unbounded). The
+     *        bound is split evenly across shards and enforced by
+     *        evicting each shard's oldest *ready* entries in insertion
+     *        order, so a long-running process cannot grow without
+     *        limit. Verdicts are never affected — an evicted key is
+     *        simply recomputed (a fresh miss) if it comes back — but a
+     *        capped cache's hit/miss split depends on arrival order,
+     *        so it is scheduling-independent only in serial runs.
      */
     explicit VerifyCache(unsigned shard_count = 16,
                          size_t max_entries = 0);
@@ -85,6 +94,7 @@ class VerifyCache
     {
         uint64_t hits = 0;
         uint64_t misses = 0;
+        uint64_t evictions = 0;
 
         double hitRate() const
         {
@@ -119,10 +129,42 @@ class VerifyCache
                     const std::function<RefinementResult(
                         const CachedVerdict &)> &rederive);
 
+    /**
+     * Pre-populate @p key with a ready verdict (load-from-store path;
+     * call before workers run). A later lookupOrCompute for the key
+     * counts a hit and rederives, exactly as if another thread had
+     * computed it. Existing keys are left untouched (first seed wins);
+     * returns whether the entry was inserted. Seeding respects the
+     * entry cap — over it, the oldest ready entries are evicted.
+     */
+    bool seed(const std::string &key, CachedVerdict verdict);
+
+    /**
+     * Visit every ready entry (flush/compaction path). Entries still
+     * being computed are skipped. @p visit must not re-enter the
+     * cache; iteration order is unspecified — callers wanting a
+     * deterministic flush order sort by key themselves.
+     */
+    void forEach(const std::function<void(const std::string &key,
+                                          const CachedVerdict &)> &visit)
+        const;
+
+    /**
+     * Observe every verdict the cache newly publishes (owner computes
+     * that succeed; seeds and hits are not reported). Called outside
+     * all cache locks, possibly from several worker threads at once —
+     * the hook synchronizes itself. Set before workers run; pass
+     * nullptr to detach.
+     */
+    void setPublishHook(
+        std::function<void(const std::string &key, const CachedVerdict &)>
+            hook);
+
     Stats stats() const
     {
         return Stats{hits_.load(std::memory_order_relaxed),
-                     misses_.load(std::memory_order_relaxed)};
+                     misses_.load(std::memory_order_relaxed),
+                     evictions_.load(std::memory_order_relaxed)};
     }
 
     /** Number of cached keys (counts in-flight computations too). */
@@ -136,7 +178,7 @@ class VerifyCache
     {
         std::mutex mutex;
         std::condition_variable ready_cv;
-        bool ready = false;
+        std::atomic<bool> ready{false};
         bool failed = false; ///< owner's compute threw; do not reuse
         CachedVerdict value;
     };
@@ -144,16 +186,26 @@ class VerifyCache
     {
         std::mutex mutex;
         std::unordered_map<std::string, std::shared_ptr<Entry>> map;
+        /** Keys in insertion order; may hold stale keys for entries
+         *  already erased (abandoned computes) — eviction skips them. */
+        std::deque<std::string> order;
     };
 
     Shard &shardOf(const std::string &key);
+    void evictOverCap(Shard &shard);
+    void publish(const std::string &key, const CachedVerdict &value);
 
     unsigned shard_count_;
     size_t max_entries_;
+    size_t shard_cap_; ///< per-shard bound derived from max_entries
     std::unique_ptr<Shard[]> shards_;
-    std::atomic<size_t> entry_count_{0};
     std::atomic<uint64_t> hits_{0};
     std::atomic<uint64_t> misses_{0};
+    std::atomic<uint64_t> evictions_{0};
+
+    mutable std::mutex hook_mutex_;
+    std::function<void(const std::string &, const CachedVerdict &)>
+        publish_hook_;
 };
 
 } // namespace lpo::verify

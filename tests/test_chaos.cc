@@ -325,7 +325,7 @@ TEST(ChaosEnvTest, RunsUnderEnvFailpoints)
     const char *env = std::getenv("LPO_FAILPOINTS");
     if (!env || !*env)
         GTEST_SKIP() << "LPO_FAILPOINTS not set";
-    // Generate the module with the registry disarmed (the generator
+    // Generate the modules with the registry disarmed (the generator
     // parses benchmark text itself), then apply the environment spec —
     // the fixture tests may have reconfigured the registry, and in a
     // fresh process the env only auto-applies on first site hit.
@@ -333,20 +333,44 @@ TEST(ChaosEnvTest, RunsUnderEnvFailpoints)
     ir::Context ctx;
     corpus::CorpusGenerator generator(ctx);
     auto module = generator.largeModule(kModuleSeed, kModuleFns, 2);
+    auto rerun = generator.largeModule(kModuleSeed, kModuleFns, 2);
+    // Persist through a scratch store so the store.* sites sit on the
+    // sweep's path: the cold run journals its verdicts while armed
+    // (store.write.fail / store.fsync.fail), the warm run reloads them
+    // (store.load.corrupt) — and a store fault may only ever cost
+    // persistence, never results.
+    std::string store_dir = ::testing::TempDir() + "lpo_chaos_store";
+    std::string cleanup = "rm -rf '" + store_dir + "'";
+    ASSERT_EQ(std::system(cleanup.c_str()), 0);
     std::string error;
     ASSERT_TRUE(FailPoints::instance().configure(env, &error)) << error;
 
-    llm::MockModel model(strongProfile(), 1);
     core::ModuleOptOptions options;
     options.pipeline.proposer = core::ProposerKind::Hybrid;
     options.pipeline.num_threads = 8;
-    core::ModuleOptimizer optimizer(model, options);
-    core::ModuleOptResult result = optimizer.optimize(*module, 1);
+    options.pipeline.store_path = store_dir;
+    core::ModuleOptResult result;
+    {
+        llm::MockModel model(strongProfile(), 1);
+        core::ModuleOptimizer optimizer(model, options);
+        result = optimizer.optimize(*module, 1);
+    }
+    // Second process-life over the same input: whatever the faulted
+    // cold run managed to persist is reloaded — under the same armed
+    // spec — and the patched module must come out byte-identical
+    // (catalog replay and cache seeding change cost, never output).
+    llm::MockModel warm_model(strongProfile(), 1);
+    core::ModuleOptimizer warm(warm_model, options);
+    core::ModuleOptResult warm_result = warm.optimize(*rerun, 1);
 
     FailPoints::instance().clear();
     for (const auto &fn : module->functions())
         EXPECT_TRUE(ir::isValid(*fn)) << fn->name();
     EXPECT_EQ(result.invalid_functions, 0u);
-    std::printf("LPO_FAILPOINTS=%s\n%s", env,
-                core::degradationStatsLine(result.pipeline).c_str());
+    EXPECT_EQ(warm_result.invalid_functions, 0u);
+    EXPECT_EQ(ir::printModule(*module), ir::printModule(*rerun))
+        << "cold and warm runs diverged under LPO_FAILPOINTS=" << env;
+    std::printf("LPO_FAILPOINTS=%s\n%s%s", env,
+                core::degradationStatsLine(result.pipeline).c_str(),
+                core::storeStatsLine(warm_result.pipeline).c_str());
 }

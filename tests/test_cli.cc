@@ -54,6 +54,25 @@ const char *kValidModule =
     "  ret i8 %b\n"
     "}\n";
 
+/** A missed optimization InstCombine does not catch ((x & y) + (x | y)
+ *  == x + y), so the sequence survives extraction and the LPO loop
+ *  finds a verified rewrite — the store has something to persist. */
+const char *kMissedModule =
+    "define i32 @f(i32 %x, i32 %y) {\n"
+    "  %a = and i32 %x, %y\n"
+    "  %o = or i32 %x, %y\n"
+    "  %r = add i32 %a, %o\n"
+    "  ret i32 %r\n"
+    "}\n";
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
 } // namespace
 
 TEST(CliTest, MalformedModuleFailsWithDiagnostic)
@@ -101,6 +120,72 @@ TEST(CliTest, ValidModuleOptimizesCleanly)
     EXPECT_EQ(with_stats.exit_code, 0) << with_stats.output;
     EXPECT_NE(with_stats.output.find("degradation:"), std::string::npos)
         << with_stats.output;
+}
+
+TEST(CliTest, UnusableStorePathDegradesGracefully)
+{
+    // Satellite contract: a store path that cannot be created must not
+    // fail the run — one stderr warning, then memory-only, exit 0.
+    std::string path = fixture("storefall", kValidModule);
+    std::string blocker = ::testing::TempDir() + "lpo_cli_store_blocker";
+    {
+        std::ofstream out(blocker, std::ios::trunc);
+        out << "not a directory\n";
+    }
+    CommandResult result = run("optimize-module " + path +
+                               " --store=" + blocker + "/sub");
+    EXPECT_EQ(result.exit_code, 0) << result.output;
+    EXPECT_NE(result.output.find("continuing without persistence"),
+              std::string::npos)
+        << result.output;
+    // Exactly one warning — not one per sequence or per flush.
+    size_t first = result.output.find("lpo: warning:");
+    ASSERT_NE(first, std::string::npos) << result.output;
+    EXPECT_EQ(result.output.find("lpo: warning:", first + 1),
+              std::string::npos)
+        << result.output;
+}
+
+TEST(CliTest, StoreRoundTripReplaysFromCatalog)
+{
+    std::string path = fixture("storehot", kMissedModule);
+    std::string dir = ::testing::TempDir() + "lpo_cli_store_rt";
+    std::string cold_ll = ::testing::TempDir() + "lpo_cli_cold.ll";
+    std::string warm_ll = ::testing::TempDir() + "lpo_cli_warm.ll";
+    // Make the cold run genuinely cold across test re-runs.
+    std::remove((dir + "/verify.lpo").c_str());
+    std::remove((dir + "/catalog.lpo").c_str());
+
+    CommandResult cold =
+        run("optimize-module " + path + " --proposer=hybrid --store=" +
+            dir + " --emit=" + cold_ll);
+    EXPECT_EQ(cold.exit_code, 0) << cold.output;
+    EXPECT_NE(cold.output.find("(catalog 0, llm 1, egraph 0)"),
+              std::string::npos)
+        << cold.output;
+    EXPECT_NE(cold.output.find("store:"), std::string::npos)
+        << cold.output;
+
+    // Warm run: the catalog replays the rewrite (zero LLM calls), the
+    // persisted verdict hits the cache, and the patched module text is
+    // byte-identical to the cold run's.
+    CommandResult warm =
+        run("optimize-module " + path + " --proposer=hybrid --store=" +
+            dir + " --emit=" + warm_ll);
+    EXPECT_EQ(warm.exit_code, 0) << warm.output;
+    EXPECT_NE(warm.output.find("(catalog 1, llm 0, egraph 0)"),
+              std::string::npos)
+        << warm.output;
+    EXPECT_NE(warm.output.find("llm-calls=0"), std::string::npos)
+        << warm.output;
+    std::string cold_text = slurp(cold_ll);
+    ASSERT_FALSE(cold_text.empty());
+    EXPECT_EQ(cold_text, slurp(warm_ll));
+
+    CommandResult check = run("store verify " + dir);
+    EXPECT_EQ(check.exit_code, 0) << check.output;
+    EXPECT_NE(check.output.find("store: OK"), std::string::npos)
+        << check.output;
 }
 
 TEST(CliTest, FailpointsSubcommandListsSites)

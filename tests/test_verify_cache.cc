@@ -210,29 +210,79 @@ TEST(VerifyCacheTest, ClearResetsEverything)
     EXPECT_EQ(cache.stats().misses, 1u);
 }
 
-TEST(VerifyCacheTest, EntryCapBoundsSizeWithoutChangingVerdicts)
+TEST(VerifyCacheTest, EntryCapEvictsOldestWithoutChangingVerdicts)
 {
-    // A cap of 2 with 4 distinct queries: the first two keys insert,
-    // the rest compute uncached; verdicts match the uncached run and
-    // cached keys keep hitting.
+    // A cap of 2 on a single shard with 4 distinct queries: the two
+    // oldest keys are evicted in insertion order, verdicts match the
+    // uncached run throughout, and the survivors keep hitting.
     ir::Context ctx;
-    VerifyCache cache(4, /*max_entries=*/2);
+    VerifyCache cache(/*shard_count=*/1, /*max_entries=*/2);
+    auto tgtFor = [](int constant) {
+        return "define i8 @tgt(i8 %x) {\n  %r = add i8 %x, " +
+               std::to_string(constant) + "\n  ret i8 %r\n}\n";
+    };
     for (int constant = 1; constant <= 4; ++constant) {
-        std::string tgt = "define i8 @tgt(i8 %x) {\n  %r = add i8 %x, " +
-                          std::to_string(constant) + "\n  ret i8 %r\n}\n";
-        auto cached = checkCached(ctx, kSatSrc, tgt, &cache);
-        auto plain = checkCached(ctx, kSatSrc, tgt, nullptr);
+        auto cached = checkCached(ctx, kSatSrc, tgtFor(constant), &cache);
+        auto plain = checkCached(ctx, kSatSrc, tgtFor(constant), nullptr);
         expectSameResult(cached, plain);
     }
     EXPECT_EQ(cache.size(), 2u);
     EXPECT_EQ(cache.stats().misses, 4u);
-    // The first query (constant 1) was inserted before the cap hit.
-    auto again = checkCached(ctx, kSatSrc,
-                             "define i8 @tgt(i8 %x) {\n"
-                             "  %r = add i8 %x, 1\n  ret i8 %r\n}\n",
-                             &cache);
-    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().evictions, 2u);
+    // Constant 1 was evicted first: re-querying it is a fresh miss
+    // (and evicts constant 3, the oldest survivor).
+    auto again = checkCached(ctx, kSatSrc, tgtFor(1), &cache);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().misses, 5u);
+    EXPECT_EQ(cache.stats().evictions, 3u);
     EXPECT_EQ(again.verdict, Verdict::Correct);
+    // Constants 4 and 1 survive and hit.
+    checkCached(ctx, kSatSrc, tgtFor(4), &cache);
+    checkCached(ctx, kSatSrc, tgtFor(1), &cache);
+    EXPECT_EQ(cache.stats().hits, 2u);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(VerifyCacheTest, SeedAndForEachRoundTrip)
+{
+    // seed() pre-populates an entry exactly as a prior compute would
+    // have: the next query is a hit with a byte-identical result, and
+    // forEach sees the seeded verdict again.
+    ir::Context ctx;
+    VerifyCache warm;
+    auto first = checkCached(ctx, kBranchySrc, kBranchyTgt, &warm);
+    ASSERT_EQ(first.verdict, Verdict::Incorrect);
+
+    std::vector<std::pair<std::string, CachedVerdict>> dumped;
+    warm.forEach([&](const std::string &key, const CachedVerdict &value) {
+        dumped.emplace_back(key, value);
+    });
+    ASSERT_EQ(dumped.size(), 1u);
+
+    VerifyCache cold;
+    EXPECT_TRUE(cold.seed(dumped[0].first, dumped[0].second));
+    EXPECT_FALSE(cold.seed(dumped[0].first, dumped[0].second));
+    auto replayed = checkCached(ctx, kBranchySrc, kBranchyTgt, &cold);
+    EXPECT_EQ(cold.stats().hits, 1u);
+    EXPECT_EQ(cold.stats().misses, 0u);
+    expectSameResult(first, replayed);
+}
+
+TEST(VerifyCacheTest, PublishHookSeesFreshVerdictsOnly)
+{
+    ir::Context ctx;
+    VerifyCache cache;
+    std::vector<std::string> published;
+    cache.setPublishHook(
+        [&](const std::string &key, const CachedVerdict &) {
+            published.push_back(key);
+        });
+    checkCached(ctx, kSatSrc, kSatTgt, &cache);  // compute: published
+    checkCached(ctx, kSatSrc, kSatTgt, &cache);  // hit: not published
+    EXPECT_EQ(published.size(), 1u);
+    cache.setPublishHook(nullptr);
+    checkCached(ctx, kBranchySrc, kBranchyTgt, &cache);
+    EXPECT_EQ(published.size(), 1u);
 }
 
 TEST(VerifyCacheTest, ComputeOncePerKeyUnderConcurrency)
