@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "core/json_writer.h"
 #include "interp/exec_plan.h"
 #include "interp/interp.h"
 #include "ir/parser.h"
@@ -176,9 +177,10 @@ main()
 
     std::printf("%-22s %10s %14s %14s %9s\n", "case", "inputs",
                 "legacy in/s", "plan in/s", "speedup");
-    std::string json = "{\n  \"benchmarks\": [\n";
-    for (size_t i = 0; i < results.size(); ++i) {
-        const CaseResult &r = results[i];
+    core::JsonWriter json;
+    json.beginObject();
+    json.key("benchmarks").beginArray();
+    for (const CaseResult &r : results) {
         double legacy_ips = r.inputs / r.legacy_seconds;
         double plan_ips = r.inputs / r.plan_seconds;
         double speedup = plan_ips / legacy_ips;
@@ -187,28 +189,23 @@ main()
                     r.name.c_str(),
                     static_cast<unsigned long long>(r.inputs),
                     legacy_ips, plan_ips, speedup);
-        char buf[512];
-        std::snprintf(buf, sizeof buf,
-                      "    {\"name\": \"%s\", \"inputs\": %llu, "
-                      "\"legacy_inputs_per_sec\": %.0f, "
-                      "\"plan_inputs_per_sec\": %.0f, "
-                      "\"speedup\": %.2f}%s\n",
-                      r.name.c_str(),
-                      static_cast<unsigned long long>(r.inputs),
-                      legacy_ips, plan_ips, speedup,
-                      i + 1 < results.size() ? "," : "");
-        json += buf;
+        json.beginObject(core::JsonWriter::Layout::Inline);
+        json.field("name", r.name);
+        json.field("inputs", r.inputs);
+        json.field("legacy_inputs_per_sec", legacy_ips, 0);
+        json.field("plan_inputs_per_sec", plan_ips, 0);
+        json.field("speedup", speedup, 2);
+        json.endObject();
     }
+    json.endArray();
     double geomean =
         std::pow(speedup_product, 1.0 / results.size());
     std::printf("geomean speedup: %.1fx\n", geomean);
-    char tail[128];
-    std::snprintf(tail, sizeof tail,
-                  "  ],\n  \"geomean_speedup\": %.2f\n}\n", geomean);
-    json += tail;
+    json.field("geomean_speedup", geomean, 2);
+    json.endObject();
 
     std::ofstream out("BENCH_interp.json");
-    out << json;
+    out << json.str() << "\n";
     std::printf("wrote BENCH_interp.json\n");
     return 0;
 }

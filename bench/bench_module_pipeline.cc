@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "core/json_writer.h"
 #include "core/module_opt.h"
 #include "core/report.h"
 #include "corpus/generator.h"
@@ -133,28 +134,21 @@ main()
                 static_cast<unsigned long long>(best.patched),
                 best.cycles_before, best.cycles_after);
 
-    char json[1024];
-    std::snprintf(
-        json, sizeof json,
-        "{\n"
-        "  \"modules\": %u,\n"
-        "  \"functions_per_module\": %u,\n"
-        "  \"blocks_per_fn\": %u,\n"
-        "  \"sequences_considered\": %llu,\n"
-        "  \"unique_sequences\": %llu,\n"
-        "  \"sequences_per_sec\": %.1f,\n"
-        "  \"cache_hit_rate\": %.3f,\n"
-        "  \"patched_rewrites\": %llu,\n"
-        "  \"cycles_before\": %.1f,\n"
-        "  \"cycles_after\": %.1f\n"
-        "}\n",
-        kModules, kFunctions, kBlocks,
-        static_cast<unsigned long long>(best.considered),
-        static_cast<unsigned long long>(best.unique), seq_per_sec,
-        hit_rate, static_cast<unsigned long long>(best.patched),
-        best.cycles_before, best.cycles_after);
+    core::JsonWriter json;
+    json.beginObject();
+    json.field("modules", kModules);
+    json.field("functions_per_module", kFunctions);
+    json.field("blocks_per_fn", kBlocks);
+    json.field("sequences_considered", best.considered);
+    json.field("unique_sequences", best.unique);
+    json.field("sequences_per_sec", seq_per_sec, 1);
+    json.field("cache_hit_rate", hit_rate, 3);
+    json.field("patched_rewrites", best.patched);
+    json.field("cycles_before", best.cycles_before, 1);
+    json.field("cycles_after", best.cycles_after, 1);
+    json.endObject();
     std::ofstream out("BENCH_module.json");
-    out << json;
+    out << json.str() << "\n";
     std::printf("wrote BENCH_module.json\n");
 
     bool fail = false;

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "core/json_writer.h"
 #include "core/module_opt.h"
 #include "core/report.h"
 #include "corpus/generator.h"
@@ -172,26 +173,20 @@ main()
         static_cast<unsigned long long>(warm.store_loaded),
         static_cast<unsigned long long>(warm.catalog_loaded));
 
-    char json[768];
-    std::snprintf(
-        json, sizeof json,
-        "{\n"
-        "  \"functions\": %u,\n"
-        "  \"blocks_per_fn\": %u,\n"
-        "  \"cold_sequences_per_sec\": %.1f,\n"
-        "  \"warm_sequences_per_sec\": %.1f,\n"
-        "  \"warm_speedup\": %.2f,\n"
-        "  \"catalog_hit_rate\": %.3f,\n"
-        "  \"warm_cache_hit_rate\": %.3f,\n"
-        "  \"verdicts_loaded\": %llu,\n"
-        "  \"rewrites_loaded\": %llu\n"
-        "}\n",
-        kFunctions, kBlocks, cold_seq_per_sec, warm_seq_per_sec,
-        warm_speedup, catalog_hit_rate, warm_cache_hit_rate,
-        static_cast<unsigned long long>(warm.store_loaded),
-        static_cast<unsigned long long>(warm.catalog_loaded));
+    core::JsonWriter json;
+    json.beginObject();
+    json.field("functions", kFunctions);
+    json.field("blocks_per_fn", kBlocks);
+    json.field("cold_sequences_per_sec", cold_seq_per_sec, 1);
+    json.field("warm_sequences_per_sec", warm_seq_per_sec, 1);
+    json.field("warm_speedup", warm_speedup, 2);
+    json.field("catalog_hit_rate", catalog_hit_rate, 3);
+    json.field("warm_cache_hit_rate", warm_cache_hit_rate, 3);
+    json.field("verdicts_loaded", warm.store_loaded);
+    json.field("rewrites_loaded", warm.catalog_loaded);
+    json.endObject();
     std::ofstream out("BENCH_persist.json");
-    out << json;
+    out << json.str() << "\n";
     std::printf("wrote BENCH_persist.json\n");
 
     bool fail = false;

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/json_writer.h"
 #include "core/pipeline.h"
 #include "core/report.h"
 #include "corpus/benchmarks.h"
@@ -134,40 +135,32 @@ main()
                 strictly_more ? "yes" : "NO", hybrid.foundCount(),
                 llm.foundCount(), egraph.foundCount());
 
-    std::string json = "{\n  \"proposers\": [\n";
-    for (size_t i = 0; i < results.size(); ++i) {
-        const ProposerResult &r = results[i];
-        char buf[512];
-        std::snprintf(
-            buf, sizeof buf,
-            "    {\"name\": \"%s\", \"found\": %u, \"cases\": %zu, "
-            "\"verifier_calls\": %llu, "
-            "\"verified_cands_per_sec\": %.1f, \"llm_calls\": %llu, "
-            "\"egraph_consults\": %llu, \"hybrid_fallbacks\": %llu}%s\n",
-            r.name, r.foundCount(), r.found.size(),
-            static_cast<unsigned long long>(r.stats.verifier_calls),
-            r.verifiedCandidatesPerSec(),
-            static_cast<unsigned long long>(r.stats.llm_calls),
-            static_cast<unsigned long long>(r.stats.egraph_consults),
-            static_cast<unsigned long long>(r.stats.hybrid_fallbacks),
-            i + 1 < results.size() ? "," : "");
-        json += buf;
+    core::JsonWriter json;
+    json.beginObject();
+    json.key("proposers").beginArray();
+    for (const ProposerResult &r : results) {
+        json.beginObject(core::JsonWriter::Layout::Inline);
+        json.field("name", r.name);
+        json.field("found", r.foundCount());
+        json.field("cases", static_cast<uint64_t>(r.found.size()));
+        json.field("verifier_calls", r.stats.verifier_calls);
+        json.field("verified_cands_per_sec",
+                   r.verifiedCandidatesPerSec(), 1);
+        json.field("llm_calls", r.stats.llm_calls);
+        json.field("egraph_consults", r.stats.egraph_consults);
+        json.field("hybrid_fallbacks", r.stats.hybrid_fallbacks);
+        json.endObject();
     }
-    char tail[256];
-    std::snprintf(tail, sizeof tail,
-                  "  ],\n"
-                  "  \"llm_found\": %u,\n"
-                  "  \"egraph_found\": %u,\n"
-                  "  \"hybrid_found\": %u,\n"
-                  "  \"hybrid_superset_of_llm\": %s,\n"
-                  "  \"hybrid_strictly_more\": %s\n}\n",
-                  llm.foundCount(), egraph.foundCount(),
-                  hybrid.foundCount(), superset ? "true" : "false",
-                  strictly_more ? "true" : "false");
-    json += tail;
+    json.endArray();
+    json.field("llm_found", llm.foundCount());
+    json.field("egraph_found", egraph.foundCount());
+    json.field("hybrid_found", hybrid.foundCount());
+    json.field("hybrid_superset_of_llm", superset);
+    json.field("hybrid_strictly_more", strictly_more);
+    json.endObject();
 
     std::ofstream out("BENCH_proposer.json");
-    out << json;
+    out << json.str() << "\n";
     std::printf("wrote BENCH_proposer.json\n");
 
     if (!superset) {

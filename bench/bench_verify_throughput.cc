@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "corpus/benchmarks.h"
+#include "core/json_writer.h"
 #include "core/report.h"
 #include "ir/parser.h"
 #include "opt/opt_driver.h"
@@ -284,9 +285,10 @@ main()
                 "base cand/s", "opt cand/s", "speedup", "vars-",
                 "vars+");
     std::vector<double> speedups;
-    std::string json = "{\n  \"benchmarks\": [\n";
-    for (size_t i = 0; i < results.size(); ++i) {
-        const CaseResult &r = results[i];
+    core::JsonWriter json;
+    json.beginObject();
+    json.key("benchmarks").beginArray();
+    for (const CaseResult &r : results) {
         double speedup = r.baseline_seconds / r.optimized_seconds;
         speedups.push_back(speedup);
         std::printf("%-14s %-10s %12.0f %12.0f %8.1fx %8d %8d\n",
@@ -294,26 +296,22 @@ main()
                     kRounds / r.baseline_seconds,
                     kRounds / r.optimized_seconds, speedup,
                     r.size_before.vars, r.size_after.vars);
-        char buf[512];
-        std::snprintf(
-            buf, sizeof buf,
-            "    {\"name\": \"%s\", \"backend\": \"%s\", "
-            "\"baseline_cands_per_sec\": %.1f, "
-            "\"optimized_cands_per_sec\": %.1f, \"speedup\": %.2f, "
-            "\"sat_vars_before\": %d, \"sat_vars_after\": %d, "
-            "\"sat_clauses_before\": %llu, "
-            "\"sat_clauses_after\": %llu, "
-            "\"unique_table_hits\": %llu}%s\n",
-            r.name.c_str(), r.backend.c_str(),
-            kRounds / r.baseline_seconds,
-            kRounds / r.optimized_seconds, speedup, r.size_before.vars,
-            r.size_after.vars,
-            static_cast<unsigned long long>(r.size_before.clauses),
-            static_cast<unsigned long long>(r.size_after.clauses),
-            static_cast<unsigned long long>(r.size_after.unique_hits),
-            i + 1 < results.size() ? "," : "");
-        json += buf;
+        json.beginObject(core::JsonWriter::Layout::Inline);
+        json.field("name", r.name);
+        json.field("backend", r.backend);
+        json.field("baseline_cands_per_sec",
+                   kRounds / r.baseline_seconds, 1);
+        json.field("optimized_cands_per_sec",
+                   kRounds / r.optimized_seconds, 1);
+        json.field("speedup", speedup, 2);
+        json.field("sat_vars_before", r.size_before.vars);
+        json.field("sat_vars_after", r.size_after.vars);
+        json.field("sat_clauses_before", r.size_before.clauses);
+        json.field("sat_clauses_after", r.size_after.clauses);
+        json.field("unique_table_hits", r.size_after.unique_hits);
+        json.endObject();
     }
+    json.endArray();
 
     double geomean_speedup = core::geomean(speedups);
     double hit_rate = cache_stats.hitRate();
@@ -331,34 +329,23 @@ main()
                 "%s\n",
                 all_sat_queries_shrank ? "yes" : "NO");
 
-    char tail[1024];
-    std::snprintf(tail, sizeof tail,
-                  "  ],\n"
-                  "  \"rounds\": %u,\n"
-                  "  \"baseline_cands_per_sec\": %.1f,\n"
-                  "  \"optimized_cands_per_sec\": %.1f,\n"
-                  "  \"cache_hits\": %llu,\n"
-                  "  \"cache_misses\": %llu,\n"
-                  "  \"cache_hit_rate\": %.4f,\n"
-                  "  \"sat_vars_reduced_on_all_queries\": %s,\n"
-                  "  \"stream_cases\": %zu,\n"
-                  "  \"stream_candidates\": %llu,\n"
-                  "  \"stream_fresh_cands_per_sec\": %.1f,\n"
-                  "  \"stream_session_cands_per_sec\": %.1f,\n"
-                  "  \"session_geomean_speedup\": %.2f,\n"
-                  "  \"geomean_speedup\": %.2f\n}\n",
-                  kRounds, baseline_cps, optimized_cps,
-                  static_cast<unsigned long long>(cache_stats.hits),
-                  static_cast<unsigned long long>(cache_stats.misses),
-                  hit_rate, all_sat_queries_shrank ? "true" : "false",
-                  streams.size(),
-                  static_cast<unsigned long long>(stream_candidates),
-                  stream_fresh_cps, stream_session_cps,
-                  session_geomean, geomean_speedup);
-    json += tail;
+    json.field("rounds", kRounds);
+    json.field("baseline_cands_per_sec", baseline_cps, 1);
+    json.field("optimized_cands_per_sec", optimized_cps, 1);
+    json.field("cache_hits", cache_stats.hits);
+    json.field("cache_misses", cache_stats.misses);
+    json.field("cache_hit_rate", hit_rate, 4);
+    json.field("sat_vars_reduced_on_all_queries", all_sat_queries_shrank);
+    json.field("stream_cases", static_cast<uint64_t>(streams.size()));
+    json.field("stream_candidates", stream_candidates);
+    json.field("stream_fresh_cands_per_sec", stream_fresh_cps, 1);
+    json.field("stream_session_cands_per_sec", stream_session_cps, 1);
+    json.field("session_geomean_speedup", session_geomean, 2);
+    json.field("geomean_speedup", geomean_speedup, 2);
+    json.endObject();
 
     std::ofstream out("BENCH_verify.json");
-    out << json;
+    out << json.str() << "\n";
     std::printf("wrote BENCH_verify.json\n");
 
     if (!all_sat_queries_shrank) {

@@ -27,6 +27,7 @@
 #include "core/module_opt.h"
 #include "core/pipeline.h"
 #include "core/report.h"
+#include "corpus/generator.h"
 #include "extract/extractor.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
@@ -34,6 +35,8 @@
 #include "opt/opt_driver.h"
 #include "support/failpoint.h"
 #include "support/kvstore.h"
+#include "support/telemetry.h"
+#include "support/trace.h"
 #include "verify/persist.h"
 #include "verify/refine.h"
 
@@ -127,6 +130,12 @@ struct RunOptions
     bool degradation_stats = false;
     /** optimize-module only: write the patched module here. */
     std::string emit_path;
+    /** --trace=FILE: Chrome trace-event JSON of the run. */
+    std::string trace_path;
+    /** --metrics[=FILE]: metrics registry snapshot as JSON. */
+    std::string metrics_path;
+    /** --profile: per-phase wall-time table on stderr. */
+    bool profile = false;
 };
 
 bool
@@ -177,6 +186,23 @@ parseRunOptions(int argc, char **argv, int first, RunOptions *out)
                 return false;
             }
             out->emit_path = arg + 7;
+        } else if (!std::strncmp(arg, "--trace=", 8)) {
+            if (!arg[8]) {
+                std::fprintf(stderr, "lpo: --trace needs a file path\n");
+                return false;
+            }
+            out->trace_path = arg + 8;
+        } else if (!std::strcmp(arg, "--metrics")) {
+            out->metrics_path = "metrics.lpo.json";
+        } else if (!std::strncmp(arg, "--metrics=", 10)) {
+            if (!arg[10]) {
+                std::fprintf(stderr,
+                             "lpo: --metrics needs a file path\n");
+                return false;
+            }
+            out->metrics_path = arg + 10;
+        } else if (!std::strcmp(arg, "--profile")) {
+            out->profile = true;
         } else if (arg[0] == '-') {
             std::fprintf(stderr, "lpo: unknown option '%s'\n", arg);
             return false;
@@ -189,6 +215,56 @@ parseRunOptions(int argc, char **argv, int first, RunOptions *out)
         }
     }
     return true;
+}
+
+/** Arm the span tracer before the run when --trace was given (the
+ * metrics registry records unconditionally; recording never feeds
+ * back into pipeline decisions — see DESIGN.md "Observability"). */
+void
+beginObservability(const RunOptions &options)
+{
+    if (!options.trace_path.empty())
+        trace::Tracer::instance().start();
+}
+
+/**
+ * Emit whatever observability outputs were requested: the --profile
+ * table on stderr, the --metrics JSON snapshot, and the --trace
+ * Chrome trace-event file. Returns 1 if any output file failed.
+ */
+int
+finishObservability(const RunOptions &options,
+                    const core::PipelineStats &stats)
+{
+    int rc = 0;
+    if (options.profile || !options.metrics_path.empty()) {
+        telemetry::MetricsSnapshot snapshot =
+            telemetry::MetricsRegistry::instance().snapshot();
+        if (options.profile)
+            std::fprintf(stderr, "%s",
+                         core::profileSummary(stats, snapshot).c_str());
+        if (!options.metrics_path.empty()) {
+            std::ofstream out(options.metrics_path,
+                              std::ios::binary | std::ios::trunc);
+            if (out)
+                out << snapshot.toJson() << "\n";
+            out.flush();
+            if (!out) {
+                std::fprintf(stderr, "lpo: cannot write '%s'\n",
+                             options.metrics_path.c_str());
+                rc = 1;
+            }
+        }
+    }
+    if (!options.trace_path.empty()) {
+        std::string error;
+        if (!trace::Tracer::instance().writeTo(options.trace_path,
+                                               &error)) {
+            std::fprintf(stderr, "lpo: %s\n", error.c_str());
+            rc = 1;
+        }
+    }
+    return rc;
 }
 
 /** moduleSummary already prints the degradation line when any counter
@@ -204,6 +280,7 @@ anyDegradation(const core::PipelineStats &stats)
 int
 cmdRun(const char *path, const RunOptions &options)
 {
+    beginObservability(options);
     ir::Context ctx;
     auto module = ir::parseModule(ctx, readFile(path));
     if (!module) {
@@ -235,12 +312,13 @@ cmdRun(const char *path, const RunOptions &options)
     if (options.degradation_stats && !anyDegradation(pipeline.stats()))
         std::fprintf(stderr, "%s",
                      core::degradationStatsLine(pipeline.stats()).c_str());
-    return 0;
+    return finishObservability(options, pipeline.stats());
 }
 
 int
 cmdOptimizeModule(const char *path, const RunOptions &options)
 {
+    beginObservability(options);
     ir::Context ctx;
     auto module = ir::parseModule(ctx, readFile(path));
     if (!module) {
@@ -329,7 +407,7 @@ cmdOptimizeModule(const char *path, const RunOptions &options)
             return 1;
         }
     }
-    return 0;
+    return finishObservability(options, result.pipeline);
 }
 
 /** `lpo store info|verify|compact <dir>` — offline store maintenance.
@@ -425,8 +503,56 @@ cmdStore(const char *action, const char *dir)
 int
 cmdFailpoints()
 {
-    for (const std::string &site : FailPoints::instance().siteNames())
-        std::printf("%s\n", site.c_str());
+    // Site names come from the failpoint registry; the live hit/fire
+    // counters come from the metrics snapshot (the registry exports
+    // them via a collector), so this doubles as a smoke test of the
+    // telemetry path. Scripts that only want the names take column 1.
+    FailPoints &failpoints = FailPoints::instance();
+    telemetry::MetricsSnapshot snapshot =
+        telemetry::MetricsRegistry::instance().snapshot();
+    for (const std::string &site : failpoints.siteNames()) {
+        std::printf(
+            "%s hits=%llu fires=%llu\n", site.c_str(),
+            static_cast<unsigned long long>(
+                snapshot.counter("failpoint." + site + ".hits")),
+            static_cast<unsigned long long>(
+                snapshot.counter("failpoint." + site + ".fires")));
+    }
+    return 0;
+}
+
+/**
+ * `lpo gen-module [seed] [functions] [blocks]` — print a deterministic
+ * corpus module (the module-pipeline benchmark's workload) so scripts
+ * can drive optimize-module without shipping .ll fixtures.
+ */
+int
+cmdGenModule(int argc, char **argv)
+{
+    uint64_t values[3] = {1, 48, 3}; // seed, functions, blocks
+    for (int i = 2; i < argc; ++i) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(argv[i], &end, 10);
+        if (end == argv[i] || *end) {
+            std::fprintf(stderr, "lpo: bad gen-module argument '%s'\n",
+                         argv[i]);
+            return 1;
+        }
+        values[i - 2] = v;
+    }
+    if (values[1] == 0 || values[1] > 100000 || values[2] == 0 ||
+        values[2] > 1000) {
+        std::fprintf(stderr,
+                     "lpo: gen-module needs 1..100000 functions and "
+                     "1..1000 blocks\n");
+        return 1;
+    }
+    ir::Context ctx;
+    corpus::CorpusGenerator generator(ctx);
+    auto module = generator.largeModule(
+        values[0], static_cast<unsigned>(values[1]),
+        static_cast<unsigned>(values[2]));
+    std::printf("%s", ir::printModule(*module).c_str());
     return 0;
 }
 
@@ -467,9 +593,14 @@ usage()
         "                             as deduplicated snapshots\n"
         "  models                     list the model registry\n"
         "  failpoints                 list the registered fault-\n"
-        "                             injection sites (armed via the\n"
+        "                             injection sites with their live\n"
+        "                             hit/fire counters (armed via the\n"
         "                             LPO_FAILPOINTS environment\n"
         "                             variable; see DESIGN.md)\n"
+        "  gen-module [seed] [functions] [blocks]\n"
+        "                             print a deterministic corpus\n"
+        "                             module (defaults 1 48 3) for\n"
+        "                             driving optimize-module\n"
         "  help                       show this message\n"
         "\n"
         "run options:\n"
@@ -508,7 +639,20 @@ usage()
         "                             them for free. An unusable path\n"
         "                             warns once and runs memory-only\n"
         "  --emit=FILE                optimize-module only: write the\n"
-        "                             patched module text to FILE\n");
+        "                             patched module text to FILE\n"
+        "  --trace=FILE               write a Chrome trace-event JSON\n"
+        "                             of the run to FILE (load it in\n"
+        "                             chrome://tracing or Perfetto);\n"
+        "                             tracing never changes results\n"
+        "  --metrics[=FILE]           write the metrics registry\n"
+        "                             snapshot (counters, gauges,\n"
+        "                             latency histograms with p50/p90/\n"
+        "                             p99) as JSON to FILE (default\n"
+        "                             metrics.lpo.json)\n"
+        "  --profile                  print the per-phase wall-time\n"
+        "                             table (share of the run plus\n"
+        "                             per-invocation percentiles) on\n"
+        "                             stderr after the summary\n");
 }
 
 } // namespace
@@ -546,6 +690,8 @@ dispatch(int argc, char **argv)
         return cmdModels();
     if (!std::strcmp(cmd, "failpoints"))
         return cmdFailpoints();
+    if (!std::strcmp(cmd, "gen-module") && argc <= 5)
+        return cmdGenModule(argc, argv);
     usage();
     return 1;
 }

@@ -1,0 +1,183 @@
+#include "core/json_writer.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace lpo::core {
+
+std::string
+JsonWriter::escape(std::string_view raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (unsigned char c : raw) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::newlineIndent(size_t depth)
+{
+    out_ += '\n';
+    out_.append(2 * depth, ' ');
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (stack_.empty())
+        return;
+    Frame &frame = stack_.back();
+    if (frame.is_object) {
+        // key() already placed the separator for this value.
+        assert(!key_pending_ || out_.ends_with(": "));
+        if (key_pending_) {
+            key_pending_ = false;
+            return;
+        }
+        assert(false && "object value requires a key()");
+        return;
+    }
+    if (frame.has_entries)
+        out_ += frame.inline_layout ? ", " : ",";
+    if (!frame.inline_layout)
+        newlineIndent(stack_.size());
+    frame.has_entries = true;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    assert(!stack_.empty() && stack_.back().is_object && !key_pending_);
+    Frame &frame = stack_.back();
+    if (frame.has_entries)
+        out_ += frame.inline_layout ? ", " : ",";
+    if (!frame.inline_layout)
+        newlineIndent(stack_.size());
+    frame.has_entries = true;
+    out_ += '"';
+    out_ += escape(k);
+    out_ += "\": ";
+    key_pending_ = true;
+    return *this;
+}
+
+void
+JsonWriter::beginContainer(char open, bool is_object, Layout layout)
+{
+    beforeValue();
+    out_ += open;
+    stack_.push_back(
+        {is_object, layout == Layout::Inline, /*has_entries=*/false});
+}
+
+void
+JsonWriter::endContainer(char close, bool is_object)
+{
+    assert(!stack_.empty() && stack_.back().is_object == is_object);
+    (void)is_object;
+    Frame frame = stack_.back();
+    stack_.pop_back();
+    if (frame.has_entries && !frame.inline_layout)
+        newlineIndent(stack_.size());
+    out_ += close;
+}
+
+JsonWriter &
+JsonWriter::beginObject(Layout layout)
+{
+    beginContainer('{', /*is_object=*/true, layout);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    endContainer('}', /*is_object=*/true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray(Layout layout)
+{
+    beginContainer('[', /*is_object=*/false, layout);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    endContainer(']', /*is_object=*/false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    beforeValue();
+    out_ += '"';
+    out_ += escape(v);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int64_t v)
+{
+    beforeValue();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t v)
+{
+    beforeValue();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::valueRaw(std::string_view token)
+{
+    beforeValue();
+    out_ += token;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v, int decimals)
+{
+    beforeValue();
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+    out_ += buf;
+    return *this;
+}
+
+} // namespace lpo::core

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Streaming JSON writer shared by the benchmark binaries, the metrics
+ * exporter, and the trace writer.
+ *
+ * Replaces the hand-rolled snprintf JSON blocks that were duplicated
+ * across the bench_*.cc binaries (each with its own escaping bugs
+ * waiting to happen). The writer is a thin state machine: it inserts
+ * commas, quotes and `": "` separators; the caller decides layout per
+ * container (pretty = one entry per line with two-space indentation,
+ * the committed BENCH_*.json shape the CI regression greps rely on;
+ * inline = a whole object on one line, the shape of per-case rows
+ * inside a pretty array).
+ *
+ * Numeric formatting is explicit: integers print exactly, doubles take
+ * a fixed decimal count so committed baselines stay byte-stable across
+ * writers.
+ */
+#ifndef LPO_CORE_JSON_WRITER_H
+#define LPO_CORE_JSON_WRITER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lpo::core {
+
+class JsonWriter
+{
+  public:
+    enum class Layout {
+        Pretty, ///< one entry per line, two-space indent per level
+        Inline  ///< whole container on one line: {"a": 1, "b": 2}
+    };
+
+    JsonWriter &beginObject(Layout layout = Layout::Pretty);
+    JsonWriter &endObject();
+    JsonWriter &beginArray(Layout layout = Layout::Pretty);
+    JsonWriter &endArray();
+
+    /** Emit an object key; the next value() attaches to it. */
+    JsonWriter &key(std::string_view k);
+
+    JsonWriter &value(std::string_view v);
+    JsonWriter &value(const char *v) { return value(std::string_view(v)); }
+    JsonWriter &value(bool v);
+    JsonWriter &value(int v) { return value(static_cast<int64_t>(v)); }
+    JsonWriter &value(unsigned v)
+    {
+        return value(static_cast<uint64_t>(v));
+    }
+    JsonWriter &value(int64_t v);
+    JsonWriter &value(uint64_t v);
+    JsonWriter &value(long long v)
+    {
+        return value(static_cast<int64_t>(v));
+    }
+    JsonWriter &value(unsigned long long v)
+    {
+        return value(static_cast<uint64_t>(v));
+    }
+    /** Fixed-point double: %.{decimals}f, the baseline-stable form. */
+    JsonWriter &value(double v, int decimals = 6);
+    /** Emit @p token verbatim (caller guarantees it is valid JSON). */
+    JsonWriter &valueRaw(std::string_view token);
+
+    /** key() + value() in one call, for terse call sites. */
+    template <typename T>
+    JsonWriter &field(std::string_view k, const T &v)
+    {
+        return key(k).value(v);
+    }
+    JsonWriter &field(std::string_view k, double v, int decimals)
+    {
+        return key(k).value(v, decimals);
+    }
+
+    /** The document so far; complete once every container is closed. */
+    const std::string &str() const { return out_; }
+
+    /** JSON string-escape @p raw (no surrounding quotes). */
+    static std::string escape(std::string_view raw);
+
+  private:
+    struct Frame
+    {
+        bool is_object = false;
+        bool inline_layout = false;
+        bool has_entries = false;
+    };
+
+    void beforeValue();
+    void beginContainer(char open, bool is_object, Layout layout);
+    void endContainer(char close, bool is_object);
+    void newlineIndent(size_t depth);
+
+    std::string out_;
+    std::vector<Frame> stack_;
+    bool key_pending_ = false;
+};
+
+} // namespace lpo::core
+
+#endif // LPO_CORE_JSON_WRITER_H

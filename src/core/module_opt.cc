@@ -11,6 +11,8 @@
 #include "mca/cost_model.h"
 #include "opt/dce.h"
 #include "support/failpoint.h"
+#include "support/telemetry.h"
+#include "support/trace.h"
 
 namespace lpo::core {
 
@@ -126,28 +128,48 @@ ModuleOptResult
 ModuleOptimizer::optimize(ir::Module &module, uint64_t round_seed)
 {
     ModuleOptResult result;
+    StageTimings timings;
+    LPO_TRACE_SPAN(module_span, "optimize-module", "module");
+    static const telemetry::Histogram module_hist =
+        telemetry::histogram("module.latency_ns");
+    telemetry::ScopedTimer module_timer(module_hist);
 
     std::vector<FunctionSavings> savings;
-    for (const auto &fn : module.functions()) {
-        FunctionSavings s;
-        s.function = fn->name();
-        s.insts_before = fn->instructionCount();
-        s.cycles_before = mca::analyzeFunction(*fn).total_cycles;
-        result.cycles_before += s.cycles_before;
-        savings.push_back(std::move(s));
-    }
-
-    // Extract with sites (fresh dedup per module — see the class
-    // comment), then shard the unique wrapped sequences through the
-    // pipeline (shared verify cache, per-worker SAT sessions,
-    // sequence-order stat folding — see Pipeline).
     extract::Extractor extractor(options_.extractor);
-    std::vector<extract::ExtractedSequence> sequences =
-        extractor.extractDetailed(module);
+    std::vector<extract::ExtractedSequence> sequences;
     std::vector<const ir::Function *> wrapped;
-    wrapped.reserve(sequences.size());
-    for (const auto &seq : sequences)
-        wrapped.push_back(seq.wrapped.get());
+    {
+        LPO_TRACE_SPAN(span, "extract", "phase");
+        static const telemetry::Histogram extract_hist =
+            telemetry::histogram("phase.extract_ns");
+        telemetry::ScopedTimer timer(extract_hist);
+
+        for (const auto &fn : module.functions()) {
+            FunctionSavings s;
+            s.function = fn->name();
+            s.insts_before = fn->instructionCount();
+            s.cycles_before = mca::analyzeFunction(*fn).total_cycles;
+            result.cycles_before += s.cycles_before;
+            savings.push_back(std::move(s));
+        }
+
+        // Extract with sites (fresh dedup per module — see the class
+        // comment), then shard the unique wrapped sequences through
+        // the pipeline (shared verify cache, per-worker SAT sessions,
+        // sequence-order stat folding — see Pipeline).
+        sequences = extractor.extractDetailed(module);
+        wrapped.reserve(sequences.size());
+        for (const auto &seq : sequences)
+            wrapped.push_back(seq.wrapped.get());
+
+        timings.extract_ns = timer.stopNanos();
+        if (span.active()) {
+            span.arg("functions",
+                     static_cast<uint64_t>(module.functions().size()));
+            span.arg("sequences",
+                     static_cast<uint64_t>(sequences.size()));
+        }
+    }
     if (options_.step_budget == 0) {
         // No deadline: one batch, exactly the pre-deadline behavior.
         result.outcomes = pipeline_.processSequences(wrapped, round_seed);
@@ -202,6 +224,10 @@ ModuleOptimizer::optimize(ir::Module &module, uint64_t round_seed)
     /** Functions a contained splice exception may have left
      *  half-mutated; force-validated (and restored) in the sweep. */
     std::set<size_t> poisoned;
+    LPO_TRACE_SPAN(patch_span, "patch", "phase");
+    static const telemetry::Histogram patch_hist =
+        telemetry::histogram("phase.patch_ns");
+    telemetry::ScopedTimer patch_timer(patch_hist);
     for (size_t i = 0; i < sequences.size(); ++i) {
         const CaseOutcome &outcome = result.outcomes[i];
         if (!outcome.found())
@@ -244,6 +270,15 @@ ModuleOptimizer::optimize(ir::Module &module, uint64_t round_seed)
                 static_cast<unsigned>(site.insts.size()), i});
         }
     }
+    timings.patch_ns = patch_timer.stopNanos();
+    if (patch_span.active())
+        patch_span.arg("patched", result.patched_rewrites);
+    patch_span.end();
+
+    LPO_TRACE_SPAN(dce_span, "dce", "phase");
+    static const telemetry::Histogram dce_hist =
+        telemetry::histogram("phase.dce_ns");
+    telemetry::ScopedTimer dce_timer(dce_hist);
 
     // Sweep the dead originals, re-validate, and re-measure; module
     // order keeps the pass deterministic. A patched function that
@@ -309,8 +344,20 @@ ModuleOptimizer::optimize(ir::Module &module, uint64_t round_seed)
                 kept.push_back(std::move(patch));
         result.patches = std::move(kept);
     }
+    timings.dce_ns = dce_timer.stopNanos();
+    if (dce_span.active())
+        dce_span.arg("removed", result.dce_removed);
+    dce_span.end();
+
     result.functions = std::move(savings);
     result.extraction = extractor.stats();
+    timings.total_ns = module_timer.stopNanos();
+    if (module_span.active()) {
+        module_span.arg("patched", result.patched_rewrites);
+        module_span.arg("sequences",
+                        static_cast<uint64_t>(result.outcomes.size()));
+    }
+    pipeline_.addStageTimings(timings);
     // Make this run's verdicts and learned rewrites durable before the
     // stats snapshot: a kill -9 between modules then loses nothing,
     // and the reported store counters include this run's flush.

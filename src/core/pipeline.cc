@@ -6,9 +6,47 @@
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "opt/opt_driver.h"
+#include "support/telemetry.h"
 #include "support/thread_pool.h"
+#include "support/trace.h"
 
 namespace lpo::core {
+
+namespace {
+
+const char *
+verdictLabel(verify::Verdict verdict)
+{
+    switch (verdict) {
+      case verify::Verdict::Correct: return "correct";
+      case verify::Verdict::Incorrect: return "incorrect";
+      case verify::Verdict::Unsupported: return "unsupported";
+      case verify::Verdict::BadSignature: return "bad-signature";
+      case verify::Verdict::Timeout: return "timeout";
+      case verify::Verdict::Degraded: return "degraded";
+    }
+    return "?";
+}
+
+/** Per-leg propose latency (catalog / llm / egraph). */
+telemetry::Histogram
+proposerHistogram(Proposer::Backend backend)
+{
+    static const telemetry::Histogram catalog =
+        telemetry::histogram("proposer.catalog_ns");
+    static const telemetry::Histogram llm =
+        telemetry::histogram("proposer.llm_ns");
+    static const telemetry::Histogram egraph =
+        telemetry::histogram("proposer.egraph_ns");
+    switch (backend) {
+      case Proposer::Backend::Catalog: return catalog;
+      case Proposer::Backend::Llm: return llm;
+      case Proposer::Backend::EGraph: return egraph;
+    }
+    return llm;
+}
+
+} // namespace
 
 Pipeline::Pipeline(llm::LlmClient &client, PipelineConfig config)
     : client_(client), config_(std::move(config))
@@ -110,8 +148,22 @@ Pipeline::runAttemptLoop(Proposer &proposer, const ir::Function &seq,
             ++stats.egraph_consults;
         else if (backend == Proposer::Backend::Catalog)
             ++stats.catalog_consults;
-        std::optional<Proposal> proposal = proposer.propose(
-            seq, seq_text, feedback, round_seed * 7919 + counter);
+        std::optional<Proposal> proposal;
+        {
+            LPO_TRACE_SPAN(span, "propose", "pipeline");
+            static const telemetry::Histogram propose_hist =
+                telemetry::histogram("phase.propose_ns");
+            telemetry::ScopedTimer timer(propose_hist);
+            proposal = proposer.propose(seq, seq_text, feedback,
+                                        round_seed * 7919 + counter);
+            uint64_t elapsed = timer.stopNanos();
+            proposerHistogram(backend).record(elapsed);
+            stats.timings.propose_ns += elapsed;
+            if (span.active()) {
+                span.arg("leg", proposer.name());
+                span.arg("fn", std::string(seq.name()));
+            }
+        }
         if (!proposal) {
             // Backend has nothing (more) to offer; stop without
             // burning the remaining attempts.
@@ -158,7 +210,20 @@ Pipeline::runAttemptLoop(Proposer &proposer, const ir::Function &seq,
         // case-lifetime session amortizes the source encoding and the
         // solver's learnt clauses over every candidate this loop (and
         // the hybrid fallback's) produces.
-        verify::RefinementResult verdict = session.check(*opted.function);
+        verify::RefinementResult verdict;
+        {
+            LPO_TRACE_SPAN(span, "verify", "pipeline");
+            static const telemetry::Histogram verify_hist =
+                telemetry::histogram("phase.verify_ns");
+            telemetry::ScopedTimer timer(verify_hist);
+            verdict = session.check(*opted.function);
+            stats.timings.verify_ns += timer.stopNanos();
+            if (span.active()) {
+                span.arg("fn", std::string(seq.name()));
+                span.arg("backend", verdict.backend);
+                span.arg("verdict", verdictLabel(verdict.verdict));
+            }
+        }
         ++stats.verifier_calls;
         outcome.total_seconds += config_.verify_seconds;
         outcome.verifier_backend = verdict.backend;
@@ -247,6 +312,7 @@ Pipeline::runCase(const ir::Function &seq, uint64_t round_seed,
                   const verify::RefineOptions &refine)
 {
     ++stats.cases;
+    LPO_TRACE_SPAN(case_span, "case", "pipeline");
 
     // All workers share the pipeline-lifetime cache; the RefineOptions
     // copy just points at it. The SAT telemetry and degradation
@@ -335,6 +401,13 @@ Pipeline::runCase(const ir::Function &seq, uint64_t round_seed,
 
     // The deadline currency: deterministic work units, not seconds.
     outcome.step_cost = telemetry.conflicts + outcome.attempts;
+
+    if (case_span.active()) {
+        case_span.arg("fn", std::string(seq.name()));
+        case_span.arg("verdict", caseStatusName(outcome.status));
+        case_span.arg("proposer", outcome.proposer);
+        case_span.arg("sat_conflicts", telemetry.conflicts);
+    }
 
     stats.sat_escalations += degradation.escalations;
     stats.concrete_fallbacks += degradation.concrete_fallbacks;
@@ -463,9 +536,20 @@ Pipeline::processSequences(
         stats_.contained_exceptions += delta.contained_exceptions;
         stats_.total_seconds += delta.total_seconds;
         stats_.total_cost_usd += delta.total_cost_usd;
+        stats_.timings.propose_ns += delta.timings.propose_ns;
+        stats_.timings.verify_ns += delta.timings.verify_ns;
     }
     refreshCacheStats();
     return outcomes;
+}
+
+void
+Pipeline::addStageTimings(const StageTimings &timings)
+{
+    stats_.timings.extract_ns += timings.extract_ns;
+    stats_.timings.patch_ns += timings.patch_ns;
+    stats_.timings.dce_ns += timings.dce_ns;
+    stats_.timings.total_ns += timings.total_ns;
 }
 
 } // namespace lpo::core

@@ -121,6 +121,29 @@ struct CaseOutcome
     bool found() const { return status == CaseStatus::Found; }
 };
 
+/**
+ * Wall-clock attribution by pipeline phase, in nanoseconds.
+ *
+ * Unlike every other PipelineStats field these are measurements of
+ * real time, so they vary run to run and thread count to thread
+ * count; determinism tests must never compare them (and none do —
+ * the byte-identity contract covers outcomes and work counters).
+ * All zero when telemetry is disabled: the accumulation is fed by
+ * telemetry::ScopedTimer, which is inert then. propose/verify fold
+ * per case in sequence order with the other per-case deltas;
+ * extract/patch/dce/total are folded in by ModuleOptimizer via
+ * Pipeline::addStageTimings().
+ */
+struct StageTimings
+{
+    uint64_t extract_ns = 0;
+    uint64_t propose_ns = 0;
+    uint64_t verify_ns = 0;
+    uint64_t patch_ns = 0;
+    uint64_t dce_ns = 0;
+    uint64_t total_ns = 0;
+};
+
 /** Aggregate statistics over a run. */
 struct PipelineStats
 {
@@ -204,6 +227,8 @@ struct PipelineStats
                                        ///< (CaseStatus::Error)
     double total_seconds = 0.0;
     double total_cost_usd = 0.0;
+    /** Real-time phase attribution (never compared for determinism). */
+    StageTimings timings;
 };
 
 /** The LPO engine. */
@@ -246,6 +271,12 @@ class Pipeline
                      uint64_t round_seed = 0);
 
     const PipelineStats &stats() const { return stats_; }
+
+    /**
+     * Fold module-level phase timings (extract/patch/dce/total,
+     * measured by ModuleOptimizer around this pipeline) into stats().
+     */
+    void addStageTimings(const StageTimings &timings);
 
     /**
      * Journal pending verdicts and learned rewrites to the store and

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "core/pipeline.h"
+#include "support/telemetry.h"
 
 namespace lpo::core {
 
@@ -125,6 +126,74 @@ storeStatsLine(const PipelineStats &stats)
         static_cast<unsigned long long>(stats.store_rejected_files),
         static_cast<unsigned long long>(stats.store_flush_failures));
     return line;
+}
+
+std::string
+profileSummary(const PipelineStats &stats,
+               const telemetry::MetricsSnapshot &metrics)
+{
+    auto fmt = [](const char *format, double value) {
+        char buffer[64];
+        std::snprintf(buffer, sizeof(buffer), format, value);
+        return std::string(buffer);
+    };
+    auto ms = [&](uint64_t ns) {
+        return fmt("%.3f", static_cast<double>(ns) / 1e6);
+    };
+
+    const StageTimings &t = stats.timings;
+    struct Phase
+    {
+        const char *name;
+        uint64_t total_ns;
+        const char *histogram;
+    };
+    const Phase phases[] = {
+        {"extract", t.extract_ns, "phase.extract_ns"},
+        {"propose", t.propose_ns, "phase.propose_ns"},
+        {"verify", t.verify_ns, "phase.verify_ns"},
+        {"patch", t.patch_ns, "phase.patch_ns"},
+        {"dce", t.dce_ns, "phase.dce_ns"},
+    };
+    // Share is of the phase-accounted time when no module total was
+    // folded (the `run` command drives the pipeline directly, without
+    // the extract/patch/dce envelope).
+    uint64_t accounted = 0;
+    for (const Phase &phase : phases)
+        accounted += phase.total_ns;
+    uint64_t denominator = t.total_ns ? t.total_ns : accounted;
+
+    TextTable table({"phase", "total ms", "share", "count", "p50 us",
+                     "p90 us", "p99 us"});
+    auto percentiles = [&](const char *name,
+                           std::vector<std::string> &row) {
+        const telemetry::HistogramSnapshot *hist =
+            metrics.histogram(name);
+        if (hist == nullptr || hist->count == 0) {
+            row.push_back("0");
+            row.insert(row.end(), 3, "-");
+            return;
+        }
+        row.push_back(std::to_string(hist->count));
+        for (double q : {0.50, 0.90, 0.99})
+            row.push_back(fmt("%.1f", hist->percentile(q) / 1e3));
+    };
+    for (const Phase &phase : phases) {
+        std::vector<std::string> row{phase.name, ms(phase.total_ns)};
+        row.push_back(
+            denominator
+                ? fmt("%.1f%%", 100.0 *
+                                    static_cast<double>(phase.total_ns) /
+                                    static_cast<double>(denominator))
+                : "-");
+        percentiles(phase.histogram, row);
+        table.addRow(std::move(row));
+    }
+    std::vector<std::string> total{"total", ms(denominator),
+                                   denominator ? "100.0%" : "-"};
+    percentiles("module.latency_ns", total);
+    table.addRow(std::move(total));
+    return "profile (wall time per phase):\n" + table.render();
 }
 
 std::string

@@ -12,6 +12,10 @@
 #include <string>
 #include <vector>
 
+namespace lpo::telemetry {
+struct MetricsSnapshot;
+} // namespace lpo::telemetry
+
 namespace lpo::core {
 
 /** A simple column-aligned text table. */
@@ -73,6 +77,21 @@ std::string satStatsLine(const PipelineStats &stats);
  * any of those counters is nonzero.
  */
 std::string degradationStatsLine(const PipelineStats &stats);
+
+/**
+ * The per-phase wall-time table backing `lpo run --profile`: one row
+ * per pipeline phase (extract, propose, verify, patch, dce) with its
+ * total wall time from PipelineStats::timings, its share of the
+ * optimize run, and the p50/p90/p99 per-invocation latency from the
+ * matching `phase.*_ns` histogram in @p metrics; the closing total row
+ * carries the per-module latency percentiles (module.latency_ns).
+ * propose/verify fold per-case times across every worker thread (CPU
+ * time, not wall), so their share can exceed 100% on threaded runs.
+ * Purely additive — never part of moduleSummary's default output, so
+ * existing pinned summaries stay byte-identical.
+ */
+std::string profileSummary(const PipelineStats &stats,
+                           const telemetry::MetricsSnapshot &metrics);
 
 /**
  * The one-line persistent-store summary backing `lpo run --store` and

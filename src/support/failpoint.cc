@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "support/rng.h"
+#include "support/telemetry.h"
 
 namespace lpo {
 
@@ -137,6 +138,23 @@ FailPoints::FailPoints()
                      error.c_str());
     else if (!env || !*env)
         recomputeArmed();
+
+    // Mirror the per-site hit/fire counters into metrics snapshots.
+    // g_sites has static storage and the registry is leaked, so the
+    // collector can never dangle; it reads only this registry's own
+    // atomics, as the collector contract requires.
+    telemetry::MetricsRegistry::instance().addCollector(
+        [](telemetry::MetricsSnapshot &snap) {
+            for (const Site &site : g_sites) {
+                std::string prefix = std::string("failpoint.") + site.name;
+                snap.addCounter(
+                    prefix + ".hits",
+                    site.hits.load(std::memory_order_relaxed));
+                snap.addCounter(
+                    prefix + ".fires",
+                    site.fires.load(std::memory_order_relaxed));
+            }
+        });
 }
 
 FailPoints &

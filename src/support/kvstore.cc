@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include "support/failpoint.h"
+#include "support/telemetry.h"
 
 namespace lpo {
 
@@ -395,6 +396,9 @@ KvOpen
 KvStore::open(const std::string &path, const KvOpenOptions &options,
               const RecordFn &on_record, std::string *error)
 {
+    static const telemetry::Histogram open_hist =
+        telemetry::histogram("kvstore.open_ns");
+    telemetry::ScopedTimer timer(open_hist);
     close();
     path_ = path;
     options_ = options;
@@ -482,6 +486,9 @@ KvStore::open(const std::string &path, const KvOpenOptions &options,
 bool
 KvStore::append(const std::string &key, const std::string &value)
 {
+    static const telemetry::Histogram append_hist =
+        telemetry::histogram("kvstore.append_ns");
+    telemetry::ScopedTimer timer(append_hist);
     if (fd_ < 0 || !healthy_)
         return false;
     if (LPO_FAILPOINT("store.write.fail")) {
@@ -495,12 +502,18 @@ KvStore::append(const std::string &key, const std::string &value)
         return false;
     }
     appends_ += 1;
+    static const telemetry::Counter appends_counter =
+        telemetry::counter("kvstore.appends");
+    appends_counter.inc();
     return true;
 }
 
 bool
 KvStore::sync()
 {
+    static const telemetry::Histogram sync_hist =
+        telemetry::histogram("kvstore.sync_ns");
+    telemetry::ScopedTimer timer(sync_hist);
     if (fd_ < 0 || !healthy_)
         return false;
     if (LPO_FAILPOINT("store.fsync.fail"))
@@ -517,6 +530,9 @@ KvStore::snapshot(
     const std::vector<std::pair<std::string, std::string>> &records,
     std::string *error)
 {
+    static const telemetry::Histogram snapshot_hist =
+        telemetry::histogram("kvstore.snapshot_ns");
+    telemetry::ScopedTimer timer(snapshot_hist);
     if (fd_ < 0)
         return false;
     if (LPO_FAILPOINT("store.write.fail"))

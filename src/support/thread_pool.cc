@@ -1,8 +1,57 @@
 #include "support/thread_pool.h"
 
 #include <algorithm>
+#include <string>
+
+#include "support/telemetry.h"
 
 namespace lpo {
+
+namespace {
+
+// Pool telemetry. task_wait measures job publish -> first chunk claim
+// per participant (scheduling latency); chunk_run measures each body
+// invocation; per-participant busy counters expose worker utilization
+// (participant 0 is always the calling thread). Totals merge across
+// every pool in the process.
+telemetry::Histogram
+taskWaitHistogram()
+{
+    static const telemetry::Histogram h =
+        telemetry::histogram("pool.task_wait_ns");
+    return h;
+}
+
+telemetry::Histogram
+chunkRunHistogram()
+{
+    static const telemetry::Histogram h =
+        telemetry::histogram("pool.chunk_run_ns");
+    return h;
+}
+
+telemetry::Counter
+chunksCounter()
+{
+    static const telemetry::Counter c = telemetry::counter("pool.chunks");
+    return c;
+}
+
+telemetry::Counter
+jobsCounter()
+{
+    static const telemetry::Counter c = telemetry::counter("pool.jobs");
+    return c;
+}
+
+telemetry::Counter
+participantBusyCounter(unsigned index)
+{
+    return telemetry::counter("pool.worker." + std::to_string(index) +
+                              ".busy_ns");
+}
+
+} // namespace
 
 unsigned
 ThreadPool::hardwareThreads()
@@ -18,7 +67,7 @@ ThreadPool::ThreadPool(unsigned num_threads)
     // of size N spawns N-1 workers; size 1 spawns none and stays
     // strictly serial.
     for (unsigned i = 1; i < num_threads_; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -33,8 +82,9 @@ ThreadPool::~ThreadPool()
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(unsigned index)
 {
+    const telemetry::Counter busy_counter = participantBusyCounter(index);
     uint64_t seen_generation = 0;
     std::unique_lock<std::mutex> lock(mutex_);
     while (true) {
@@ -47,17 +97,34 @@ ThreadPool::workerLoop()
         const auto *body = body_;
         uint64_t end = end_;
         uint64_t chunk = chunk_;
+        uint64_t publish_ns = job_publish_ns_;
         lock.unlock();
+        bool first_chunk = true;
+        uint64_t busy_ns = 0;
         while (true) {
             uint64_t lo = cursor_.fetch_add(chunk);
             if (lo >= end)
                 break;
+            if (publish_ns != 0 && first_chunk) {
+                taskWaitHistogram().record(telemetry::nowNanos() -
+                                           publish_ns);
+                first_chunk = false;
+            }
+            uint64_t start_ns = publish_ns ? telemetry::nowNanos() : 0;
             try {
                 (*body)(lo, std::min(lo + chunk, end));
             } catch (...) {
                 recordError(std::current_exception());
             }
+            if (publish_ns != 0) {
+                uint64_t elapsed = telemetry::nowNanos() - start_ns;
+                chunkRunHistogram().record(elapsed);
+                chunksCounter().inc();
+                busy_ns += elapsed;
+            }
         }
+        if (busy_ns != 0)
+            busy_counter.add(busy_ns);
         lock.lock();
         if (--pending_ == 0)
             job_done_.notify_all();
@@ -83,12 +150,31 @@ ThreadPool::parallelFor(uint64_t begin, uint64_t end, uint64_t chunk,
         return;
     if (chunk == 0)
         chunk = 1;
+    const bool record = telemetry::MetricsRegistry::instance().enabled();
     // Serial pool, or a range that fits in one chunk: run inline.
     if (workers_.empty() || end - begin <= chunk) {
-        for (uint64_t lo = begin; lo < end; lo += chunk)
+        uint64_t busy_ns = 0;
+        for (uint64_t lo = begin; lo < end; lo += chunk) {
+            if (!record) {
+                body(lo, std::min(lo + chunk, end));
+                continue;
+            }
+            uint64_t start_ns = telemetry::nowNanos();
             body(lo, std::min(lo + chunk, end));
+            uint64_t elapsed = telemetry::nowNanos() - start_ns;
+            chunkRunHistogram().record(elapsed);
+            chunksCounter().inc();
+            busy_ns += elapsed;
+        }
+        if (busy_ns != 0) {
+            static const telemetry::Counter caller_busy =
+                participantBusyCounter(0);
+            caller_busy.add(busy_ns);
+            jobsCounter().inc();
+        }
         return;
     }
+    uint64_t publish_ns = record ? telemetry::nowNanos() : 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         body_ = &body;
@@ -98,18 +184,34 @@ ThreadPool::parallelFor(uint64_t begin, uint64_t end, uint64_t chunk,
         pending_ = static_cast<unsigned>(workers_.size());
         ++generation_;
         first_error_ = nullptr;
+        job_publish_ns_ = publish_ns;
     }
     job_ready_.notify_all();
+    if (record)
+        jobsCounter().inc();
     // The caller claims chunks alongside the workers.
+    uint64_t busy_ns = 0;
     while (true) {
         uint64_t lo = cursor_.fetch_add(chunk);
         if (lo >= end)
             break;
+        uint64_t start_ns = publish_ns ? telemetry::nowNanos() : 0;
         try {
             body(lo, std::min(lo + chunk, end));
         } catch (...) {
             recordError(std::current_exception());
         }
+        if (publish_ns != 0) {
+            uint64_t elapsed = telemetry::nowNanos() - start_ns;
+            chunkRunHistogram().record(elapsed);
+            chunksCounter().inc();
+            busy_ns += elapsed;
+        }
+    }
+    if (busy_ns != 0) {
+        static const telemetry::Counter caller_busy =
+            participantBusyCounter(0);
+        caller_busy.add(busy_ns);
     }
     std::unique_lock<std::mutex> lock(mutex_);
     job_done_.wait(lock, [&] { return pending_ == 0; });

@@ -65,7 +65,8 @@ class ThreadPool
                      const std::function<void(uint64_t, uint64_t)> &body);
 
   private:
-    void workerLoop();
+    /** @p index is the participant slot (the caller is 0). */
+    void workerLoop(unsigned index);
     /** Latch @p error (first wins) and drain the remaining range. */
     void recordError(std::exception_ptr error);
 
@@ -80,6 +81,9 @@ class ThreadPool
     uint64_t end_ = 0;
     uint64_t chunk_ = 1;
     uint64_t generation_ = 0;
+    /** Publish time of the in-flight job; 0 when telemetry is off, so
+     *  the hot loops skip every clock read (guarded by mutex_). */
+    uint64_t job_publish_ns_ = 0;
     unsigned pending_ = 0;
     bool stop_ = false;
     /** First body exception of the in-flight job (guarded by mutex_). */

@@ -1,0 +1,168 @@
+#include "support/trace.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/json_writer.h"
+#include "support/telemetry.h"
+
+namespace lpo::trace {
+
+Tracer &
+Tracer::instance()
+{
+    static Tracer *tracer = new Tracer;
+    return *tracer;
+}
+
+void
+Tracer::start()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers_.clear();
+    next_tid_ = 0;
+    epoch_ns_ = telemetry::nowNanos();
+    generation_.fetch_add(1, std::memory_order_relaxed);
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void
+Tracer::stop()
+{
+    enabled_.store(false, std::memory_order_relaxed);
+}
+
+Tracer::Buffer *
+Tracer::localBuffer()
+{
+    if (!enabled())
+        return nullptr;
+    thread_local Buffer *cached = nullptr;
+    thread_local uint64_t cached_generation = 0;
+    uint64_t generation = generation_.load(std::memory_order_relaxed);
+    if (cached != nullptr && cached_generation == generation)
+        return cached;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto owned = std::make_unique<Buffer>();
+    owned->tid = next_tid_++;
+    cached = owned.get();
+    cached_generation = generation_.load(std::memory_order_relaxed);
+    buffers_.push_back(std::move(owned));
+    return cached;
+}
+
+std::string
+Tracer::render()
+{
+    stop();
+    std::lock_guard<std::mutex> lock(mutex_);
+    core::JsonWriter w;
+    w.beginObject();
+    w.key("traceEvents").beginArray();
+    for (const auto &buffer : buffers_) {
+        w.beginObject(core::JsonWriter::Layout::Inline);
+        w.field("ph", "M");
+        w.field("name", "thread_name");
+        w.field("pid", 1);
+        w.field("tid", buffer->tid);
+        w.key("args").beginObject(core::JsonWriter::Layout::Inline);
+        w.field("name", "thread-" + std::to_string(buffer->tid));
+        w.endObject();
+        w.endObject();
+    }
+    for (const auto &buffer : buffers_) {
+        for (const Event &event : buffer->events) {
+            w.beginObject(core::JsonWriter::Layout::Inline);
+            w.field("name", event.name);
+            w.field("cat", event.category);
+            w.key("ph").value(std::string_view(&event.phase, 1));
+            // Microseconds with nanosecond resolution kept.
+            w.field("ts",
+                    static_cast<double>(event.ts_ns - epoch_ns_) / 1000.0,
+                    3);
+            w.field("pid", 1);
+            w.field("tid", buffer->tid);
+            if (!event.args.empty()) {
+                w.key("args").beginObject(
+                    core::JsonWriter::Layout::Inline);
+                for (const auto &[key, val] : event.args) {
+                    if (val.second)
+                        w.key(key).valueRaw(val.first);
+                    else
+                        w.field(key, val.first);
+                }
+                w.endObject();
+            }
+            w.endObject();
+        }
+    }
+    w.endArray();
+    w.field("displayTimeUnit", "ms");
+    w.endObject();
+    return w.str();
+}
+
+bool
+Tracer::writeTo(const std::string &path, std::string *error)
+{
+    std::string json = render();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        if (error != nullptr)
+            *error = "cannot open " + path;
+        return false;
+    }
+    out << json << "\n";
+    out.flush();
+    if (!out) {
+        if (error != nullptr)
+            *error = "write failed for " + path;
+        return false;
+    }
+    return true;
+}
+
+TraceSpan::TraceSpan(const char *name, const char *category)
+    : name_(name), category_(category)
+{
+    buffer_ = Tracer::instance().localBuffer();
+    if (buffer_ != nullptr)
+        buffer_->events.push_back(
+            {telemetry::nowNanos(), 'B', name_, category_, {}});
+}
+
+TraceSpan::~TraceSpan()
+{
+    end();
+}
+
+void
+TraceSpan::end()
+{
+    if (buffer_ == nullptr)
+        return;
+    buffer_->events.push_back({telemetry::nowNanos(), 'E', name_,
+                               category_, std::move(args_)});
+    buffer_ = nullptr;
+}
+
+void
+TraceSpan::arg(const char *key, std::string value)
+{
+    if (buffer_ == nullptr)
+        return;
+    args_.emplace_back(
+        key, std::make_pair(std::move(value), /*is_number=*/false));
+}
+
+void
+TraceSpan::arg(const char *key, uint64_t value)
+{
+    if (buffer_ == nullptr)
+        return;
+    args_.emplace_back(
+        key,
+        std::make_pair(std::to_string(value), /*is_number=*/true));
+}
+
+} // namespace lpo::trace

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Span tracer emitting Chrome trace-event JSON (chrome://tracing /
+ * Perfetto "JSON Array Format" wrapped in {"traceEvents": [...]}).
+ *
+ * Spans are balanced B/E duration events on per-thread tracks: each
+ * thread gets its own append-only event buffer (single writer, no
+ * lock after the first span per thread), a small sequential tid, and
+ * a thread_name metadata record. Args (function name, verdict,
+ * proposer leg, SAT conflicts) are attached to the closing E event,
+ * so they can be filled in as the span runs.
+ *
+ * Determinism: tracing only ever appends to side buffers and reads
+ * the steady clock — it never feeds back into pipeline decisions, so
+ * traced and untraced runs produce byte-identical modules (pinned by
+ * test_telemetry). Buffers are rendered after the run quiesces
+ * (writeTo() is not meant to race live spans).
+ *
+ * Cost: one relaxed atomic load per span when tracing is off at
+ * runtime. Compiling with -DLPO_TRACE_DISABLED turns the macros into
+ * an empty struct with inline no-op methods — zero code at the call
+ * site.
+ */
+#ifndef LPO_SUPPORT_TRACE_H
+#define LPO_SUPPORT_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lpo::trace {
+
+class Tracer
+{
+  public:
+    /** The process-wide tracer (leaked; see MetricsRegistry). */
+    static Tracer &instance();
+
+    /** Drop any previous events and start recording. */
+    void start();
+    /** Stop recording; buffered events stay until the next start(). */
+    void stop();
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Stop and render everything recorded since start() as a Chrome
+     * trace-event JSON document. Call after worker threads quiesce.
+     */
+    std::string render();
+    /** render() to @p path; false (with @p error) on I/O failure. */
+    bool writeTo(const std::string &path, std::string *error = nullptr);
+
+    struct Event
+    {
+        uint64_t ts_ns;
+        char phase; ///< 'B' or 'E'
+        const char *name;
+        const char *category;
+        /// key -> (string value, is_number); numbers print unquoted.
+        std::vector<std::pair<const char *, std::pair<std::string, bool>>>
+            args;
+    };
+
+    struct Buffer
+    {
+        uint32_t tid;
+        std::vector<Event> events;
+    };
+
+    /** The calling thread's buffer for the current recording, or
+     *  nullptr when tracing is off. */
+    Buffer *localBuffer();
+
+  private:
+    Tracer() = default;
+
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<Buffer>> buffers_;
+    std::atomic<uint64_t> generation_{0};
+    uint64_t epoch_ns_ = 0; ///< ts origin, set by start()
+    uint32_t next_tid_ = 0;
+
+    friend class TraceSpan;
+};
+
+/**
+ * RAII duration span: records B at construction, E (with any args)
+ * at destruction — so spans stay balanced even on the exception
+ * paths. @p name and @p category must be string literals (stored by
+ * pointer).
+ */
+class TraceSpan
+{
+  public:
+    TraceSpan(const char *name, const char *category);
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+    ~TraceSpan();
+
+    /** True when this span is actually being recorded. */
+    bool active() const { return buffer_ != nullptr; }
+
+    /** Close the span now (idempotent; the destructor then no-ops). */
+    void end();
+
+    void arg(const char *key, std::string value);
+    void arg(const char *key, const char *value)
+    {
+        arg(key, std::string(value));
+    }
+    void arg(const char *key, uint64_t value);
+
+  private:
+    Tracer::Buffer *buffer_ = nullptr;
+    const char *name_ = nullptr;
+    const char *category_ = nullptr;
+    std::vector<std::pair<const char *, std::pair<std::string, bool>>>
+        args_;
+};
+
+} // namespace lpo::trace
+
+#ifndef LPO_TRACE_DISABLED
+
+/** Declare a scoped trace span named @p var. */
+#define LPO_TRACE_SPAN(var, name, category)                             \
+    ::lpo::trace::TraceSpan var((name), (category))
+
+#else // LPO_TRACE_DISABLED
+
+namespace lpo::trace {
+struct NullSpan
+{
+    bool active() const { return false; }
+    void end() {}
+    template <typename K, typename V> void arg(K, V) {}
+};
+} // namespace lpo::trace
+
+#define LPO_TRACE_SPAN(var, name, category) ::lpo::trace::NullSpan var
+
+#endif // LPO_TRACE_DISABLED
+
+#endif // LPO_SUPPORT_TRACE_H

@@ -2,8 +2,50 @@
 
 #include "support/failpoint.h"
 #include "support/string_utils.h"
+#include "support/telemetry.h"
 
 namespace lpo::verify {
+
+namespace {
+
+// Registry mirrors of the cache's own atomics, so cache behavior
+// shows up in metrics.lpo.json without threading a registry handle
+// through every cache instance. Process-wide totals across all
+// caches, unlike the per-instance Stats counters.
+telemetry::Counter
+hitCounter()
+{
+    static const telemetry::Counter c =
+        telemetry::counter("verify_cache.hits");
+    return c;
+}
+
+telemetry::Counter
+missCounter()
+{
+    static const telemetry::Counter c =
+        telemetry::counter("verify_cache.misses");
+    return c;
+}
+
+telemetry::Counter
+evictionCounter()
+{
+    static const telemetry::Counter c =
+        telemetry::counter("verify_cache.evictions");
+    return c;
+}
+
+/** Latency of rebuilding a RefinementResult from a cached verdict. */
+telemetry::Histogram
+rederiveHistogram()
+{
+    static const telemetry::Histogram h =
+        telemetry::histogram("verify_cache.rederive_ns");
+    return h;
+}
+
+} // namespace
 
 VerifyCache::VerifyCache(unsigned shard_count, size_t max_entries)
     : shard_count_(shard_count ? shard_count : 1),
@@ -46,6 +88,7 @@ VerifyCache::evictOverCap(Shard &shard)
         shard.map.erase(it);
         shard.order.pop_front();
         evictions_.fetch_add(1, std::memory_order_relaxed);
+        evictionCounter().inc();
     }
 }
 
@@ -79,6 +122,7 @@ VerifyCache::lookupOrCompute(
     // accounting may differ.
     if (LPO_FAILPOINT("verify.cache.lookup")) {
         misses_.fetch_add(1, std::memory_order_relaxed);
+        missCounter().inc();
         return compute().result;
     }
 
@@ -137,6 +181,7 @@ VerifyCache::lookupOrCompute(
             }
             entry->ready_cv.notify_all();
             misses_.fetch_add(1, std::memory_order_relaxed);
+            missCounter().inc();
             return std::move(computed.result);
         }
         {
@@ -146,6 +191,7 @@ VerifyCache::lookupOrCompute(
         }
         entry->ready_cv.notify_all();
         misses_.fetch_add(1, std::memory_order_relaxed);
+        missCounter().inc();
         // Now that the entry is ready it is eviction-eligible; apply
         // the bound again in case in-flight entries blocked it above.
         if (shard_cap_) {
@@ -166,9 +212,12 @@ VerifyCache::lookupOrCompute(
     }
     if (failed) {
         misses_.fetch_add(1, std::memory_order_relaxed);
+        missCounter().inc();
         return compute().result;
     }
     hits_.fetch_add(1, std::memory_order_relaxed);
+    hitCounter().inc();
+    telemetry::ScopedTimer timer(rederiveHistogram());
     return rederive(entry->value);
 }
 

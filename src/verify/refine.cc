@@ -10,7 +10,9 @@
 #include "interp/exec_plan.h"
 #include "ir/printer.h"
 #include "support/rng.h"
+#include "support/telemetry.h"
 #include "support/thread_pool.h"
+#include "support/trace.h"
 #include "verify/cache.h"
 #include "verify/encoder.h"
 
@@ -143,6 +145,33 @@ recordVerdict(CachedVerdict *cached, const RefinementResult &result)
 // SAT backend
 // ---------------------------------------------------------------------
 
+/** Bit-blasting latency (circuit construction + CNF emission). */
+telemetry::Histogram
+encodeHistogram()
+{
+    static const telemetry::Histogram h =
+        telemetry::histogram("verify.encode_ns");
+    return h;
+}
+
+/** Per-solve latency (one budget-ladder tier). */
+telemetry::Histogram
+solveHistogram()
+{
+    static const telemetry::Histogram h =
+        telemetry::histogram("verify.solve_ns");
+    return h;
+}
+
+/** Conflicts spent by one solve call (fresh and session paths). */
+telemetry::Histogram
+conflictsPerSolveHistogram()
+{
+    static const telemetry::Histogram h =
+        telemetry::histogram("sat.conflicts_per_solve");
+    return h;
+}
+
 /** Add @p solver's whole-lifetime counters into the telemetry (valid
  *  for fresh single-shot solvers). */
 void
@@ -222,9 +251,13 @@ checkWithSat(const ir::Function &src, const ir::Function &tgt,
     CircuitBuilder builder(solver, options.structural_hashing);
 
     std::vector<ValueEnc> args;
-    bool encoded = encodeRefinementQuery(builder, src, tgt, &args);
-    assert(encoded && "caller checked canEncode");
-    (void)encoded;
+    {
+        LPO_TRACE_SPAN(span, "encode", "sat");
+        telemetry::ScopedTimer timer(encodeHistogram());
+        bool encoded = encodeRefinementQuery(builder, src, tgt, &args);
+        assert(encoded && "caller checked canEncode");
+        (void)encoded;
+    }
 
     const std::vector<uint64_t> tiers = budgetLadder(options);
     SatResult sat = SatResult::Unknown;
@@ -232,7 +265,17 @@ checkWithSat(const ir::Function &src, const ir::Function &tgt,
     for (uint64_t tier_budget : tiers) {
         if (solves_run > 0 && options.degradation)
             ++options.degradation->escalations;
-        sat = solver.solve(tier_budget);
+        uint64_t conflicts_before = solver.conflicts();
+        {
+            LPO_TRACE_SPAN(span, "solve", "sat");
+            telemetry::ScopedTimer timer(solveHistogram());
+            sat = solver.solve(tier_budget);
+            if (span.active())
+                span.arg("conflicts",
+                         solver.conflicts() - conflicts_before);
+        }
+        conflictsPerSolveHistogram().record(solver.conflicts() -
+                                            conflicts_before);
         ++solves_run;
         if (sat != SatResult::Unknown)
             break;
@@ -801,6 +844,8 @@ void
 RefinementSession::Impl::initialize()
 {
     initialized = true;
+    LPO_TRACE_SPAN(span, "encode", "sat");
+    telemetry::ScopedTimer timer(encodeHistogram());
     builder = std::make_unique<CircuitBuilder>(
         solver, options.structural_hashing);
     args = encodeSharedArgs(*builder, src);
@@ -848,17 +893,23 @@ RefinementSession::Impl::dispatch(const ir::Function &tgt,
     // Encode only the candidate's cone over the shared arguments; the
     // persistent unique table answers every subcircuit the candidate
     // shares with the source or with earlier candidates.
-    std::optional<EncodedFunction> tgt_enc =
-        encodeFunction(*builder, tgt, &args);
-    assert(tgt_enc && "usesSatBackend checked canEncode");
-    CLit violation = refinementViolation(*builder, *src_enc, *tgt_enc);
+    int act;
+    {
+        LPO_TRACE_SPAN(span, "encode", "sat");
+        telemetry::ScopedTimer timer(encodeHistogram());
+        std::optional<EncodedFunction> tgt_enc =
+            encodeFunction(*builder, tgt, &args);
+        assert(tgt_enc && "usesSatBackend checked canEncode");
+        CLit violation =
+            refinementViolation(*builder, *src_enc, *tgt_enc);
 
-    // Guard the miter behind a fresh selector: assuming it activates
-    // this candidate's query; releasing it afterwards retires the
-    // query and reclaims its clauses while keeping every selector-free
-    // learnt clause for the next candidate.
-    int act = solver.newActivationVar();
-    builder->requireImplies(act, violation);
+        // Guard the miter behind a fresh selector: assuming it
+        // activates this candidate's query; releasing it afterwards
+        // retires the query and reclaims its clauses while keeping
+        // every selector-free learnt clause for the next candidate.
+        act = solver.newActivationVar();
+        builder->requireImplies(act, violation);
+    }
 
     // The same escalation ladder as the fresh path, except the warm
     // session's carried learnts make each tier strictly stronger than
@@ -873,7 +924,16 @@ RefinementSession::Impl::dispatch(const ir::Function &tgt,
         uint64_t conflicts_before = solver.conflicts();
         uint64_t propagations_before = solver.propagations();
         uint64_t restarts_before = solver.restarts();
-        sat = solver.solveAssuming({act}, tier_budget);
+        {
+            LPO_TRACE_SPAN(span, "solve", "sat");
+            telemetry::ScopedTimer timer(solveHistogram());
+            sat = solver.solveAssuming({act}, tier_budget);
+            if (span.active())
+                span.arg("conflicts",
+                         solver.conflicts() - conflicts_before);
+        }
+        conflictsPerSolveHistogram().record(solver.conflicts() -
+                                            conflicts_before);
         ++solves_run;
         if (telemetry) {
             ++telemetry->solves;

@@ -196,6 +196,122 @@ TEST(CliTest, FailpointsSubcommandListsSites)
                              "parser.fail", "patchback.fail"})
         EXPECT_NE(result.output.find(site), std::string::npos)
             << "missing site " << site << " in:\n" << result.output;
+    // Each line carries the live hit/fire counters from the metrics
+    // registry: "<site> hits=N fires=M". The subcommand is its own
+    // process, so in an unarmed listing every counter is zero — and
+    // scripts that only want names take column 1.
+    EXPECT_NE(result.output.find("sat.exhaust hits=0 fires=0"),
+              std::string::npos)
+        << result.output;
+    size_t lines = 0;
+    size_t counted = 0;
+    for (size_t pos = 0; pos < result.output.size();) {
+        size_t eol = result.output.find('\n', pos);
+        if (eol == std::string::npos)
+            break;
+        std::string line = result.output.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty())
+            continue;
+        ++lines;
+        if (line.find(" hits=") != std::string::npos &&
+            line.find(" fires=") != std::string::npos)
+            ++counted;
+    }
+    EXPECT_GE(lines, 13u);
+    EXPECT_EQ(lines, counted) << result.output;
+}
+
+TEST(CliTest, TracedRunIsByteIdenticalAndEmitsArtifacts)
+{
+    std::string path = fixture("traced", kMissedModule);
+    std::string plain_ll = ::testing::TempDir() + "lpo_cli_plain.ll";
+    std::string traced_ll = ::testing::TempDir() + "lpo_cli_traced.ll";
+    std::string trace_json = ::testing::TempDir() + "lpo_cli_trace.json";
+    std::string metrics_json =
+        ::testing::TempDir() + "lpo_cli_metrics.json";
+
+    CommandResult plain = run("optimize-module " + path +
+                              " --proposer=hybrid --emit=" + plain_ll);
+    EXPECT_EQ(plain.exit_code, 0) << plain.output;
+    CommandResult traced = run(
+        "optimize-module " + path + " --proposer=hybrid --emit=" +
+        traced_ll + " --trace=" + trace_json + " --metrics=" +
+        metrics_json + " --profile");
+    EXPECT_EQ(traced.exit_code, 0) << traced.output;
+
+    // The tentpole invariant, end to end through the real binary: the
+    // emitted module is byte-identical with and without observability.
+    std::string plain_text = slurp(plain_ll);
+    ASSERT_FALSE(plain_text.empty());
+    EXPECT_EQ(plain_text, slurp(traced_ll));
+
+    // The trace holds balanced spans for the pipeline phases.
+    std::string trace = slurp(trace_json);
+    ASSERT_FALSE(trace.empty());
+    EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+    for (const char *span : {"\"optimize-module\"", "\"extract\"",
+                             "\"propose\"", "\"verify\"", "\"patch\"",
+                             "\"dce\""})
+        EXPECT_NE(trace.find(span), std::string::npos)
+            << "missing span " << span;
+    // B and E counts balance (each quoted phase token appears once per
+    // event object).
+    size_t begins = 0, ends = 0;
+    for (size_t pos = trace.find("\"ph\": \"B\"");
+         pos != std::string::npos;
+         pos = trace.find("\"ph\": \"B\"", pos + 1))
+        ++begins;
+    for (size_t pos = trace.find("\"ph\": \"E\"");
+         pos != std::string::npos;
+         pos = trace.find("\"ph\": \"E\"", pos + 1))
+        ++ends;
+    EXPECT_GT(begins, 0u);
+    EXPECT_EQ(begins, ends);
+
+    // The metrics snapshot carries the per-module latency histogram
+    // with its percentiles, and the phase histograms.
+    std::string metrics = slurp(metrics_json);
+    ASSERT_FALSE(metrics.empty());
+    for (const char *key :
+         {"\"module.latency_ns\"", "\"phase.verify_ns\"", "\"p50\"",
+          "\"p99\"", "\"counters\"", "\"histograms\""})
+        EXPECT_NE(metrics.find(key), std::string::npos)
+            << "missing key " << key;
+
+    // --profile prints the per-phase table after the summary.
+    EXPECT_NE(traced.output.find("profile (wall time per phase):"),
+              std::string::npos)
+        << traced.output;
+    for (const char *row : {"\nextract", "\npropose", "\nverify",
+                            "\npatch", "\ndce", "\ntotal"})
+        EXPECT_NE(traced.output.find(row), std::string::npos)
+            << "missing profile row " << (row + 1);
+
+    // Without the flags, none of the new output appears (the default
+    // summary stays byte-compatible with pre-observability builds).
+    EXPECT_EQ(plain.output.find("profile ("), std::string::npos);
+}
+
+TEST(CliTest, GenModuleIsDeterministic)
+{
+    CommandResult one = run("gen-module 9 6 2");
+    CommandResult two = run("gen-module 9 6 2");
+    EXPECT_EQ(one.exit_code, 0);
+    EXPECT_NE(one.output.find("define"), std::string::npos)
+        << one.output;
+    EXPECT_EQ(one.output, two.output);
+    // Defaults (1 48 3) produce the benchmark-scale module.
+    CommandResult def = run("gen-module");
+    EXPECT_EQ(def.exit_code, 0);
+    size_t defines = 0;
+    for (size_t pos = def.output.find("define");
+         pos != std::string::npos;
+         pos = def.output.find("define", pos + 6))
+        ++defines;
+    EXPECT_EQ(defines, 48u);
+    CommandResult bad = run("gen-module nope");
+    EXPECT_NE(bad.exit_code, 0);
 }
 
 TEST(CliTest, EnvFailpointsDegradeGracefully)

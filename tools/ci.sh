@@ -24,10 +24,12 @@ echo "=== Chaos sweep: every failpoint site, one at a time (Release) ==="
 # Each site is forced to fire on every hit while the end-to-end module
 # run (ChaosEnvTest) must still complete without crashing or patching
 # invalid IR. The per-site degradation telemetry is collected into
-# chaos_degradation.txt so the fault-handling trajectory is tracked
-# per commit alongside the perf numbers.
-: > chaos_degradation.txt
-for site in $(./build-release/lpo_cli failpoints); do
+# build-release/chaos_degradation.txt (a build artifact, not a tracked
+# file) so the fault-handling trajectory is tracked per commit
+# alongside the perf numbers. `failpoints` now prints live hit/fire
+# counters after each site name, so take column one only.
+: > build-release/chaos_degradation.txt
+for site in $(./build-release/lpo_cli failpoints | awk '{print $1}'); do
     echo "--- chaos site: ${site} ---"
     LPO_FAILPOINTS="${site}=always" \
         ./build-release/test_chaos --gtest_filter='ChaosEnvTest.*' \
@@ -36,10 +38,54 @@ for site in $(./build-release/lpo_cli failpoints); do
         echo "site: ${site}"
         grep '^degradation:' /tmp/chaos_site.log || echo "degradation: none"
         grep '^store:' /tmp/chaos_site.log || true
-    } >> chaos_degradation.txt
+    } >> build-release/chaos_degradation.txt
 done
 echo "chaos_degradation.txt:"
-cat chaos_degradation.txt
+cat build-release/chaos_degradation.txt
+
+echo "=== Observability: traced module run (Release) ==="
+# One end-to-end optimize-module run over a generated 48-function
+# module with tracing, metrics, and the profile table on. The trace
+# and metrics files must be valid JSON (json.tool is the arbiter),
+# the trace must contain a span for every pipeline phase, and — the
+# hard invariant — the emitted module must be byte-identical with and
+# without observability, serial and threaded.
+obs_dir=build-release/observability
+rm -rf "${obs_dir}" && mkdir -p "${obs_dir}"
+./build-release/lpo_cli gen-module > "${obs_dir}/module.ll"
+
+./build-release/lpo_cli optimize-module "${obs_dir}/module.ll" \
+    --proposer=hybrid --threads=1 --emit="${obs_dir}/plain_t1.ll"
+./build-release/lpo_cli optimize-module "${obs_dir}/module.ll" \
+    --proposer=hybrid --threads=1 --emit="${obs_dir}/traced_t1.ll" \
+    --trace="${obs_dir}/trace.lpo.json" \
+    --metrics="${obs_dir}/metrics.lpo.json" --profile
+./build-release/lpo_cli optimize-module "${obs_dir}/module.ll" \
+    --proposer=hybrid --threads=8 --emit="${obs_dir}/plain_t8.ll"
+./build-release/lpo_cli optimize-module "${obs_dir}/module.ll" \
+    --proposer=hybrid --threads=8 --emit="${obs_dir}/traced_t8.ll" \
+    --trace="${obs_dir}/trace_t8.lpo.json" \
+    --metrics="${obs_dir}/metrics_t8.lpo.json" --profile
+
+for f in trace.lpo.json metrics.lpo.json trace_t8.lpo.json \
+         metrics_t8.lpo.json; do
+    python3 -m json.tool "${obs_dir}/${f}" > /dev/null
+    echo "observability: ${f} is valid JSON"
+done
+for span in extract propose verify patch dce; do
+    grep -q "\"${span}\"" "${obs_dir}/trace.lpo.json" || {
+        echo "FAIL: trace is missing the ${span} phase span"
+        exit 1
+    }
+done
+grep -q '"module.latency_ns"' "${obs_dir}/metrics.lpo.json" || {
+    echo "FAIL: metrics JSON is missing module.latency_ns"
+    exit 1
+}
+cmp "${obs_dir}/plain_t1.ll" "${obs_dir}/traced_t1.ll"
+cmp "${obs_dir}/plain_t8.ll" "${obs_dir}/traced_t8.ll"
+cmp "${obs_dir}/plain_t1.ll" "${obs_dir}/plain_t8.ll"
+echo "observability: traced and untraced modules byte-identical at 1 and 8 threads"
 
 echo "=== Interpreter throughput benchmark (Release) ==="
 # The benchmark writes BENCH_interp.json into its working directory.
