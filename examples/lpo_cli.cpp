@@ -15,6 +15,7 @@
  *
  * Files may contain one function (verify) or a whole module.
  */
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,6 +24,7 @@
 #include <sstream>
 
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include "core/module_opt.h"
 #include "core/pipeline.h"
@@ -217,6 +219,37 @@ parseRunOptions(int argc, char **argv, int first, RunOptions *out)
     return true;
 }
 
+/** Observability outputs to salvage if the run is killed externally:
+ *  stashed by beginObservability for the fatal-signal handler. */
+struct
+{
+    char metrics_path[4096] = {0};
+    char trace_path[4096] = {0};
+} g_observability;
+
+/**
+ * SIGTERM/SIGINT during an instrumented run: write whatever the
+ * metrics registry and tracer have accumulated so far before dying,
+ * so --metrics/--trace artifacts survive an external kill. Best
+ * effort by design — the exit code still reports the signal death.
+ */
+void
+onFatalSignal(int sig)
+{
+    if (g_observability.metrics_path[0]) {
+        std::ofstream out(g_observability.metrics_path,
+                          std::ios::binary | std::ios::trunc);
+        if (out)
+            out << telemetry::MetricsRegistry::instance()
+                       .snapshot()
+                       .toJson()
+                << "\n";
+    }
+    if (g_observability.trace_path[0])
+        trace::Tracer::instance().writeTo(g_observability.trace_path);
+    ::_exit(128 + sig);
+}
+
 /** Arm the span tracer before the run when --trace was given (the
  * metrics registry records unconditionally; recording never feeds
  * back into pipeline decisions — see DESIGN.md "Observability"). */
@@ -225,6 +258,18 @@ beginObservability(const RunOptions &options)
 {
     if (!options.trace_path.empty())
         trace::Tracer::instance().start();
+    if (options.metrics_path.empty() && options.trace_path.empty())
+        return;
+    std::snprintf(g_observability.metrics_path,
+                  sizeof(g_observability.metrics_path), "%s",
+                  options.metrics_path.c_str());
+    std::snprintf(g_observability.trace_path,
+                  sizeof(g_observability.trace_path), "%s",
+                  options.trace_path.c_str());
+    struct sigaction action = {};
+    action.sa_handler = onFatalSignal;
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
 }
 
 /**
@@ -443,11 +488,14 @@ cmdStore(const char *action, const char *dir)
             KvOpen status = KvStore::inspect(path, file.options, nullptr,
                                              &stats, &error);
             std::printf("%s: %s, %llu record(s), %llu corrupt, "
-                        "%llu torn byte(s)\n",
+                        "%llu torn byte(s), quarantine sidecar "
+                        "%llu byte(s)\n",
                         file.name, kvOpenName(status),
                         (unsigned long long)stats.records,
                         (unsigned long long)stats.quarantined,
-                        (unsigned long long)stats.torn_bytes);
+                        (unsigned long long)stats.torn_bytes,
+                        (unsigned long long)
+                            KvStore::quarantineSize(path));
             if (!kvOpenUsable(status)) {
                 if (!error.empty())
                     std::printf("  %s\n", error.c_str());

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * lpo_serve — the always-on optimization service daemon (see
+ * src/serve/server.h and DESIGN.md, "Service layer").
+ *
+ * Subcommands:
+ *   lpo_serve run <spool> [options]   serve requests from the spool
+ *   lpo_serve submit <spool> <id> <file.ll>
+ *                                     atomically enqueue a request
+ *   lpo_serve wait <spool> <id> [--timeout-ms=N]
+ *                                     block until the response lands
+ *   lpo_serve status <spool>          print the live status snapshot
+ *
+ * SIGTERM/SIGINT drain the request in flight, flush the store, and
+ * exit 0; `kill -9` is recovered on the next start (claimed requests
+ * re-queued, store recovered on open).
+ */
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/proposer.h"
+#include "serve/server.h"
+#include "serve/spool.h"
+
+using namespace lpo;
+
+namespace {
+
+serve::Server *g_server = nullptr;
+
+void
+onStopSignal(int)
+{
+    // Async-signal-safe: one relaxed atomic store; the serve loop
+    // notices between requests (or between poll slices when idle).
+    if (g_server)
+        g_server->requestStop();
+}
+
+bool
+parseUnsigned(const char *text, uint64_t max, uint64_t *out)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end || v > max)
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+parseRunOptions(int argc, char **argv, int first,
+                serve::ServeOptions *out)
+{
+    for (int i = first; i < argc; ++i) {
+        const char *arg = argv[i];
+        uint64_t v = 0;
+        if (!std::strncmp(arg, "--store=", 8) && arg[8]) {
+            out->store_path = arg + 8;
+        } else if (!std::strncmp(arg, "--model=", 8) && arg[8]) {
+            out->model = arg + 8;
+        } else if (!std::strncmp(arg, "--proposer=", 11)) {
+            if (!core::parseProposerKind(arg + 11, &out->proposer)) {
+                std::fprintf(stderr,
+                             "lpo_serve: unknown proposer '%s'\n",
+                             arg + 11);
+                return false;
+            }
+        } else if (!std::strncmp(arg, "--threads=", 10) &&
+                   parseUnsigned(arg + 10, 4096, &v)) {
+            out->threads = static_cast<unsigned>(v);
+        } else if (!std::strncmp(arg, "--queue=", 8) &&
+                   parseUnsigned(arg + 8, 1u << 20, &v) && v) {
+            out->queue_capacity = static_cast<size_t>(v);
+        } else if (!std::strncmp(arg, "--step-budget=", 14) &&
+                   parseUnsigned(arg + 14, UINT64_MAX, &v)) {
+            out->step_budget = v;
+        } else if (!std::strncmp(arg, "--retry-after-ms=", 17) &&
+                   parseUnsigned(arg + 17, 1u << 30, &v)) {
+            out->retry_after_ms = static_cast<unsigned>(v);
+        } else if (!std::strncmp(arg, "--fault-retries=", 16) &&
+                   parseUnsigned(arg + 16, 100, &v)) {
+            out->fault_retry_limit = static_cast<unsigned>(v);
+        } else if (!std::strncmp(arg, "--flush-retries=", 16) &&
+                   parseUnsigned(arg + 16, 100, &v)) {
+            out->flush_retry_limit = static_cast<unsigned>(v);
+        } else if (!std::strncmp(arg, "--flush-backoff-ms=", 19) &&
+                   parseUnsigned(arg + 19, 1u << 20, &v)) {
+            out->flush_backoff_ms = static_cast<unsigned>(v);
+        } else if (!std::strncmp(arg, "--compact-interval=", 19) &&
+                   parseUnsigned(arg + 19, UINT64_MAX, &v)) {
+            out->compact_interval = v;
+        } else if (!std::strncmp(arg, "--poll-ms=", 10) &&
+                   parseUnsigned(arg + 10, 1u << 20, &v) && v) {
+            out->poll_ms = static_cast<unsigned>(v);
+        } else if (!std::strncmp(arg, "--max-requests=", 15) &&
+                   parseUnsigned(arg + 15, UINT64_MAX, &v)) {
+            out->max_requests = v;
+        } else if (!std::strcmp(arg, "--once")) {
+            out->once = true;
+        } else {
+            std::fprintf(stderr, "lpo_serve: bad option '%s'\n", arg);
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+cmdRun(int argc, char **argv)
+{
+    serve::ServeOptions options;
+    options.spool_root = argv[2];
+    if (!parseRunOptions(argc, argv, 3, &options))
+        return 1;
+
+    serve::Server server(std::move(options));
+    g_server = &server;
+    struct sigaction action = {};
+    action.sa_handler = onStopSignal;
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+    int rc = server.run();
+    g_server = nullptr;
+    return rc;
+}
+
+int
+cmdSubmit(const char *spool_root, const char *id, const char *path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "lpo_serve: cannot open '%s'\n", path);
+        return 1;
+    }
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+
+    serve::Spool spool(spool_root);
+    std::string error;
+    if (!spool.ensureLayout(&error) ||
+        !spool.submit(id, bytes.str(), &error)) {
+        std::fprintf(stderr, "lpo_serve: submit failed: %s\n",
+                     error.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+/**
+ * Block until a final response meta (status != retry) exists for
+ * @p id, then print it. A shed notice (status=retry) is not final —
+ * the input is still queued, so keep waiting. Exit 0 for ok/partial,
+ * 2 for error, 1 on timeout.
+ */
+int
+cmdWait(const char *spool_root, const char *id, const char *opt)
+{
+    uint64_t timeout_ms = 60000;
+    if (opt) {
+        if (std::strncmp(opt, "--timeout-ms=", 13) ||
+            !parseUnsigned(opt + 13, 1u << 30, &timeout_ms)) {
+            std::fprintf(stderr, "lpo_serve: bad option '%s'\n", opt);
+            return 1;
+        }
+    }
+
+    serve::Spool spool(spool_root);
+    std::string meta_path = spool.metaPath(id);
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+        std::ifstream in(meta_path, std::ios::binary);
+        if (in) {
+            std::ostringstream bytes;
+            bytes << in.rdbuf();
+            std::string meta = bytes.str();
+            if (meta.find("status=retry\n") == std::string::npos) {
+                std::fputs(meta.c_str(), stdout);
+                return meta.find("status=error\n") != std::string::npos
+                           ? 2
+                           : 0;
+            }
+        }
+        if (std::chrono::steady_clock::now() >= deadline) {
+            std::fprintf(stderr,
+                         "lpo_serve: timed out waiting for '%s'\n", id);
+            return 1;
+        }
+        struct timespec ts = {0, 20 * 1000 * 1000};
+        ::nanosleep(&ts, nullptr);
+    }
+}
+
+int
+cmdStatus(const char *spool_root)
+{
+    serve::Spool spool(spool_root);
+    std::ifstream in(spool.statusPath(), std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr,
+                     "lpo_serve: no status snapshot at %s (server "
+                     "never started?)\n",
+                     spool.statusPath().c_str());
+        return 1;
+    }
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    std::fputs(bytes.str().c_str(), stdout);
+    return 0;
+}
+
+void
+usage()
+{
+    std::fprintf(stderr,
+        "usage: lpo_serve <command> [args]\n"
+        "  run <spool> [options]      serve .ll requests from the\n"
+        "                             spool's inbox/ until SIGTERM\n"
+        "  submit <spool> <id> <file.ll>\n"
+        "                             atomically enqueue a request\n"
+        "                             (response arrives at\n"
+        "                             outbox/<id>.ll + <id>.meta)\n"
+        "  wait <spool> <id> [--timeout-ms=N]\n"
+        "                             block until the response lands,\n"
+        "                             print its meta (exit 0 ok or\n"
+        "                             partial, 2 error, 1 timeout)\n"
+        "  status <spool>             print the server's status.json\n"
+        "\n"
+        "run options:\n"
+        "  --store=DIR                shared persistent verify store\n"
+        "  --model=NAME               mock model (default Gemini2.0T)\n"
+        "  --proposer=llm|egraph|hybrid   (default hybrid)\n"
+        "  --threads=N                pipeline worker threads\n"
+        "  --queue=N                  admitted requests per scan;\n"
+        "                             excess is shed with a\n"
+        "                             status=retry meta (default 64)\n"
+        "  --step-budget=N            per-request watchdog deadline in\n"
+        "                             deterministic step costs; cut\n"
+        "                             requests answer status=partial\n"
+        "  --retry-after-ms=N         retry hint in shed notices\n"
+        "  --fault-retries=N          replays of a request after an\n"
+        "                             injected fault (default 3)\n"
+        "  --flush-retries=N          store flush retries before\n"
+        "                             degrading to memory-only\n"
+        "  --flush-backoff-ms=N      base flush retry backoff\n"
+        "  --compact-interval=N       snapshot-compact the store every\n"
+        "                             N requests (0 = never)\n"
+        "  --poll-ms=N                idle inbox scan interval\n"
+        "  --max-requests=N           exit after N responses (tests)\n"
+        "  --once                     drain the inbox, then exit\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const char *cmd = argv[1];
+    try {
+        if (!std::strcmp(cmd, "run") && argc >= 3)
+            return cmdRun(argc, argv);
+        if (!std::strcmp(cmd, "submit") && argc == 5)
+            return cmdSubmit(argv[2], argv[3], argv[4]);
+        if (!std::strcmp(cmd, "wait") && (argc == 4 || argc == 5))
+            return cmdWait(argv[2], argv[3], argc == 5 ? argv[4] : nullptr);
+        if (!std::strcmp(cmd, "status") && argc == 3)
+            return cmdStatus(argv[2]);
+        if (!std::strcmp(cmd, "help") || !std::strcmp(cmd, "--help") ||
+            !std::strcmp(cmd, "-h")) {
+            usage();
+            return 0;
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "lpo_serve: fatal: %s\n", e.what());
+        return 1;
+    }
+    usage();
+    return 1;
+}

@@ -169,6 +169,22 @@ class ModuleOptimizer
      *  the end of every call); see Pipeline::flushStore. */
     bool flushStore() { return pipeline_.flushStore(); }
 
+    /** Snapshot-compact the store; see Pipeline::compactStore. */
+    bool compactStore(std::string *error = nullptr)
+    {
+        return pipeline_.compactStore(error);
+    }
+
+    /** Drop unflushed store records (fault quarantine); see
+     *  Pipeline::discardPendingStore. */
+    void discardPendingStore() { pipeline_.discardPendingStore(); }
+
+    /** The pipeline's open persistent store, or nullptr. */
+    const verify::PersistentStore *store() const
+    {
+        return pipeline_.store();
+    }
+
   private:
     /** Per-function fresh-name state for spliced instructions: one
      *  monotone counter plus the set of names already in use (seeded

@@ -83,6 +83,26 @@ Pipeline::flushStore()
     return ok;
 }
 
+bool
+Pipeline::compactStore(std::string *error)
+{
+    if (!store_) {
+        if (error)
+            *error = "no persistent store configured";
+        return false;
+    }
+    bool ok = store_->compact(error);
+    refreshCacheStats();
+    return ok;
+}
+
+void
+Pipeline::discardPendingStore()
+{
+    if (store_)
+        store_->discardPending();
+}
+
 const char *
 caseStatusName(CaseStatus status)
 {

@@ -286,6 +286,22 @@ class Pipeline
      */
     bool flushStore();
 
+    /**
+     * Snapshot-compact the store (flush + rewrite both files as
+     * deduplicated snapshots; see verify::PersistentStore::compact).
+     * False with @p error when no store is configured, the store is
+     * read-only, or a snapshot failed. Callers run this between
+     * requests, never inside one.
+     */
+    bool compactStore(std::string *error = nullptr);
+
+    /**
+     * Drop pending (unflushed) store records — the fault-quarantine
+     * path (see verify::PersistentStore::discardPending). No-op
+     * without a store.
+     */
+    void discardPendingStore();
+
     /** The open persistent store, or nullptr (no store_path / path
      *  unusable). */
     const verify::PersistentStore *store() const { return store_.get(); }

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * lpo_serve — the always-on optimization service (DESIGN.md, "Service
+ * layer").
+ *
+ * One Server owns one Spool (serve/spool.h) and one long-lived
+ * core::ModuleOptimizer sharing one verify::PersistentStore across the
+ * whole request stream: the in-memory verify cache and the learned
+ * rewrite catalog stay warm, so steady-state requests replay prior
+ * proofs instead of re-paying them. The determinism contract makes
+ * that safe: optimize() results are byte-identical with the cache
+ * warm or cold, so a served response always matches a cold one-shot
+ * `lpo optimize-module` run of the same module.
+ *
+ * Robustness layers, outermost first:
+ *
+ *  - Request isolation: each request parses in a fresh ir::Context and
+ *    runs under a catch-everything guard; a poisoned module produces a
+ *    status=error response, never a dead server. The per-request step
+ *    budget (ServeOptions::step_budget) is the watchdog: a stuck
+ *    request is cut at a deterministic wave boundary and answered with
+ *    a valid partial result (status=partial), queued work unaffected.
+ *
+ *  - Fault-detection replay: around every attempt the server samples
+ *    the failpoint registry's total fire count. If a fault was
+ *    injected during the attempt, the warm optimizer may hold tainted
+ *    state (e.g. a verdict degraded by a forced solver fault), so the
+ *    server discards the store's pending records, rebuilds the
+ *    optimizer from the last durable state, and re-runs the request
+ *    from its original bytes — up to fault_retry_limit times. A
+ *    transient injected fault therefore never changes a response.
+ *
+ *  - Backpressure: the inbox is the queue; only the first
+ *    queue_capacity pending requests are admitted per scan. Requests
+ *    beyond that get a status=retry meta with retry_after_ms (load
+ *    shedding with an explicit retry hint). Nothing is dropped: a shed
+ *    request stays spooled and is served once the queue drains.
+ *
+ *  - Store fault handling: flushes run off the request's result path
+ *    with bounded retry + exponential backoff; when every retry of a
+ *    flush round fails, the server transitions StoreHealth::Persistent
+ *    -> Degraded and continues memory-only. Periodic snapshot
+ *    compaction (compact_interval) also runs between requests, never
+ *    inside one.
+ *
+ *  - Crash recovery: requests are claimed by rename into work/ and
+ *    unlinked only after their response is durably renamed into
+ *    outbox/. kill -9 at any point leaves claimed requests in work/;
+ *    the next start re-queues them (at-least-once, byte-identical
+ *    replay). SIGTERM/SIGINT (via requestStop()) finishes the request
+ *    in flight, flushes the store, writes a final status snapshot, and
+ *    exits cleanly.
+ *
+ *  - Health surface: status.json in the spool root — uptime, queue
+ *    depth, store health, request counters, and the full telemetry
+ *    metrics snapshot — rewritten atomically while the server runs.
+ */
+#ifndef LPO_SERVE_SERVER_H
+#define LPO_SERVE_SERVER_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "core/module_opt.h"
+#include "llm/mock_model.h"
+#include "serve/spool.h"
+
+namespace lpo::serve {
+
+/** The store attachment's health, reported in status.json. */
+enum class StoreHealth {
+    None,       ///< no store configured (memory-only by choice)
+    Persistent, ///< store open and accepting flushes
+    ReadOnly,   ///< store locked by another process; serving from its
+                ///< open-time snapshot, nothing persisted
+    Degraded,   ///< store unusable or flushes kept failing; memory-only
+};
+
+const char *storeHealthName(StoreHealth health);
+
+struct ServeOptions
+{
+    std::string spool_root;
+    /** Persistent store directory (empty = memory-only). */
+    std::string store_path;
+    std::string model = "Gemini2.0T";
+    core::ProposerKind proposer = core::ProposerKind::Hybrid;
+    unsigned threads = 0;
+    /**
+     * Per-request watchdog deadline in deterministic step costs (SAT
+     * conflicts + attempts; see core::ModuleOptOptions::step_budget).
+     * 0 = off. A request that hits it is answered status=partial.
+     */
+    uint64_t step_budget = 0;
+    /** Admitted requests per scan; the rest are shed. */
+    size_t queue_capacity = 64;
+    /** Retry hint written with a shed notice. */
+    unsigned retry_after_ms = 1000;
+    /** Re-runs of one request after an injected fault. */
+    unsigned fault_retry_limit = 3;
+    /** Flush attempts per round before declaring the store degraded. */
+    unsigned flush_retry_limit = 3;
+    /** Base backoff between flush retries (doubles per attempt). */
+    unsigned flush_backoff_ms = 10;
+    /** Snapshot-compact the store every N requests (0 = never). */
+    uint64_t compact_interval = 0;
+    /** Inbox scan interval when idle. */
+    unsigned poll_ms = 50;
+    /** Minimum interval between idle status.json rewrites. */
+    unsigned status_interval_ms = 1000;
+    /** Drain the inbox once, then exit (tests, bench, batch use). */
+    bool once = false;
+    /** Stop after N processed requests (0 = unlimited; tests). */
+    uint64_t max_requests = 0;
+};
+
+/** Lifetime counters, mirrored into status.json. */
+struct ServeStats
+{
+    uint64_t requests = 0; ///< requests answered (ok+partial+errors)
+    uint64_t ok = 0;
+    uint64_t partial = 0;  ///< step-budget watchdog cut the request
+    uint64_t errors = 0;   ///< parse failures + contained exceptions
+    uint64_t shed = 0;     ///< status=retry notices written
+    uint64_t fault_retries = 0;      ///< injected-fault re-runs
+    uint64_t optimizer_rebuilds = 0; ///< warm state discarded
+    uint64_t flush_retries = 0;      ///< flush attempts past the first
+    uint64_t flush_failures = 0;     ///< flush rounds that gave up
+    uint64_t compactions = 0;
+    uint64_t recovered = 0; ///< work/ requests re-queued at startup
+    StoreHealth store_health = StoreHealth::None;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServeOptions options);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Serve until requestStop() (or, with options.once, until the
+     * inbox drains). Returns 0 on clean shutdown, 1 when the spool
+     * directory itself is unusable.
+     */
+    int run();
+
+    /**
+     * Begin graceful shutdown: finish the request in flight, flush,
+     * write the final status, return from run(). One relaxed atomic
+     * store — safe to call from a signal handler.
+     */
+    void requestStop() { stop_.store(true, std::memory_order_relaxed); }
+    bool stopRequested() const
+    {
+        return stop_.load(std::memory_order_relaxed);
+    }
+
+    const ServeStats &stats() const { return stats_; }
+    Spool &spool() { return spool_; }
+
+    /** Pipeline stats of the live optimizer (null before run();
+     *  benchmarks read catalog/cache hit rates from here). */
+    const core::PipelineStats *pipelineStats() const
+    {
+        return optimizer_ ? &optimizer_->pipelineStats() : nullptr;
+    }
+
+  private:
+    /** Outcome of one attempt at a request's module text. */
+    struct Attempt
+    {
+        bool parsed = false;
+        bool exception = false;
+        std::string error;
+        std::string response;       ///< printed module (parsed only)
+        uint64_t deadline_skipped = 0;
+        uint64_t steps_used = 0;
+        uint64_t patched = 0;
+    };
+
+    void buildOptimizer();
+    /** Discard fault-tainted warm state and rebuild from durable
+     *  state (see the fault-detection replay contract above). */
+    void rebuildOptimizer();
+    core::ModuleOptOptions optimizerOptions() const;
+    void refreshStoreHealth();
+
+    Attempt runAttempt(const std::string &bytes);
+    void handleRequest(const std::string &id);
+    /** Bounded-retry flush; flips Persistent -> Degraded on a round
+     *  that exhausts its retries. */
+    void flushStoreWithRetry();
+    void maybeCompact();
+    void shedExcess(const std::vector<std::string> &pending);
+    void writeStatus(bool stopping);
+
+    ServeOptions options_;
+    Spool spool_;
+    std::atomic<bool> stop_{false};
+    ServeStats stats_;
+    std::unique_ptr<llm::MockModel> model_;
+    std::unique_ptr<core::ModuleOptimizer> optimizer_;
+    /** Shed notices already written this congestion episode (avoid
+     *  rewriting the meta every poll). */
+    std::set<std::string> shed_notified_;
+    std::chrono::steady_clock::time_point start_time_;
+    std::chrono::steady_clock::time_point last_status_write_;
+};
+
+/** Sum of fires() over every registered failpoint site — the fault
+ *  detector sampled around request attempts. */
+uint64_t totalFailpointFires();
+
+} // namespace lpo::serve
+
+#endif // LPO_SERVE_SERVER_H

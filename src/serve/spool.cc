@@ -1,0 +1,227 @@
+#include "serve/spool.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace lpo::serve {
+
+namespace {
+
+bool
+ensureDir(const std::string &path, std::string *error)
+{
+    if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST)
+        return true;
+    if (error)
+        *error = path + ": " + std::strerror(errno);
+    return false;
+}
+
+/** Unlink `*.tmp.*` staging litter left by a crash mid-atomicWrite. */
+void
+sweepTmpLitter(const std::string &dir)
+{
+    DIR *d = ::opendir(dir.c_str());
+    if (!d)
+        return;
+    std::vector<std::string> litter;
+    while (struct dirent *entry = ::readdir(d)) {
+        std::string name = entry->d_name;
+        if (name.find(".tmp.") != std::string::npos)
+            litter.push_back(dir + "/" + name);
+    }
+    ::closedir(d);
+    for (const std::string &path : litter)
+        ::unlink(path.c_str());
+}
+
+} // namespace
+
+Spool::Spool(std::string root) : root_(std::move(root)) {}
+
+bool
+Spool::ensureLayout(std::string *error)
+{
+    return ensureDir(root_, error) && ensureDir(inboxDir(), error) &&
+           ensureDir(workDir(), error) && ensureDir(outboxDir(), error);
+}
+
+void
+Spool::sweepLitter()
+{
+    sweepTmpLitter(outboxDir());
+}
+
+std::string
+Spool::requestPath(const std::string &id) const
+{
+    return inboxDir() + "/" + id + ".ll";
+}
+
+std::string
+Spool::workPath(const std::string &id) const
+{
+    return workDir() + "/" + id + ".ll";
+}
+
+std::string
+Spool::responsePath(const std::string &id) const
+{
+    return outboxDir() + "/" + id + ".ll";
+}
+
+std::string
+Spool::metaPath(const std::string &id) const
+{
+    return outboxDir() + "/" + id + ".meta";
+}
+
+bool
+Spool::validId(const std::string &id)
+{
+    if (id.empty() || id[0] == '.')
+        return false;
+    for (char c : id) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                  c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+bool
+Spool::atomicWrite(const std::string &path, const std::string &bytes,
+                   std::string *error)
+{
+    std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        if (error)
+            *error = tmp + ": " + std::strerror(errno);
+        return false;
+    }
+    size_t off = 0;
+    bool ok = true;
+    while (ok && off < bytes.size()) {
+        ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ok = false;
+            break;
+        }
+        off += static_cast<size_t>(n);
+    }
+    ok = ok && ::fsync(fd) == 0;
+    int saved_errno = errno;
+    ::close(fd);
+    if (ok && ::rename(tmp.c_str(), path.c_str()) != 0) {
+        saved_errno = errno;
+        ok = false;
+    }
+    if (!ok) {
+        if (error)
+            *error = path + ": " + std::strerror(saved_errno);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+Spool::submit(const std::string &id, const std::string &bytes,
+              std::string *error)
+{
+    if (!validId(id)) {
+        if (error)
+            *error = "invalid request id '" + id + "'";
+        return false;
+    }
+    return atomicWrite(requestPath(id), bytes, error);
+}
+
+std::vector<std::string>
+Spool::listRequests(const std::string &dir) const
+{
+    std::vector<std::string> ids;
+    DIR *d = ::opendir(dir.c_str());
+    if (!d)
+        return ids;
+    while (struct dirent *entry = ::readdir(d)) {
+        std::string name = entry->d_name;
+        if (name.size() <= 3 || name.compare(name.size() - 3, 3, ".ll") != 0)
+            continue;
+        std::string id = name.substr(0, name.size() - 3);
+        if (validId(id))
+            ids.push_back(std::move(id));
+    }
+    ::closedir(d);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+std::vector<std::string>
+Spool::pendingRequests() const
+{
+    return listRequests(inboxDir());
+}
+
+std::vector<std::string>
+Spool::claimedRequests() const
+{
+    return listRequests(workDir());
+}
+
+bool
+Spool::claim(const std::string &id)
+{
+    return ::rename(requestPath(id).c_str(), workPath(id).c_str()) == 0;
+}
+
+size_t
+Spool::recoverClaimed()
+{
+    size_t recovered = 0;
+    for (const std::string &id : claimedRequests())
+        if (::rename(workPath(id).c_str(), requestPath(id).c_str()) == 0)
+            ++recovered;
+    return recovered;
+}
+
+bool
+Spool::complete(const std::string &id)
+{
+    return ::unlink(workPath(id).c_str()) == 0;
+}
+
+bool
+Spool::writeResponse(const std::string &id, const std::string &bytes,
+                     std::string *error)
+{
+    return atomicWrite(responsePath(id), bytes, error);
+}
+
+bool
+Spool::writeMeta(const std::string &id, const std::string &text,
+                 std::string *error)
+{
+    return atomicWrite(metaPath(id), text, error);
+}
+
+bool
+Spool::hasResponse(const std::string &id) const
+{
+    struct stat st;
+    return ::stat(responsePath(id).c_str(), &st) == 0;
+}
+
+} // namespace lpo::serve

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Crash-safe request spool for `lpo_serve` (see serve/server.h and
+ * DESIGN.md, "Service layer").
+ *
+ * One spool is one directory with three subdirectories and a status
+ * file:
+ *
+ *   inbox/<id>.ll    requests awaiting the server. Clients submit by
+ *                    writing somewhere else on the same filesystem and
+ *                    rename(2)-ing in (submit() does exactly that), so
+ *                    the server never observes a half-written request.
+ *   work/<id>.ll     requests the server has claimed (rename from
+ *                    inbox/). A `kill -9` leaves claimed requests
+ *                    here; recoverClaimed() moves them back to inbox/
+ *                    on the next start — at-least-once semantics, made
+ *                    safe by the pipeline's determinism (a replay
+ *                    produces byte-identical responses).
+ *   outbox/<id>.ll   the response module bytes, written atomically
+ *                    (tmp + rename, the KvStore snapshot discipline):
+ *                    a reader sees no response or the whole response,
+ *                    never a torn one.
+ *   outbox/<id>.meta response metadata (`key=value` lines: status,
+ *                    counters, diagnostics), also atomic. Written for
+ *                    every terminal state — ok, partial, error — and
+ *                    for shed notices (status=retry) while the request
+ *                    itself stays in inbox/.
+ *   status.json      the server's health snapshot (serve/server.h).
+ *
+ * Request ids are the file name minus the `.ll` suffix and must match
+ * [A-Za-z0-9._-]+ without a leading dot; anything else in inbox/ is
+ * ignored (dotfiles double as the submit staging area).
+ */
+#ifndef LPO_SERVE_SPOOL_H
+#define LPO_SERVE_SPOOL_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lpo::serve {
+
+class Spool
+{
+  public:
+    explicit Spool(std::string root);
+
+    /** Create the directory layout (idempotent). Never deletes
+     *  anything — safe for concurrent clients. */
+    bool ensureLayout(std::string *error = nullptr);
+
+    /**
+     * Unlink stale `*.tmp.*` staging litter out of outbox/ (a crash
+     * mid-response). Server-startup only: a client must never sweep,
+     * or it would race with — and unlink — the live daemon's
+     * in-flight response staging files.
+     */
+    void sweepLitter();
+
+    const std::string &root() const { return root_; }
+    std::string inboxDir() const { return root_ + "/inbox"; }
+    std::string workDir() const { return root_ + "/work"; }
+    std::string outboxDir() const { return root_ + "/outbox"; }
+
+    std::string requestPath(const std::string &id) const;
+    std::string workPath(const std::string &id) const;
+    std::string responsePath(const std::string &id) const;
+    std::string metaPath(const std::string &id) const;
+    std::string statusPath() const { return root_ + "/status.json"; }
+
+    /** True iff @p id is a well-formed request id. */
+    static bool validId(const std::string &id);
+
+    /**
+     * Write @p bytes to `<path>.tmp.<pid>`, fsync, rename over
+     * @p path — the atomic tmp+rename discipline shared with KvStore
+     * snapshots. A crash leaves either the old file or the new one.
+     */
+    static bool atomicWrite(const std::string &path,
+                            const std::string &bytes,
+                            std::string *error = nullptr);
+
+    /** Client side: atomically drop a request into inbox/. */
+    bool submit(const std::string &id, const std::string &bytes,
+                std::string *error = nullptr);
+
+    /** Request ids waiting in inbox/, sorted (deterministic claim
+     *  order). */
+    std::vector<std::string> pendingRequests() const;
+    /** Request ids sitting claimed in work/, sorted. */
+    std::vector<std::string> claimedRequests() const;
+
+    /** Claim: rename inbox/<id>.ll -> work/<id>.ll. False if the
+     *  request vanished (already claimed, or client withdrew it). */
+    bool claim(const std::string &id);
+
+    /** Crash recovery: move every claimed request back to inbox/.
+     *  Returns how many were recovered. */
+    size_t recoverClaimed();
+
+    /** Drop the claimed copy once its response is on disk. */
+    bool complete(const std::string &id);
+
+    bool writeResponse(const std::string &id, const std::string &bytes,
+                       std::string *error = nullptr);
+    bool writeMeta(const std::string &id, const std::string &text,
+                   std::string *error = nullptr);
+
+    bool hasResponse(const std::string &id) const;
+
+  private:
+    std::vector<std::string> listRequests(const std::string &dir) const;
+
+    std::string root_;
+};
+
+} // namespace lpo::serve
+
+#endif // LPO_SERVE_SPOOL_H

@@ -171,14 +171,54 @@ setError(std::string *error, const std::string &message)
         *error = message;
 }
 
-/** Append @p bytes to `<path>.quarantine` (best effort). */
+// Cap on the `.quarantine` sidecar (see KvStore::setQuarantineCap):
+// a persistently faulty disk quarantines on every recovery, and an
+// unbounded diagnostic file on an already-failing disk is its own
+// fault. Oldest bytes are dropped first — the newest corruption is
+// the one an operator is debugging.
+size_t g_quarantine_cap = KvStore::kDefaultQuarantineCap;
+
+/** Append @p bytes to `<path>.quarantine` (best effort), rotating
+ *  oldest-first so the sidecar never exceeds the cap. */
 void
 quarantineBytes(const std::string &path, const char *bytes, size_t size)
 {
     if (!size)
         return;
-    int fd = ::open((path + ".quarantine").c_str(),
-                    O_WRONLY | O_CREAT | O_APPEND, 0644);
+    const std::string sidecar = path + ".quarantine";
+    const size_t cap = g_quarantine_cap;
+    if (cap && size > cap) {
+        // Even alone the new region overflows: keep its newest tail.
+        bytes += size - cap;
+        size = cap;
+    }
+    if (cap) {
+        struct stat st;
+        size_t existing =
+            ::stat(sidecar.c_str(), &st) == 0 && st.st_size > 0
+                ? static_cast<size_t>(st.st_size)
+                : 0;
+        if (existing + size > cap) {
+            // Rotate: rewrite the sidecar as the newest tail of its
+            // current contents, leaving room for the incoming bytes.
+            size_t keep = cap - size;
+            std::string old;
+            int rd = ::open(sidecar.c_str(), O_RDONLY);
+            if (rd >= 0) {
+                readAll(rd, &old);
+                ::close(rd);
+            }
+            if (old.size() > keep)
+                old.erase(0, old.size() - keep);
+            int wr = ::open(sidecar.c_str(),
+                            O_WRONLY | O_CREAT | O_TRUNC, 0644);
+            if (wr < 0)
+                return;
+            writeAll(wr, old.data(), old.size());
+            ::close(wr);
+        }
+    }
+    int fd = ::open(sidecar.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
     if (fd < 0)
         return;
     writeAll(fd, bytes, size);
@@ -546,10 +586,15 @@ KvStore::snapshot(
     std::string body = encodeHeader(options_);
     for (const auto &[key, value] : records)
         body += encodeRecord(key, value);
-    bool ok = writeAll(tmp, body.data(), body.size()) && ::fsync(tmp) == 0;
+    // The injectable fsync failure sits between write and rename —
+    // exactly where a real sync fault would strike mid-compaction.
+    // Either failure unlinks the tmp file and leaves the original
+    // journal byte-untouched: no litter, no partial snapshot.
+    bool ok = writeAll(tmp, body.data(), body.size()) &&
+              !LPO_FAILPOINT("store.fsync.fail") && ::fsync(tmp) == 0;
     ::close(tmp);
     if (!ok) {
-        setError(error, tmp_path + ": write: " + std::strerror(errno));
+        setError(error, tmp_path + ": write/sync failed");
         ::unlink(tmp_path.c_str());
         return false;
     }
@@ -608,6 +653,28 @@ void
 KvStore::testKillAfterBytes(int64_t bytes)
 {
     g_kill_after_bytes = bytes;
+}
+
+void
+KvStore::setQuarantineCap(size_t bytes)
+{
+    g_quarantine_cap = bytes;
+}
+
+size_t
+KvStore::quarantineCap()
+{
+    return g_quarantine_cap;
+}
+
+uint64_t
+KvStore::quarantineSize(const std::string &path)
+{
+    struct stat st;
+    if (::stat((path + ".quarantine").c_str(), &st) != 0 ||
+        st.st_size < 0)
+        return 0;
+    return static_cast<uint64_t>(st.st_size);
 }
 
 } // namespace lpo

@@ -161,6 +161,22 @@ class KvStore
                           const RecordFn &on_record, KvLoadStats *stats,
                           std::string *error = nullptr);
 
+    /** Default `.quarantine` sidecar cap (see setQuarantineCap). */
+    static constexpr size_t kDefaultQuarantineCap = 1u << 20;
+
+    /**
+     * Cap the `.quarantine` sidecar's size, process-wide. When an
+     * append would grow it past the cap, the oldest bytes are dropped
+     * first (rotation): a persistently faulty disk keeps its newest
+     * corruption for diagnosis without unbounded growth. 0 disables
+     * the cap.
+     */
+    static void setQuarantineCap(size_t bytes);
+    static size_t quarantineCap();
+
+    /** Size in bytes of @p path's `.quarantine` sidecar (0 if none). */
+    static uint64_t quarantineSize(const std::string &path);
+
     /**
      * Crash-test seam: after @p bytes more bytes have been written
      * through this process's KvStore appends/snapshots, the write in

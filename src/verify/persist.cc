@@ -4,8 +4,11 @@
 #include <cerrno>
 #include <cstring>
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <sys/stat.h>
 #include <sys/types.h>
+#include <unistd.h>
 
 #include "ir/function.h"
 #include "ir/parser.h"
@@ -232,6 +235,24 @@ RewriteCatalog::pendingSize() const
     return pending_.size();
 }
 
+void
+RewriteCatalog::discardPending()
+{
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_.clear();
+}
+
+void
+RewriteCatalog::requeuePending(
+    const std::map<std::string, std::string> &failed)
+{
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    for (const auto &[key, value] : failed) {
+        flushed_.erase(key);
+        pending_.emplace(key, value);
+    }
+}
+
 std::map<std::string, std::string>
 RewriteCatalog::takePending()
 {
@@ -288,11 +309,29 @@ PersistentStore::open(const std::string &dir, VerifyCache *cache,
 
     std::unique_ptr<PersistentStore> store(
         new PersistentStore(dir, cache));
+
+    // Advisory single-writer lock on the directory. flock is per open
+    // file description, so a second opener — another process, or a
+    // second store in this one — loses the race and degrades to
+    // read-only: it loads whatever is on disk but never appends,
+    // syncs, or compacts, so two writers can never interleave journal
+    // appends or race a snapshot rename.
+    store->lock_fd_ =
+        ::open((dir + "/.lock").c_str(), O_RDWR | O_CREAT, 0644);
+    if (store->lock_fd_ < 0 ||
+        ::flock(store->lock_fd_, LOCK_EX | LOCK_NB) != 0) {
+        if (store->lock_fd_ >= 0) {
+            ::close(store->lock_fd_);
+            store->lock_fd_ = -1;
+        }
+        store->read_only_ = true;
+    }
+    const bool read_only = store->read_only_;
     std::string problems;
 
     std::string error;
     KvOpen status = store->cache_kv_.open(
-        dir + "/" + kVerifyStoreFile, verifyStoreFileOptions(),
+        dir + "/" + kVerifyStoreFile, verifyStoreFileOptions(read_only),
         [&](std::string &&key, std::string &&value) {
             CachedVerdict verdict;
             if (!decodeVerdict(value, &verdict)) {
@@ -310,12 +349,16 @@ PersistentStore::open(const std::string &dir, VerifyCache *cache,
         store->stats_.recoveries += load.recovered ? 1 : 0;
     }
     if (!kvOpenUsable(status)) {
-        store->stats_.rejected_files += 1;
-        problems = error;
+        // A read-only opener of a store the writer has not created
+        // yet simply has nothing to load — not a rejection.
+        if (!(read_only && status == KvOpen::IoError)) {
+            store->stats_.rejected_files += 1;
+            problems = error;
+        }
     }
 
     status = store->catalog_kv_.open(
-        dir + "/" + kCatalogStoreFile, catalogStoreFileOptions(),
+        dir + "/" + kCatalogStoreFile, catalogStoreFileOptions(read_only),
         [&](std::string &&key, std::string &&value) {
             store->catalog_.addLoaded(std::move(key), std::move(value));
             store->stats_.catalog_loaded += 1;
@@ -328,10 +371,12 @@ PersistentStore::open(const std::string &dir, VerifyCache *cache,
         store->stats_.recoveries += load.recovered ? 1 : 0;
     }
     if (!kvOpenUsable(status)) {
-        store->stats_.rejected_files += 1;
-        if (!problems.empty())
-            problems += "; ";
-        problems += error;
+        if (!(read_only && status == KvOpen::IoError)) {
+            store->stats_.rejected_files += 1;
+            if (!problems.empty())
+                problems += "; ";
+            problems += error;
+        }
     }
 
     if (!problems.empty() && warning)
@@ -340,6 +385,13 @@ PersistentStore::open(const std::string &dir, VerifyCache *cache,
         *warning = "store '" + dir + "': " + problems +
                    " (affected data kept on disk untouched; running "
                    "without it)";
+    if (read_only && warning) {
+        if (!warning->empty())
+            *warning += "; ";
+        *warning += "store '" + dir +
+                    "' is locked by another writer; running read-only "
+                    "(loaded state served, nothing will be persisted)";
+    }
 
     if (cache)
         cache->setPublishHook(
@@ -356,11 +408,24 @@ PersistentStore::~PersistentStore()
     if (cache_)
         cache_->setPublishHook(nullptr);
     flush();
+    if (lock_fd_ >= 0) {
+        // Closing releases the flock; the .lock file itself stays
+        // (unlinking would race a concurrent opener's flock).
+        ::close(lock_fd_);
+        lock_fd_ = -1;
+    }
 }
 
 bool
 PersistentStore::flush()
 {
+    if (read_only_) {
+        // Locked out: drop what would have been journaled so a
+        // long-lived read-only opener cannot grow pending state
+        // without bound. Succeeds — there is nothing it should do.
+        discardPending();
+        return true;
+    }
     std::map<std::string, std::string> verdicts;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -370,32 +435,46 @@ PersistentStore::flush()
     }
     uint64_t flushed_cache = 0, flushed_catalog = 0, failures = 0;
     bool ok = true;
+    // Failed appends are kept for the next flush (re-queued below):
+    // a transient write fault delays durability, it does not silently
+    // lose the record. Callers that distrust the records instead call
+    // discardPending().
+    std::map<std::string, std::string> failed_verdicts;
     if (cache_kv_.isOpen()) {
         for (const auto &[key, payload] : verdicts) {
-            if (cache_kv_.append(key, payload))
+            if (cache_kv_.append(key, payload)) {
                 ++flushed_cache;
-            else
+            } else {
                 ++failures;
+                failed_verdicts.emplace(key, payload);
+            }
         }
         if (!verdicts.empty() && !cache_kv_.sync())
             ok = false;
     }
     std::map<std::string, std::string> rewrites = catalog_.takePending();
     if (catalog_kv_.isOpen()) {
+        std::map<std::string, std::string> failed_rewrites;
         for (const auto &[key, text] : rewrites) {
-            if (catalog_kv_.append(key, text))
+            if (catalog_kv_.append(key, text)) {
                 ++flushed_catalog;
-            else
+            } else {
                 ++failures;
+                failed_rewrites.emplace(key, text);
+            }
         }
         if (!rewrites.empty() && !catalog_kv_.sync())
             ok = false;
+        if (!failed_rewrites.empty())
+            catalog_.requeuePending(failed_rewrites);
     }
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stats_.cache_flushed += flushed_cache;
         stats_.catalog_flushed += flushed_catalog;
         stats_.flush_failures += failures;
+        for (auto &[key, payload] : failed_verdicts)
+            pending_verdicts_.emplace(key, std::move(payload));
     }
     return ok && failures == 0;
 }
@@ -403,6 +482,12 @@ PersistentStore::flush()
 bool
 PersistentStore::compact(std::string *error)
 {
+    if (read_only_) {
+        if (error)
+            *error = "store '" + dir_ +
+                     "' is locked by another writer (read-only)";
+        return false;
+    }
     flush();
     bool ok = true;
     if (cache_kv_.isOpen() && cache_) {
@@ -425,6 +510,16 @@ PersistentStore::compact(std::string *error)
         ok = catalog_kv_.snapshot(flat, error) && ok;
     }
     return ok;
+}
+
+void
+PersistentStore::discardPending()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pending_verdicts_.clear();
+    }
+    catalog_.discardPending();
 }
 
 StoreStats

@@ -85,7 +85,8 @@ struct StoreStats
     uint64_t cache_flushed = 0;   ///< verdict records appended
     uint64_t catalog_flushed = 0; ///< rewrite records appended
     uint64_t flushes = 0;         ///< flush() calls that ran
-    uint64_t flush_failures = 0;  ///< records dropped by write/fsync
+    uint64_t flush_failures = 0;  ///< append/fsync failures (records
+                                  ///< are retained and retried)
     uint64_t recoveries = 0;      ///< files needing truncate/rewrite
     uint64_t quarantined = 0;     ///< corrupt records sidelined
     uint64_t torn_bytes = 0;      ///< torn-tail bytes truncated
@@ -130,6 +131,15 @@ class RewriteCatalog
      *  drained entries stay remembered for dedup and compaction. */
     std::map<std::string, std::string> takePending();
 
+    /** Return records whose append failed to the pending set (and
+     *  un-remember them as flushed) so the next flush retries them —
+     *  the transient-fault contract lpo_serve's backoff ladder needs. */
+    void requeuePending(const std::map<std::string, std::string> &failed);
+
+    /** Drop the pending records without remembering them (fault
+     *  quarantine: see PersistentStore::discardPending). */
+    void discardPending();
+
     /** Every known rewrite — loaded, flushed, and pending — merged
      *  (first recording wins), for compaction snapshots. */
     std::map<std::string, std::string> snapshotAll() const;
@@ -173,18 +183,31 @@ class PersistentStore
 
     /**
      * Append every pending verdict and catalog record (sorted by key)
-     * and fsync both files. Safe to call repeatedly; records that
-     * fail to append are counted in flush_failures and dropped — a
-     * flush can lose recent records, never corrupt existing ones.
+     * and fsync both files. Safe to call repeatedly; a record that
+     * fails to append is counted in flush_failures and kept pending,
+     * so a later flush retries it (transient faults lose nothing; see
+     * lpo_serve's retry-with-backoff ladder). A failed flush never
+     * corrupts existing records. discardPending() drops the retained
+     * records when a caller decides they are not trustworthy.
      */
     bool flush();
 
     /**
      * Rewrite both files as deduplicated snapshots of current
      * in-memory state (cache contents + catalog), dropping dead
-     * journal growth. Implies flush of pending state.
+     * journal growth. Implies flush of pending state. Fails (with
+     * @p error) on a read-only store.
      */
     bool compact(std::string *error = nullptr);
+
+    /**
+     * Drop every pending (not yet journaled) verdict and catalog
+     * record. Fault quarantine for callers that detect an injected or
+     * contained fault mid-run (lpo_serve's replay path): anything
+     * recorded during the faulty window is distrusted and discarded
+     * before it can reach disk; already-journaled state is untouched.
+     */
+    void discardPending();
 
     StoreStats stats() const;
 
@@ -193,11 +216,22 @@ class PersistentStore
     bool cacheFileUsable() const { return cache_kv_.isOpen(); }
     bool catalogFileUsable() const { return catalog_kv_.isOpen(); }
 
+    /**
+     * True when another process holds the store's advisory lock
+     * (`<dir>/.lock`, flock-based): this opener loaded whatever state
+     * was on disk but will never write — flush() discards pending
+     * records, compact() fails. The lock is per open file description,
+     * so a second open in the same process degrades the same way.
+     */
+    bool readOnly() const { return read_only_; }
+
   private:
     PersistentStore(std::string dir, VerifyCache *cache);
 
     std::string dir_;
     VerifyCache *cache_;
+    int lock_fd_ = -1;       ///< holds the flock while open
+    bool read_only_ = false; ///< lost the lock race; never writes
     KvStore cache_kv_;
     KvStore catalog_kv_;
     RewriteCatalog catalog_;

@@ -188,6 +188,41 @@ TEST(CliTest, StoreRoundTripReplaysFromCatalog)
         << check.output;
 }
 
+TEST(CliTest, StoreInfoReportsQuarantineSidecarBytes)
+{
+    std::string path = fixture("storequar", kMissedModule);
+    std::string dir = ::testing::TempDir() + "lpo_cli_store_quar";
+    std::string cmd = "rm -rf '" + dir + "'";
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+    CommandResult seed = run("optimize-module " + path +
+                             " --proposer=hybrid --store=" + dir);
+    ASSERT_EQ(seed.exit_code, 0) << seed.output;
+
+    // A healthy store reports an empty (absent) sidecar for each file.
+    CommandResult info = run("store info " + dir);
+    EXPECT_EQ(info.exit_code, 0) << info.output;
+    size_t first =
+        info.output.find("quarantine sidecar 0 byte(s)");
+    ASSERT_NE(first, std::string::npos) << info.output;
+    EXPECT_NE(info.output.find("quarantine sidecar 0 byte(s)",
+                               first + 1),
+              std::string::npos)
+        << info.output;
+
+    // Sidecar growth (here: planted corruption evidence) is surfaced
+    // so an operator sees the store has been quarantining records.
+    {
+        std::ofstream sidecar(dir + "/verify.lpo.quarantine",
+                              std::ios::binary | std::ios::trunc);
+        sidecar << "junkbytes";
+    }
+    CommandResult after = run("store info " + dir);
+    EXPECT_EQ(after.exit_code, 0) << after.output;
+    EXPECT_NE(after.output.find("quarantine sidecar 9 byte(s)"),
+              std::string::npos)
+        << after.output;
+}
+
 TEST(CliTest, FailpointsSubcommandListsSites)
 {
     CommandResult result = run("failpoints");

@@ -754,3 +754,240 @@ TEST(PersistentStoreTest, SkewedFileRunsMemoryOnlyOthersStillPersist)
     store->flush();
     EXPECT_EQ(slurp(dir + "/" + std::string(kVerifyStoreFile)), before);
 }
+
+// ---------------------------------------------------------------------
+// Snapshot write faults, advisory locking, quarantine bounds
+// ---------------------------------------------------------------------
+
+TEST(KvStoreTest, SnapshotWriteFaultLeavesJournalIntact)
+{
+    std::string dir = scratchDir("snapwfault");
+    std::string path = dir + "/store.lpo";
+    std::vector<std::pair<std::string, std::string>> records;
+    KvStore store;
+    ASSERT_EQ(openCollect(&store, path, testOptions(), &records),
+              KvOpen::Fresh);
+    ASSERT_TRUE(store.append("keep1", "v1"));
+    ASSERT_TRUE(store.append("keep2", "v2"));
+    ASSERT_TRUE(store.sync());
+    std::string before = slurp(path);
+
+    ASSERT_TRUE(
+        FailPoints::instance().configure("store.write.fail=always"));
+    EXPECT_FALSE(store.snapshot({{"only", "one"}}));
+    FailPoints::instance().clear();
+    // The failed snapshot left no tmp litter and never touched the
+    // journal: mid-compaction faults are invisible to the next open.
+    EXPECT_FALSE(fileExists(path + ".tmp"));
+    EXPECT_EQ(slurp(path), before);
+
+    // Once the fault clears the same snapshot goes through.
+    EXPECT_TRUE(store.snapshot({{"only", "one"}}));
+    store.close();
+    KvStore reopened;
+    ASSERT_EQ(openCollect(&reopened, path, testOptions(), &records),
+              KvOpen::Loaded);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].first, "only");
+    EXPECT_FALSE(reopened.loadStats().recovered);
+}
+
+TEST(KvStoreTest, SnapshotFsyncFaultUnlinksTmpKeepsOriginal)
+{
+    std::string dir = scratchDir("snapsfault");
+    std::string path = dir + "/store.lpo";
+    std::vector<std::pair<std::string, std::string>> records;
+    KvStore store;
+    ASSERT_EQ(openCollect(&store, path, testOptions(), &records),
+              KvOpen::Fresh);
+    ASSERT_TRUE(store.append("keep", "v"));
+    ASSERT_TRUE(store.sync());
+    std::string before = slurp(path);
+
+    // Unlike store.write.fail (which fails snapshot at entry), the
+    // fsync fault strikes after the tmp body is fully written — the
+    // unlink-on-failure path must clean it up.
+    ASSERT_TRUE(
+        FailPoints::instance().configure("store.fsync.fail=always"));
+    std::string error;
+    EXPECT_FALSE(store.snapshot({{"only", "one"}}, &error));
+    FailPoints::instance().clear();
+    EXPECT_NE(error.find("write/sync"), std::string::npos) << error;
+    EXPECT_FALSE(fileExists(path + ".tmp"));
+    EXPECT_EQ(slurp(path), before);
+
+    // A snapshot fsync failure does not poison the journal fd.
+    EXPECT_TRUE(store.append("after", "fault"));
+    EXPECT_TRUE(store.healthy());
+    store.close();
+    KvStore reopened;
+    ASSERT_EQ(openCollect(&reopened, path, testOptions(), &records),
+              KvOpen::Loaded);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[1].first, "after");
+}
+
+TEST(PersistentStoreTest, CompactionFaultsKeepJournalNoTmpLitter)
+{
+    std::string dir = scratchDir("compactfault");
+    {
+        VerifyCache cache;
+        auto store = PersistentStore::open(dir, &cache);
+        ASSERT_NE(store, nullptr);
+        ir::Context ctx;
+        checkCached(ctx, kSatSrc, kSatTgt, &cache);
+        store->catalog().record("key", kCorrectTgt);
+        ASSERT_TRUE(store->flush());
+    }
+    std::string verify_path = dir + "/" + std::string(kVerifyStoreFile);
+    std::string catalog_path =
+        dir + "/" + std::string(kCatalogStoreFile);
+    std::string verify_before = slurp(verify_path);
+    std::string catalog_before = slurp(catalog_path);
+
+    VerifyCache cache;
+    auto store = PersistentStore::open(dir, &cache);
+    ASSERT_NE(store, nullptr);
+    ASSERT_EQ(store->stats().cache_loaded, 1u);
+    for (const char *spec :
+         {"store.write.fail=always", "store.fsync.fail=always"}) {
+        ASSERT_TRUE(FailPoints::instance().configure(spec));
+        std::string error;
+        EXPECT_FALSE(store->compact(&error)) << spec;
+        FailPoints::instance().clear();
+        EXPECT_FALSE(fileExists(verify_path + ".tmp")) << spec;
+        EXPECT_FALSE(fileExists(catalog_path + ".tmp")) << spec;
+        EXPECT_EQ(slurp(verify_path), verify_before) << spec;
+        EXPECT_EQ(slurp(catalog_path), catalog_before) << spec;
+    }
+
+    // Faults cleared: the identical compaction succeeds, and the
+    // compacted store reloads complete.
+    std::string error;
+    EXPECT_TRUE(store->compact(&error)) << error;
+    store.reset();
+    VerifyCache cache2;
+    auto reopened = PersistentStore::open(dir, &cache2);
+    ASSERT_NE(reopened, nullptr);
+    EXPECT_EQ(reopened->stats().cache_loaded, 1u);
+    EXPECT_EQ(reopened->stats().catalog_loaded, 1u);
+    EXPECT_EQ(reopened->stats().recoveries, 0u);
+}
+
+TEST(PersistentStoreTest, SecondOpenerDegradesToReadOnly)
+{
+    std::string dir = scratchDir("flock");
+    VerifyCache cache1;
+    auto writer = PersistentStore::open(dir, &cache1);
+    ASSERT_NE(writer, nullptr);
+    ASSERT_FALSE(writer->readOnly());
+    ir::Context ctx;
+    checkCached(ctx, kSatSrc, kSatTgt, &cache1);
+    ASSERT_TRUE(writer->flush());
+
+    // flock is per open file description, so a second open in this
+    // process loses the same race a second process would.
+    VerifyCache cache2;
+    std::string warning;
+    auto reader = PersistentStore::open(dir, &cache2, &warning);
+    ASSERT_NE(reader, nullptr);
+    EXPECT_TRUE(reader->readOnly());
+    EXPECT_NE(warning.find("locked"), std::string::npos) << warning;
+    EXPECT_NE(warning.find("read-only"), std::string::npos) << warning;
+    // The reader serves the state the writer had journaled...
+    EXPECT_EQ(reader->stats().cache_loaded, 1u);
+
+    // ...but never writes: new verdicts and rewrites recorded through
+    // it change no bytes, and flush() discards them (bounded memory
+    // while locked out) while still reporting success.
+    std::string verify_path = dir + "/" + std::string(kVerifyStoreFile);
+    std::string before = slurp(verify_path);
+    checkCached(ctx, kCorrectSrc, kCorrectTgt, &cache2);
+    reader->catalog().record("key", kCorrectTgt);
+    EXPECT_TRUE(reader->flush());
+    EXPECT_EQ(slurp(verify_path), before);
+    EXPECT_EQ(reader->stats().cache_flushed, 0u);
+    EXPECT_EQ(reader->stats().catalog_flushed, 0u);
+    EXPECT_EQ(reader->catalog().pendingSize(), 0u);
+    std::string error;
+    EXPECT_FALSE(reader->compact(&error));
+    EXPECT_NE(error.find("read-only"), std::string::npos) << error;
+
+    // The writer is unaffected and still persists.
+    checkCached(ctx, kBranchySrc, kBranchyTgt, &cache1);
+    EXPECT_TRUE(writer->flush());
+    EXPECT_EQ(writer->stats().cache_flushed, 2u);
+
+    // Closing both releases the advisory lock: the next opener is a
+    // full writer again and sees everything the real writer journaled.
+    reader.reset();
+    writer.reset();
+    VerifyCache cache3;
+    warning.clear();
+    auto next = PersistentStore::open(dir, &cache3, &warning);
+    ASSERT_NE(next, nullptr);
+    EXPECT_FALSE(next->readOnly());
+    EXPECT_TRUE(warning.empty()) << warning;
+    EXPECT_EQ(next->stats().cache_loaded, 2u);
+}
+
+TEST(KvStoreTest, QuarantineSidecarRotatesOldestFirstUnderCap)
+{
+    std::string dir = scratchDir("quarcap");
+    std::string path = dir + "/store.lpo";
+    std::vector<std::pair<std::string, std::string>> records;
+
+    KvStore::setQuarantineCap(256);
+    ASSERT_EQ(KvStore::quarantineCap(), 256u);
+
+    // Flip a byte a little past @p needle (inside the filler run) so
+    // the marker itself stays intact in the quarantined bytes.
+    auto corruptAfter = [&](const char *needle) {
+        std::string bytes = slurp(path);
+        size_t at = bytes.find(needle);
+        ASSERT_NE(at, std::string::npos) << needle;
+        bytes[at + std::strlen(needle) + 10] ^= 0x40;
+        spit(path, bytes);
+    };
+
+    {
+        KvStore store;
+        ASSERT_EQ(openCollect(&store, path, testOptions(), &records),
+                  KvOpen::Fresh);
+        ASSERT_TRUE(
+            store.append("old", "OLDBYTES-" + std::string(200, 'A')));
+        ASSERT_TRUE(store.append("keeper", "fine"));
+    }
+    corruptAfter("OLDBYTES");
+    {
+        KvStore store;
+        ASSERT_EQ(openCollect(&store, path, testOptions(), &records),
+                  KvOpen::Loaded);
+        EXPECT_EQ(store.loadStats().quarantined, 1u);
+        ASSERT_TRUE(
+            store.append("new", "NEWBYTES-" + std::string(200, 'B')));
+    }
+    EXPECT_LE(KvStore::quarantineSize(path), 256u);
+    EXPECT_NE(slurp(path + ".quarantine").find("OLDBYTES"),
+              std::string::npos);
+
+    corruptAfter("NEWBYTES");
+    {
+        KvStore store;
+        ASSERT_EQ(openCollect(&store, path, testOptions(), &records),
+                  KvOpen::Loaded);
+        EXPECT_EQ(store.loadStats().quarantined, 1u);
+        // The healthy record survived both repairs.
+        ASSERT_EQ(records.size(), 1u);
+        EXPECT_EQ(records[0].first, "keeper");
+    }
+    // The second quarantined record would overflow the cap, so the
+    // oldest bytes rotated out; the newest corruption — the one an
+    // operator would be diagnosing — is what remains.
+    EXPECT_LE(KvStore::quarantineSize(path), 256u);
+    std::string sidecar = slurp(path + ".quarantine");
+    EXPECT_EQ(sidecar.find("OLDBYTES"), std::string::npos);
+    EXPECT_NE(sidecar.find("NEWBYTES"), std::string::npos);
+
+    KvStore::setQuarantineCap(KvStore::kDefaultQuarantineCap);
+}

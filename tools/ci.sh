@@ -280,3 +280,158 @@ echo "durability sweep: faulty-write round trip byte-identical"
 # the rest, and never serve a torn record. ctest already runs these;
 # rerunning them here keeps the sweep self-contained and loggable.
 ./build-release/test_persist --gtest_filter='KvStoreCrashTest.*'
+
+echo "=== Serve throughput benchmark (Release) ==="
+# 200-module request stream through the serve loop, cold store then
+# warm store. The binary exits nonzero itself on any non-ok response,
+# warm/cold response divergence, or a warm run that replayed nothing
+# from the catalog.
+(cd build-release && rm -rf BENCH_serve.store && ./bench_serve)
+cp build-release/BENCH_serve.json .
+echo "BENCH_serve.json:"
+cat BENCH_serve.json
+
+# Regression gate: sustained warm throughput against the committed
+# baseline (>20% drop fails), plus the deterministic catalog hit rate.
+baseline=$(grep -o '"sustained_modules_per_sec": [0-9.]*' \
+    bench/BENCH_serve.baseline.json | awk '{print $2}')
+current=$(grep -o '"sustained_modules_per_sec": [0-9.]*' \
+    BENCH_serve.json | awk '{print $2}')
+awk -v c="$current" -v b="$baseline" 'BEGIN {
+    if (c + 0 < 0.8 * b) {
+        printf "FAIL: serve sustained %.1f modules/sec regressed more " \
+               "than 20%% against the committed baseline %.1f\n", c, b
+        exit 1
+    }
+    printf "serve sustained %.1f modules/sec vs baseline %.1f: OK\n", c, b
+}'
+baseline=$(grep -o '"warm_catalog_hit_rate": [0-9.]*' \
+    bench/BENCH_serve.baseline.json | awk '{print $2}')
+current=$(grep -o '"warm_catalog_hit_rate": [0-9.]*' \
+    BENCH_serve.json | awk '{print $2}')
+awk -v c="$current" -v b="$baseline" 'BEGIN {
+    if (c + 0 < 0.8 * b) {
+        printf "FAIL: serve warm catalog hit rate %.3f fell more than " \
+               "20%% below the committed baseline %.3f\n", c, b
+        exit 1
+    }
+    printf "serve warm catalog hit rate %.3f vs baseline %.3f: OK\n", c, b
+}'
+
+echo "=== Serve soak: kill -9 mid-stream, restart, byte-identity (Release) ==="
+# The service acceptance drill: stream 50 modules through lpo_serve,
+# kill -9 the daemon mid-stream, restart, and require every response
+# to be byte-identical to a cold one-shot optimize-module run of the
+# same module — at-least-once replay made safe by determinism. The
+# shared store must pass an offline integrity check afterwards (its
+# reopen already repaired any torn tail the kill left).
+serve_dir=build-release/serve_soak
+rm -rf "${serve_dir}"
+mkdir -p "${serve_dir}/modules" "${serve_dir}/refs"
+for i in $(seq 1 50); do
+    ./build-release/lpo_cli gen-module "${i}" 2 1 \
+        > "${serve_dir}/modules/m${i}.ll"
+    ./build-release/lpo_cli optimize-module "${serve_dir}/modules/m${i}.ll" \
+        --proposer=hybrid --emit="${serve_dir}/refs/m${i}.ll" > /dev/null
+done
+
+./build-release/lpo_serve run "${serve_dir}/spool" \
+    --store="${serve_dir}/store" --poll-ms=10 &
+serve_pid=$!
+for i in $(seq 1 50); do
+    ./build-release/lpo_serve submit "${serve_dir}/spool" "m${i}" \
+        "${serve_dir}/modules/m${i}.ll"
+done
+# Block on the first few via the client verb, then let the daemon get
+# a bit further before the kill.
+for i in 1 2 3; do
+    ./build-release/lpo_serve wait "${serve_dir}/spool" "m${i}" \
+        --timeout-ms=60000 > /dev/null
+done
+while [ "$(ls "${serve_dir}/spool/outbox/" 2>/dev/null \
+        | grep -c '\.ll$' || true)" -lt 10 ]; do
+    sleep 0.1
+done
+kill -9 "${serve_pid}"
+wait "${serve_pid}" 2>/dev/null || true
+echo "serve soak: SIGKILLed the daemon after $(ls "${serve_dir}/spool/outbox/" \
+    | grep -c '\.ll$') responses"
+
+./build-release/lpo_serve run "${serve_dir}/spool" \
+    --store="${serve_dir}/store" --once
+for i in $(seq 1 50); do
+    cmp "${serve_dir}/refs/m${i}.ll" "${serve_dir}/spool/outbox/m${i}.ll"
+done
+./build-release/lpo_cli store verify "${serve_dir}/store"
+./build-release/lpo_serve status "${serve_dir}/spool" \
+    | python3 -m json.tool > /dev/null
+echo "serve soak: all 50 responses byte-identical to one-shot runs"
+
+echo "=== Serve chaos: every failpoint site fired once mid-stream (Release) ==="
+# Per site: a fresh spool+store, a 10-module stream, and the site
+# armed nth:2 so it fires exactly once inside a request. The server
+# must detect the fire, quarantine pending store state, rebuild the
+# optimizer, and replay — every response still byte-identical to the
+# fault-free one-shot reference. Sites off the serve path simply never
+# fire, which degenerates to the fault-free contract.
+for site in $(./build-release/lpo_cli failpoints | awk '{print $1}'); do
+    spool="${serve_dir}/chaos_${site}"
+    rm -rf "${spool}" "${spool}.store"
+    for i in $(seq 1 10); do
+        ./build-release/lpo_serve submit "${spool}" "m${i}" \
+            "${serve_dir}/modules/m${i}.ll"
+    done
+    LPO_FAILPOINTS="${site}=nth:2" ./build-release/lpo_serve run \
+        "${spool}" --store="${spool}.store" --once
+    for i in $(seq 1 10); do
+        cmp "${serve_dir}/refs/m${i}.ll" "${spool}/outbox/m${i}.ll" || {
+            echo "FAIL: site ${site} changed the response for m${i}"
+            exit 1
+        }
+    done
+    echo "serve chaos site ${site}: 10/10 responses byte-identical"
+done
+
+# Probabilistic store-fault chaos with another kill -9 mid-stream:
+# store faults may cost persistence, never results.
+spool="${serve_dir}/chaos_prob"
+rm -rf "${spool}" "${spool}.store"
+LPO_FAILPOINTS='store.write.fail=prob:0.2:7;store.fsync.fail=prob:0.1:11' \
+    ./build-release/lpo_serve run "${spool}" --store="${spool}.store" \
+    --poll-ms=10 &
+serve_pid=$!
+for i in $(seq 1 50); do
+    ./build-release/lpo_serve submit "${spool}" "m${i}" \
+        "${serve_dir}/modules/m${i}.ll"
+done
+while [ "$(ls "${spool}/outbox/" 2>/dev/null \
+        | grep -c '\.ll$' || true)" -lt 10 ]; do
+    sleep 0.1
+done
+kill -9 "${serve_pid}"
+wait "${serve_pid}" 2>/dev/null || true
+LPO_FAILPOINTS='store.write.fail=prob:0.2:7;store.fsync.fail=prob:0.1:11' \
+    ./build-release/lpo_serve run "${spool}" --store="${spool}.store" --once
+for i in $(seq 1 50); do
+    cmp "${serve_dir}/refs/m${i}.ll" "${spool}/outbox/m${i}.ll"
+done
+./build-release/lpo_cli store verify "${spool}.store"
+echo "serve chaos: store-fault stream with kill -9 stayed byte-identical"
+
+echo "=== SIGTERM flush: metrics and trace survive termination (Release) ==="
+# lpo_cli with --metrics/--trace must leave valid artifacts behind
+# when terminated mid-run (the signal handler flushes both before
+# exiting), so an operator killing a stuck run keeps its telemetry.
+./build-release/lpo_cli gen-module > "${serve_dir}/big.ll"
+rm -f "${serve_dir}/sigterm_metrics.json" "${serve_dir}/sigterm_trace.json"
+./build-release/lpo_cli optimize-module "${serve_dir}/big.ll" \
+    --proposer=hybrid --threads=1 \
+    --metrics="${serve_dir}/sigterm_metrics.json" \
+    --trace="${serve_dir}/sigterm_trace.json" > /dev/null &
+cli_pid=$!
+sleep 1
+kill -TERM "${cli_pid}" 2>/dev/null || true
+wait "${cli_pid}" || true
+python3 -m json.tool "${serve_dir}/sigterm_metrics.json" > /dev/null
+python3 -m json.tool "${serve_dir}/sigterm_trace.json" > /dev/null
+echo "sigterm flush: metrics and trace JSON valid after SIGTERM"
