@@ -32,6 +32,7 @@
 #include "core/report.h"
 #include "corpus/generator.h"
 #include "llm/mock_model.h"
+#include "support/telemetry.h"
 
 using namespace lpo;
 using Clock = std::chrono::steady_clock;
@@ -55,12 +56,17 @@ struct RepTotals
     uint64_t cache_misses = 0;
     double cycles_before = 0;
     double cycles_after = 0;
+    double p99_module_latency_ms = 0;
+    uint64_t steals = 0;
 };
 
 RepTotals
 runOnce()
 {
     RepTotals totals;
+    // Per-rep histogram window so the reported p99 describes the same
+    // run as the reported wall time.
+    telemetry::MetricsRegistry::instance().reset();
     // Fresh contexts + modules per rep (optimize mutates them);
     // generation is excluded from the timed section.
     std::vector<std::unique_ptr<ir::Context>> contexts;
@@ -93,6 +99,10 @@ runOnce()
         std::chrono::duration<double>(Clock::now() - start).count();
     totals.cache_hits = optimizer.pipelineStats().verify_cache_hits;
     totals.cache_misses = optimizer.pipelineStats().verify_cache_misses;
+    totals.steals = optimizer.pipelineStats().scheduler.steals;
+    auto snapshot = telemetry::MetricsRegistry::instance().snapshot();
+    if (const auto *latency = snapshot.histogram("module.latency_ns"))
+        totals.p99_module_latency_ms = latency->p99() / 1e6;
     return totals;
 }
 
@@ -146,6 +156,8 @@ main()
     json.field("patched_rewrites", best.patched);
     json.field("cycles_before", best.cycles_before, 1);
     json.field("cycles_after", best.cycles_after, 1);
+    json.field("p99_module_latency_ms", best.p99_module_latency_ms, 3);
+    json.field("steals", best.steals);
     json.endObject();
     std::ofstream out("BENCH_module.json");
     out << json.str() << "\n";

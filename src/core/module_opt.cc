@@ -170,9 +170,78 @@ ModuleOptimizer::optimize(ir::Module &module, uint64_t round_seed)
                      static_cast<uint64_t>(sequences.size()));
         }
     }
+    // Patch-back state, set up before the pipeline runs: verified
+    // improvements are spliced back *while later sequences are still
+    // verifying*, from the pipeline's ordered commit chain (see
+    // Pipeline::processSequences). Commits arrive strictly in
+    // sequence index order — the extraction order — and one at a
+    // time, so the rewritten module is byte-identical to the old
+    // patch-after-the-fact loop for any thread count. All state is
+    // indexed by function position in the module.
+    std::map<const ir::Function *, size_t> fn_index;
+    for (size_t i = 0; i < module.functions().size(); ++i)
+        fn_index[module.functions()[i].get()] = i;
+    std::vector<NameAllocator> name_allocators(module.functions().size());
+    /** Pre-patch body of every patched function, cloned before its
+     *  first splice, for the net-negative rollback below. */
+    std::vector<std::unique_ptr<ir::Function>> snapshots(
+        module.functions().size());
+    /** Functions a contained splice exception may have left
+     *  half-mutated; force-validated (and restored) in the sweep. */
+    std::vector<char> poisoned(module.functions().size(), 0);
+    static const telemetry::Histogram patch_hist =
+        telemetry::histogram("phase.patch_ns");
+
+    auto patchSequence = [&](size_t i, const CaseOutcome &outcome) {
+        if (!outcome.found())
+            return;
+        telemetry::ScopedTimer patch_timer(patch_hist);
+        auto tgt =
+            ir::parseFunction(module.context(), outcome.candidate_text);
+        if (!tgt.ok()) {
+            result.patch_failures += sequences[i].sites.size();
+            timings.patch_ns += patch_timer.stopNanos();
+            return;
+        }
+        for (const extract::SequenceSite &site : sequences[i].sites) {
+            size_t index = fn_index.at(site.fn);
+            // Contained: a throw out of a single splice (snapshot
+            // clone, remap, insert) costs that site, never the run.
+            // applyRewrite touches nothing until its pre-checks pass,
+            // and the function snapshot is taken first, so the
+            // rollback sweep below still has a clean body to restore.
+            try {
+                if (!snapshots[index])
+                    snapshots[index] = site.fn->clone(site.fn->name());
+                if (!applyRewrite(site, **tgt,
+                                  &name_allocators[index])) {
+                    ++result.patch_failures;
+                    continue;
+                }
+            } catch (const std::exception &) {
+                ++result.patch_failures;
+                // The splice may have died mid-mutation; force the
+                // function through the validation sweep even if no
+                // other site patched it, so a half-spliced body is
+                // caught and restored. (If the snapshot clone itself
+                // threw, the function was never touched — skip.)
+                if (snapshots[index])
+                    poisoned[index] = 1;
+                continue;
+            }
+            ++result.patched_rewrites;
+            ++savings[index].patched;
+            result.patches.push_back(PatchRecord{
+                site.fn->name(), index, site.block->label(),
+                static_cast<unsigned>(site.insts.size()), i});
+        }
+        timings.patch_ns += patch_timer.stopNanos();
+    };
+
     if (options_.step_budget == 0) {
         // No deadline: one batch, exactly the pre-deadline behavior.
-        result.outcomes = pipeline_.processSequences(wrapped, round_seed);
+        result.outcomes =
+            pipeline_.processSequences(wrapped, round_seed, patchSequence);
         for (const CaseOutcome &outcome : result.outcomes)
             result.steps_used += outcome.step_cost;
     } else {
@@ -199,8 +268,12 @@ ModuleOptimizer::optimize(ir::Module &module, uint64_t round_seed)
             size_t count = std::min<size_t>(wave, wrapped.size() - done);
             std::vector<const ir::Function *> batch(
                 wrapped.begin() + done, wrapped.begin() + done + count);
-            std::vector<CaseOutcome> outcomes =
-                pipeline_.processSequences(batch, round_seed);
+            std::vector<CaseOutcome> outcomes = pipeline_.processSequences(
+                batch, round_seed,
+                [&patchSequence, done](size_t i,
+                                       const CaseOutcome &outcome) {
+                    patchSequence(done + i, outcome);
+                });
             for (size_t i = 0; i < outcomes.size(); ++i) {
                 result.steps_used += outcomes[i].step_cost;
                 result.outcomes[done + i] = std::move(outcomes[i]);
@@ -209,71 +282,11 @@ ModuleOptimizer::optimize(ir::Module &module, uint64_t round_seed)
         }
     }
     result.unique_sequences = sequences.size();
-
-    // Patch every verified improvement back, in extraction order
-    // (sites in block-scan order) so the rewritten module is
-    // deterministic for any thread count. Each function's pre-patch
-    // body is snapshotted before its first splice so a net-negative
-    // outcome can be rolled back below.
-    std::map<const ir::Function *, NameAllocator> name_allocators;
-    std::map<const ir::Function *, size_t> fn_index;
-    for (size_t i = 0; i < module.functions().size(); ++i)
-        fn_index[module.functions()[i].get()] = i;
-    std::map<const ir::Function *, std::unique_ptr<ir::Function>>
-        snapshots;
-    /** Functions a contained splice exception may have left
-     *  half-mutated; force-validated (and restored) in the sweep. */
-    std::set<size_t> poisoned;
-    LPO_TRACE_SPAN(patch_span, "patch", "phase");
-    static const telemetry::Histogram patch_hist =
-        telemetry::histogram("phase.patch_ns");
-    telemetry::ScopedTimer patch_timer(patch_hist);
-    for (size_t i = 0; i < sequences.size(); ++i) {
-        const CaseOutcome &outcome = result.outcomes[i];
-        if (!outcome.found())
-            continue;
-        auto tgt =
-            ir::parseFunction(module.context(), outcome.candidate_text);
-        if (!tgt.ok()) {
-            result.patch_failures += sequences[i].sites.size();
-            continue;
-        }
-        for (const extract::SequenceSite &site : sequences[i].sites) {
-            // Contained: a throw out of a single splice (snapshot
-            // clone, remap, insert) costs that site, never the run.
-            // applyRewrite touches nothing until its pre-checks pass,
-            // and the function snapshot is taken first, so the
-            // rollback sweep below still has a clean body to restore.
-            try {
-                if (!snapshots.count(site.fn))
-                    snapshots[site.fn] = site.fn->clone(site.fn->name());
-                if (!applyRewrite(site, **tgt, &name_allocators[site.fn])) {
-                    ++result.patch_failures;
-                    continue;
-                }
-            } catch (const std::exception &) {
-                ++result.patch_failures;
-                // The splice may have died mid-mutation; force the
-                // function through the validation sweep even if no
-                // other site patched it, so a half-spliced body is
-                // caught and restored. (If the snapshot clone itself
-                // threw, the function was never touched — skip.)
-                if (snapshots.count(site.fn))
-                    poisoned.insert(fn_index.at(site.fn));
-                continue;
-            }
-            ++result.patched_rewrites;
-            size_t index = fn_index.at(site.fn);
-            ++savings[index].patched;
-            result.patches.push_back(PatchRecord{
-                site.fn->name(), index, site.block->label(),
-                static_cast<unsigned>(site.insts.size()), i});
-        }
-    }
-    timings.patch_ns = patch_timer.stopNanos();
-    if (patch_span.active())
-        patch_span.arg("patched", result.patched_rewrites);
-    patch_span.end();
+    // Patch-back already streamed from the commit chain above. The
+    // "patch" phase therefore no longer exists as its own wall-clock
+    // interval — its cost lives inside the pipeline span, attributed
+    // via timings.patch_ns (summed commit-callback time) and the
+    // phase.patch_ns histogram (one sample per patched sequence).
 
     LPO_TRACE_SPAN(dce_span, "dce", "phase");
     static const telemetry::Histogram dce_hist =
@@ -288,7 +301,7 @@ ModuleOptimizer::optimize(ir::Module &module, uint64_t round_seed)
     std::set<size_t> rolled_back;
     for (size_t i = 0; i < module.functions().size(); ++i) {
         FunctionSavings &fs = savings[i];
-        if (fs.patched == 0 && !poisoned.count(i)) {
+        if (fs.patched == 0 && !poisoned[i]) {
             // Untouched function: nothing ran on it, reuse the
             // measurement from the top of the pass.
             fs.insts_after = fs.insts_before;
@@ -321,8 +334,7 @@ ModuleOptimizer::optimize(ir::Module &module, uint64_t round_seed)
             assert(false && "patch-back produced invalid IR");
         }
         if (!valid || cycles_after > fs.cycles_before) {
-            module.replaceFunction(
-                i, std::move(snapshots.at(module.functions()[i].get())));
+            module.replaceFunction(i, std::move(snapshots[i]));
             ++result.functions_rolled_back;
             result.patched_rewrites -= fs.patched;
             rolled_back.insert(i);

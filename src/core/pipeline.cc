@@ -466,7 +466,8 @@ Pipeline::processModule(const ir::Module &module,
 std::vector<CaseOutcome>
 Pipeline::processSequences(
     const std::vector<const ir::Function *> &sequences,
-    uint64_t round_seed)
+    uint64_t round_seed,
+    const std::function<void(size_t, const CaseOutcome &)> &on_commit)
 {
     unsigned threads = config_.num_threads
                            ? config_.num_threads
@@ -474,18 +475,22 @@ Pipeline::processSequences(
     std::vector<CaseOutcome> outcomes(sequences.size());
 
     if (threads <= 1 || sequences.size() <= 1) {
-        for (size_t i = 0; i < sequences.size(); ++i)
+        for (size_t i = 0; i < sequences.size(); ++i) {
             outcomes[i] = optimizeSequence(*sequences[i], round_seed);
+            if (on_commit)
+                on_commit(i, outcomes[i]);
+        }
         return outcomes;
     }
 
-    // Parallel fan-out. The extracted sequences all live in the
-    // module's shared ir::Context, which is not safe to mutate
-    // concurrently (runOpt parses candidates into it), so each worker
-    // re-parses its sequence's text into a private Context and runs
-    // the whole loop there. print(parse(print(f))) is stable, so the
-    // prompt text — and therefore the mock model's seeded RNG stream —
-    // is byte-identical to the serial path.
+    // Parallel fan-out on the work-stealing task graph. The extracted
+    // sequences all live in the module's shared ir::Context, which is
+    // not safe to mutate concurrently (runOpt parses candidates into
+    // it), so each case task re-parses its sequence's text into a
+    // private Context and runs the whole loop there.
+    // print(parse(print(f))) is stable, so the prompt text — and
+    // therefore the mock model's seeded RNG stream — is byte-identical
+    // to the serial path.
     std::vector<std::string> texts(sequences.size());
     for (size_t i = 0; i < sequences.size(); ++i)
         texts[i] = ir::printFunction(*sequences[i]);
@@ -496,71 +501,130 @@ Pipeline::processSequences(
     verify::RefineOptions worker_refine = config_.refine;
     worker_refine.num_threads = 1;
 
-    std::vector<PipelineStats> deltas(sequences.size());
-    ThreadPool pool(threads);
-    pool.parallelFor(0, sequences.size(), 1, [&](uint64_t lo, uint64_t hi) {
-        for (uint64_t i = lo; i < hi; ++i) {
-            ir::Context context;
-            auto parsed = ir::parseFunction(context, texts[i]);
-            if (!parsed.ok()) {
-                // Cannot happen for printer output; recorded rather
-                // than silently dropped if it ever does.
-                ++deltas[i].cases;
-                ++deltas[i].syntax_errors;
-                outcomes[i].status = CaseStatus::SyntaxError;
-                outcomes[i].last_feedback = parsed.error().toString();
-                outcomes[i].total_seconds = config_.overhead_seconds;
-                deltas[i].total_seconds += outcomes[i].total_seconds;
-                continue;
-            }
-            outcomes[i] = runCase(**parsed, round_seed, deltas[i],
-                                  worker_refine);
-        }
-    });
-
-    // Per-case stat deltas fold into the shared stats in sequence
-    // order — the exact accumulation order of the serial path, so
-    // totals (including the doubles) are bit-identical for any thread
-    // count.
-    for (const PipelineStats &delta : deltas) {
-        stats_.cases += delta.cases;
-        stats_.found += delta.found;
-        stats_.llm_calls += delta.llm_calls;
-        stats_.verifier_calls += delta.verifier_calls;
-        stats_.syntax_errors += delta.syntax_errors;
-        stats_.incorrect_candidates += delta.incorrect_candidates;
-        stats_.not_interesting += delta.not_interesting;
-        stats_.egraph_consults += delta.egraph_consults;
-        stats_.egraph_proposals += delta.egraph_proposals;
-        stats_.found_by_llm += delta.found_by_llm;
-        stats_.found_by_egraph += delta.found_by_egraph;
-        stats_.hybrid_fallbacks += delta.hybrid_fallbacks;
-        stats_.catalog_consults += delta.catalog_consults;
-        stats_.catalog_proposals += delta.catalog_proposals;
-        stats_.found_by_catalog += delta.found_by_catalog;
-        stats_.sat_solves += delta.sat_solves;
-        stats_.sat_decisions += delta.sat_decisions;
-        stats_.sat_conflicts += delta.sat_conflicts;
-        stats_.sat_propagations += delta.sat_propagations;
-        stats_.sat_restarts += delta.sat_restarts;
-        stats_.sat_sessions += delta.sat_sessions;
-        stats_.session_reuses += delta.session_reuses;
-        stats_.learnts_carried += delta.learnts_carried;
-        stats_.session_vars_saved += delta.session_vars_saved;
-        stats_.session_clauses_saved += delta.session_clauses_saved;
-        stats_.session_fallbacks += delta.session_fallbacks;
-        stats_.sat_escalations += delta.sat_escalations;
-        stats_.concrete_fallbacks += delta.concrete_fallbacks;
-        stats_.exhaustive_rescues += delta.exhaustive_rescues;
-        stats_.degraded_verdicts += delta.degraded_verdicts;
-        stats_.contained_exceptions += delta.contained_exceptions;
-        stats_.total_seconds += delta.total_seconds;
-        stats_.total_cost_usd += delta.total_cost_usd;
-        stats_.timings.propose_ns += delta.timings.propose_ns;
-        stats_.timings.verify_ns += delta.timings.verify_ns;
+    // The advisory per-task conflict budget is the most SAT work one
+    // case can possibly perform per query (the whole ladder, or the
+    // single-shot budget when no ladder is configured).
+    uint64_t case_budget = 0;
+    if (worker_refine.budget_tiers.empty()) {
+        case_budget = worker_refine.conflict_budget;
+    } else {
+        for (uint64_t tier : worker_refine.budget_tiers)
+            case_budget += tier;
     }
+
+    static const telemetry::Histogram chain_hist =
+        telemetry::histogram("pipeline.chain_latency_ns");
+
+    std::vector<PipelineStats> deltas(sequences.size());
+
+    TaskScheduler::Options sched_options;
+    sched_options.num_threads = threads;
+    sched_options.steal_seed = round_seed ^ 0x9E3779B97F4A7C15ull;
+    TaskScheduler scheduler(sched_options);
+    TaskScope scope(scheduler);
+    // A cancelled scope (first task exception) interrupts in-flight
+    // SAT solves at the next conflict boundary instead of finishing
+    // multi-million-conflict proofs nobody will read.
+    worker_refine.interrupt = scope.cancelFlag();
+
+    // Each sequence is one case task; a chain of commit tasks (commit
+    // i depends on case i and commit i-1) folds its stat delta and
+    // streams the outcome out in sequence order — the exact
+    // accumulation order of the serial path, so totals (including the
+    // doubles) are bit-identical for any thread count, while later
+    // cases are still running.
+    std::vector<TaskId> case_ids(sequences.size());
+    for (size_t i = 0; i < sequences.size(); ++i) {
+        case_ids[i] = scope.submit(
+            [this, i, round_seed, &texts, &outcomes, &deltas,
+             &worker_refine] {
+                telemetry::ScopedTimer timer(chain_hist);
+                ir::Context context;
+                auto parsed = ir::parseFunction(context, texts[i]);
+                if (!parsed.ok()) {
+                    // Cannot happen for printer output; recorded
+                    // rather than silently dropped if it ever does.
+                    ++deltas[i].cases;
+                    ++deltas[i].syntax_errors;
+                    outcomes[i].status = CaseStatus::SyntaxError;
+                    outcomes[i].last_feedback =
+                        parsed.error().toString();
+                    outcomes[i].total_seconds = config_.overhead_seconds;
+                    deltas[i].total_seconds += outcomes[i].total_seconds;
+                    return;
+                }
+                outcomes[i] = runCase(**parsed, round_seed, deltas[i],
+                                      worker_refine);
+            },
+            {}, case_budget);
+    }
+    TaskId prev_commit = kInvalidTask;
+    for (size_t i = 0; i < sequences.size(); ++i) {
+        std::vector<TaskId> deps;
+        deps.push_back(case_ids[i]);
+        if (prev_commit != kInvalidTask)
+            deps.push_back(prev_commit);
+        prev_commit = scope.submit(
+            [this, i, &deltas, &outcomes, &on_commit] {
+                foldStats(deltas[i]);
+                if (on_commit)
+                    on_commit(i, outcomes[i]);
+            },
+            deps);
+    }
+    scope.wait();
+
+    stats_.scheduler += scope.stats();
+    telemetry::counter("sched.tasks_run").add(scope.stats().tasks_run);
+    telemetry::counter("sched.steals").add(scope.stats().steals);
+    telemetry::counter("sched.steal_attempts")
+        .add(scope.stats().steal_attempts);
+    telemetry::counter("sched.queue_depth_max")
+        .add(scope.stats().max_queue_depth);
+    telemetry::counter("sched.idle_ns").add(scope.stats().idle_ns);
+
     refreshCacheStats();
     return outcomes;
+}
+
+void
+Pipeline::foldStats(const PipelineStats &delta)
+{
+    stats_.cases += delta.cases;
+    stats_.found += delta.found;
+    stats_.llm_calls += delta.llm_calls;
+    stats_.verifier_calls += delta.verifier_calls;
+    stats_.syntax_errors += delta.syntax_errors;
+    stats_.incorrect_candidates += delta.incorrect_candidates;
+    stats_.not_interesting += delta.not_interesting;
+    stats_.egraph_consults += delta.egraph_consults;
+    stats_.egraph_proposals += delta.egraph_proposals;
+    stats_.found_by_llm += delta.found_by_llm;
+    stats_.found_by_egraph += delta.found_by_egraph;
+    stats_.hybrid_fallbacks += delta.hybrid_fallbacks;
+    stats_.catalog_consults += delta.catalog_consults;
+    stats_.catalog_proposals += delta.catalog_proposals;
+    stats_.found_by_catalog += delta.found_by_catalog;
+    stats_.sat_solves += delta.sat_solves;
+    stats_.sat_decisions += delta.sat_decisions;
+    stats_.sat_conflicts += delta.sat_conflicts;
+    stats_.sat_propagations += delta.sat_propagations;
+    stats_.sat_restarts += delta.sat_restarts;
+    stats_.sat_sessions += delta.sat_sessions;
+    stats_.session_reuses += delta.session_reuses;
+    stats_.learnts_carried += delta.learnts_carried;
+    stats_.session_vars_saved += delta.session_vars_saved;
+    stats_.session_clauses_saved += delta.session_clauses_saved;
+    stats_.session_fallbacks += delta.session_fallbacks;
+    stats_.sat_escalations += delta.sat_escalations;
+    stats_.concrete_fallbacks += delta.concrete_fallbacks;
+    stats_.exhaustive_rescues += delta.exhaustive_rescues;
+    stats_.degraded_verdicts += delta.degraded_verdicts;
+    stats_.contained_exceptions += delta.contained_exceptions;
+    stats_.total_seconds += delta.total_seconds;
+    stats_.total_cost_usd += delta.total_cost_usd;
+    stats_.timings.propose_ns += delta.timings.propose_ns;
+    stats_.timings.verify_ns += delta.timings.verify_ns;
 }
 
 void

@@ -14,6 +14,7 @@
 #ifndef LPO_CORE_PIPELINE_H
 #define LPO_CORE_PIPELINE_H
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "extract/extractor.h"
 #include "ir/module.h"
 #include "llm/client.h"
+#include "support/task_graph.h"
 #include "verify/cache.h"
 #include "verify/refine.h"
 
@@ -229,6 +231,13 @@ struct PipelineStats
     double total_cost_usd = 0.0;
     /** Real-time phase attribution (never compared for determinism). */
     StageTimings timings;
+    /**
+     * Work-stealing scheduler counters folded over every parallel
+     * processSequences fan-out. Pure scheduling telemetry: steal and
+     * queue-depth figures depend on thread timing, so — like timings —
+     * they are never part of any determinism comparison.
+     */
+    TaskGraphStats scheduler;
 };
 
 /** The LPO engine. */
@@ -265,10 +274,23 @@ class Pipeline
      * with the verify cache on or off (per-case stat deltas fold in
      * sequence order; each parallel worker re-parses its sequence
      * into a private Context).
+     *
+     * The parallel fan-out runs on a work-stealing task graph: each
+     * sequence is one case task, and a chain of commit tasks — commit
+     * i depends on case i and commit i-1 — folds stat deltas and
+     * streams results out strictly in sequence order while later
+     * cases are still running. @p on_commit, when set, is invoked
+     * from that chain, once per sequence in index order, after the
+     * case's stats have been folded; ModuleOptimizer patches results
+     * back into the module from it. The callback must not call back
+     * into this Pipeline. On the serial path it is invoked inline
+     * after each case, preserving identical observable order.
      */
     std::vector<CaseOutcome>
     processSequences(const std::vector<const ir::Function *> &sequences,
-                     uint64_t round_seed = 0);
+                     uint64_t round_seed = 0,
+                     const std::function<void(size_t, const CaseOutcome &)>
+                         &on_commit = {});
 
     const PipelineStats &stats() const { return stats_; }
 
@@ -339,6 +361,12 @@ class Pipeline
 
     /** Copy the shared cache's and store's counters into stats_. */
     void refreshCacheStats();
+
+    /** Fold one case's stat delta into stats_. Field-by-field in a
+     *  fixed order so parallel totals (including the doubles) are
+     *  bit-identical to serial accumulation; called from the ordered
+     *  commit chain, never concurrently. */
+    void foldStats(const PipelineStats &delta);
 
     llm::LlmClient &client_;
     PipelineConfig config_;

@@ -193,7 +193,23 @@ profileSummary(const PipelineStats &stats,
                                    denominator ? "100.0%" : "-"};
     percentiles("module.latency_ns", total);
     table.addRow(std::move(total));
-    return "profile (wall time per phase):\n" + table.render();
+    std::string rendered =
+        "profile (wall time per phase):\n" + table.render();
+
+    // Scheduler behaviour behind those phases. Work-done telemetry,
+    // not results: steal counts and queue depths vary run to run even
+    // though the emitted module never does.
+    const TaskGraphStats &sched = stats.scheduler;
+    TextTable sched_table({"tasks run", "steals", "steal attempts",
+                           "max queue depth", "idle ms"});
+    sched_table.addRow({std::to_string(sched.tasks_run),
+                        std::to_string(sched.steals),
+                        std::to_string(sched.steal_attempts),
+                        std::to_string(sched.max_queue_depth),
+                        ms(sched.idle_ns)});
+    rendered += "scheduler (work-stealing task graph):\n" +
+                sched_table.render();
+    return rendered;
 }
 
 std::string

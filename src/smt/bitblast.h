@@ -56,6 +56,12 @@ class CircuitBuilder
 
     SatSolver &solver() { return solver_; }
 
+    /**
+     * Whether the unique table (and with it all canonicalization that
+     * is conditioned on it, here and in the encoder) is enabled.
+     */
+    bool hashing() const { return hashing_; }
+
     /** Gate constructions answered from the unique table. */
     uint64_t uniqueTableHits() const { return unique_hits_; }
     /** Distinct hashed nodes created so far. */

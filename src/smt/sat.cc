@@ -44,6 +44,7 @@ SatSolver::newVarImpl(bool decision)
     polarity_.push_back(false);
     decision_.push_back(decision);
     heap_pos_.push_back(-1);
+    seen_.push_back(0);
     watches_.resize((num_vars_ + 1) * 2);
     heapInsert(num_vars_);
     return num_vars_;
@@ -119,13 +120,34 @@ SatSolver::heapInsert(int var)
     heapUp(order_heap_.size() - 1);
 }
 
+int
+SatSolver::storeClause(const std::vector<int> &lits, bool learnt,
+                       uint32_t lbd, double activity)
+{
+    Clause clause;
+    clause.offset = static_cast<uint32_t>(pool_.size());
+    clause.size = static_cast<uint32_t>(lits.size());
+    clause.learnt = learnt;
+    clause.lbd = lbd;
+    clause.activity = activity;
+    pool_.insert(pool_.end(), lits.begin(), lits.end());
+    clauses_.push_back(clause);
+    return static_cast<int>(clauses_.size()) - 1;
+}
+
 void
 SatSolver::attachClause(int index)
 {
     const Clause &clause = clauses_[index];
-    assert(clause.lits.size() >= 2);
-    watches_[litNeg(clause.lits[0])].push_back(index);
-    watches_[litNeg(clause.lits[1])].push_back(index);
+    assert(clause.size >= 2);
+    const int *lits = clauseLits(clause);
+    // Binary clauses carry their other literal in the watcher itself
+    // (it can never move), so propagation over them touches no clause
+    // memory. Longer clauses use the classic two-watch scheme.
+    int blocker0 = clause.size == 2 ? lits[1] : -1;
+    int blocker1 = clause.size == 2 ? lits[0] : -1;
+    watches_[litNeg(lits[0])].push_back(Watcher{index, blocker0});
+    watches_[litNeg(lits[1])].push_back(Watcher{index, blocker1});
 }
 
 bool
@@ -175,8 +197,8 @@ SatSolver::addClause(std::vector<Lit> lits)
         return true;
     }
     ++clauses_added_;
-    clauses_.push_back(Clause{std::move(pruned), false, 0, 0.0});
-    attachClause(static_cast<int>(clauses_.size()) - 1);
+    int ci = storeClause(pruned, false, 0, 0.0);
+    attachClause(ci);
     return true;
 }
 
@@ -201,26 +223,55 @@ SatSolver::propagate()
     while (propagate_head_ < trail_.size()) {
         int enc = trail_[propagate_head_++];
         ++propagations_;
-        std::vector<int> &watch_list = watches_[enc];
+        std::vector<Watcher> &watch_list = watches_[enc];
         size_t keep = 0;
         for (size_t wi = 0; wi < watch_list.size(); ++wi) {
-            int ci = watch_list[wi];
-            Clause &clause = clauses_[ci];
+            Watcher w = watch_list[wi];
+            int falsified = litNeg(enc);
+            if (w.blocker != -1) {
+                // Binary fast path: the watcher already names the only
+                // other literal, so satisfied and propagating clauses
+                // are handled without dereferencing the clause.
+                Assign value = valueOf(w.blocker);
+                watch_list[keep++] = w;
+                if (value == Assign::True)
+                    continue;
+                if (value == Assign::Unassigned) {
+                    enqueue(w.blocker, w.clause);
+                    continue;
+                }
+                // Conflict. Normalize the stored order (other literal
+                // first, falsified literal second) exactly as the
+                // general path would have left it, so conflict
+                // analysis sees the same literal order either way.
+                Clause &clause = clauses_[w.clause];
+                int *lits = clauseLits(clause);
+                if (lits[0] == falsified)
+                    std::swap(lits[0], lits[1]);
+                for (size_t rest = wi + 1; rest < watch_list.size();
+                     ++rest)
+                    watch_list[keep++] = watch_list[rest];
+                watch_list.resize(keep);
+                propagate_head_ = trail_.size();
+                return w.clause;
+            }
+            Clause &clause = clauses_[w.clause];
+            int *lits = clauseLits(clause);
             // Normalize: watched literals are lits[0] and lits[1];
             // the falsified one must be lits[1].
-            int falsified = litNeg(enc);
-            if (clause.lits[0] == falsified)
-                std::swap(clause.lits[0], clause.lits[1]);
-            if (valueOf(clause.lits[0]) == Assign::True) {
-                watch_list[keep++] = ci;
+            if (lits[0] == falsified)
+                std::swap(lits[0], lits[1]);
+            if (valueOf(lits[0]) == Assign::True) {
+                watch_list[keep++] = w;
                 continue;
             }
             // Find a new watch.
             bool moved = false;
-            for (size_t k = 2; k < clause.lits.size(); ++k) {
-                if (valueOf(clause.lits[k]) != Assign::False) {
-                    std::swap(clause.lits[1], clause.lits[k]);
-                    watches_[litNeg(clause.lits[1])].push_back(ci);
+            for (uint32_t k = 2; k < clause.size; ++k) {
+                if (valueOf(lits[k]) != Assign::False) {
+                    std::swap(lits[1], lits[k]);
+                    watches_[litNeg(lits[1])].push_back(
+                        Watcher{w.clause, -1});
                     moved = true;
                     break;
                 }
@@ -228,14 +279,15 @@ SatSolver::propagate()
             if (moved)
                 continue;
             // Unit or conflict.
-            watch_list[keep++] = ci;
-            if (!enqueue(clause.lits[0], ci)) {
+            watch_list[keep++] = w;
+            if (!enqueue(lits[0], w.clause)) {
                 // Conflict: keep remaining watches and report.
-                for (size_t rest = wi + 1; rest < watch_list.size(); ++rest)
+                for (size_t rest = wi + 1; rest < watch_list.size();
+                     ++rest)
                     watch_list[keep++] = watch_list[rest];
                 watch_list.resize(keep);
                 propagate_head_ = trail_.size();
-                return ci;
+                return w.clause;
             }
         }
         watch_list.resize(keep);
@@ -278,7 +330,6 @@ SatSolver::decayActivities()
 
 bool
 SatSolver::litRedundant(int enc, uint32_t abstract_levels,
-                        std::vector<uint8_t> &seen,
                         std::vector<int> &to_clear)
 {
     // Recursive (MiniSat "deep") minimization: @p enc is redundant if
@@ -288,31 +339,34 @@ SatSolver::litRedundant(int enc, uint32_t abstract_levels,
     // end the chain as failures. Marks made during a failed probe are
     // rolled back; marks from successful probes persist as memoized
     // "reachable from the clause" facts for later probes.
-    std::vector<int> stack{enc};
+    redundant_stack_.clear();
+    redundant_stack_.push_back(enc);
     size_t rollback = to_clear.size();
-    while (!stack.empty()) {
-        int p = stack.back();
-        stack.pop_back();
+    while (!redundant_stack_.empty()) {
+        int p = redundant_stack_.back();
+        redundant_stack_.pop_back();
         assert(reasons_[litVar(p)] != -1);
         const Clause &reason = clauses_[reasons_[litVar(p)]];
-        // reason.lits[0] is the literal the clause propagated; the
-        // watch discipline keeps it there while the clause is a
-        // reason.
-        for (size_t i = 1; i < reason.lits.size(); ++i) {
-            int q = reason.lits[i];
+        const int *lits = clauseLits(reason);
+        // Skip the literal the clause propagated (@p p itself) by
+        // variable; binary reasons from the watcher fast path are not
+        // position-normalized, so positional skipping would be wrong.
+        int skip_var = litVar(p);
+        for (uint32_t i = 0; i < reason.size; ++i) {
+            int q = lits[i];
             int var = litVar(q);
-            if (seen[var] || levels_[var] == 0)
+            if (var == skip_var || seen_[var] || levels_[var] == 0)
                 continue;
             if (reasons_[var] == -1 ||
                 !(abstractLevel(var) & abstract_levels)) {
                 for (size_t j = rollback; j < to_clear.size(); ++j)
-                    seen[to_clear[j]] = 0;
+                    seen_[to_clear[j]] = 0;
                 to_clear.resize(rollback);
                 return false;
             }
-            seen[var] = 1;
+            seen_[var] = 1;
             to_clear.push_back(var);
-            stack.push_back(q);
+            redundant_stack_.push_back(q);
         }
     }
     return true;
@@ -321,10 +375,14 @@ SatSolver::litRedundant(int enc, uint32_t abstract_levels,
 int
 SatSolver::analyze(int conflict, std::vector<int> &learnt, uint32_t *lbd)
 {
-    // First-UIP conflict analysis.
+    // First-UIP conflict analysis. The marker array seen_ is a member
+    // scratch buffer: it is all-zero on entry and every mark made here
+    // is recorded and cleared again on exit, so no per-conflict
+    // allocation or O(num_vars) wipe happens.
     learnt.clear();
     learnt.push_back(0); // placeholder for the asserting literal
-    std::vector<uint8_t> seen(num_vars_ + 1, 0);
+    seen_clear_.clear();
+    minimize_clear_.clear();
     int counter = 0;
     int enc = -1;
     size_t trail_index = trail_.size();
@@ -336,13 +394,18 @@ SatSolver::analyze(int conflict, std::vector<int> &learnt, uint32_t *lbd)
         Clause &clause = clauses_[reason_clause];
         if (clause.learnt)
             bumpClause(clause);
-        size_t start = (enc == -1) ? 0 : 1;
-        for (size_t i = start; i < clause.lits.size(); ++i) {
-            int q = clause.lits[i];
+        const int *lits = clauseLits(clause);
+        // For reason clauses, skip the literal that was propagated
+        // (var of @p enc); skipping by variable rather than position
+        // keeps this correct for watcher-fast-path binary reasons.
+        int skip_var = (enc == -1) ? 0 : litVar(enc);
+        for (uint32_t i = 0; i < clause.size; ++i) {
+            int q = lits[i];
             int var = litVar(q);
-            if (seen[var] || levels_[var] == 0)
+            if (var == skip_var || seen_[var] || levels_[var] == 0)
                 continue;
-            seen[var] = 1;
+            seen_[var] = 1;
+            seen_clear_.push_back(var);
             bumpVar(var);
             if (levels_[var] >= current_level) {
                 ++counter;
@@ -354,26 +417,26 @@ SatSolver::analyze(int conflict, std::vector<int> &learnt, uint32_t *lbd)
         do {
             assert(trail_index > 0);
             enc = trail_[--trail_index];
-        } while (!seen[litVar(enc)]);
-        seen[litVar(enc)] = 0;
+        } while (!seen_[litVar(enc)]);
+        seen_[litVar(enc)] = 0;
         reason_clause = reasons_[litVar(enc)];
         --counter;
     } while (counter > 0);
     learnt[0] = litNeg(enc);
 
     // Recursive clause minimization: drop literals implied by the
-    // rest of the clause through their reason chains. `seen` still
+    // rest of the clause through their reason chains. seen_ still
     // marks exactly the vars of learnt[1..]; litRedundant extends it.
     if (learnt.size() > 1) {
         uint32_t abstract_levels = 0;
         for (size_t i = 1; i < learnt.size(); ++i)
             abstract_levels |= abstractLevel(litVar(learnt[i]));
-        std::vector<int> to_clear;
         size_t kept = 1;
         for (size_t i = 1; i < learnt.size(); ++i) {
             int var = litVar(learnt[i]);
             if (reasons_[var] == -1 ||
-                !litRedundant(learnt[i], abstract_levels, seen, to_clear))
+                !litRedundant(learnt[i], abstract_levels,
+                              minimize_clear_))
                 learnt[kept++] = learnt[i];
         }
         learnt.resize(kept);
@@ -383,16 +446,16 @@ SatSolver::analyze(int conflict, std::vector<int> &learnt, uint32_t *lbd)
     // Low-LBD ("glue") clauses connect few levels and are the learnt
     // clauses worth keeping forever.
     if (lbd) {
-        std::vector<int> seen_levels;
+        lbd_levels_.clear();
         for (int q : learnt) {
             int level = levels_[litVar(q)];
             bool found = false;
-            for (int s : seen_levels)
+            for (int s : lbd_levels_)
                 found = found || s == level;
             if (!found)
-                seen_levels.push_back(level);
+                lbd_levels_.push_back(level);
         }
-        *lbd = static_cast<uint32_t>(seen_levels.size());
+        *lbd = static_cast<uint32_t>(lbd_levels_.size());
     }
 
     // Compute the backtrack level (second-highest level in clause).
@@ -406,6 +469,13 @@ SatSolver::analyze(int conflict, std::vector<int> &learnt, uint32_t *lbd)
         std::swap(learnt[1], learnt[max_i]);
         bt_level = levels_[litVar(learnt[1])];
     }
+
+    // Restore the all-zero seen_ invariant (both lists may share
+    // entries with in-loop clears; clearing twice is harmless).
+    for (int var : seen_clear_)
+        seen_[var] = 0;
+    for (int var : minimize_clear_)
+        seen_[var] = 0;
     return bt_level;
 }
 
@@ -421,25 +491,36 @@ SatSolver::analyzeFinal(int failed_enc)
     conflict_core_.push_back(decode(failed_enc));
     if (trail_limits_.empty())
         return;
-    std::vector<uint8_t> seen(num_vars_ + 1, 0);
-    seen[litVar(failed_enc)] = 1;
+    seen_clear_.clear();
+    seen_[litVar(failed_enc)] = 1;
+    seen_clear_.push_back(litVar(failed_enc));
     size_t bottom = static_cast<size_t>(trail_limits_[0]);
     for (size_t i = trail_.size(); i > bottom; --i) {
         int enc = trail_[i - 1];
         int var = litVar(enc);
-        if (!seen[var])
+        if (!seen_[var])
             continue;
         if (reasons_[var] == -1) {
             assert(levels_[var] > 0);
             conflict_core_.push_back(decode(enc));
         } else {
             const Clause &reason = clauses_[reasons_[var]];
-            for (size_t j = 1; j < reason.lits.size(); ++j)
-                if (levels_[litVar(reason.lits[j])] > 0)
-                    seen[litVar(reason.lits[j])] = 1;
+            const int *lits = clauseLits(reason);
+            for (uint32_t j = 0; j < reason.size; ++j) {
+                int qvar = litVar(lits[j]);
+                if (qvar != var && levels_[qvar] > 0) {
+                    seen_[qvar] = 1;
+                    seen_clear_.push_back(qvar);
+                }
+            }
         }
-        seen[var] = 0;
+        seen_[var] = 0;
     }
+    // Marks below the scanned trail range (e.g. the failed literal
+    // when it was falsified at the root) must be wiped explicitly to
+    // restore the all-zero invariant.
+    for (int var : seen_clear_)
+        seen_[var] = 0;
 }
 
 void
@@ -480,7 +561,7 @@ SatSolver::pickBranchVar()
 void
 SatSolver::rebuildWatches()
 {
-    for (std::vector<int> &watch_list : watches_)
+    for (std::vector<Watcher> &watch_list : watches_)
         watch_list.clear();
     for (size_t i = 0; i < clauses_.size(); ++i)
         attachClause(static_cast<int>(i));
@@ -504,7 +585,7 @@ SatSolver::reduceLearnts()
     // calls, so neither is ever dropped.
     std::vector<int> candidates;
     for (size_t i = 0; i < clauses_.size(); ++i)
-        if (clauses_[i].learnt && clauses_[i].lits.size() > 2 &&
+        if (clauses_[i].learnt && clauses_[i].size > 2 &&
             clauses_[i].lbd > 2)
             candidates.push_back(static_cast<int>(i));
     if (candidates.size() < 2)
@@ -518,15 +599,24 @@ SatSolver::reduceLearnts()
     for (size_t i = candidates.size() / 2; i < candidates.size(); ++i)
         drop[candidates[i]] = true;
 
+    // Compact headers and the literal arena together.
     std::vector<Clause> kept;
     kept.reserve(clauses_.size());
+    std::vector<int> new_pool;
+    new_pool.reserve(pool_.size());
     for (size_t i = 0; i < clauses_.size(); ++i) {
         if (drop[i])
             continue;
-        kept.push_back(std::move(clauses_[i]));
+        Clause clause = clauses_[i];
+        const int *lits = clauseLits(clause);
+        uint32_t offset = static_cast<uint32_t>(new_pool.size());
+        new_pool.insert(new_pool.end(), lits, lits + clause.size);
+        clause.offset = offset;
+        kept.push_back(clause);
     }
     uint64_t removed = clauses_.size() - kept.size();
     clauses_ = std::move(kept);
+    pool_ = std::move(new_pool);
     learnts_removed_ += removed;
     num_learnts_ -= removed;
 
@@ -554,34 +644,40 @@ SatSolver::simplifyAtRoot()
     // surviving clause can have fewer than two free literals.
     std::vector<Clause> kept;
     kept.reserve(clauses_.size());
+    std::vector<int> new_pool;
+    new_pool.reserve(pool_.size());
     uint64_t removed_learnts = 0;
     uint64_t removed_total = 0;
-    for (Clause &clause : clauses_) {
+    for (const Clause &clause : clauses_) {
+        const int *lits = clauseLits(clause);
         bool satisfied = false;
-        std::vector<int> lits;
-        lits.reserve(clause.lits.size());
-        for (int e : clause.lits) {
-            Assign value = valueOf(e);
+        size_t start = new_pool.size();
+        for (uint32_t k = 0; k < clause.size; ++k) {
+            Assign value = valueOf(lits[k]);
             if (value == Assign::True) {
                 satisfied = true;
                 break;
             }
             if (value == Assign::False)
                 continue;
-            lits.push_back(e);
+            new_pool.push_back(lits[k]);
         }
         if (satisfied) {
+            new_pool.resize(start);
             ++removed_total;
             if (clause.learnt)
                 ++removed_learnts;
             continue;
         }
-        assert(lits.size() >= 2 &&
+        assert(new_pool.size() - start >= 2 &&
                "unit/empty clause survived root propagation");
-        clause.lits = std::move(lits);
-        kept.push_back(std::move(clause));
+        Clause stripped = clause;
+        stripped.offset = static_cast<uint32_t>(start);
+        stripped.size = static_cast<uint32_t>(new_pool.size() - start);
+        kept.push_back(stripped);
     }
     clauses_ = std::move(kept);
+    pool_ = std::move(new_pool);
     num_learnts_ -= removed_learnts;
     clauses_reclaimed_ += removed_total;
     rebuildWatches();
@@ -662,21 +758,28 @@ SatSolver::solveAssuming(const std::vector<Lit> &assumptions,
                 backtrack(0);
                 return SatResult::Unknown;
             }
-            std::vector<int> learnt;
+            // Cooperative cancellation answers like an exhausted
+            // budget; an unset flag costs one predictable branch per
+            // conflict and changes nothing else.
+            if (interrupt_ &&
+                interrupt_->load(std::memory_order_relaxed)) {
+                backtrack(0);
+                return SatResult::Unknown;
+            }
             uint32_t lbd = 0;
-            int bt_level = analyze(conflict, learnt, &lbd);
+            int bt_level = analyze(conflict, learnt_scratch_, &lbd);
             backtrack(bt_level);
-            if (learnt.size() == 1) {
-                if (!enqueue(learnt[0], -1)) {
+            if (learnt_scratch_.size() == 1) {
+                if (!enqueue(learnt_scratch_[0], -1)) {
                     unsat_ = true;
                     return SatResult::Unsat;
                 }
             } else {
-                clauses_.push_back(Clause{learnt, true, lbd, cla_inc_});
+                int ci = storeClause(learnt_scratch_, true, lbd,
+                                     cla_inc_);
                 ++num_learnts_;
-                int ci = static_cast<int>(clauses_.size()) - 1;
                 attachClause(ci);
-                bool ok = enqueue(learnt[0], ci);
+                bool ok = enqueue(learnt_scratch_[0], ci);
                 assert(ok && "learnt clause must be asserting");
                 (void)ok;
             }

@@ -20,10 +20,19 @@
  * selector guarded, learnt or original, while all selector-free learnt
  * clauses survive into the next call. See DESIGN.md, "Incremental SAT
  * sessions".
+ *
+ * Storage layout: clause literals live in one flat arena (`pool_`)
+ * indexed by small fixed-size headers, and each watch entry carries a
+ * blocker slot so binary clauses propagate without touching clause
+ * memory at all. Both are pure representation changes — the search
+ * trajectory (decisions, conflicts, learnt clauses, models) is
+ * bit-identical to the boxed-vector layout, which is what keeps
+ * verdicts and counterexamples stable across releases.
  */
 #ifndef LPO_SMT_SAT_H
 #define LPO_SMT_SAT_H
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -55,6 +64,7 @@ class SatSolver
         polarity_.push_back(false);
         decision_.push_back(false);
         heap_pos_.push_back(-1);
+        seen_.push_back(0);
     }
 
     /** Allocate and return a fresh variable (1-based). */
@@ -124,6 +134,16 @@ class SatSolver
     /** True once the formula is unsatisfiable without assumptions. */
     bool inconsistent() const { return unsat_; }
 
+    /**
+     * Cooperative cancellation: when @p flag becomes true, the current
+     * (and any later) solve call returns Unknown at the next conflict
+     * boundary. The solver stays consistent — exactly as if the
+     * conflict budget had been exhausted. A null or never-set flag
+     * leaves the search trajectory untouched, so cancellation wiring
+     * cannot perturb verdicts that complete normally.
+     */
+    void setInterrupt(const std::atomic<bool> *flag) { interrupt_ = flag; }
+
     /** Statistics for the throughput benchmarks. */
     uint64_t conflicts() const { return conflicts_; }
     uint64_t decisions() const { return decisions_; }
@@ -165,12 +185,32 @@ class SatSolver
     static int litVar(int enc) { return enc / 2; }
     static int litNeg(int enc) { return enc ^ 1; }
 
+    /**
+     * Clause header. Literals live in the shared arena @ref pool_ at
+     * [offset, offset+size); headers stay contiguous so the propagate
+     * loop walks two dense arrays instead of chasing per-clause heap
+     * allocations.
+     */
     struct Clause
     {
-        std::vector<int> lits; // encoded
+        uint32_t offset = 0;
+        uint32_t size = 0;
         bool learnt = false;
         uint32_t lbd = 0; ///< literal-block distance at learning time
         double activity = 0.0;
+    };
+
+    /**
+     * One watch-list entry. For binary clauses @ref blocker holds the
+     * clause's other literal (it can never move, so it is always
+     * exact) and propagation reads only the watcher; for longer
+     * clauses blocker is -1 and the clause is dereferenced as usual.
+     * Valid encoded literals are >= 2, so -1 is a safe sentinel.
+     */
+    struct Watcher
+    {
+        int clause;
+        int blocker;
     };
 
     enum class Assign : int8_t { Unassigned = -1, False = 0, True = 1 };
@@ -184,12 +224,17 @@ class SatSolver
         return val ? Assign::True : Assign::False;
     }
 
+    int *clauseLits(const Clause &c) { return pool_.data() + c.offset; }
+    const int *clauseLits(const Clause &c) const
+    {
+        return pool_.data() + c.offset;
+    }
+
     int newVarImpl(bool decision);
     bool enqueue(int enc, int reason);
     int propagate(); // returns conflicting clause index or -1
     int analyze(int conflict, std::vector<int> &learnt, uint32_t *lbd);
     bool litRedundant(int enc, uint32_t abstract_levels,
-                      std::vector<uint8_t> &seen,
                       std::vector<int> &to_clear);
     void analyzeFinal(int failed_enc);
     void backtrack(int level);
@@ -197,6 +242,8 @@ class SatSolver
     void bumpClause(Clause &clause);
     void decayActivities();
     int pickBranchVar();
+    int storeClause(const std::vector<int> &lits, bool learnt,
+                    uint32_t lbd, double activity);
     void attachClause(int index);
     void reduceLearnts();
     /** Root-level clause sweep: drop satisfied clauses, strip false
@@ -224,7 +271,8 @@ class SatSolver
 
     int num_vars_ = 0;
     std::vector<Clause> clauses_;
-    std::vector<std::vector<int>> watches_; // enc-lit -> clause indices
+    std::vector<int> pool_;                  // all clause literals
+    std::vector<std::vector<Watcher>> watches_; // enc-lit -> watchers
     std::vector<Assign> assigns_;           // per var
     std::vector<Assign> model_;             // snapshot of the last Sat
     std::vector<int> levels_;               // per var
@@ -244,6 +292,18 @@ class SatSolver
     uint64_t reduce_limit_ = 2000;
     uint64_t restart_unit_ = 100;
     bool unsat_ = false;
+    const std::atomic<bool> *interrupt_ = nullptr;
+
+    // Scratch state reused across conflicts so the hot loop never
+    // allocates: the conflict-analysis marker array (cleared back to
+    // zero via seen_clear_ after every use — never re-zeroed in bulk),
+    // the litRedundant DFS stack, and the learnt-clause buffers.
+    std::vector<uint8_t> seen_;             // per var
+    std::vector<int> seen_clear_;           // vars with seen_ set
+    std::vector<int> redundant_stack_;
+    std::vector<int> learnt_scratch_;
+    std::vector<int> minimize_clear_;
+    std::vector<int> lbd_levels_;
 
     uint64_t conflicts_ = 0;
     uint64_t decisions_ = 0;

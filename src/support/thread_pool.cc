@@ -1,6 +1,7 @@
 #include "support/thread_pool.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <string>
 
 #include "support/telemetry.h"
@@ -150,6 +151,21 @@ ThreadPool::parallelFor(uint64_t begin, uint64_t end, uint64_t chunk,
         return;
     if (chunk == 0)
         chunk = 1;
+    // Loud failure on re-entry: a second job would interleave with the
+    // in-flight one's cursor/end/pending accounting and either corrupt
+    // both ranges or deadlock the completion wait. Catching it at the
+    // boundary turns a heisenbug into an immediate, attributable
+    // error.
+    bool was_in_flight = false;
+    if (!in_flight_.compare_exchange_strong(was_in_flight, true))
+        throw std::logic_error(
+            "ThreadPool::parallelFor: nested call on a pool that "
+            "already has a parallelFor in flight");
+    struct InFlightGuard
+    {
+        std::atomic<bool> &flag;
+        ~InFlightGuard() { flag.store(false); }
+    } in_flight_guard{in_flight_};
     const bool record = telemetry::MetricsRegistry::instance().enabled();
     // Serial pool, or a range that fits in one chunk: run inline.
     if (workers_.empty() || end - begin <= chunk) {

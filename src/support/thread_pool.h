@@ -18,7 +18,10 @@
  * range is drained so all threads stop claiming chunks, and
  * parallelFor rethrows it on the calling thread once every in-flight
  * chunk has finished; the pool stays usable afterwards. At most one
- * parallelFor may be in flight per pool at a time.
+ * parallelFor may be in flight per pool at a time — enforced: a
+ * nested or concurrent call on the same pool throws std::logic_error
+ * immediately instead of corrupting the in-flight job's cursor and
+ * pending-count accounting.
  */
 #ifndef LPO_SUPPORT_THREAD_POOL_H
 #define LPO_SUPPORT_THREAD_POOL_H
@@ -86,6 +89,9 @@ class ThreadPool
     uint64_t job_publish_ns_ = 0;
     unsigned pending_ = 0;
     bool stop_ = false;
+    /** True while a parallelFor is executing; guards against nested
+     *  or concurrent calls on one pool (see the class comment). */
+    std::atomic<bool> in_flight_{false};
     /** First body exception of the in-flight job (guarded by mutex_). */
     std::exception_ptr first_error_;
 };

@@ -1,7 +1,9 @@
 #include "verify/encoder.h"
 
+#include <algorithm>
 #include <cassert>
 #include <map>
+#include <utility>
 
 #include "support/failpoint.h"
 
@@ -30,6 +32,24 @@ typeEncodable(const Type *type)
     return type->isIntOrIntVector();
 }
 
+/**
+ * Canonical operand order for commutative operations whose circuit
+ * construction is asymmetric (multiply's shift-add array, min/max
+ * comparator-mux). Gate-level sorting inside CircuitBuilder already
+ * canonicalizes add/and/or/xor; this extends the same idea one level
+ * up so that a candidate that merely commutes `umin(a, b)` or
+ * `mul(a, b)` hits the identical unique-table nodes as the source —
+ * turning what would be a comparator/multiplier commutativity proof
+ * into a structurally shared cone. Ordering is by the operand bit
+ * literals (lexicographic), so it is a pure function of the circuit
+ * and deterministic across runs.
+ */
+bool
+laneOrderedBefore(const BitVec &a, const BitVec &b)
+{
+    return a < b;
+}
+
 /** Per-function encoding pass. */
 class Encoder
 {
@@ -51,6 +71,23 @@ class Encoder
     LaneEnc intrinsicLane(const Instruction *inst,
                           const std::vector<LaneEnc> &args);
 
+    /** One operand of a flattened modular add chain; @p neg marks a
+     *  subtracted leaf (x + -x cancels exactly mod 2^w). */
+    struct AddLeaf
+    {
+        BitVec bits;
+        bool neg;
+        bool operator<(const AddLeaf &o) const
+        {
+            return bits < o.bits || (bits == o.bits && neg < o.neg);
+        }
+    };
+
+    std::vector<AddLeaf> addLeavesOf(const BitVec &v);
+    BitVec canonicalAdd(std::vector<AddLeaf> leaves, unsigned width);
+    std::vector<BitVec> xorLeavesOf(const BitVec &v);
+    BitVec canonicalXor(std::vector<BitVec> leaves, unsigned width);
+
     BitVec countLeadingZeros(const BitVec &x);
     BitVec countTrailingZeros(const BitVec &x);
     BitVec popCount(const BitVec &x);
@@ -64,7 +101,97 @@ class Encoder
     CircuitBuilder &b_;
     std::map<const Value *, ValueEnc> env_;
     CLit ub_ = CircuitBuilder::kFalse;
+    /**
+     * Word-level chain flattening: maps the bits of a value produced
+     * by an add/sub chain (or shl-by-one, which is x+x mod 2^w) to
+     * the flattened signed multiset of leaf operands whose sum it
+     * equals, and likewise for xor chains. Chain instructions fold
+     * their combined sorted leaves left-to-right after cancelling
+     * inverse pairs (x + -x = 0 mod 2^w; x ^ x = 0), so any
+     * reassociation, commutation, or cancellation-based rewrite of
+     * the same chain rebuilds the same gates and lands on the same
+     * unique-table nodes — turning adder reassociation and sub/add
+     * round-trip proofs (the most expensive miter classes in the
+     * module benchmark) into structural sharing. Sound because both
+     * operations are associative and commutative with exact inverses
+     * mod 2^w, and overflow poison is still computed from the
+     * instruction's own operands.
+     */
+    std::map<BitVec, std::vector<AddLeaf>> add_leaves_;
+    std::map<BitVec, std::vector<BitVec>> xor_leaves_;
 };
+
+std::vector<Encoder::AddLeaf>
+Encoder::addLeavesOf(const BitVec &v)
+{
+    auto it = add_leaves_.find(v);
+    if (it != add_leaves_.end())
+        return it->second;
+    return {AddLeaf{v, false}};
+}
+
+BitVec
+Encoder::canonicalAdd(std::vector<AddLeaf> leaves, unsigned width)
+{
+    std::sort(leaves.begin(), leaves.end());
+    // Cancel +x / -x pairs: sorted order puts them adjacent.
+    std::vector<AddLeaf> kept;
+    for (size_t i = 0; i < leaves.size();) {
+        if (i + 1 < leaves.size() && leaves[i].bits == leaves[i + 1].bits &&
+            !leaves[i].neg && leaves[i + 1].neg) {
+            i += 2;
+            continue;
+        }
+        kept.push_back(leaves[i]);
+        ++i;
+    }
+    BitVec acc;
+    if (kept.empty()) {
+        acc = CircuitBuilder::constBV(APInt::zero(width));
+    } else {
+        acc = kept[0].neg ? b_.bvNeg(kept[0].bits) : kept[0].bits;
+        for (size_t i = 1; i < kept.size(); ++i)
+            acc = kept[i].neg ? b_.bvSub(acc, kept[i].bits)
+                              : b_.bvAdd(acc, kept[i].bits);
+    }
+    add_leaves_[acc] = std::move(kept);
+    return acc;
+}
+
+std::vector<BitVec>
+Encoder::xorLeavesOf(const BitVec &v)
+{
+    auto it = xor_leaves_.find(v);
+    if (it != xor_leaves_.end())
+        return it->second;
+    return {v};
+}
+
+BitVec
+Encoder::canonicalXor(std::vector<BitVec> leaves, unsigned width)
+{
+    std::sort(leaves.begin(), leaves.end());
+    // x ^ x = 0: drop equal pairs (adjacent after the sort).
+    std::vector<BitVec> kept;
+    for (size_t i = 0; i < leaves.size();) {
+        if (i + 1 < leaves.size() && leaves[i] == leaves[i + 1]) {
+            i += 2;
+            continue;
+        }
+        kept.push_back(leaves[i]);
+        ++i;
+    }
+    BitVec acc;
+    if (kept.empty()) {
+        acc = CircuitBuilder::constBV(APInt::zero(width));
+    } else {
+        acc = kept[0];
+        for (size_t i = 1; i < kept.size(); ++i)
+            acc = b_.bvXor(acc, kept[i]);
+    }
+    xor_leaves_[acc] = std::move(kept);
+    return acc;
+}
 
 ValueEnc
 Encoder::valueOf(const Value *v)
@@ -121,7 +248,14 @@ Encoder::intBinaryLane(const Instruction *inst, const LaneEnc &a,
 
     switch (inst->op()) {
       case Opcode::Add: {
-        bits = b_.bvAdd(x, y);
+        if (b_.hashing()) {
+            std::vector<AddLeaf> leaves = addLeavesOf(x);
+            std::vector<AddLeaf> more = addLeavesOf(y);
+            leaves.insert(leaves.end(), more.begin(), more.end());
+            bits = canonicalAdd(std::move(leaves), width);
+        } else {
+            bits = b_.bvAdd(x, y);
+        }
         if (flags.nuw)
             poison = b_.orGate(poison, b_.addOverflowsU(x, y));
         if (flags.nsw)
@@ -129,7 +263,16 @@ Encoder::intBinaryLane(const Instruction *inst, const LaneEnc &a,
         break;
       }
       case Opcode::Sub: {
-        bits = b_.bvSub(x, y);
+        if (b_.hashing()) {
+            std::vector<AddLeaf> leaves = addLeavesOf(x);
+            for (AddLeaf leaf : addLeavesOf(y)) {
+                leaf.neg = !leaf.neg;
+                leaves.push_back(std::move(leaf));
+            }
+            bits = canonicalAdd(std::move(leaves), width);
+        } else {
+            bits = b_.bvSub(x, y);
+        }
         if (flags.nuw)
             poison = b_.orGate(poison, b_.subOverflowsU(x, y));
         if (flags.nsw)
@@ -137,11 +280,17 @@ Encoder::intBinaryLane(const Instruction *inst, const LaneEnc &a,
         break;
       }
       case Opcode::Mul: {
-        bits = b_.bvMul(x, y);
+        // The shift-add array is asymmetric in its operands; encode
+        // in canonical operand order so commuted candidates share the
+        // multiplier cone (gated on hashing like all canonicalization).
+        const BitVec *p = &x, *q = &y;
+        if (b_.hashing() && laneOrderedBefore(y, x))
+            std::swap(p, q);
+        bits = b_.bvMul(*p, *q);
         if (flags.nuw)
-            poison = b_.orGate(poison, b_.mulOverflowsU(x, y));
+            poison = b_.orGate(poison, b_.mulOverflowsU(*p, *q));
         if (flags.nsw)
-            poison = b_.orGate(poison, b_.mulOverflowsS(x, y));
+            poison = b_.orGate(poison, b_.mulOverflowsS(*p, *q));
         break;
       }
       case Opcode::UDiv: case Opcode::URem: {
@@ -178,7 +327,18 @@ Encoder::intBinaryLane(const Instruction *inst, const LaneEnc &a,
         CLit oversize = b_.bvULe(
             CircuitBuilder::constBV(APInt(width, width)), y);
         poison = b_.orGate(poison, oversize);
-        bits = b_.bvShl(x, y);
+        // shl x, 1 is x + x mod 2^w: route it through the add-chain
+        // canonicalizer so `v + y + y` and `v + (y << 1)` share cones.
+        bool amount_is_one = width > 0 && y[0] == CircuitBuilder::kTrue;
+        for (unsigned i = 1; amount_is_one && i < width; ++i)
+            amount_is_one = y[i] == CircuitBuilder::kFalse;
+        if (b_.hashing() && amount_is_one) {
+            std::vector<AddLeaf> leaves = addLeavesOf(x);
+            std::vector<AddLeaf> twice = leaves;
+            leaves.insert(leaves.end(), twice.begin(), twice.end());
+            bits = canonicalAdd(std::move(leaves), width);
+        } else
+            bits = b_.bvShl(x, y);
         if (flags.nuw) {
             // Some set bit shifted out: (x >> (width - amount)) != 0,
             // checked via round trip.
@@ -224,7 +384,14 @@ Encoder::intBinaryLane(const Instruction *inst, const LaneEnc &a,
                                b_.bvNonZero(b_.bvAnd(x, y)));
         break;
       case Opcode::Xor:
-        bits = b_.bvXor(x, y);
+        if (b_.hashing()) {
+            std::vector<BitVec> leaves = xorLeavesOf(x);
+            std::vector<BitVec> more = xorLeavesOf(y);
+            leaves.insert(leaves.end(), more.begin(), more.end());
+            bits = canonicalXor(std::move(leaves), width);
+        } else {
+            bits = b_.bvXor(x, y);
+        }
         break;
       default:
         assert(false);
@@ -343,22 +510,42 @@ Encoder::intrinsicLane(const Instruction *inst,
     CLit poison = args[0].poison;
     BitVec bits;
     switch (inst->intrinsic()) {
-      case Intrinsic::UMin:
+      // min/max comparator-mux circuits are asymmetric; encode in
+      // canonical operand order so commuted candidates share the cone
+      // (the mux picks the same *value* either way: on ties both
+      // operands are bit-equal in every model).
+      case Intrinsic::UMin: {
         poison = b_.orGate(poison, args[1].poison);
-        bits = b_.bvMux(b_.bvULt(x, args[1].bits), x, args[1].bits);
+        const BitVec *p = &x, *q = &args[1].bits;
+        if (b_.hashing() && laneOrderedBefore(*q, *p))
+            std::swap(p, q);
+        bits = b_.bvMux(b_.bvULt(*p, *q), *p, *q);
         break;
-      case Intrinsic::UMax:
+      }
+      case Intrinsic::UMax: {
         poison = b_.orGate(poison, args[1].poison);
-        bits = b_.bvMux(b_.bvULt(args[1].bits, x), x, args[1].bits);
+        const BitVec *p = &x, *q = &args[1].bits;
+        if (b_.hashing() && laneOrderedBefore(*q, *p))
+            std::swap(p, q);
+        bits = b_.bvMux(b_.bvULt(*p, *q), *q, *p);
         break;
-      case Intrinsic::SMin:
+      }
+      case Intrinsic::SMin: {
         poison = b_.orGate(poison, args[1].poison);
-        bits = b_.bvMux(b_.bvSLt(x, args[1].bits), x, args[1].bits);
+        const BitVec *p = &x, *q = &args[1].bits;
+        if (b_.hashing() && laneOrderedBefore(*q, *p))
+            std::swap(p, q);
+        bits = b_.bvMux(b_.bvSLt(*p, *q), *p, *q);
         break;
-      case Intrinsic::SMax:
+      }
+      case Intrinsic::SMax: {
         poison = b_.orGate(poison, args[1].poison);
-        bits = b_.bvMux(b_.bvSLt(args[1].bits, x), x, args[1].bits);
+        const BitVec *p = &x, *q = &args[1].bits;
+        if (b_.hashing() && laneOrderedBefore(*q, *p))
+            std::swap(p, q);
+        bits = b_.bvMux(b_.bvSLt(*p, *q), *q, *p);
         break;
+      }
       case Intrinsic::Abs: {
         CLit is_min = b_.bvEq(
             x, CircuitBuilder::constBV(APInt::signedMin(width)));

@@ -248,6 +248,7 @@ checkWithSat(const ir::Function &src, const ir::Function &tgt,
     result.backend = "sat";
 
     SatSolver solver;
+    solver.setInterrupt(options.interrupt);
     CircuitBuilder builder(solver, options.structural_hashing);
 
     std::vector<ValueEnc> args;
@@ -846,6 +847,7 @@ RefinementSession::Impl::initialize()
     initialized = true;
     LPO_TRACE_SPAN(span, "encode", "sat");
     telemetry::ScopedTimer timer(encodeHistogram());
+    solver.setInterrupt(options.interrupt);
     builder = std::make_unique<CircuitBuilder>(
         solver, options.structural_hashing);
     args = encodeSharedArgs(*builder, src);

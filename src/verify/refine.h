@@ -20,6 +20,7 @@
 #ifndef LPO_VERIFY_REFINE_H
 #define LPO_VERIFY_REFINE_H
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -172,6 +173,14 @@ struct RefineOptions
      * off; off forces the fresh-solver path everywhere.
      */
     bool incremental_sat = true;
+    /**
+     * Optional cooperative-cancellation flag (not owned). When it
+     * becomes true, in-flight SAT solves return at the next conflict
+     * boundary and the query reports Timeout; the scheduler's
+     * TaskScope::cancelFlag() plugs in here so a cancelled scope
+     * drains instead of finishing multi-million-conflict proofs.
+     */
+    const std::atomic<bool> *interrupt = nullptr;
     /** Optional SAT work counters (not owned, not thread-safe: give
      *  each worker its own and fold). */
     SatTelemetry *sat_telemetry = nullptr;

@@ -285,9 +285,10 @@ TEST(CliTest, TracedRunIsByteIdenticalAndEmitsArtifacts)
     std::string trace = slurp(trace_json);
     ASSERT_FALSE(trace.empty());
     EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+    // Patch-back streams inside the pipeline's commit chain (timed by
+    // phase.patch_ns), so there is no standalone "patch" span.
     for (const char *span : {"\"optimize-module\"", "\"extract\"",
-                             "\"propose\"", "\"verify\"", "\"patch\"",
-                             "\"dce\""})
+                             "\"propose\"", "\"verify\"", "\"dce\""})
         EXPECT_NE(trace.find(span), std::string::npos)
             << "missing span " << span;
     // B and E counts balance (each quoted phase token appears once per
@@ -322,6 +323,17 @@ TEST(CliTest, TracedRunIsByteIdenticalAndEmitsArtifacts)
                             "\npatch", "\ndce", "\ntotal"})
         EXPECT_NE(traced.output.find(row), std::string::npos)
             << "missing profile row " << (row + 1);
+
+    // ... followed by the scheduler columns.
+    EXPECT_NE(
+        traced.output.find("scheduler (work-stealing task graph):"),
+        std::string::npos)
+        << traced.output;
+    for (const char *column :
+         {"tasks run", "steals", "steal attempts", "max queue depth",
+          "idle ms"})
+        EXPECT_NE(traced.output.find(column), std::string::npos)
+            << "missing scheduler column " << column;
 
     // Without the flags, none of the new output appears (the default
     // summary stays byte-compatible with pre-observability builds).

@@ -2,11 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/module_opt.h"
+#include "support/telemetry.h"
 #include "corpus/generator.h"
 #include "ir/ir_verifier.h"
 #include "ir/parser.h"
@@ -161,6 +166,124 @@ TEST(ModuleOptTest, DeterministicAcrossThreadsAndCache)
     for (size_t i = 1; i < prints.size(); ++i)
         EXPECT_EQ(prints[0], prints[i])
             << "config " << i << " diverged";
+}
+
+namespace {
+
+/**
+ * A function whose extracted sequences used to be the scheduler's
+ * worst case: e-graph candidates reassociate the add chain and fold
+ * the xor pair, and before the encoder's AC canonicalization each
+ * such miter cost the SAT solver 5-6 digits of conflicts — one
+ * sequence dominating a whole module's wall time.
+ */
+const char *kAdversarialFn = R"(define i32 @adversarial(i32 %v, i32 %y, i32 %z) {
+entry:
+  %m = mul i32 %v, 43
+  %a = add i32 %m, %y
+  %b = add i32 %a, %y
+  %c = xor i32 %b, %z
+  %d = xor i32 %c, %z
+  %e = add i32 %d, %m
+  %f = sub i32 %e, %m
+  ret i32 %f
+}
+)";
+
+void
+addAdversarialFunction(ir::Context &ctx, ir::Module &module)
+{
+    auto fn = ir::parseFunction(ctx, kAdversarialFn);
+    ASSERT_TRUE(fn.ok()) << fn.error().toString();
+    module.addFunction(std::move(*fn));
+}
+
+} // namespace
+
+// Steal-heavy skew: one heavyweight sequence among many cheap ones.
+// The patched module text AND the deterministic metric counters must
+// be identical at 1, 2, and 8 threads. Scheduling telemetry
+// ("sched.*", "pool.*") and every nanosecond-valued metric are
+// excluded by construction — they measure timing, which is exactly
+// what work stealing randomizes.
+TEST(ModuleOptTest, SkewedModuleDeterministicAcrossThreadCounts)
+{
+    auto &registry = telemetry::MetricsRegistry::instance();
+    std::vector<std::string> prints;
+    std::vector<std::vector<std::pair<std::string, uint64_t>>> counters;
+    for (unsigned threads : {1u, 2u, 8u}) {
+        registry.reset();
+        registry.setEnabled(true);
+        ir::Context ctx;
+        corpus::CorpusGenerator generator(ctx);
+        auto module = generator.largeModule(23, 12, 2);
+        addAdversarialFunction(ctx, *module);
+        llm::MockModel model(strongProfile(), 1);
+        core::ModuleOptimizer optimizer(model, hybridOptions(threads));
+        core::ModuleOptResult result = optimizer.optimize(*module, 1);
+        EXPECT_GT(result.patched_rewrites, 0u);
+        prints.push_back(ir::printModule(*module));
+        telemetry::MetricsSnapshot snap = registry.snapshot();
+        std::vector<std::pair<std::string, uint64_t>> kept;
+        for (const auto &[name, value] : snap.counters) {
+            if (name.rfind("sched.", 0) == 0 ||
+                name.rfind("pool.", 0) == 0)
+                continue;
+            if (name.size() >= 3 &&
+                name.compare(name.size() - 3, 3, "_ns") == 0)
+                continue;
+            kept.emplace_back(name, value);
+        }
+        counters.push_back(std::move(kept));
+    }
+    for (size_t i = 1; i < prints.size(); ++i) {
+        EXPECT_EQ(prints[0], prints[i])
+            << "module text diverged at thread config " << i;
+        EXPECT_EQ(counters[0], counters[i])
+            << "deterministic counters diverged at thread config " << i;
+    }
+    registry.reset();
+}
+
+// The adversarial sequence must not dominate module wall time: with 8
+// threads, optimizing the module WITH the heavyweight sequence may
+// cost at most 1.5x the same module without it. Before the encoder's
+// AC canonicalization its miters alone took seconds — this pins both
+// the canonicalization and the scheduler's one-chain-stalls-only-
+// itself property against regression.
+TEST(ModuleOptTest, AdversarialSequenceDoesNotDominateWallTime)
+{
+    using Clock = std::chrono::steady_clock;
+    auto run_once = [&](bool adversarial) {
+        ir::Context ctx;
+        corpus::CorpusGenerator generator(ctx);
+        auto module = generator.largeModule(23, 12, 2);
+        if (adversarial)
+            addAdversarialFunction(ctx, *module);
+        llm::MockModel model(strongProfile(), 1);
+        core::ModuleOptimizer optimizer(model, hybridOptions(8));
+        Clock::time_point start = Clock::now();
+        core::ModuleOptResult result = optimizer.optimize(*module, 1);
+        double seconds =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        EXPECT_GT(result.patched_rewrites, 0u);
+        return seconds;
+    };
+    // Min-of-3 to shed scheduler warmup and timer noise.
+    double base = 1e9, with = 1e9;
+    for (int rep = 0; rep < 3; ++rep) {
+        base = std::min(base, run_once(false));
+        with = std::min(with, run_once(true));
+    }
+    // Absolute floor: on a machine fast enough to finish the base
+    // module in under 50ms, ratio noise is meaningless — the
+    // adversarial extra must then simply be small in absolute terms.
+    if (base < 0.05)
+        EXPECT_LT(with - base, 0.075)
+            << "base " << base << "s with " << with << "s";
+    else
+        EXPECT_LT(with, 1.5 * base)
+            << "base " << base << "s with " << with << "s";
 }
 
 TEST(ModuleOptTest, CacheCarriesAcrossModulesAndPatchingStillHappens)

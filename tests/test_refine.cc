@@ -200,25 +200,34 @@ TEST(RefineTest, VectorRefinement)
 
 // ---------------------------------------------------------------------
 // Budget-escalation ladder (see DESIGN.md, "Fault containment and
-// degradation ladder"). The pair below — mul commutativity — is the
-// canonical SAT-hard-but-decidable query: structural hashing cannot
-// merge the two multiplier circuits, so a one-conflict budget always
-// exhausts, while an unlimited tier finishes the proof.
+// degradation ladder"). The pair below — mul-by-7 against its
+// shift-and-subtract expansion — is the canonical
+// SAT-hard-but-decidable query: the multiplier and the shl/sub chain
+// share no structure (the encoder's operand canonicalization and
+// add-chain flattening cannot merge a multiplier cone with a
+// shift-by-3), so a one-conflict budget always exhausts, while an
+// unlimited tier finishes the proof.
 // ---------------------------------------------------------------------
 
 namespace {
 
 const char *kMulCommSrc8 =
-    "define i8 @src(i8 %x, i8 %y) {\n  %r = mul i8 %x, %y\n"
+    "define i8 @src(i8 %x, i8 %y) {\n  %m = mul i8 %x, 7\n"
+    "  %r = xor i8 %m, %y\n"
     "  ret i8 %r\n}\n";
 const char *kMulCommTgt8 =
-    "define i8 @tgt(i8 %x, i8 %y) {\n  %r = mul i8 %y, %x\n"
+    "define i8 @tgt(i8 %x, i8 %y) {\n  %s = shl i8 %x, 3\n"
+    "  %m = sub i8 %s, %x\n"
+    "  %r = xor i8 %m, %y\n"
     "  ret i8 %r\n}\n";
 const char *kMulCommSrc32 =
-    "define i32 @src(i32 %x, i32 %y) {\n  %r = mul i32 %x, %y\n"
+    "define i32 @src(i32 %x, i32 %y) {\n  %m = mul i32 %x, 7\n"
+    "  %r = xor i32 %m, %y\n"
     "  ret i32 %r\n}\n";
 const char *kMulCommTgt32 =
-    "define i32 @tgt(i32 %x, i32 %y) {\n  %r = mul i32 %y, %x\n"
+    "define i32 @tgt(i32 %x, i32 %y) {\n  %s = shl i32 %x, 3\n"
+    "  %m = sub i32 %s, %x\n"
+    "  %r = xor i32 %m, %y\n"
     "  ret i32 %r\n}\n";
 
 RefinementResult
@@ -233,6 +242,55 @@ checkWithOptions(const char *src, const char *tgt,
 }
 
 } // namespace
+
+// Pins the encoder's AC canonicalization: a reassociated add chain and
+// a pair of cancelling xor/add-sub operands collapse to the same
+// normal form during bit-blasting, so the miter is (nearly) trivially
+// unsatisfiable and the proof costs almost no conflicts. Without the
+// canonicalization these shapes cost thousands of conflicts per solve
+// and an adversarial sequence dominates a module run's wall time.
+TEST(RefineTest, ReassociatedChainsProveCheaply)
+{
+    RefineOptions options;
+    SatTelemetry telemetry;
+    options.sat_telemetry = &telemetry;
+    // add(add(v, y), y)  ==  add(v, shl(y, 1)): flattening the add
+    // chain and merging the doubled operand makes both cones equal.
+    auto r = checkWithOptions(
+        "define i32 @src(i32 %v, i32 %y) {\n"
+        "  %a = add i32 %v, %y\n"
+        "  %b = add i32 %a, %y\n"
+        "  ret i32 %b\n}\n",
+        "define i32 @tgt(i32 %v, i32 %y) {\n"
+        "  %s = shl i32 %y, 1\n"
+        "  %b = add i32 %v, %s\n"
+        "  ret i32 %b\n}\n",
+        options);
+    EXPECT_EQ(r.verdict, Verdict::Correct);
+    EXPECT_EQ(r.backend, "sat");
+    EXPECT_LT(telemetry.conflicts, 1000u);
+
+    // Cancelling pairs under a multiply: xor %z twice and add/sub %m
+    // are identities the canonicalizer strips before the multiplier
+    // cone is ever encoded.
+    SatTelemetry cancel_telemetry;
+    options.sat_telemetry = &cancel_telemetry;
+    r = checkWithOptions(
+        "define i32 @src(i32 %x, i32 %z, i32 %m) {\n"
+        "  %a = xor i32 %x, %z\n"
+        "  %b = xor i32 %a, %z\n"
+        "  %c = add i32 %b, %m\n"
+        "  %d = sub i32 %c, %m\n"
+        "  %e = mul i32 %d, 43\n"
+        "  ret i32 %e\n}\n",
+        "define i32 @tgt(i32 %x, i32 %z, i32 %m) {\n"
+        "  %e = mul i32 %x, 43\n"
+        "  ret i32 %e\n}\n",
+        options);
+    EXPECT_EQ(r.verdict, Verdict::Correct);
+    EXPECT_EQ(r.backend, "sat");
+    EXPECT_LT(cancel_telemetry.conflicts, 1000u);
+}
 
 TEST(RefineLadderTest, SingleShotBudgetStillTimesOut)
 {

@@ -107,6 +107,39 @@ TEST(ThreadPoolTest, ExceptionSkipsRemainingChunks)
     EXPECT_LT(chunks_run.load(), 1'000u);
 }
 
+// The one-parallelFor-in-flight contract fails loudly instead of
+// corrupting the running job: a nested call from inside a body throws
+// std::logic_error, which propagates out of the outer call like any
+// body exception, and the pool stays usable afterwards.
+TEST(ThreadPoolTest, NestedParallelForThrowsLogicError)
+{
+    for (unsigned threads : {1u, 2u, 8u}) {
+        ThreadPool pool(threads);
+        std::atomic<bool> nested_threw{false};
+        EXPECT_THROW(
+            pool.parallelFor(0, 64, 8,
+                             [&](uint64_t, uint64_t) {
+                                 try {
+                                     pool.parallelFor(
+                                         0, 8, 1,
+                                         [](uint64_t, uint64_t) {});
+                                 } catch (const std::logic_error &) {
+                                     nested_threw.store(true);
+                                     throw;
+                                 }
+                             }),
+            std::logic_error)
+            << "threads " << threads;
+        EXPECT_TRUE(nested_threw.load()) << "threads " << threads;
+        // The guard resets: the pool accepts a fresh job.
+        std::atomic<uint64_t> covered{0};
+        pool.parallelFor(0, 256, 16, [&](uint64_t lo, uint64_t hi) {
+            covered.fetch_add(hi - lo);
+        });
+        EXPECT_EQ(covered.load(), 256u) << "threads " << threads;
+    }
+}
+
 TEST(ThreadPoolTest, HardwareThreadsNonZero)
 {
     EXPECT_GE(ThreadPool::hardwareThreads(), 1u);

@@ -20,6 +20,28 @@ for config in Release Debug; do
     ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
 done
 
+echo "=== Sanitize job: ASan+UBSan over concurrency and containment ==="
+# Lifetime bugs hide in exactly two places: the work-stealing deques
+# (racing thieves reading retired ring buffers, scope teardown vs
+# worker handshake, cancellation drains) and the fault containment /
+# rollback paths. Build those tests with -fsanitize=address,undefined
+# and run them — test_task_graph's cancellation tests double as the
+# zero-leaked-tasks check (a leaked task node is an ASan leak report).
+cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=Debug -DLPO_SANITIZE=ON
+cmake --build build-sanitize -j "${jobs}" \
+    --target test_task_graph test_thread_pool test_chaos
+./build-sanitize/test_task_graph
+./build-sanitize/test_thread_pool
+./build-sanitize/test_chaos
+# Repeat the failpoint sweep under the sanitizers (site list comes
+# from the Release CLI; the sites themselves are build-independent).
+for site in $(./build-release/lpo_cli failpoints | awk '{print $1}'); do
+    LPO_FAILPOINTS="${site}=always" \
+        ./build-sanitize/test_chaos --gtest_filter='ChaosEnvTest.*' \
+        > /dev/null
+    echo "sanitize chaos site ${site}: OK"
+done
+
 echo "=== Chaos sweep: every failpoint site, one at a time (Release) ==="
 # Each site is forced to fire on every hit while the end-to-end module
 # run (ChaosEnvTest) must still complete without crashing or patching
@@ -72,7 +94,10 @@ for f in trace.lpo.json metrics.lpo.json trace_t8.lpo.json \
     python3 -m json.tool "${obs_dir}/${f}" > /dev/null
     echo "observability: ${f} is valid JSON"
 done
-for span in extract propose verify patch dce; do
+# Patch-back streams inside the pipeline's commit chain now (timed via
+# phase.patch_ns, attributed to the per-sequence spans), so the trace
+# has no standalone "patch" phase span anymore.
+for span in extract propose verify dce; do
     grep -q "\"${span}\"" "${obs_dir}/trace.lpo.json" || {
         echo "FAIL: trace is missing the ${span} phase span"
         exit 1
@@ -86,6 +111,30 @@ cmp "${obs_dir}/plain_t1.ll" "${obs_dir}/traced_t1.ll"
 cmp "${obs_dir}/plain_t8.ll" "${obs_dir}/traced_t8.ll"
 cmp "${obs_dir}/plain_t1.ll" "${obs_dir}/plain_t8.ll"
 echo "observability: traced and untraced modules byte-identical at 1 and 8 threads"
+
+echo "=== Scheduler skew determinism (Release) ==="
+# A steal-heavy workload: many one-block functions means many cheap
+# case tasks, all pushed onto the scope owner's deque, so threaded
+# runs only make progress by stealing. The emitted module must be
+# byte-identical to the serial reference at 2 and 8 workers, with the
+# verify cache on and off — the ordered commit chain, not scheduling
+# luck, decides every byte.
+skew_dir=build-release/skew
+rm -rf "${skew_dir}" && mkdir -p "${skew_dir}"
+./build-release/lpo_cli gen-module 7 96 1 > "${skew_dir}/skew.ll"
+./build-release/lpo_cli optimize-module "${skew_dir}/skew.ll" \
+    --proposer=hybrid --threads=1 --emit="${skew_dir}/ref.ll"
+for threads in 2 8; do
+    ./build-release/lpo_cli optimize-module "${skew_dir}/skew.ll" \
+        --proposer=hybrid --threads="${threads}" \
+        --emit="${skew_dir}/t${threads}.ll"
+    cmp "${skew_dir}/ref.ll" "${skew_dir}/t${threads}.ll"
+    ./build-release/lpo_cli optimize-module "${skew_dir}/skew.ll" \
+        --proposer=hybrid --threads="${threads}" --no-verify-cache \
+        --emit="${skew_dir}/t${threads}_nocache.ll"
+    cmp "${skew_dir}/ref.ll" "${skew_dir}/t${threads}_nocache.ll"
+done
+echo "scheduler skew determinism: byte-identical at 1/2/8 threads x cache on/off"
 
 echo "=== Interpreter throughput benchmark (Release) ==="
 # The benchmark writes BENCH_interp.json into its working directory.
